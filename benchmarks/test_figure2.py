@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 2: DNS third-party/critical/redundancy by rank."""
+
+from repro.analysis import render_figure, figure2_dns_by_rank
+
+
+def test_figure2(benchmark, snapshot_2020):
+    """Figure 2: DNS third-party/critical/redundancy by rank."""
+    figure = benchmark(figure2_dns_by_rank, snapshot_2020)
+    print()
+    print(render_figure(figure))
+    assert figure.series

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 3: CDN adoption and criticality by rank."""
+
+from repro.analysis import render_figure, figure3_cdn_by_rank
+
+
+def test_figure3(benchmark, snapshot_2020):
+    """Figure 3: CDN adoption and criticality by rank."""
+    figure = benchmark(figure3_cdn_by_rank, snapshot_2020)
+    print()
+    print(render_figure(figure))
+    assert figure.series

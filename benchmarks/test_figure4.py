@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 4: HTTPS, third-party CA, and stapling by rank."""
+
+from repro.analysis import render_figure, figure4_ca_by_rank
+
+
+def test_figure4(benchmark, snapshot_2020):
+    """Figure 4: HTTPS, third-party CA, and stapling by rank."""
+    figure = benchmark(figure4_ca_by_rank, snapshot_2020)
+    print()
+    print(render_figure(figure))
+    assert figure.series

@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Figure 5: dependency graphs, top-5 C and I."""
+
+from repro.analysis import render_figure, figure5_dependency_graphs
+from repro.core.graph import ServiceType
+from repro.core.graphx import degree_statistics
+
+
+def test_figure5(benchmark, snapshot_2020):
+    """Figure 5: dependency graphs, top-5 provider C and I."""
+    figure = benchmark(figure5_dependency_graphs, snapshot_2020)
+    print()
+    print(render_figure(figure))
+    print("-- graph-drawing statistics (node size ∝ in-degree in the paper) --")
+    for service in ServiceType:
+        stats = degree_statistics(snapshot_2020.graph, service)
+        print(f"  {service.value}: {stats}")
+    assert figure.series

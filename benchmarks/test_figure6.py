@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 6: CDFs of websites vs number of providers."""
+
+from repro.analysis import render_figure, figure6_provider_cdfs
+
+
+def test_figure6(benchmark, snapshot_2016, snapshot_2020):
+    """Figure 6: CDFs of websites vs number of providers."""
+    figure = benchmark(figure6_provider_cdfs, snapshot_2016, snapshot_2020)
+    print()
+    print(render_figure(figure))
+    assert figure.series

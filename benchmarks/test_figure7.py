@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 7: DNS C/I with CA->DNS dependencies included."""
+
+from repro.analysis import render_figure, figure7_ca_dns_amplification
+
+
+def test_figure7(benchmark, snapshot_2020):
+    """Figure 7: DNS C/I with CA->DNS dependencies included."""
+    figure = benchmark(figure7_ca_dns_amplification, snapshot_2020)
+    print()
+    print(render_figure(figure))
+    assert figure.series

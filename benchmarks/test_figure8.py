@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 8: CDN C/I with CA->CDN dependencies included."""
+
+from repro.analysis import render_figure, figure8_ca_cdn_amplification
+
+
+def test_figure8(benchmark, snapshot_2020):
+    """Figure 8: CDN C/I with CA->CDN dependencies included."""
+    figure = benchmark(figure8_ca_cdn_amplification, snapshot_2020)
+    print()
+    print(render_figure(figure))
+    assert figure.series

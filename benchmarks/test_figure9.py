@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 9: DNS C/I with CDN->DNS dependencies included."""
+
+from repro.analysis import render_figure, figure9_cdn_dns_amplification
+
+
+def test_figure9(benchmark, snapshot_2020):
+    """Figure 9: DNS C/I with CDN->DNS dependencies included."""
+    figure = benchmark(figure9_cdn_dns_amplification, snapshot_2020)
+    print()
+    print(render_figure(figure))
+    assert figure.series

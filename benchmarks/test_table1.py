@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 1: the 2020 measurement population."""
+
+from repro.analysis import render_table, table1_dataset_summary
+
+
+def test_table1(benchmark, snapshot_2020):
+    """Table 1: the 2020 measurement population."""
+    table = benchmark(table1_dataset_summary, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 10: the hospital case study."""
+
+from repro.analysis import render_table, table10_hospitals
+
+
+def test_table10(benchmark, hospital_snapshot_analyzed):
+    """Table 10: third-party dependency of the top-200 US hospitals."""
+    table = benchmark(table10_hospitals, hospital_snapshot_analyzed)
+    print()
+    print(render_table(table))
+    assert table.rows

@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Table 11: the smart-home case study."""
+
+from repro.analysis import render_table, table11_smart_home
+from repro.worldgen.case_studies import smart_home_companies
+
+
+def test_table11(benchmark):
+    """Table 11: third-party dependency of smart-home companies."""
+    table = benchmark(lambda: table11_smart_home(smart_home_companies()))
+    print()
+    print(render_table(table))
+    assert table.rows

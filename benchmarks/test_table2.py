@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 2: the 2016-vs-2020 comparison population."""
+
+from repro.analysis import render_table, table2_comparison_summary
+
+
+def test_table2(benchmark, snapshot_2016, snapshot_2020):
+    """Table 2: the 2016-vs-2020 comparison population."""
+    table = benchmark(table2_comparison_summary, snapshot_2016, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

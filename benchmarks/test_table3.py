@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 3: website->DNS trends per rank bucket."""
+
+from repro.analysis import render_table, table3_dns_trends
+
+
+def test_table3(benchmark, snapshot_2016, snapshot_2020):
+    """Table 3: website->DNS trends per rank bucket."""
+    table = benchmark(table3_dns_trends, snapshot_2016, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 4: website->CDN trends per rank bucket."""
+
+from repro.analysis import render_table, table4_cdn_trends
+
+
+def test_table4(benchmark, snapshot_2016, snapshot_2020):
+    """Table 4: website->CDN trends per rank bucket."""
+    table = benchmark(table4_cdn_trends, snapshot_2016, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 5: website->CA stapling trends per rank bucket."""
+
+from repro.analysis import render_table, table5_ca_trends
+
+
+def test_table5(benchmark, snapshot_2016, snapshot_2020):
+    """Table 5: website->CA stapling trends per rank bucket."""
+    table = benchmark(table5_ca_trends, snapshot_2016, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 6: inter-service third-party/critical dependencies."""
+
+from repro.analysis import render_table, table6_interservice_summary
+
+
+def test_table6(benchmark, snapshot_2020):
+    """Table 6: inter-service third-party/critical dependencies."""
+    table = benchmark(table6_interservice_summary, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

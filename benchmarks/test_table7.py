@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 7: CA->DNS dependency trends."""
+
+from repro.analysis import render_table, table7_ca_dns_trends
+
+
+def test_table7(benchmark, snapshot_2016, snapshot_2020):
+    """Table 7: CA->DNS dependency trends."""
+    table = benchmark(table7_ca_dns_trends, snapshot_2016, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 8: CA->CDN dependency trends."""
+
+from repro.analysis import render_table, table8_ca_cdn_trends
+
+
+def test_table8(benchmark, snapshot_2016, snapshot_2020):
+    """Table 8: CA->CDN dependency trends."""
+    table = benchmark(table8_ca_cdn_trends, snapshot_2016, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

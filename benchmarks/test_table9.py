@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 9: CDN->DNS dependency trends."""
+
+from repro.analysis import render_table, table9_cdn_dns_trends
+
+
+def test_table9(benchmark, snapshot_2016, snapshot_2020):
+    """Table 9: CDN->DNS dependency trends."""
+    table = benchmark(table9_cdn_dns_trends, snapshot_2016, snapshot_2020)
+    print()
+    print(render_table(table))
+    assert table.rows

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Replay the GlobalSign 2016 erroneous-revocation incident (Section 2).
+
+A misconfigured OCSP responder marks valid certificates revoked. The
+replay shows the three phases the real incident had:
+
+1. while broken: hard-fail clients are denied HTTPS to affected sites;
+2. after the fix: clients that cached a bad response are *still* denied,
+   because OCSP responses carry multi-day validity;
+3. after the cached responses expire: recovery.
+
+Run:  python examples/globalsign_replay.py [n_websites]
+"""
+
+import sys
+
+from repro import WorldConfig, build_world
+from repro.failures import simulate_mass_revocation
+from repro.worldgen.spec import PRIVATE
+
+
+def main() -> None:
+    n_websites = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    config = WorldConfig(n_websites=n_websites, seed=42, year=2016)
+    print(f"Building the 2016 world ({n_websites} websites)...")
+    world = build_world(config)
+
+    victims = [
+        w.domain
+        for w in world.spec.websites
+        if w.https and w.ca_key == "globalsign"
+    ]
+    stapled = [
+        w.domain
+        for w in world.spec.websites
+        if w.https and w.ca_key == "globalsign" and w.ocsp_stapled
+    ]
+    controls = [
+        w.domain
+        for w in world.spec.websites
+        if w.https and w.ca_key not in (None, PRIVATE, "globalsign")
+    ][:20]
+    print(f"GlobalSign-issued sites: {len(victims)} "
+          f"({len(stapled)} with stapling); control group: {len(controls)}")
+
+    result = simulate_mass_revocation(
+        world, "globalsign", victims + controls
+    )
+    denied_controls = [d for d in result.denied_during if d in controls]
+    print(f"\nPhase 1 — responder misconfigured:")
+    print(f"  denied: {len(result.denied_during)} "
+          f"(controls among them: {len(denied_controls)})")
+    if "soundcloud.com" in result.denied_during:
+        print("  soundcloud.com is down, as in 2016.")
+    print(f"\nPhase 2 — responder fixed, caches still poisoned:")
+    print(f"  still denied: {len(result.denied_after_fix_cached)}")
+    print(f"\nPhase 3 — after the OCSP validity window:")
+    print(f"  recovered: {len(result.recovered_after_expiry)}")
+
+    print("\nCaching extended the real incident to a week; the replay shows "
+          "the same mechanics (Section 2 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

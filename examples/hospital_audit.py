@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Case Study I: third-party dependencies of the top US hospitals.
+
+Reproduces Section 6.1 / Table 10 over the synthetic hospital vertical —
+same measurement pipeline, different population — and flags the most
+concentrated providers (the paper found GoDaddy DNS at 13% and Akamai
+at 7%).
+
+Run:  python examples/hospital_audit.py
+"""
+
+from repro.analysis import render_table, table10_hospitals
+from repro.core import ServiceType, analyze_world
+from repro.worldgen import WorldConfig, hospital_snapshot, materialize
+from repro.worldgen.world import World
+
+
+def main() -> None:
+    config = WorldConfig(n_websites=1000, seed=42)
+    print("Generating the top-200 US-hospital population...")
+    spec = hospital_snapshot(config, n_hospitals=200)
+    world = World(materialize(spec), config)
+    print("Measuring hospital websites...")
+    snapshot = analyze_world(world)
+
+    print()
+    print(render_table(table10_hospitals(snapshot)))
+
+    print("\nMost concentrated providers across hospitals (direct usage; "
+          "paper: GoDaddy DNS 13%, Akamai 7%):")
+    for service in ServiceType:
+        top = snapshot.graph.top_providers(
+            service, 2, by="concentration", indirect=False
+        )
+        for node, score in top:
+            share = 100.0 * score / len(snapshot.websites)
+            print(f"  {service.value.upper():3s} {snapshot.graph.display(node):28s} {share:.1f}%")
+
+    print("\nPaper's verdict: hospitals use third-party infrastructure less "
+          "than Alexa sites, but are just as critically dependent when "
+          "they do.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Capacity-aware attack sweep — the paper's §8.3 future work, built.
+
+Sweeps Mirai-style botnet sizes against DNS providers with different
+capacity classes and prints the expected websites lost at each size. The
+crossover — a boutique provider saturating where a hyperscaler shrugs —
+is the quantitative version of the paper's "concentration creates
+attractive targets, but big providers are better provisioned" tension.
+
+Run:  python examples/mirai_capacity_sweep.py [n_websites]
+"""
+
+import sys
+
+from repro import WorldConfig, analyze_world, build_world
+from repro.failures import AttackScenario, attack_sweep
+
+BOT_COUNTS = [50_000, 200_000, 600_000, 2_000_000, 8_000_000]
+PROVIDERS = ["dynect.net", "dnsmadeeasy.com", "cloudflare.com"]
+
+
+def main() -> None:
+    n_websites = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    print(f"Building the 2016 world ({n_websites} websites)...")
+    world = build_world(WorldConfig(n_websites=n_websites, seed=42, year=2016))
+    snapshot = analyze_world(world)
+
+    print(f"\n{'botnet size':>12}", end="")
+    for provider in PROVIDERS:
+        print(f"  {provider:>18}", end="")
+    print("\n" + " " * 12, end="")
+    for _ in PROVIDERS:
+        print(f"  {'survive / sites lost':>18}", end="")
+    print()
+
+    sweeps = {
+        provider: attack_sweep(snapshot, provider, BOT_COUNTS)
+        for provider in PROVIDERS
+    }
+    for i, bots in enumerate(BOT_COUNTS):
+        volume = AttackScenario(bots=bots).volume_gbps
+        print(f"{bots:>12,}", end="")
+        for provider in PROVIDERS:
+            result = sweeps[provider][i]
+            print(
+                f"  {result.survival_rate:>7.0%} / {result.expected_unavailable_websites:>6.1f}",
+                end="",
+            )
+        print(f"   ({volume:,.0f} Gbps)")
+
+    print("\nThe 2016 reading: ~600K Mirai bots saturate a Dyn-class fleet "
+          "(its critical dependents go dark) while a Cloudflare-class "
+          "anycast network absorbs the same volume.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Paper-artifact builders: one function per table and figure.
+
+Each builder consumes :class:`~repro.core.pipeline.AnalyzedSnapshot`
+objects and returns structured rows/series; :mod:`repro.analysis.render`
+formats them as the text tables the benchmarks print, side by side with
+the paper's reported values where available.
+"""
+
+from repro.analysis.tables import (
+    table1_dataset_summary,
+    table2_comparison_summary,
+    table3_dns_trends,
+    table4_cdn_trends,
+    table5_ca_trends,
+    table6_interservice_summary,
+    table7_ca_dns_trends,
+    table8_ca_cdn_trends,
+    table9_cdn_dns_trends,
+    table10_hospitals,
+    table11_smart_home,
+)
+from repro.analysis.figures import (
+    figure2_dns_by_rank,
+    figure3_cdn_by_rank,
+    figure4_ca_by_rank,
+    figure5_dependency_graphs,
+    figure6_provider_cdfs,
+    figure7_ca_dns_amplification,
+    figure8_ca_cdn_amplification,
+    figure9_cdn_dns_amplification,
+)
+from repro.analysis.render import render_figure, render_table
+
+__all__ = [
+    "figure2_dns_by_rank",
+    "figure3_cdn_by_rank",
+    "figure4_ca_by_rank",
+    "figure5_dependency_graphs",
+    "figure6_provider_cdfs",
+    "figure7_ca_dns_amplification",
+    "figure8_ca_cdn_amplification",
+    "figure9_cdn_dns_amplification",
+    "render_figure",
+    "render_table",
+    "table10_hospitals",
+    "table11_smart_home",
+    "table1_dataset_summary",
+    "table2_comparison_summary",
+    "table3_dns_trends",
+    "table4_cdn_trends",
+    "table5_ca_trends",
+    "table6_interservice_summary",
+    "table7_ca_dns_trends",
+    "table8_ca_cdn_trends",
+    "table9_cdn_dns_trends",
+]

@@ -1,0 +1,44 @@
+"""Structured artifact types shared by the table and figure builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+@dataclass
+class TableArtifact:
+    """A paper table: measured rows, optionally with the paper's values."""
+
+    id: str
+    title: str
+    columns: list[str]
+    rows: list[list[Cell]] = field(default_factory=list)
+    # Paper-reported values, same shape as rows, where known (None = n/a).
+    paper_rows: Optional[list[list[Cell]]] = None
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"{self.id}: expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+
+@dataclass
+class FigureArtifact:
+    """A paper figure: named data series plus summary statistics."""
+
+    id: str
+    title: str
+    # series name -> [(x, y), ...]
+    series: dict[str, list[tuple[Cell, Cell]]] = field(default_factory=dict)
+    stats: dict[str, Cell] = field(default_factory=dict)
+    paper_stats: dict[str, Cell] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, points: Sequence[tuple[Cell, Cell]]) -> None:
+        self.series[name] = list(points)

@@ -1,0 +1,66 @@
+"""CSV export of table/figure artifacts — for downstream plotting.
+
+The paper's figures are matplotlib/Gephi renderings of exactly these
+series; exporting them as CSV lets any plotting stack regenerate the
+visuals without importing the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.artifacts import FigureArtifact, TableArtifact
+
+Artifact = Union[TableArtifact, FigureArtifact]
+
+
+def table_to_csv(table: TableArtifact) -> str:
+    """One CSV with the measured rows; paper rows appended when present."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(["" if c is None else c for c in row])
+    if table.paper_rows:
+        writer.writerow([])
+        writer.writerow([f"paper:{c}" for c in table.columns])
+        for row in table.paper_rows:
+            writer.writerow(["" if c is None else c for c in row])
+    return buffer.getvalue()
+
+
+def figure_to_csv(figure: FigureArtifact) -> str:
+    """Long-format CSV: series,x,y — one row per data point."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series", "x", "y"])
+    for name, points in figure.series.items():
+        for x, y in points:
+            writer.writerow([name, x, y])
+    if figure.stats:
+        writer.writerow([])
+        writer.writerow(["stat", "measured", "paper"])
+        for key, value in figure.stats.items():
+            writer.writerow([key, value, figure.paper_stats.get(key, "")])
+    return buffer.getvalue()
+
+
+def artifact_to_csv(artifact: Artifact) -> str:
+    """Dispatch on artifact type."""
+    if isinstance(artifact, TableArtifact):
+        return table_to_csv(artifact)
+    if isinstance(artifact, FigureArtifact):
+        return figure_to_csv(artifact)
+    raise TypeError(f"not an artifact: {type(artifact).__name__}")
+
+
+def export_artifact(artifact: Artifact, directory: Union[str, Path]) -> Path:
+    """Write ``<artifact.id>.csv`` into ``directory`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{artifact.id}.csv"
+    path.write_text(artifact_to_csv(artifact), encoding="utf-8")
+    return path

@@ -1,0 +1,70 @@
+"""Text rendering of table/figure artifacts.
+
+The benchmarks print these so a run of ``pytest benchmarks/`` regenerates
+every paper artifact in readable form, with paper values alongside.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.artifacts import Cell, FigureArtifact, TableArtifact
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def render_table(table: TableArtifact) -> str:
+    """Fixed-width text rendering of a table artifact."""
+    header = [table.columns]
+    body = [[_format_cell(c) for c in row] for row in table.rows]
+    widths = [
+        max(len(str(row[i])) for row in header + body)
+        for i in range(len(table.columns))
+    ]
+    lines = [f"== {table.id}: {table.title} =="]
+    lines.append(
+        "  ".join(str(c).ljust(w) for c, w in zip(table.columns, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if table.paper_rows:
+        lines.append("-- paper reported --")
+        for row in table.paper_rows:
+            lines.append(
+                "  ".join(
+                    _format_cell(c).ljust(w) for c, w in zip(row, widths)
+                )
+            )
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureArtifact) -> str:
+    """Text rendering of a figure artifact (series + stats)."""
+    lines = [f"== {figure.id}: {figure.title} =="]
+    for name, points in figure.series.items():
+        rendered = ", ".join(
+            f"{_format_cell(x)}:{_format_cell(y)}" for x, y in points[:12]
+        )
+        suffix = " ..." if len(points) > 12 else ""
+        lines.append(f"  {name}: {rendered}{suffix}")
+    if figure.stats:
+        lines.append("  stats:")
+        for key, value in figure.stats.items():
+            paper = figure.paper_stats.get(key)
+            paper_part = f"  (paper: {_format_cell(paper)})" if paper is not None else ""
+            lines.append(f"    {key} = {_format_cell(value)}{paper_part}")
+    extra_paper = {
+        k: v for k, v in figure.paper_stats.items() if k not in figure.stats
+    }
+    for key, value in extra_paper.items():
+        lines.append(f"    paper-only: {key} = {_format_cell(value)}")
+    for note in figure.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

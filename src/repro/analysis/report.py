@@ -1,0 +1,110 @@
+"""Whole-paper report generation: every artifact in one document.
+
+``build_report`` runs each table/figure builder against analyzed
+snapshots and returns the artifacts plus a rendered markdown document —
+the library form of ``scripts/generate_experiments.py``, so programs can
+regenerate the full paper-vs-measured comparison without shelling out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.analysis import figures as figure_builders
+from repro.analysis import tables as table_builders
+from repro.analysis.artifacts import FigureArtifact, TableArtifact
+from repro.analysis.render import render_figure, render_table
+from repro.core.pipeline import AnalyzedSnapshot
+from repro.worldgen.case_studies import smart_home_companies
+
+Artifact = Union[TableArtifact, FigureArtifact]
+
+
+@dataclass
+class PaperReport:
+    """All regenerated artifacts for one snapshot pair."""
+
+    tables: dict[str, TableArtifact] = field(default_factory=dict)
+    figures: dict[str, FigureArtifact] = field(default_factory=dict)
+
+    def artifacts(self) -> list[Artifact]:
+        return [*self.tables.values(), *self.figures.values()]
+
+    def to_markdown(self, title: str = "Paper artifacts") -> str:
+        """One markdown document with every artifact rendered as text."""
+        parts = [f"# {title}\n"]
+        for table in self.tables.values():
+            parts.append(f"```text\n{render_table(table)}\n```\n")
+        for figure in self.figures.values():
+            parts.append(f"```text\n{render_figure(figure)}\n```\n")
+        return "\n".join(parts)
+
+    def write_markdown(self, path: Union[str, Path], title: str = "Paper artifacts") -> Path:
+        path = Path(path)
+        path.write_text(self.to_markdown(title), encoding="utf-8")
+        return path
+
+
+def build_report(
+    snapshot_2020: AnalyzedSnapshot,
+    snapshot_2016: Optional[AnalyzedSnapshot] = None,
+    hospital_snapshot: Optional[AnalyzedSnapshot] = None,
+) -> PaperReport:
+    """Regenerate every artifact the given snapshots can support.
+
+    Single-snapshot artifacts (Tables 1, 6, 11; Figures 2-5, 7-9) always
+    build; comparison artifacts (Tables 2-5, 7-9; Figure 6) need
+    ``snapshot_2016``; Table 10 needs the hospital snapshot.
+    """
+    report = PaperReport()
+
+    single: dict[str, Callable[[AnalyzedSnapshot], TableArtifact]] = {
+        "table1": table_builders.table1_dataset_summary,
+        "table6": table_builders.table6_interservice_summary,
+    }
+    for key, builder in single.items():
+        report.tables[key] = builder(snapshot_2020)
+    report.tables["table11"] = table_builders.table11_smart_home(
+        smart_home_companies()
+    )
+    if hospital_snapshot is not None:
+        report.tables["table10"] = table_builders.table10_hospitals(
+            hospital_snapshot
+        )
+    if snapshot_2016 is not None:
+        pair_tables = {
+            "table2": table_builders.table2_comparison_summary,
+            "table3": table_builders.table3_dns_trends,
+            "table4": table_builders.table4_cdn_trends,
+            "table5": table_builders.table5_ca_trends,
+            "table7": table_builders.table7_ca_dns_trends,
+            "table8": table_builders.table8_ca_cdn_trends,
+            "table9": table_builders.table9_cdn_dns_trends,
+        }
+        for key, builder in pair_tables.items():
+            report.tables[key] = builder(snapshot_2016, snapshot_2020)
+        report.figures["figure6"] = figure_builders.figure6_provider_cdfs(
+            snapshot_2016, snapshot_2020
+        )
+
+    single_figures = {
+        "figure2": figure_builders.figure2_dns_by_rank,
+        "figure3": figure_builders.figure3_cdn_by_rank,
+        "figure4": figure_builders.figure4_ca_by_rank,
+        "figure5": figure_builders.figure5_dependency_graphs,
+        "figure7": figure_builders.figure7_ca_dns_amplification,
+        "figure8": figure_builders.figure8_ca_cdn_amplification,
+        "figure9": figure_builders.figure9_cdn_dns_amplification,
+    }
+    for key, builder in single_figures.items():
+        report.figures[key] = builder(snapshot_2020)
+    return report
+
+
+def export_report_csvs(report: PaperReport, directory: Union[str, Path]) -> list[Path]:
+    """Write every artifact as CSV (see :mod:`repro.analysis.export`)."""
+    from repro.analysis.export import export_artifact
+
+    return [export_artifact(a, directory) for a in report.artifacts()]

@@ -1,0 +1,349 @@
+"""Table builders — one per paper table (Tables 1-11).
+
+Measured values are expressed as percentages of the snapshot population
+(the worlds are downscaled Alexa lists), with the paper's reported values
+alongside for the EXPERIMENTS.md comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.artifacts import TableArtifact
+from repro.core import evolution
+from repro.core.evolution import TrendRow
+from repro.core.metrics import PAPER_BUCKETS
+from repro.core.pipeline import AnalyzedSnapshot
+from repro.worldgen.case_studies import SmartHomeCompany
+
+
+def _pct(count: int, base: int) -> float:
+    return round(100.0 * count / base, 1) if base else 0.0
+
+
+# --------------------------------------------------------------------------
+# Tables 1 & 2: dataset summaries
+# --------------------------------------------------------------------------
+
+def table1_dataset_summary(snapshot: AnalyzedSnapshot) -> TableArtifact:
+    """Table 1: the 2020 measurement population."""
+    table = TableArtifact(
+        id="table1",
+        title="Websites considered in the 2020 dependency analysis",
+        columns=["population", "measured", "measured %", "paper count", "paper %"],
+    )
+    n = len(snapshot.websites)
+    characterized = len(snapshot.dns_characterized)
+    cdn_users = len(snapshot.cdn_websites)
+    https = len(snapshot.https_websites)
+    rows = [
+        ("Characterized websites for DNS analysis", characterized, 81_899),
+        ("Websites using CDNs", cdn_users, 33_137),
+        ("Characterized websites for CDN analysis", cdn_users, 33_137),
+        ("Websites supporting HTTPS", https, 78_387),
+        ("Characterized websites for CA analysis", https, 78_387),
+    ]
+    for label, measured, paper in rows:
+        table.add_row(
+            label, measured, _pct(measured, n), paper, _pct(paper, 100_000)
+        )
+    return table
+
+
+def table2_comparison_summary(
+    snapshot_2016: AnalyzedSnapshot, snapshot_2020: AnalyzedSnapshot
+) -> TableArtifact:
+    """Table 2: the 2016-vs-2020 comparison population."""
+    table = TableArtifact(
+        id="table2",
+        title="Websites in the 2016-vs-2020 comparison analysis",
+        columns=["population", "measured", "measured %", "paper count", "paper %"],
+    )
+    old = snapshot_2016.by_domain()
+    new = snapshot_2020.by_domain()
+    common = sorted(set(old) & set(new))
+    n = len(snapshot_2016.websites)
+    dns_chr = sum(
+        1 for d in common
+        if old[d].dns.characterized and new[d].dns.characterized
+    )
+    cdn_either = sum(
+        1 for d in common if old[d].uses_cdn or new[d].uses_cdn
+    )
+    https_either = sum(
+        1 for d in common if old[d].ca.https or new[d].ca.https
+    )
+    rows = [
+        ("Characterized websites for DNS analysis", dns_chr, 87_348),
+        ("Websites using CDN either in 2016 or 2020", cdn_either, 47_502),
+        ("Characterized websites for CDN analysis", cdn_either, 46_943),
+        ("Websites supporting HTTPS either in 2016 or 2020", https_either, 69_725),
+        ("Characterized websites for CA analysis", https_either, 69_725),
+    ]
+    for label, measured, paper in rows:
+        table.add_row(
+            label, measured, _pct(measured, n), paper, _pct(paper, 100_000)
+        )
+    table.notes.append(
+        f"{len(snapshot_2016.websites) - len(common)} of the 2016 websites "
+        "no longer exist in 2020 (paper: 3.8%)."
+    )
+    return table
+
+
+# --------------------------------------------------------------------------
+# Tables 3-5: website-level trends
+# --------------------------------------------------------------------------
+
+def _trend_table(
+    table_id: str,
+    title: str,
+    rows: list[TrendRow],
+    paper: dict[str, tuple[float, float, float, float]],
+) -> TableArtifact:
+    table = TableArtifact(
+        id=table_id,
+        title=title,
+        columns=["website trend", "k=100", "k=1K", "k=10K", "k=100K"],
+    )
+    paper_rows: list[list] = []
+    for row in rows:
+        cells = [round(row.per_bucket.get(k, 0.0), 1) for k in PAPER_BUCKETS]
+        table.add_row(row.label, *cells)
+        reference = paper.get(row.label)
+        paper_rows.append(
+            [row.label, *reference] if reference else [row.label, None, None, None, None]
+        )
+    table.paper_rows = paper_rows
+    return table
+
+
+def table3_dns_trends(
+    snapshot_2016: AnalyzedSnapshot, snapshot_2020: AnalyzedSnapshot
+) -> TableArtifact:
+    """Table 3: website→DNS trends, 2016 vs 2020."""
+    return _trend_table(
+        "table3",
+        "website→DNS dependency trends 2016 vs 2020 (percent per bucket)",
+        evolution.dns_trends(snapshot_2016, snapshot_2020),
+        {
+            "Pvt to Single 3rd": (0.0, 7.4, 9.8, 10.7),
+            "Single Third to Pvt": (1.0, 1.6, 4.2, 6.0),
+            "Red. to No Red.": (1.0, 1.6, 1.0, 0.5),
+            "No Red. to Red.": (2.0, 1.9, 1.1, 0.5),
+            "Critical dependency": (-2.0, 5.5, 5.5, 4.7),
+        },
+    )
+
+
+def table4_cdn_trends(
+    snapshot_2016: AnalyzedSnapshot, snapshot_2020: AnalyzedSnapshot
+) -> TableArtifact:
+    """Table 4: website→CDN trends, 2016 vs 2020."""
+    return _trend_table(
+        "table4",
+        "website→CDN dependency trends 2016 vs 2020 (percent per bucket)",
+        evolution.cdn_trends(snapshot_2016, snapshot_2020),
+        {
+            "Pvt to Single 3rd party CDN": (0.0, 0.3, 0.8, 0.5),
+            "3rd Party CDN to Pvt": (0.0, 0.0, 0.0, 0.0),
+            "Red. to No Red.": (3.0, 2.7, 1.2, 1.1),
+            "No Red. to Red.": (9.0, 6.8, 3.0, 1.6),
+            "Critical dependency": (-6.0, -3.8, -1.0, 0.0),
+        },
+    )
+
+
+def table5_ca_trends(
+    snapshot_2016: AnalyzedSnapshot, snapshot_2020: AnalyzedSnapshot
+) -> TableArtifact:
+    """Table 5: website→CA (OCSP stapling) trends, 2016 vs 2020."""
+    return _trend_table(
+        "table5",
+        "website→CA stapling trends 2016 vs 2020 (percent per bucket)",
+        evolution.ca_stapling_trends(snapshot_2016, snapshot_2020),
+        {
+            "Stapling to No Stapling": (7.5, 6.2, 9.1, 9.7),
+            "No Stapling to Stapling": (3.7, 14.7, 12.9, 9.9),
+            "Critical dependency": (3.8, -8.5, -3.8, -0.2),
+        },
+    )
+
+
+# --------------------------------------------------------------------------
+# Table 6: inter-service dependency summary
+# --------------------------------------------------------------------------
+
+def table6_interservice_summary(snapshot: AnalyzedSnapshot) -> TableArtifact:
+    """Table 6: third-party and critical dependencies among providers."""
+    table = TableArtifact(
+        id="table6",
+        title="Inter-service dependencies (2020)",
+        columns=[
+            "dependency", "total", "third-party", "third-party %",
+            "critical", "critical %",
+        ],
+    )
+    cdn_dns = snapshot.interservice.cdn_dns
+    ca_dns = snapshot.interservice.ca_dns
+    ca_cdn = snapshot.interservice.ca_cdn
+
+    cdn_total = len(cdn_dns)
+    cdn_third = sum(1 for c in cdn_dns.values() if c.uses_third_party)
+    cdn_crit = sum(1 for c in cdn_dns.values() if c.is_critical)
+    table.add_row(
+        "CDN -> DNS", cdn_total, cdn_third, _pct(cdn_third, cdn_total),
+        cdn_crit, _pct(cdn_crit, cdn_total),
+    )
+    ca_total = len(ca_dns)
+    ca_third = sum(1 for c in ca_dns.values() if c.uses_third_party)
+    ca_crit = sum(1 for c in ca_dns.values() if c.is_critical)
+    table.add_row(
+        "CA -> DNS", ca_total, ca_third, _pct(ca_third, ca_total),
+        ca_crit, _pct(ca_crit, ca_total),
+    )
+    cc_total = len(ca_cdn)
+    cc_third = sum(1 for c in ca_cdn.values() if c.third_party)
+    cc_crit = sum(1 for c in ca_cdn.values() if c.critical)
+    table.add_row(
+        "CA -> CDN", cc_total, cc_third, _pct(cc_third, cc_total),
+        cc_crit, _pct(cc_crit, cc_total),
+    )
+    table.paper_rows = [
+        ["CDN -> DNS", 86, 31, 36.0, 15, 17.4],
+        ["CA -> DNS", 59, 27, 48.3, 18, 30.5],
+        ["CA -> CDN", 59, 21, 35.5, 21, 35.5],
+    ]
+    table.notes.append(
+        "Totals are the providers *observed* serving the measured websites; "
+        "they grow towards the paper's counts with world size."
+    )
+    return table
+
+
+# --------------------------------------------------------------------------
+# Tables 7-9: inter-service trends
+# --------------------------------------------------------------------------
+
+def _interservice_trend_table(
+    table_id: str,
+    title: str,
+    rows: list[TrendRow],
+    paper: dict[str, int],
+) -> TableArtifact:
+    table = TableArtifact(
+        id=table_id,
+        title=title,
+        columns=["provider trend", "count", "of total", "paper count"],
+    )
+    for row in rows:
+        label = row.label.split(" (")[0]
+        table.add_row(label, row.count, row.total, paper.get(label))
+    return table
+
+
+def table7_ca_dns_trends(
+    snapshot_2016: AnalyzedSnapshot, snapshot_2020: AnalyzedSnapshot
+) -> TableArtifact:
+    """Table 7: CA→DNS trends 2016 vs 2020."""
+    return _interservice_trend_table(
+        "table7",
+        "CA→DNS dependency trends 2016 vs 2020",
+        evolution.interservice_ca_dns_trends(snapshot_2016, snapshot_2020),
+        {
+            "Private to Single Third Party": 1,
+            "Single Third Party to Private": 9,
+            "Redundancy to No Redundancy": 2,
+            "No Redundancy to Redundancy": 0,
+            "Critical dependency": -6,
+        },
+    )
+
+
+def table8_ca_cdn_trends(
+    snapshot_2016: AnalyzedSnapshot, snapshot_2020: AnalyzedSnapshot
+) -> TableArtifact:
+    """Table 8: CA→CDN trends 2016 vs 2020."""
+    return _interservice_trend_table(
+        "table8",
+        "CA→CDN dependency trends 2016 vs 2020",
+        evolution.interservice_ca_cdn_trends(snapshot_2016, snapshot_2020),
+        {
+            "No CDN to Third Party CDN": 3,
+            "Third Party CDN to no CDN": 2,
+            "Private to Third Party": 0,
+            "Single Third Party to Private": 1,
+            "Critical dependency": 0,
+        },
+    )
+
+
+def table9_cdn_dns_trends(
+    snapshot_2016: AnalyzedSnapshot, snapshot_2020: AnalyzedSnapshot
+) -> TableArtifact:
+    """Table 9: CDN→DNS trends 2016 vs 2020."""
+    return _interservice_trend_table(
+        "table9",
+        "CDN→DNS dependency trends 2016 vs 2020",
+        evolution.interservice_cdn_dns_trends(snapshot_2016, snapshot_2020),
+        {
+            "Private to Single Third Party": 0,
+            "Single Third Party to Private": 1,
+            "Redundancy to No Redundancy": 1,
+            "No Redundancy to Redundancy": 2,
+            "Critical dependency": -2,
+        },
+    )
+
+
+# --------------------------------------------------------------------------
+# Tables 10-11: case studies
+# --------------------------------------------------------------------------
+
+def table10_hospitals(snapshot: AnalyzedSnapshot) -> TableArtifact:
+    """Table 10: third-party dependencies of the top US hospitals."""
+    table = TableArtifact(
+        id="table10",
+        title="Third-party dependency of top-200 US hospitals",
+        columns=[
+            "service", "third-party", "third-party %",
+            "critical", "critical %", "paper third %", "paper critical %",
+        ],
+    )
+    websites = snapshot.websites
+    n = len(websites)
+    dns_third = sum(1 for w in websites if w.dns.uses_third_party)
+    dns_crit = sum(1 for w in websites if w.dns.is_critical)
+    cdn_third = sum(1 for w in websites if w.third_party_cdns)
+    cdn_crit = sum(1 for w in websites if w.cdn_is_critical)
+    ca_third = sum(1 for w in websites if w.ca.uses_third_party)
+    ca_crit = sum(1 for w in websites if w.ca.is_critical)
+    table.add_row("DNS", dns_third, _pct(dns_third, n), dns_crit, _pct(dns_crit, n), 51.0, 46.0)
+    table.add_row("CDN", cdn_third, _pct(cdn_third, n), cdn_crit, _pct(cdn_crit, n), 16.0, 16.0)
+    table.add_row("CA", ca_third, _pct(ca_third, n), ca_crit, _pct(ca_crit, n), 100.0, 78.0)
+    return table
+
+
+def table11_smart_home(companies: list[SmartHomeCompany]) -> TableArtifact:
+    """Table 11: third-party dependency of smart-home companies."""
+    table = TableArtifact(
+        id="table11",
+        title="Third-party dependency of smart-home companies",
+        columns=[
+            "service", "third-party", "third-party %", "redundancy",
+            "critical", "critical %", "paper third %", "paper critical %",
+        ],
+    )
+    n = len(companies)
+    dns_third = sum(1 for c in companies if c.dns_is_third_party)
+    dns_red = sum(1 for c in companies if c.dns_is_redundant)
+    dns_crit = sum(1 for c in companies if c.dns_is_critical)
+    cloud_third = sum(1 for c in companies if c.cloud_is_third_party)
+    cloud_crit = sum(1 for c in companies if c.cloud_is_critical)
+    table.add_row(
+        "DNS", dns_third, _pct(dns_third, n), dns_red,
+        dns_crit, _pct(dns_crit, n), 91.3, 34.7,
+    )
+    table.add_row(
+        "Cloud", cloud_third, _pct(cloud_third, n), 0,
+        cloud_crit, _pct(cloud_crit, n), 65.2, 21.7,
+    )
+    return table

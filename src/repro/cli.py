@@ -1,0 +1,226 @@
+"""Command-line interface: the paper's pipeline as a tool.
+
+Subcommands::
+
+    python -m repro summary   [--n 3000] [--seed 42] [--year 2020]
+    python -m repro table     <1..11>  [--n ...] [--seed ...]
+    python -m repro figure    <2..9>   [--n ...] [--seed ...]
+    python -m repro audit     <domain> [--n ...] [--seed ...]
+    python -m repro outage    <dns-provider-key> [--n ...] [--seed ...]
+
+``table``/``figure`` regenerate one paper artifact; ``audit`` prints a
+website's single points of failure (the Section 8 service); ``outage``
+replays a provider outage end-to-end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from repro import WorldConfig, analyze_world, build_world, build_world_pair
+from repro.analysis import render_figure, render_table
+from repro.analysis import figures as figure_builders
+from repro.analysis import tables as table_builders
+from repro.core import ServiceType
+from repro.failures import robustness_score, simulate_dns_outage, website_exposure
+
+_PAIR_TABLES = {2, 3, 4, 5, 7, 8, 9}
+_PAIR_FIGURES = {6}
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=3000, help="world size")
+    parser.add_argument("--seed", type=int, default=42, help="world seed")
+    parser.add_argument(
+        "--year", type=int, default=2020, choices=(2016, 2020),
+        help="snapshot year (single-snapshot commands)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMC'20 third-party dependency study, reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="headline observations")
+    _add_world_args(p_summary)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=range(1, 12))
+    _add_world_args(p_table)
+
+    p_figure = sub.add_parser("figure", help="regenerate a paper figure")
+    p_figure.add_argument("number", type=int, choices=range(2, 10))
+    _add_world_args(p_figure)
+
+    p_audit = sub.add_parser("audit", help="audit one website's exposure")
+    p_audit.add_argument("domain")
+    _add_world_args(p_audit)
+
+    p_outage = sub.add_parser("outage", help="replay a DNS provider outage")
+    p_outage.add_argument("provider", help="provider key, e.g. dyn, cloudflare")
+    _add_world_args(p_outage)
+    return parser
+
+
+def _single_snapshot(args):
+    world = build_world(
+        WorldConfig(n_websites=args.n, seed=args.seed, year=args.year)
+    )
+    return world, analyze_world(world)
+
+
+def _snapshot_pair(args):
+    world_2016, world_2020, _ = build_world_pair(
+        WorldConfig(n_websites=args.n, seed=args.seed)
+    )
+    return analyze_world(world_2016), analyze_world(world_2020)
+
+
+def cmd_summary(args) -> int:
+    _, snapshot = _single_snapshot(args)
+    websites = snapshot.dns_characterized
+    n = len(websites)
+    print(f"{snapshot.year} snapshot, {len(snapshot.websites)} websites "
+          f"({n} DNS-characterized)")
+    third = sum(1 for w in websites if w.dns.uses_third_party)
+    critical = sum(1 for w in websites if w.dns.is_critical)
+    print(f"DNS:  {third / n:6.1%} third-party   {critical / n:6.1%} critical")
+    users = snapshot.cdn_websites
+    print(f"CDN:  {len(users) / len(snapshot.websites):6.1%} adoption      "
+          f"{sum(1 for w in users if w.cdn_is_critical) / max(len(users), 1):6.1%} critical (of users)")
+    https = snapshot.https_websites
+    print(f"CA:   {len(https) / len(snapshot.websites):6.1%} HTTPS         "
+          f"{sum(1 for w in https if w.ca.is_critical) / max(len(https), 1):6.1%} critical (of HTTPS)")
+    print("\nTop-3 impact per service (indirect included):")
+    for service in ServiceType:
+        top = snapshot.graph.top_providers(service, 3, by="impact")
+        line = ", ".join(
+            f"{snapshot.graph.display(node)} "
+            f"({100 * score / len(snapshot.websites):.1f}%)"
+            for node, score in top
+        )
+        print(f"  {service.value.upper():3s}: {line}")
+    return 0
+
+
+_TABLE_DISPATCH = {
+    1: ("table1_dataset_summary", False),
+    2: ("table2_comparison_summary", True),
+    3: ("table3_dns_trends", True),
+    4: ("table4_cdn_trends", True),
+    5: ("table5_ca_trends", True),
+    6: ("table6_interservice_summary", False),
+    7: ("table7_ca_dns_trends", True),
+    8: ("table8_ca_cdn_trends", True),
+    9: ("table9_cdn_dns_trends", True),
+}
+
+
+def cmd_table(args) -> int:
+    if args.number == 10:
+        from repro.core import analyze_world as analyze
+        from repro.worldgen import hospital_snapshot, materialize
+        from repro.worldgen.world import World
+
+        config = WorldConfig(n_websites=args.n, seed=args.seed)
+        snapshot = analyze(
+            World(materialize(hospital_snapshot(config, 200)), config)
+        )
+        print(render_table(table_builders.table10_hospitals(snapshot)))
+        return 0
+    if args.number == 11:
+        from repro.worldgen.case_studies import smart_home_companies
+
+        print(render_table(
+            table_builders.table11_smart_home(smart_home_companies())
+        ))
+        return 0
+    name, needs_pair = _TABLE_DISPATCH[args.number]
+    builder = getattr(table_builders, name)
+    if needs_pair:
+        print(render_table(builder(*_snapshot_pair(args))))
+    else:
+        _, snapshot = _single_snapshot(args)
+        print(render_table(builder(snapshot)))
+    return 0
+
+
+_FIGURE_DISPATCH = {
+    2: "figure2_dns_by_rank",
+    3: "figure3_cdn_by_rank",
+    4: "figure4_ca_by_rank",
+    5: "figure5_dependency_graphs",
+    6: "figure6_provider_cdfs",
+    7: "figure7_ca_dns_amplification",
+    8: "figure8_ca_cdn_amplification",
+    9: "figure9_cdn_dns_amplification",
+}
+
+
+def cmd_figure(args) -> int:
+    builder = getattr(figure_builders, _FIGURE_DISPATCH[args.number])
+    if args.number in _PAIR_FIGURES:
+        print(render_figure(builder(*_snapshot_pair(args))))
+    else:
+        _, snapshot = _single_snapshot(args)
+        print(render_figure(builder(snapshot)))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    _, snapshot = _single_snapshot(args)
+    if args.domain not in snapshot.by_domain():
+        print(f"{args.domain} is not in this world "
+              f"(try a corner-case domain like academia.edu)", file=sys.stderr)
+        return 1
+    report = website_exposure(snapshot, args.domain)
+    score = robustness_score(snapshot, args.domain)
+    print(f"Exposure report for {args.domain}:")
+    print(f"  direct critical: {report.direct_critical or ['none']}")
+    print(f"  transitive critical: {report.transitive_critical or ['none']}")
+    print(f"  single points of failure: {report.critical_dependency_count}")
+    print(f"  robustness score: {score.score:.2f} / 1.00")
+    if score.worst_provider:
+        print(f"  biggest shared-fate provider: {score.worst_provider} "
+              f"(impacts {score.worst_provider_impact:.0%} of the web)")
+    return 0
+
+
+def cmd_outage(args) -> int:
+    world = build_world(
+        WorldConfig(n_websites=args.n, seed=args.seed, year=args.year)
+    )
+    if args.provider not in world.dns_infra:
+        known = sorted(k for k in world.spec.dns_providers)[:12]
+        print(f"unknown provider {args.provider!r}; e.g. {known}", file=sys.stderr)
+        return 1
+    result = simulate_dns_outage(world, args.provider)
+    print(f"Outage of {args.provider}: "
+          f"{len(result.unreachable)} unreachable, "
+          f"{len(result.degraded)} degraded, "
+          f"{len(result.unaffected)} unaffected "
+          f"({result.affected_fraction():.1%} affected)")
+    for domain in result.unreachable[:10]:
+        print(f"  down: {domain}")
+    return 0
+
+
+_COMMANDS = {
+    "summary": cmd_summary,
+    "table": cmd_table,
+    "figure": cmd_figure,
+    "audit": cmd_audit,
+    "outage": cmd_outage,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,366 @@
+"""2016-vs-2020 trend analysis (Tables 3, 4, 5, 7, 8, 9).
+
+Website-level trends compare the two snapshots over their common domains
+and report percentages per cumulative rank bucket, exactly as the paper's
+tables do. Inter-service trends compare provider classifications across
+the snapshots and report counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.classification import ClassifiedWebsite
+from repro.core.metrics import PAPER_BUCKETS
+from repro.core.pipeline import AnalyzedSnapshot
+
+
+@dataclass
+class TrendRow:
+    """One table row: a label plus a value per cumulative bucket (or a
+    single count for the inter-service tables)."""
+
+    label: str
+    per_bucket: dict[int, float] = field(default_factory=dict)
+    count: Optional[int] = None
+    total: Optional[int] = None
+
+    def formatted(self) -> str:
+        if self.count is not None:
+            pct = (
+                f" ({100.0 * self.count / self.total:.1f}%)"
+                if self.total
+                else ""
+            )
+            return f"{self.label}: {self.count}{pct}"
+        cells = "  ".join(
+            f"k={k}: {v:+.1f}" if "Critical" in self.label else f"k={k}: {v:.1f}"
+            for k, v in self.per_bucket.items()
+        )
+        return f"{self.label}: {cells}"
+
+
+Pair = tuple[ClassifiedWebsite, ClassifiedWebsite]
+
+
+def _paired_by_bucket(
+    old: AnalyzedSnapshot, new: AnalyzedSnapshot
+) -> dict[int, list[Pair]]:
+    """Common websites per cumulative bucket (bucketed by the *old* rank,
+    as the paper buckets by the Alexa 2016 list)."""
+    new_by_domain = new.by_domain()
+    buckets: dict[int, list[Pair]] = {k: [] for k in PAPER_BUCKETS}
+    for website in old.websites:
+        counterpart = new_by_domain.get(website.domain)
+        if counterpart is None:
+            continue
+        effective = website.rank * old.rank_scale
+        for k in PAPER_BUCKETS:
+            if effective <= k:
+                buckets[k].append((website, counterpart))
+    return buckets
+
+
+def _bucket_rates(
+    buckets: dict[int, list[Pair]],
+    predicate: Callable[[ClassifiedWebsite, ClassifiedWebsite], bool],
+    base: Callable[[Pair], bool] = lambda pair: True,
+) -> dict[int, float]:
+    rates: dict[int, float] = {}
+    for k, pairs in buckets.items():
+        population = [pair for pair in pairs if base(pair)]
+        hits = sum(1 for old, new in population if predicate(old, new))
+        rates[k] = 100.0 * hits / len(population) if population else 0.0
+    return rates
+
+
+# --------------------------------------------------------------------------
+# Table 3: website -> DNS trends
+# --------------------------------------------------------------------------
+
+def dns_trends(old: AnalyzedSnapshot, new: AnalyzedSnapshot) -> list[TrendRow]:
+    buckets = _paired_by_bucket(old, new)
+    base = lambda pair: pair[0].dns.characterized and pair[1].dns.characterized  # noqa: E731
+
+    rows = [
+        TrendRow(
+            "Pvt to Single 3rd",
+            _bucket_rates(
+                buckets,
+                lambda o, n: not o.dns.uses_third_party and n.dns.is_critical,
+                base,
+            ),
+        ),
+        TrendRow(
+            "Single Third to Pvt",
+            _bucket_rates(
+                buckets,
+                lambda o, n: o.dns.is_critical and not n.dns.uses_third_party,
+                base,
+            ),
+        ),
+        TrendRow(
+            "Red. to No Red.",
+            _bucket_rates(
+                buckets,
+                lambda o, n: (
+                    o.dns.uses_third_party and o.dns.is_redundant
+                    and n.dns.is_critical
+                ),
+                base,
+            ),
+        ),
+        TrendRow(
+            "No Red. to Red.",
+            _bucket_rates(
+                buckets,
+                lambda o, n: (
+                    o.dns.is_critical
+                    and n.dns.uses_third_party and n.dns.is_redundant
+                ),
+                base,
+            ),
+        ),
+    ]
+    rows.append(
+        TrendRow(
+            "Critical dependency",
+            _bucket_rates(
+                buckets,
+                lambda o, n: n.dns.is_critical,
+                base,
+            ),
+        )
+    )
+    # Express the last row as a delta, like the paper's bottom line.
+    baseline = _bucket_rates(buckets, lambda o, n: o.dns.is_critical, base)
+    rows[-1].per_bucket = {
+        k: rows[-1].per_bucket[k] - baseline[k] for k in rows[-1].per_bucket
+    }
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Table 4: website -> CDN trends
+# --------------------------------------------------------------------------
+
+def cdn_trends(old: AnalyzedSnapshot, new: AnalyzedSnapshot) -> list[TrendRow]:
+    # Rates are over websites using a CDN in *both* snapshots, so pure
+    # adoption/abandonment (the 18.6%/6.8% of Observation 4) does not pollute
+    # the transition rows or the bottom-line criticality delta.
+    buckets = _paired_by_bucket(old, new)
+    base = lambda pair: pair[0].uses_cdn and pair[1].uses_cdn  # noqa: E731
+
+    rows = [
+        TrendRow(
+            "Pvt to Single 3rd party CDN",
+            _bucket_rates(
+                buckets,
+                lambda o, n: (
+                    o.uses_cdn and not o.third_party_cdns and n.cdn_is_critical
+                ),
+                base,
+            ),
+        ),
+        TrendRow(
+            "3rd Party CDN to Pvt",
+            _bucket_rates(
+                buckets,
+                lambda o, n: (
+                    bool(o.third_party_cdns)
+                    and n.uses_cdn and not n.third_party_cdns
+                ),
+                base,
+            ),
+        ),
+        TrendRow(
+            "Red. to No Red.",
+            _bucket_rates(
+                buckets,
+                lambda o, n: o.cdn_is_redundant and n.uses_cdn and not n.cdn_is_redundant,
+                base,
+            ),
+        ),
+        TrendRow(
+            "No Red. to Red.",
+            _bucket_rates(
+                buckets,
+                lambda o, n: o.cdn_is_critical and n.cdn_is_redundant,
+                base,
+            ),
+        ),
+    ]
+    delta = _bucket_rates(buckets, lambda o, n: n.cdn_is_critical, base)
+    baseline = _bucket_rates(buckets, lambda o, n: o.cdn_is_critical, base)
+    rows.append(
+        TrendRow(
+            "Critical dependency",
+            {k: delta[k] - baseline[k] for k in delta},
+        )
+    )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Table 5: website -> CA stapling trends
+# --------------------------------------------------------------------------
+
+def ca_stapling_trends(old: AnalyzedSnapshot, new: AnalyzedSnapshot) -> list[TrendRow]:
+    buckets = _paired_by_bucket(old, new)
+    base = lambda pair: pair[0].ca.https  # noqa: E731 - 2016 HTTPS population
+
+    rows = [
+        TrendRow(
+            "Stapling to No Stapling",
+            _bucket_rates(
+                buckets,
+                lambda o, n: o.ca.ocsp_stapled and n.ca.https and not n.ca.ocsp_stapled,
+                base,
+            ),
+        ),
+        TrendRow(
+            "No Stapling to Stapling",
+            _bucket_rates(
+                buckets,
+                lambda o, n: not o.ca.ocsp_stapled and n.ca.https and n.ca.ocsp_stapled,
+                base,
+            ),
+        ),
+    ]
+    delta = _bucket_rates(buckets, lambda o, n: n.ca.is_critical, base)
+    baseline = _bucket_rates(buckets, lambda o, n: o.ca.is_critical, base)
+    rows.append(
+        TrendRow(
+            "Critical dependency",
+            {k: delta[k] - baseline[k] for k in delta},
+        )
+    )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Tables 7-9: inter-service trends (counts over providers in both years)
+# --------------------------------------------------------------------------
+
+def _provider_dns_trends(
+    old_cls: dict, new_cls: dict, label_suffix: str
+) -> list[TrendRow]:
+    common = sorted(set(old_cls) & set(new_cls))
+    total = len(common)
+
+    def count(predicate) -> int:
+        return sum(
+            1 for name in common if predicate(old_cls[name], new_cls[name])
+        )
+
+    rows = [
+        TrendRow(
+            "Private to Single Third Party",
+            count=count(
+                lambda o, n: not o.uses_third_party and n.is_critical
+            ),
+            total=total,
+        ),
+        TrendRow(
+            "Single Third Party to Private",
+            count=count(
+                lambda o, n: o.is_critical and not n.uses_third_party
+            ),
+            total=total,
+        ),
+        TrendRow(
+            "Redundancy to No Redundancy",
+            count=count(
+                lambda o, n: (
+                    o.uses_third_party and o.is_redundant and n.is_critical
+                )
+            ),
+            total=total,
+        ),
+        TrendRow(
+            "No Redundancy to Redundancy",
+            count=count(
+                lambda o, n: (
+                    o.is_critical and n.uses_third_party and n.is_redundant
+                )
+            ),
+            total=total,
+        ),
+        TrendRow(
+            f"Critical dependency ({label_suffix})",
+            count=(
+                count(lambda o, n: n.is_critical)
+                - count(lambda o, n: o.is_critical)
+            ),
+            total=total,
+        ),
+    ]
+    return rows
+
+
+def interservice_ca_dns_trends(
+    old: AnalyzedSnapshot, new: AnalyzedSnapshot
+) -> list[TrendRow]:
+    """Table 7: CA → DNS trends."""
+    return _provider_dns_trends(
+        old.interservice.ca_dns, new.interservice.ca_dns, "CA->DNS"
+    )
+
+
+def interservice_cdn_dns_trends(
+    old: AnalyzedSnapshot, new: AnalyzedSnapshot
+) -> list[TrendRow]:
+    """Table 9: CDN → DNS trends."""
+    return _provider_dns_trends(
+        old.interservice.cdn_dns, new.interservice.cdn_dns, "CDN->DNS"
+    )
+
+
+def interservice_ca_cdn_trends(
+    old: AnalyzedSnapshot, new: AnalyzedSnapshot
+) -> list[TrendRow]:
+    """Table 8: CA → CDN trends."""
+    old_cls = old.interservice.ca_cdn
+    new_cls = new.interservice.ca_cdn
+    common = sorted(set(old_cls) & set(new_cls))
+    total = len(common)
+
+    def count(predicate) -> int:
+        return sum(
+            1 for name in common if predicate(old_cls[name], new_cls[name])
+        )
+
+    return [
+        TrendRow(
+            "No CDN to Third Party CDN",
+            count=count(lambda o, n: not o.uses_cdn and n.third_party),
+            total=total,
+        ),
+        TrendRow(
+            "Third Party CDN to no CDN",
+            count=count(lambda o, n: o.third_party and not n.uses_cdn),
+            total=total,
+        ),
+        TrendRow(
+            "Private to Third Party",
+            count=count(
+                lambda o, n: o.uses_cdn and not o.third_party and n.third_party
+            ),
+            total=total,
+        ),
+        TrendRow(
+            "Single Third Party to Private",
+            count=count(
+                lambda o, n: o.third_party and n.uses_cdn and not n.third_party
+            ),
+            total=total,
+        ),
+        TrendRow(
+            "Critical dependency (CA->CDN)",
+            count=(
+                count(lambda o, n: n.critical) - count(lambda o, n: o.critical)
+            ),
+            total=total,
+        ),
+    ]

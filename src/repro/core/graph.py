@@ -1,0 +1,282 @@
+"""The dependency graph and the concentration / impact metrics (§2.2).
+
+Nodes are websites and providers (DNS entities, CDNs, CAs); edges carry
+the service type and whether the dependency is *critical* (no redundancy).
+Provider→provider edges encode the inter-service dependencies of Section
+3.4, which is what makes the metrics recursive:
+
+* ``concentration(p)`` — websites depending on ``p`` directly **or**
+  through any provider that uses ``p``;
+* ``impact(p)`` — websites *critically* depending on ``p`` directly or
+  through providers critically depending on ``p``.
+
+Both implement the set-union formulas from the paper, with the visited
+set playing the role of the ``\\{p}`` exclusion (cycle guard).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class ServiceType(enum.Enum):
+    DNS = "dns"
+    CDN = "cdn"
+    CA = "ca"
+
+
+@dataclass(frozen=True)
+class ProviderNode:
+    """A provider node: its measured id and the service it sells."""
+
+    id: str
+    service: ServiceType
+
+    def __str__(self) -> str:
+        return f"{self.service.value}:{self.id}"
+
+
+@dataclass
+class _Edges:
+    """Dependency edges of one consumer (a website or a provider)."""
+
+    uses: set[ProviderNode] = field(default_factory=set)
+    critical: set[ProviderNode] = field(default_factory=set)
+
+
+class DependencyGraph:
+    """Websites and providers with typed, criticality-annotated edges."""
+
+    def __init__(self) -> None:
+        self._website_edges: dict[str, _Edges] = {}
+        self._provider_edges: dict[ProviderNode, _Edges] = {}
+        self._providers: set[ProviderNode] = set()
+        self.display_names: dict[ProviderNode, str] = {}
+        # Reverse indexes: provider -> websites / consumer-providers. Kept
+        # in sync by the add_* methods so the metric queries are O(degree).
+        self._website_uses_of: dict[ProviderNode, set[str]] = {}
+        self._website_critical_of: dict[ProviderNode, set[str]] = {}
+        self._provider_uses_of: dict[ProviderNode, set[ProviderNode]] = {}
+        self._provider_critical_of: dict[ProviderNode, set[ProviderNode]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_website(self, domain: str) -> None:
+        self._website_edges.setdefault(domain, _Edges())
+
+    def add_provider(self, node: ProviderNode, display: Optional[str] = None) -> None:
+        self._providers.add(node)
+        self._provider_edges.setdefault(node, _Edges())
+        if display:
+            self.display_names[node] = display
+
+    def add_website_dependency(
+        self, domain: str, provider: ProviderNode, critical: bool
+    ) -> None:
+        """Record that ``domain`` uses ``provider`` (critically or not)."""
+        self.add_website(domain)
+        self.add_provider(provider)
+        edges = self._website_edges[domain]
+        edges.uses.add(provider)
+        self._website_uses_of.setdefault(provider, set()).add(domain)
+        if critical:
+            edges.critical.add(provider)
+            self._website_critical_of.setdefault(provider, set()).add(domain)
+
+    def add_provider_dependency(
+        self, consumer: ProviderNode, provider: ProviderNode, critical: bool
+    ) -> None:
+        """Record an inter-service dependency (e.g. DigiCert → DNSMadeEasy)."""
+        self.add_provider(consumer)
+        self.add_provider(provider)
+        edges = self._provider_edges[consumer]
+        edges.uses.add(provider)
+        self._provider_uses_of.setdefault(provider, set()).add(consumer)
+        if critical:
+            edges.critical.add(provider)
+            self._provider_critical_of.setdefault(provider, set()).add(consumer)
+
+    # -- introspection ------------------------------------------------------
+
+    def websites(self) -> list[str]:
+        return list(self._website_edges)
+
+    def providers(self, service: Optional[ServiceType] = None) -> list[ProviderNode]:
+        nodes = self._providers
+        if service is not None:
+            nodes = {n for n in nodes if n.service == service}
+        return sorted(nodes, key=str)
+
+    def display(self, node: ProviderNode) -> str:
+        return self.display_names.get(node, node.id)
+
+    def website_dependencies(self, domain: str, critical_only: bool = False) -> set[ProviderNode]:
+        edges = self._website_edges.get(domain)
+        if edges is None:
+            return set()
+        return set(edges.critical if critical_only else edges.uses)
+
+    def provider_dependencies(
+        self, node: ProviderNode, critical_only: bool = False
+    ) -> set[ProviderNode]:
+        edges = self._provider_edges.get(node)
+        if edges is None:
+            return set()
+        return set(edges.critical if critical_only else edges.uses)
+
+    def provider_consumers(
+        self, provider: ProviderNode, critical_only: bool = False
+    ) -> list[ProviderNode]:
+        """Providers that depend on ``provider``."""
+        index = (
+            self._provider_critical_of if critical_only else self._provider_uses_of
+        )
+        return sorted(index.get(provider, ()), key=str)
+
+    # -- the paper's metrics --------------------------------------------------
+
+    def direct_dependents(
+        self, provider: ProviderNode, critical_only: bool = False
+    ) -> set[str]:
+        """Websites with a direct edge to ``provider``."""
+        index = (
+            self._website_critical_of if critical_only else self._website_uses_of
+        )
+        return set(index.get(provider, ()))
+
+    def dependent_websites(
+        self, provider: ProviderNode, critical_only: bool = False
+    ) -> set[str]:
+        """The recursive dependent set (the union formulas of §2.2)."""
+        return self._dependents(provider, critical_only, frozenset({provider}))
+
+    def _dependents(
+        self,
+        provider: ProviderNode,
+        critical_only: bool,
+        visited: frozenset[ProviderNode],
+    ) -> set[str]:
+        result = self.direct_dependents(provider, critical_only)
+        for consumer in self.provider_consumers(provider, critical_only):
+            if consumer in visited:
+                continue
+            result |= self._dependents(
+                consumer, critical_only, visited | {consumer}
+            )
+        return result
+
+    def concentration(self, provider: ProviderNode) -> int:
+        """C_p: websites directly or indirectly dependent on ``provider``."""
+        return len(self.dependent_websites(provider, critical_only=False))
+
+    def impact(self, provider: ProviderNode) -> int:
+        """I_p: websites directly or indirectly *critically* dependent."""
+        return len(self.dependent_websites(provider, critical_only=True))
+
+    def direct_concentration(self, provider: ProviderNode) -> int:
+        """C_p counting only website→provider edges (no inter-service)."""
+        return len(self.direct_dependents(provider, critical_only=False))
+
+    def direct_impact(self, provider: ProviderNode) -> int:
+        return len(self.direct_dependents(provider, critical_only=True))
+
+    def top_providers(
+        self,
+        service: ServiceType,
+        k: int = 5,
+        by: str = "impact",
+        indirect: bool = True,
+    ) -> list[tuple[ProviderNode, int]]:
+        """The top-k providers of a service by impact or concentration."""
+        scores: list[tuple[ProviderNode, int]] = []
+        for node in self.providers(service):
+            if by == "impact":
+                score = self.impact(node) if indirect else self.direct_impact(node)
+            elif by == "concentration":
+                score = (
+                    self.concentration(node)
+                    if indirect
+                    else self.direct_concentration(node)
+                )
+            else:
+                raise ValueError(f"unknown ranking: {by!r}")
+            scores.append((node, score))
+        scores.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        return scores[:k]
+
+    def critical_dependency_count(self, domain: str) -> int:
+        """How many distinct providers a website critically depends on,
+        counting indirect critical chains (Section 8.1's per-website
+        exposure metric)."""
+        seen: set[ProviderNode] = set()
+        frontier = list(self.website_dependencies(domain, critical_only=True))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(
+                self.provider_dependencies(node, critical_only=True) - seen
+            )
+        return len(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"DependencyGraph({len(self._website_edges)} websites, "
+            f"{len(self._providers)} providers)"
+        )
+
+
+def build_graph(
+    websites: Iterable,  # list[ClassifiedWebsite]
+    interservice_edges: Iterable[tuple[ProviderNode, ProviderNode, bool]] = (),
+    display_names: Optional[dict[ProviderNode, str]] = None,
+) -> DependencyGraph:
+    """Assemble a graph from classified websites + inter-service edges.
+
+    Only third-party website→provider edges become dependencies for DNS
+    and CA; CDN edges include detected private CDNs (they are still
+    distinct service entities whose own dependencies propagate — the
+    twitter.com/twimg case), with criticality per the paper's rules.
+    """
+    from repro.core.classification import ProviderType  # local: avoid cycle
+
+    graph = DependencyGraph()
+    for website in websites:
+        graph.add_website(website.domain)
+        dns = website.dns
+        for provider_id in dns.provider_ids:
+            third = provider_id in dns.third_party_provider_ids
+            if not third:
+                continue
+            graph.add_website_dependency(
+                website.domain,
+                ProviderNode(provider_id, ServiceType.DNS),
+                critical=dns.is_critical,
+            )
+        ca = website.ca
+        if ca.https and ca.ca_name:
+            node = ProviderNode(ca.ca_name, ServiceType.CA)
+            if ca.type == ProviderType.THIRD_PARTY:
+                graph.add_website_dependency(
+                    website.domain, node, critical=ca.is_critical
+                )
+            else:
+                # Private CA: not a third-party dependency itself, but a
+                # conduit for indirect ones (godaddy.com → GoDaddy CA →
+                # Akamai DNS). Usage edge only, critical when unstapled.
+                graph.add_website_dependency(
+                    website.domain, node, critical=not ca.ocsp_stapled
+                )
+        for cdn in website.cdns:
+            node = ProviderNode(cdn.cdn_name, ServiceType.CDN)
+            graph.add_website_dependency(
+                website.domain, node, critical=website.cdn_is_critical
+            )
+    for consumer, provider, critical in interservice_edges:
+        graph.add_provider_dependency(consumer, provider, critical)
+    for node, display in (display_names or {}).items():
+        graph.add_provider(node, display)
+    return graph

@@ -1,0 +1,109 @@
+"""networkx bridge: export the dependency graph for drawing and analysis.
+
+The paper's Figure 5 is a Gephi rendering of exactly this graph. This
+module converts a :class:`~repro.core.graph.DependencyGraph` into a
+``networkx.DiGraph`` (website → provider, provider → provider edges with
+criticality attributes), computes the drawing-relevant statistics (node
+in-degrees ∝ node sizes in the paper's figure), and writes GraphML that
+Gephi/Cytoscape open directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import networkx as nx
+
+from repro.core.graph import DependencyGraph, ServiceType
+
+
+def to_networkx(
+    graph: DependencyGraph, service: Optional[ServiceType] = None
+) -> "nx.DiGraph":
+    """Convert to a directed networkx graph.
+
+    Node attributes: ``kind`` ("website"/"provider"), ``service``,
+    ``display``. Edge attribute: ``critical``. ``service`` restricts the
+    provider set (the paper draws one graph per service).
+    """
+    out = nx.DiGraph()
+    providers = set(graph.providers(service))
+    for node in providers:
+        out.add_node(
+            str(node),
+            kind="provider",
+            service=node.service.value,
+            display=graph.display(node),
+        )
+    for domain in graph.websites():
+        dependencies = [
+            p for p in graph.website_dependencies(domain) if p in providers
+        ]
+        if not dependencies and service is not None:
+            continue
+        out.add_node(domain, kind="website", service="", display=domain)
+        critical = graph.website_dependencies(domain, critical_only=True)
+        for provider in dependencies:
+            out.add_edge(
+                domain, str(provider), critical=provider in critical
+            )
+    for provider in providers:
+        for upstream in graph.provider_dependencies(provider):
+            if upstream in providers or service is None:
+                out.add_node(
+                    str(upstream),
+                    kind="provider",
+                    service=upstream.service.value,
+                    display=graph.display(upstream),
+                )
+                out.add_edge(
+                    str(provider),
+                    str(upstream),
+                    critical=upstream
+                    in graph.provider_dependencies(provider, critical_only=True),
+                )
+    return out
+
+
+def degree_statistics(
+    graph: DependencyGraph, service: ServiceType
+) -> dict[str, float]:
+    """The Figure-5 drawing statistics: provider in-degree distribution."""
+    nxg = to_networkx(graph, service)
+    provider_degrees = sorted(
+        (
+            nxg.in_degree(node)
+            for node, data in nxg.nodes(data=True)
+            if data["kind"] == "provider"
+        ),
+        reverse=True,
+    )
+    if not provider_degrees:
+        return {"providers": 0, "websites": 0}
+    websites = sum(
+        1 for _, data in nxg.nodes(data=True) if data["kind"] == "website"
+    )
+    total = sum(provider_degrees)
+    return {
+        "providers": len(provider_degrees),
+        "websites": websites,
+        "max_in_degree": provider_degrees[0],
+        "median_in_degree": provider_degrees[len(provider_degrees) // 2],
+        "top5_degree_share": (
+            sum(provider_degrees[:5]) / total if total else 0.0
+        ),
+        "edges": nxg.number_of_edges(),
+    }
+
+
+def export_graphml(
+    graph: DependencyGraph,
+    path: Union[str, Path],
+    service: Optional[ServiceType] = None,
+) -> Path:
+    """Write GraphML for Gephi — regenerate the paper's Figure 5 visually."""
+    path = Path(path)
+    nxg = to_networkx(graph, service)
+    nx.write_graphml(nxg, path)
+    return path

@@ -1,0 +1,197 @@
+"""Rank-stratified metrics and provider-concentration CDFs.
+
+Implements the data behind Figures 2, 3, 4 (per-bucket adoption /
+criticality / redundancy percentages) and Figure 6 (the CDF of websites
+against the number of providers serving them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.core.classification import ClassifiedWebsite
+
+PAPER_BUCKETS = (100, 1_000, 10_000, 100_000)
+
+
+def _bucket_label(k: int) -> str:
+    return f"top-{k // 1000}K" if k >= 1000 else f"top-{k}"
+
+
+@dataclass
+class BucketStats:
+    """Percentages for one cumulative rank bucket."""
+
+    paper_k: int
+    n_websites: int
+    values: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return _bucket_label(self.paper_k)
+
+
+def _bucketize(
+    websites: list[ClassifiedWebsite], rank_scale: float
+) -> dict[int, list[ClassifiedWebsite]]:
+    """Websites per cumulative paper bucket (scaled to the world size)."""
+    out: dict[int, list[ClassifiedWebsite]] = {k: [] for k in PAPER_BUCKETS}
+    for website in websites:
+        effective = website.rank * rank_scale
+        for k in PAPER_BUCKETS:
+            if effective <= k:
+                out[k].append(website)
+    return out
+
+
+def _pct(count: int, base: int) -> float:
+    return 100.0 * count / base if base else 0.0
+
+
+def rank_bucket_stats_dns(
+    websites: list[ClassifiedWebsite], rank_scale: float = 1.0
+) -> list[BucketStats]:
+    """Figure 2: third-party / critical / multiple-third / redundancy, per
+    bucket, over DNS-characterized websites."""
+    stats: list[BucketStats] = []
+    for k, bucket in _bucketize(websites, rank_scale).items():
+        sample = [w for w in bucket if w.dns.characterized]
+        n = len(sample)
+        stats.append(
+            BucketStats(
+                paper_k=k,
+                n_websites=n,
+                values={
+                    "third_party": _pct(
+                        sum(1 for w in sample if w.dns.uses_third_party), n
+                    ),
+                    "critical": _pct(
+                        sum(1 for w in sample if w.dns.is_critical), n
+                    ),
+                    "multiple_third_party": _pct(
+                        sum(
+                            1 for w in sample
+                            if w.dns.uses_multiple_third_parties
+                        ),
+                        n,
+                    ),
+                    "private_plus_third_party": _pct(
+                        sum(
+                            1 for w in sample
+                            if w.dns.uses_third_party and w.dns.has_private
+                        ),
+                        n,
+                    ),
+                },
+            )
+        )
+    return stats
+
+
+def rank_bucket_stats_cdn(
+    websites: list[ClassifiedWebsite], rank_scale: float = 1.0
+) -> list[BucketStats]:
+    """Figure 3: CDN adoption (of all sites) and third-party / critical /
+    redundant rates among CDN-using websites."""
+    stats: list[BucketStats] = []
+    for k, bucket in _bucketize(websites, rank_scale).items():
+        users = [w for w in bucket if w.uses_cdn]
+        n_users = len(users)
+        stats.append(
+            BucketStats(
+                paper_k=k,
+                n_websites=n_users,
+                values={
+                    "uses_cdn": _pct(n_users, len(bucket)),
+                    "third_party": _pct(
+                        sum(1 for w in users if w.third_party_cdns), n_users
+                    ),
+                    "critical": _pct(
+                        sum(1 for w in users if w.cdn_is_critical), n_users
+                    ),
+                    "multiple_cdns": _pct(
+                        sum(1 for w in users if w.cdn_is_redundant), n_users
+                    ),
+                },
+            )
+        )
+    return stats
+
+
+def rank_bucket_stats_ca(
+    websites: list[ClassifiedWebsite], rank_scale: float = 1.0
+) -> list[BucketStats]:
+    """Figure 4: HTTPS adoption, third-party CA rate, stapling rate."""
+    stats: list[BucketStats] = []
+    for k, bucket in _bucketize(websites, rank_scale).items():
+        https = [w for w in bucket if w.ca.https]
+        n_https = len(https)
+        stats.append(
+            BucketStats(
+                paper_k=k,
+                n_websites=n_https,
+                values={
+                    "https": _pct(n_https, len(bucket)),
+                    "third_party_ca": _pct(
+                        sum(1 for w in https if w.ca.uses_third_party), n_https
+                    ),
+                    "ocsp_stapling": _pct(
+                        sum(1 for w in https if w.ca.ocsp_stapled), n_https
+                    ),
+                    "critical": _pct(
+                        sum(1 for w in https if w.ca.is_critical), n_https
+                    ),
+                },
+            )
+        )
+    return stats
+
+
+# --------------------------------------------------------------------------
+# Figure 6: provider-concentration CDFs
+# --------------------------------------------------------------------------
+
+def provider_usage_counts(
+    websites: list[ClassifiedWebsite], service: str
+) -> dict[str, int]:
+    """Websites per provider, by direct third-party usage.
+
+    ``service`` ∈ {"dns", "cdn", "ca"}.
+    """
+    counts: dict[str, int] = {}
+    for website in websites:
+        if service == "dns":
+            keys = website.dns.third_party_provider_ids
+        elif service == "cdn":
+            keys = website.third_party_cdns
+        elif service == "ca":
+            keys = (
+                [website.ca.ca_name]
+                if website.ca.uses_third_party and website.ca.ca_name
+                else []
+            )
+        else:
+            raise ValueError(f"unknown service: {service!r}")
+        for key in set(keys):
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def provider_cdf(counts: dict[str, int]) -> list[tuple[int, float]]:
+    """(number of providers, cumulative fraction of provider-usage mass)
+    with providers ordered largest-first — Figure 6's series."""
+    ordered = sorted(counts.values(), reverse=True)
+    total = sum(ordered)
+    series: list[tuple[int, float]] = []
+    cumulative = 0
+    for i, count in enumerate(ordered, start=1):
+        cumulative += count
+        series.append((i, cumulative / total if total else 0.0))
+    return series
+
+
+def providers_covering(counts: dict[str, int], fraction: float = 0.8) -> int:
+    """How many providers cover ``fraction`` of usage (Obs. 8's statistic)."""
+    for n, covered in provider_cdf(counts):
+        if covered >= fraction:
+            return n
+    return len(counts)

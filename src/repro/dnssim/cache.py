@@ -1,0 +1,135 @@
+"""TTL-driven resolver cache with negative caching.
+
+Cache behaviour matters to the paper's motivation: the GlobalSign incident
+persisted for a week *because* revocation responses were cached. The cache
+here honours record TTLs against the simulated clock and supports negative
+entries (NXDOMAIN / NODATA) per RFC 2308.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dnssim.clock import SimulatedClock
+from repro.dnssim.records import RRType, ResourceRecord
+from repro.names.normalize import normalize
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+    negative_hits: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.negative_hits
+
+
+@dataclass
+class _Entry:
+    expires_at: float
+    records: list[ResourceRecord]
+    negative: bool = False
+    nxdomain: bool = False
+
+
+class NegativeCacheHit(Exception):
+    """Signal that a cached NXDOMAIN/NODATA applies (internal to resolver)."""
+
+    def __init__(self, nxdomain: bool):
+        self.nxdomain = nxdomain
+        super().__init__("negative cache hit")
+
+
+class DnsCache:
+    """A (name, type)-keyed TTL cache bound to a simulated clock."""
+
+    def __init__(self, clock: SimulatedClock, max_entries: int = 100_000):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._clock = clock
+        self._max = max_entries
+        self._entries: dict[tuple[str, RRType], _Entry] = {}
+        self.stats = CacheStats()
+
+    def _key(self, name: str, rrtype: RRType) -> tuple[str, RRType]:
+        return (normalize(name), RRType.parse(rrtype))
+
+    def put(self, name: str, rrtype: RRType, records: list[ResourceRecord]) -> None:
+        """Cache a positive answer until the smallest record TTL expires."""
+        if not records:
+            return
+        ttl = min(rr.ttl for rr in records)
+        if ttl <= 0:
+            return
+        self._evict_if_full()
+        self._entries[self._key(name, rrtype)] = _Entry(
+            expires_at=self._clock.now() + ttl, records=list(records)
+        )
+
+    def put_negative(
+        self, name: str, rrtype: RRType, soa_minimum: int, nxdomain: bool
+    ) -> None:
+        """Cache an NXDOMAIN or NODATA outcome for the SOA minimum TTL."""
+        if soa_minimum <= 0:
+            return
+        self._evict_if_full()
+        self._entries[self._key(name, rrtype)] = _Entry(
+            expires_at=self._clock.now() + soa_minimum,
+            records=[],
+            negative=True,
+            nxdomain=nxdomain,
+        )
+
+    def get(self, name: str, rrtype: RRType) -> Optional[list[ResourceRecord]]:
+        """Fresh cached records, or None on miss.
+
+        Raises :class:`NegativeCacheHit` when a fresh negative entry covers
+        the key, so callers can distinguish "unknown" from "known absent".
+        """
+        key = self._key(name, rrtype)
+        entry = self._entries.get(key)
+        if entry is None or entry.expires_at <= self._clock.now():
+            if entry is not None:
+                del self._entries[key]
+            self.stats.misses += 1
+            return None
+        if entry.negative:
+            self.stats.negative_hits += 1
+            raise NegativeCacheHit(entry.nxdomain)
+        self.stats.hits += 1
+        return list(entry.records)
+
+    def peek(self, name: str, rrtype: RRType) -> Optional[list[ResourceRecord]]:
+        """Like :meth:`get` but without counters or negative signalling."""
+        key = self._key(name, rrtype)
+        entry = self._entries.get(key)
+        if entry is None or entry.negative or entry.expires_at <= self._clock.now():
+            return None
+        return list(entry.records)
+
+    def _evict_if_full(self) -> None:
+        if len(self._entries) < self._max:
+            return
+        now = self._clock.now()
+        stale = [k for k, e in self._entries.items() if e.expires_at <= now]
+        for k in stale:
+            del self._entries[k]
+            self.stats.evictions += 1
+        # Still full after pruning stale entries: drop the soonest-to-expire.
+        while len(self._entries) >= self._max:
+            victim = min(self._entries, key=lambda k: self._entries[k].expires_at)
+            del self._entries[victim]
+            self.stats.evictions += 1
+
+    def flush(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

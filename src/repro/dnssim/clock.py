@@ -1,0 +1,47 @@
+"""A simulated monotonic clock.
+
+Everything time-dependent in the substrates (cache TTLs, certificate
+validity, OCSP response freshness) reads from a :class:`SimulatedClock` so
+experiments are deterministic and can fast-forward through cache expiry
+without sleeping.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A manually-advanced clock measured in seconds.
+
+    >>> clock = SimulatedClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(30)
+    >>> clock.now()
+    30.0
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward; negative deltas are rejected."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+
+    def at(self, timestamp: float) -> None:
+        """Jump to an absolute time, which must not be in the past."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(t={self._now})"

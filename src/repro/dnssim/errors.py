@@ -1,0 +1,44 @@
+"""Exception hierarchy for the DNS substrate."""
+
+from __future__ import annotations
+
+
+class DnsError(Exception):
+    """Base class for every DNS-substrate error."""
+
+
+class MessageFormatError(DnsError):
+    """A DNS message could not be encoded or decoded."""
+
+
+class ServerUnavailableError(DnsError):
+    """The queried server IP is down or unreachable (simulated timeout).
+
+    This is what a Dyn-style outage looks like from a resolver: queries to
+    the provider's nameserver IPs simply never come back.
+    """
+
+    def __init__(self, ip: str, message: str = ""):
+        self.ip = ip
+        super().__init__(message or f"no response from {ip} (timeout)")
+
+
+class ResolutionError(DnsError):
+    """Iterative resolution failed (SERVFAIL-equivalent).
+
+    Raised when every authoritative path for a name is exhausted — lame
+    delegations, unreachable servers, or CNAME loops.
+    """
+
+    def __init__(self, qname: str, qtype: str, reason: str):
+        self.qname = qname
+        self.qtype = qtype
+        self.reason = reason
+        super().__init__(f"cannot resolve {qname}/{qtype}: {reason}")
+
+
+class NoSuchDomainError(ResolutionError):
+    """Authoritative NXDOMAIN for the queried name."""
+
+    def __init__(self, qname: str, qtype: str):
+        super().__init__(qname, qtype, "NXDOMAIN")

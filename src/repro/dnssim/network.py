@@ -1,0 +1,90 @@
+"""The network fabric connecting resolvers to authoritative servers.
+
+:class:`DnsNetwork` routes wire-format queries to the server listening on a
+destination IP and models availability faults — the mechanism behind every
+outage experiment (a Dyn-style DDoS is "these IPs stop answering").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dnssim.errors import ServerUnavailableError
+from repro.dnssim.server import AuthoritativeServer
+
+
+class DnsNetwork:
+    """IP-level routing between resolvers and authoritative servers."""
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, AuthoritativeServer] = {}
+        self._down_ips: set[str] = set()
+        self.queries_sent = 0
+        self.timeouts = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def register_server(self, server: AuthoritativeServer) -> None:
+        """Attach a server to the fabric on all of its IPs."""
+        for ip in server.ips:
+            existing = self._hosts.get(ip)
+            if existing is not None and existing is not server:
+                raise ValueError(f"IP {ip} already assigned to {existing.name}")
+            self._hosts[ip] = server
+
+    def server_at(self, ip: str) -> Optional[AuthoritativeServer]:
+        """The server listening on ``ip``, if any."""
+        return self._hosts.get(ip)
+
+    def servers(self) -> list[AuthoritativeServer]:
+        """All distinct registered servers."""
+        seen: dict[int, AuthoritativeServer] = {}
+        for server in self._hosts.values():
+            seen[id(server)] = server
+        return list(seen.values())
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_ip_available(self, ip: str, available: bool) -> None:
+        """Bring a single listener IP up or down."""
+        if available:
+            self._down_ips.discard(ip)
+        else:
+            self._down_ips.add(ip)
+
+    def set_server_available(self, server: AuthoritativeServer, available: bool) -> None:
+        """Bring every IP of a server up or down."""
+        for ip in server.ips:
+            self.set_ip_available(ip, available)
+
+    def is_available(self, ip: str) -> bool:
+        """Whether queries to ``ip`` would be answered."""
+        return ip in self._hosts and ip not in self._down_ips
+
+    def down_ips(self) -> set[str]:
+        """IPs currently failing (for experiment bookkeeping)."""
+        return set(self._down_ips)
+
+    # -- transport ---------------------------------------------------------
+
+    def send(
+        self, ip: str, wire_query: bytes, region: Optional[str] = None
+    ) -> bytes:
+        """Deliver a wire query to ``ip`` and return the wire response.
+
+        ``region`` tags the querying resolver's vantage (GeoDNS views).
+        Raises :class:`ServerUnavailableError` when nothing (or nothing
+        healthy) listens there — the resolver sees a timeout.
+        """
+        self.queries_sent += 1
+        server = self._hosts.get(ip)
+        if server is None or ip in self._down_ips:
+            self.timeouts += 1
+            raise ServerUnavailableError(ip)
+        return server.handle_wire(wire_query, region)
+
+    def __repr__(self) -> str:
+        return (
+            f"DnsNetwork({len(self._hosts)} listeners, "
+            f"{len(self._down_ips)} down)"
+        )

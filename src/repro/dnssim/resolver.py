@@ -1,0 +1,318 @@
+"""Iterative DNS resolution with caching and CNAME chasing.
+
+:class:`IterativeResolver` walks the delegation tree from the root hints,
+follows referrals and glue, chases CNAME chains across zones, and caches
+positive and negative answers — the behaviour a measurement vantage point's
+recursive resolver exhibits when the paper runs ``dig``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dnssim.cache import DnsCache, NegativeCacheHit
+from repro.dnssim.clock import SimulatedClock
+from repro.dnssim.errors import (
+    NoSuchDomainError,
+    ResolutionError,
+    ServerUnavailableError,
+)
+from repro.dnssim.message import DnsMessage, RCode
+from repro.dnssim.network import DnsNetwork
+from repro.dnssim.records import RRType, ResourceRecord, SOARecord
+from repro.names.normalize import normalize, split_labels
+
+MAX_REFERRALS = 48
+MAX_CNAME_CHAIN = 16
+MAX_GLUELESS_DEPTH = 8
+
+
+@dataclass
+class ResolverStats:
+    """Counters describing resolver work."""
+
+    queries: int = 0
+    referrals: int = 0
+    cname_chases: int = 0
+    glueless_lookups: int = 0
+    failures: int = 0
+
+
+@dataclass
+class ResolutionResult:
+    """The outcome of resolving ``qname``/``qtype``.
+
+    ``records`` holds the final rrset of the requested type; ``cname_chain``
+    lists every alias traversed (owner → target order); ``authority_soa``
+    carries the SOA seen on NODATA/NXDOMAIN — which is exactly what the
+    paper's SOA-matching heuristics consume.
+    """
+
+    qname: str
+    qtype: RRType
+    rcode: RCode
+    records: list[ResourceRecord] = field(default_factory=list)
+    cname_chain: list[str] = field(default_factory=list)
+    authority_soa: Optional[ResourceRecord] = None
+
+    @property
+    def is_nxdomain(self) -> bool:
+        return self.rcode == RCode.NXDOMAIN
+
+    @property
+    def final_name(self) -> str:
+        """The canonical name after following every CNAME."""
+        return self.cname_chain[-1] if self.cname_chain else self.qname
+
+
+class IterativeResolver:
+    """A caching iterative resolver rooted at explicit hints.
+
+    ``root_hints`` maps root-server names to IPs, mirroring a hints file.
+    """
+
+    def __init__(
+        self,
+        network: DnsNetwork,
+        root_hints: dict[str, str],
+        clock: Optional[SimulatedClock] = None,
+        cache: Optional[DnsCache] = None,
+        region: Optional[str] = None,
+    ):
+        if not root_hints:
+            raise ValueError("resolver needs at least one root hint")
+        self.region = region  # the vantage point (GeoDNS views)
+        self._network = network
+        self._root_hints = dict(root_hints)
+        self._clock = clock or SimulatedClock()
+        self.cache = cache if cache is not None else DnsCache(self._clock)
+        self.stats = ResolverStats()
+        self._msg_id = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def lookup(self, qname: str, qtype: RRType) -> ResolutionResult:
+        """Resolve without raising on NXDOMAIN (NODATA → empty records).
+
+        Raises :class:`ResolutionError` only on operational failure (all
+        servers unreachable, lame delegations, loops).
+        """
+        qname = normalize(qname)
+        qtype = RRType.parse(qtype)
+        result = ResolutionResult(qname=qname, qtype=qtype, rcode=RCode.NOERROR)
+        self._resolve_into(qname, qtype, result, depth=0)
+        return result
+
+    def resolve(self, qname: str, qtype: RRType) -> list[ResourceRecord]:
+        """Resolve and return the final rrset; raises on NXDOMAIN."""
+        result = self.lookup(qname, qtype)
+        if result.is_nxdomain:
+            raise NoSuchDomainError(result.qname, result.qtype.name)
+        return result.records
+
+    def resolve_address(self, hostname: str) -> list[str]:
+        """Convenience: the IPv4 addresses of a hostname (empty if none)."""
+        try:
+            return [rr.rdata.address for rr in self.resolve(hostname, RRType.A)]  # type: ignore[union-attr]
+        except NoSuchDomainError:
+            return []
+
+    # -- core algorithm -------------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._msg_id = (self._msg_id + 1) & 0xFFFF
+        return self._msg_id
+
+    def _resolve_into(
+        self, qname: str, qtype: RRType, result: ResolutionResult, depth: int
+    ) -> None:
+        """Resolve one owner name, following CNAMEs, filling ``result``."""
+        current = qname
+        for _ in range(MAX_CNAME_CHAIN):
+            outcome = self._resolve_one(current, qtype, result, depth)
+            if outcome is None:
+                return  # terminal: answer, NODATA or NXDOMAIN recorded
+            current = outcome  # CNAME target to chase
+            result.cname_chain.append(current)
+            self.stats.cname_chases += 1
+        self.stats.failures += 1
+        raise ResolutionError(qname, qtype.name, "CNAME chain too long")
+
+    def _resolve_one(
+        self, qname: str, qtype: RRType, result: ResolutionResult, depth: int
+    ) -> Optional[str]:
+        """Resolve one name without alias-following.
+
+        Returns a CNAME target if the caller must chase, else None with
+        ``result`` updated in place.
+        """
+        # Cache first.
+        try:
+            cached = self.cache.get(qname, qtype)
+        except NegativeCacheHit as neg:
+            result.rcode = RCode.NXDOMAIN if neg.nxdomain else RCode.NOERROR
+            return None
+        if cached:
+            result.records.extend(cached)
+            return None
+        cached_cname = self.cache.peek(qname, RRType.CNAME)
+        if cached_cname and qtype != RRType.CNAME:
+            return cached_cname[0].rdata.target  # type: ignore[union-attr]
+
+        server_ips = self._closest_known_servers(qname, depth)
+        for _ in range(MAX_REFERRALS):
+            response = self._query_any(server_ips, qname, qtype)
+            if response is None:
+                self.stats.failures += 1
+                raise ResolutionError(
+                    qname, qtype.name, "no reachable authoritative servers"
+                )
+
+            if response.rcode == RCode.NXDOMAIN:
+                soa = self._first_soa(response)
+                if soa is not None:
+                    result.authority_soa = soa
+                    self.cache.put_negative(
+                        qname, qtype, soa.rdata.minimum, nxdomain=True  # type: ignore[union-attr]
+                    )
+                result.rcode = RCode.NXDOMAIN
+                return None
+            if response.rcode != RCode.NOERROR:
+                # REFUSED/SERVFAIL from this server set: treat as lame.
+                self.stats.failures += 1
+                raise ResolutionError(
+                    qname, qtype.name, f"upstream rcode {response.rcode.name}"
+                )
+
+            answers = [r for r in response.answers if r.name == qname]
+            typed = [r for r in answers if r.rrtype == qtype]
+            if typed:
+                self.cache.put(qname, qtype, typed)
+                result.records.extend(typed)
+                return None
+            cnames = [r for r in answers if r.rrtype == RRType.CNAME]
+            if cnames:
+                # Cache every rrset in the answer section: authoritative
+                # servers pre-chase in-bailiwick CNAME chains, and the chase
+                # loop in _resolve_into then consumes them from cache.
+                self._cache_answer_rrsets(response)
+                return cnames[0].rdata.target  # type: ignore[union-attr]
+
+            ns_records = response.records(RRType.NS, "authorities")
+            if ns_records and not response.aa:
+                self.stats.referrals += 1
+                zone_cut = ns_records[0].name
+                self.cache.put(zone_cut, RRType.NS, ns_records)
+                for glue in response.additionals:
+                    if glue.rrtype in (RRType.A, RRType.AAAA):
+                        self.cache.put(glue.name, glue.rrtype, [glue])
+                server_ips = self._addresses_for_ns(ns_records, response, depth)
+                if not server_ips:
+                    self.stats.failures += 1
+                    raise ResolutionError(
+                        qname, qtype.name, f"lame delegation at {zone_cut or '.'}"
+                    )
+                continue
+
+            # Authoritative empty answer: NODATA.
+            soa = self._first_soa(response)
+            if soa is not None:
+                result.authority_soa = soa
+                self.cache.put_negative(
+                    qname, qtype, soa.rdata.minimum, nxdomain=False  # type: ignore[union-attr]
+                )
+            result.rcode = RCode.NOERROR
+            return None
+
+        self.stats.failures += 1
+        raise ResolutionError(qname, qtype.name, "referral limit exceeded")
+
+    def _cache_answer_rrsets(self, response: DnsMessage) -> None:
+        """Cache every (name, type) rrset present in the answer section."""
+        groups: dict[tuple[str, RRType], list[ResourceRecord]] = {}
+        for rr in response.answers:
+            groups.setdefault((rr.name, rr.rrtype), []).append(rr)
+        for (name, rrtype), records in groups.items():
+            self.cache.put(name, rrtype, records)
+
+    def _first_soa(self, response: DnsMessage) -> Optional[ResourceRecord]:
+        for rr in response.authorities:
+            if rr.rrtype == RRType.SOA and isinstance(rr.rdata, SOARecord):
+                return rr
+        return None
+
+    def _query_any(
+        self, server_ips: list[str], qname: str, qtype: RRType
+    ) -> Optional[DnsMessage]:
+        """Try each server IP in turn until one answers."""
+        for ip in server_ips:
+            query = DnsMessage.query(qname, qtype, msg_id=self._next_id())
+            try:
+                wire = self._network.send(ip, query.to_wire(), self.region)
+            except ServerUnavailableError:
+                continue
+            self.stats.queries += 1
+            return DnsMessage.from_wire(wire)
+        return None
+
+    def _closest_known_servers(self, qname: str, depth: int) -> list[str]:
+        """Start from the deepest cached delegation covering ``qname``."""
+        labels = split_labels(qname)
+        for i in range(len(labels)):
+            zone = ".".join(labels[i:])
+            ns_records = self.cache.peek(zone, RRType.NS)
+            if not ns_records:
+                continue
+            ips = self._cached_ns_addresses(ns_records)
+            if ips:
+                return ips
+        return list(self._root_hints.values())
+
+    def _cached_ns_addresses(self, ns_records: list[ResourceRecord]) -> list[str]:
+        ips: list[str] = []
+        for rr in ns_records:
+            nsname = rr.rdata.nsdname  # type: ignore[union-attr]
+            for cached in self.cache.peek(nsname, RRType.A) or []:
+                ips.append(cached.rdata.address)  # type: ignore[union-attr]
+        return ips
+
+    def _addresses_for_ns(
+        self, ns_records: list[ResourceRecord], response: DnsMessage, depth: int
+    ) -> list[str]:
+        """Addresses for a referral's NS set: glue plus glueless lookups.
+
+        Glue may cover only *some* of the NS set (a redundant zone on two
+        providers gets glue only for the in-bailiwick one), so names without
+        glue are still resolved — otherwise an outage of the glued provider
+        would wrongly take out redundantly-provisioned zones.
+        """
+        ips: list[str] = []
+        glue_names = set()
+        for glue in response.additionals:
+            if glue.rrtype == RRType.A:
+                glue_names.add(glue.name)
+                ips.append(glue.rdata.address)  # type: ignore[union-attr]
+        unglued = [
+            rr.rdata.nsdname  # type: ignore[union-attr]
+            for rr in ns_records
+            if rr.rdata.nsdname not in glue_names  # type: ignore[union-attr]
+        ]
+        if not unglued or depth >= MAX_GLUELESS_DEPTH:
+            return ips
+        for nsname in unglued:
+            # Served by the cache after the first referral for this zone.
+            cached = self.cache.peek(nsname, RRType.A)
+            if cached is not None:
+                ips.extend(rr.rdata.address for rr in cached)  # type: ignore[union-attr]
+                continue
+            self.stats.glueless_lookups += 1
+            sub = ResolutionResult(qname=nsname, qtype=RRType.A, rcode=RCode.NOERROR)
+            try:
+                self._resolve_into(nsname, RRType.A, sub, depth + 1)
+            except ResolutionError:
+                continue
+            ips.extend(
+                rr2.rdata.address for rr2 in sub.records  # type: ignore[union-attr]
+            )
+        return ips

@@ -1,0 +1,266 @@
+"""Authoritative zones: record storage, delegations, lookup semantics.
+
+A :class:`Zone` owns a subtree of the namespace rooted at ``origin`` and
+answers lookups with the same outcome categories a real authoritative
+server produces: answer, CNAME, referral (delegation), NXDOMAIN, NODATA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.dnssim.errors import DnsError
+from repro.dnssim.records import (
+    CNAMERecord,
+    NSRecord,
+    RData,
+    RRType,
+    ResourceRecord,
+    SOARecord,
+)
+from repro.names.normalize import normalize, split_labels
+from repro.names.registrable import is_subdomain_of
+
+DEFAULT_TTL = 300
+
+
+class ZoneError(DnsError):
+    """Invalid zone content or lookup misuse."""
+
+
+class LookupKind(enum.Enum):
+    """Outcome categories of an authoritative lookup."""
+
+    ANSWER = "answer"
+    CNAME = "cname"
+    DELEGATION = "delegation"
+    NXDOMAIN = "nxdomain"
+    NODATA = "nodata"
+
+
+@dataclass
+class LookupResult:
+    """Result of :meth:`Zone.lookup`."""
+
+    kind: LookupKind
+    records: list[ResourceRecord] = field(default_factory=list)
+    authority: list[ResourceRecord] = field(default_factory=list)
+    glue: list[ResourceRecord] = field(default_factory=list)
+
+
+class Zone:
+    """A DNS zone: an origin, an SOA, and the records beneath it.
+
+    >>> zone = Zone("example.com", SOARecord("ns1.example.com", "admin.example.com"))
+    >>> zone.add("www.example.com", CNAMERecord("example.cdn-provider.net"))
+    >>> zone.lookup("www.example.com", RRType.A).kind
+    <LookupKind.CNAME: 'cname'>
+    """
+
+    def __init__(self, origin: str, soa: SOARecord, soa_ttl: int = 3600):
+        self.origin = normalize(origin)
+        self._records: dict[tuple[str, RRType], list[ResourceRecord]] = {}
+        # GeoDNS views: (region, name, type) -> records that override the
+        # default answer for clients resolving from that region.
+        self._regional: dict[tuple[str, str, RRType], list[ResourceRecord]] = {}
+        self._names: set[str] = {self.origin}
+        self.add(self.origin, soa, ttl=soa_ttl)
+
+    # -- construction ------------------------------------------------------
+
+    @property
+    def soa(self) -> SOARecord:
+        """The zone's SOA rdata."""
+        rrs = self._records[(self.origin, RRType.SOA)]
+        return rrs[0].rdata  # type: ignore[return-value]
+
+    def set_soa(self, soa: SOARecord, ttl: int = 3600) -> None:
+        """Replace the zone's SOA (operators change DNS identity on
+        migration; the materializer uses this for provider-masked SOAs)."""
+        self._records[(self.origin, RRType.SOA)] = [
+            ResourceRecord(self.origin, ttl, soa)
+        ]
+
+    def add(self, name: str, rdata: RData, ttl: int = DEFAULT_TTL) -> ResourceRecord:
+        """Add one record; ``name`` must lie within the zone.
+
+        CNAME exclusivity is enforced: a CNAME owner may hold no other data,
+        matching RFC 1034 and mattering for the CDN measurement path.
+        """
+        name = normalize(name)
+        if not self._in_zone(name):
+            raise ZoneError(f"{name!r} is outside zone {self.origin!r}")
+        rr = ResourceRecord(name, ttl, rdata)
+        key = (name, rr.rrtype)
+        existing_types = {t for (n, t) in self._records if n == name}
+        if rr.rrtype == RRType.CNAME and existing_types - {RRType.CNAME}:
+            raise ZoneError(f"cannot add CNAME at {name!r}: other data exists")
+        if rr.rrtype != RRType.CNAME and RRType.CNAME in existing_types:
+            raise ZoneError(f"cannot add {rr.rrtype.name} at {name!r}: CNAME exists")
+        self._records.setdefault(key, [])
+        if rr not in self._records[key]:
+            self._records[key].append(rr)
+        self._names.add(name)
+        return rr
+
+    def add_many(self, name: str, rdatas: Iterable[RData], ttl: int = DEFAULT_TTL) -> None:
+        """Add several records under one owner name."""
+        for rdata in rdatas:
+            self.add(name, rdata, ttl)
+
+    def add_regional(
+        self, name: str, region: str, rdata: RData, ttl: int = DEFAULT_TTL
+    ) -> ResourceRecord:
+        """Add a GeoDNS record served only to resolvers in ``region``.
+
+        Regional answers *override* the default records for that (name,
+        type) — the mechanism behind region-specific CDN mappings, which a
+        single-vantage measurement cannot see (the paper's §3.5 limitation).
+        """
+        name = normalize(name)
+        if not self._in_zone(name):
+            raise ZoneError(f"{name!r} is outside zone {self.origin!r}")
+        rr = ResourceRecord(name, ttl, rdata)
+        key = (region, name, rr.rrtype)
+        self._regional.setdefault(key, [])
+        if rr not in self._regional[key]:
+            self._regional[key].append(rr)
+        self._names.add(name)
+        return rr
+
+    def regional_records_at(
+        self, name: str, rrtype: RRType, region: str
+    ) -> list[ResourceRecord]:
+        """Region-specific records for a (name, type), if any."""
+        return list(self._regional.get((region, normalize(name), rrtype), []))
+
+    def delete(self, name: str, rrtype: Optional[RRType] = None) -> int:
+        """Remove records at ``name`` (optionally one type); returns count."""
+        name = normalize(name)
+        keys = [
+            k for k in self._records
+            if k[0] == name and (rrtype is None or k[1] == rrtype)
+        ]
+        removed = sum(len(self._records[k]) for k in keys)
+        for k in keys:
+            del self._records[k]
+        if not any(n == name for (n, _) in self._records):
+            self._names.discard(name)
+        return removed
+
+    # -- lookup ------------------------------------------------------------
+
+    def _in_zone(self, name: str) -> bool:
+        return is_subdomain_of(name, self.origin) if self.origin else True
+
+    def records_at(self, name: str, rrtype: RRType) -> list[ResourceRecord]:
+        """Exact-match records (no wildcard expansion)."""
+        return list(self._records.get((normalize(name), rrtype), []))
+
+    def _wildcard_match(self, name: str, rrtype: RRType) -> list[ResourceRecord]:
+        """RFC 1034 wildcard: ``*.parent`` synthesizes records for ``name``."""
+        if name in self._names:
+            return []  # an existing name suppresses wildcard synthesis
+        labels = split_labels(name)
+        for i in range(1, len(labels)):
+            candidate = "*." + ".".join(labels[i:])
+            source = self._records.get((candidate, rrtype))
+            if source:
+                return [
+                    ResourceRecord(name, rr.ttl, rr.rdata) for rr in source
+                ]
+            # A non-wildcard name closer to the qname blocks expansion.
+            if ".".join(labels[i:]) in self._names:
+                break
+        return []
+
+    def _delegation_point(self, qname: str) -> Optional[str]:
+        """The nearest zone cut at or above ``qname`` (strictly below origin)."""
+        labels = split_labels(qname)
+        origin_depth = len(split_labels(self.origin))
+        # Walk from just below the origin towards the qname, so the topmost
+        # cut wins (a cut makes everything beneath it non-authoritative).
+        for i in range(len(labels) - origin_depth - 1, -1, -1):
+            candidate = ".".join(labels[i:])
+            if candidate != self.origin and (candidate, RRType.NS) in self._records:
+                return candidate
+        return None
+
+    def _name_exists(self, qname: str) -> bool:
+        """Whether the name exists (has records or is an empty non-terminal)."""
+        if qname in self._names:
+            return True
+        return any(n.endswith("." + qname) for n in self._names)
+
+    def lookup(
+        self, qname: str, qtype: RRType, region: Optional[str] = None
+    ) -> LookupResult:
+        """Authoritatively answer a query for a name within this zone.
+
+        ``region`` selects GeoDNS views: regional records override the
+        default answer for clients resolving from that region.
+        """
+        qname = normalize(qname)
+        qtype = RRType.parse(qtype)
+        if not self._in_zone(qname):
+            raise ZoneError(f"{qname!r} is outside zone {self.origin!r}")
+
+        if region is not None:
+            regional = self.regional_records_at(qname, qtype, region)
+            if regional:
+                return LookupResult(LookupKind.ANSWER, records=regional)
+            regional_cname = self.regional_records_at(qname, RRType.CNAME, region)
+            if regional_cname and qtype != RRType.CNAME:
+                return LookupResult(LookupKind.CNAME, records=regional_cname)
+
+        cut = self._delegation_point(qname)
+        if cut is not None:
+            ns_records = self._records[(cut, RRType.NS)]
+            glue: list[ResourceRecord] = []
+            for rr in ns_records:
+                nsname = rr.rdata.nsdname  # type: ignore[union-attr]
+                for glue_type in (RRType.A, RRType.AAAA):
+                    glue.extend(self._records.get((nsname, glue_type), []))
+            return LookupResult(
+                LookupKind.DELEGATION, authority=list(ns_records), glue=glue
+            )
+
+        exact = self.records_at(qname, qtype)
+        if exact:
+            return LookupResult(LookupKind.ANSWER, records=exact)
+
+        cname = self.records_at(qname, RRType.CNAME)
+        if cname and qtype != RRType.CNAME:
+            return LookupResult(LookupKind.CNAME, records=list(cname))
+
+        wildcard = self._wildcard_match(qname, qtype)
+        if wildcard:
+            return LookupResult(LookupKind.ANSWER, records=wildcard)
+        wildcard_cname = self._wildcard_match(qname, RRType.CNAME)
+        if wildcard_cname and qtype != RRType.CNAME:
+            return LookupResult(LookupKind.CNAME, records=wildcard_cname)
+
+        soa_rr = self._records[(self.origin, RRType.SOA)][0]
+        if self._name_exists(qname) or any(
+            n.startswith("*.") and qname.endswith(n[1:]) for n in self._names
+        ):
+            return LookupResult(LookupKind.NODATA, authority=[soa_rr])
+        return LookupResult(LookupKind.NXDOMAIN, authority=[soa_rr])
+
+    # -- introspection -----------------------------------------------------
+
+    def names(self) -> set[str]:
+        """All owner names with records in the zone."""
+        return set(self._names)
+
+    def all_records(self) -> list[ResourceRecord]:
+        """Every record in the zone."""
+        return [rr for rrs in self._records.values() for rr in rrs]
+
+    def __contains__(self, name: str) -> bool:
+        return normalize(name) in self._names
+
+    def __repr__(self) -> str:
+        return f"Zone({self.origin!r}, {len(self._names)} names)"

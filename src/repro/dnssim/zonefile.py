@@ -1,0 +1,175 @@
+"""RFC 1035 master-file serialization for zones.
+
+Lets a zone round-trip through the standard text format — useful for
+inspecting generated worlds, diffing snapshots, and seeding zones from
+fixtures. Supports the record types the simulator knows (SOA, NS, A,
+AAAA, CNAME, MX, TXT), ``$ORIGIN``/``$TTL`` directives, relative and
+absolute owner names, ``@``, comments, and quoted TXT strings.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Iterable
+
+from repro.dnssim.records import (
+    AAAARecord,
+    ARecord,
+    CNAMERecord,
+    MXRecord,
+    NSRecord,
+    RData,
+    RRType,
+    SOARecord,
+    TXTRecord,
+)
+from repro.dnssim.zone import DEFAULT_TTL, Zone, ZoneError
+from repro.names.normalize import normalize
+
+
+def _fqdn(name: str) -> str:
+    return (name + ".") if name else "."
+
+
+def zone_to_text(zone: Zone) -> str:
+    """Serialize a zone in master-file format (SOA first, then sorted)."""
+    lines = [f"$ORIGIN {_fqdn(zone.origin)}", f"$TTL {DEFAULT_TTL}"]
+    records = sorted(
+        zone.all_records(),
+        key=lambda rr: (rr.rrtype != RRType.SOA, rr.name, int(rr.rrtype)),
+    )
+    for rr in records:
+        owner = "@" if rr.name == zone.origin else _relative(rr.name, zone.origin)
+        lines.append(f"{owner}\t{rr.ttl}\tIN\t{rr.rrtype.name}\t{_rdata_text(rr.rdata)}")
+    return "\n".join(lines) + "\n"
+
+
+def _relative(name: str, origin: str) -> str:
+    if origin and name.endswith("." + origin):
+        return name[: -(len(origin) + 1)]
+    return _fqdn(name)
+
+
+def _rdata_text(rdata: RData) -> str:
+    if isinstance(rdata, SOARecord):
+        return (
+            f"{_fqdn(rdata.mname)} {_fqdn(rdata.rname)} "
+            f"{rdata.serial} {rdata.refresh} {rdata.retry} "
+            f"{rdata.expire} {rdata.minimum}"
+        )
+    if isinstance(rdata, (NSRecord,)):
+        return _fqdn(rdata.nsdname)
+    if isinstance(rdata, CNAMERecord):
+        return _fqdn(rdata.target)
+    if isinstance(rdata, MXRecord):
+        return f"{rdata.preference} {_fqdn(rdata.exchange)}"
+    if isinstance(rdata, TXTRecord):
+        escaped = rdata.text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return str(rdata)
+
+
+class ZoneFileError(ZoneError):
+    """Malformed master-file input."""
+
+
+def _resolve_name(token: str, origin: str) -> str:
+    token = token.strip()
+    if token == "@":
+        return origin
+    if token.endswith("."):
+        return normalize(token)
+    if not origin:
+        return normalize(token)
+    return normalize(f"{token}.{origin}")
+
+
+def _parse_rdata(rrtype: RRType, fields: list[str], origin: str) -> RData:
+    try:
+        if rrtype == RRType.A:
+            return ARecord(fields[0])
+        if rrtype == RRType.AAAA:
+            return AAAARecord(fields[0])
+        if rrtype == RRType.NS:
+            return NSRecord(_resolve_name(fields[0], origin))
+        if rrtype == RRType.CNAME:
+            return CNAMERecord(_resolve_name(fields[0], origin))
+        if rrtype == RRType.MX:
+            return MXRecord(int(fields[0]), _resolve_name(fields[1], origin))
+        if rrtype == RRType.TXT:
+            return TXTRecord(" ".join(fields))
+        if rrtype == RRType.SOA:
+            return SOARecord(
+                _resolve_name(fields[0], origin),
+                _resolve_name(fields[1], origin),
+                *(int(f) for f in fields[2:7]),
+            )
+    except (IndexError, ValueError) as exc:
+        raise ZoneFileError(f"bad {rrtype.name} rdata: {fields!r}") from exc
+    raise ZoneFileError(f"unsupported record type: {rrtype!r}")
+
+
+def zone_from_text(text: str) -> Zone:
+    """Parse a master file into a :class:`Zone` (must contain one SOA)."""
+    origin = ""
+    default_ttl = DEFAULT_TTL
+    last_owner: str | None = None
+    pending: list[tuple[str, int, RRType, RData]] = []
+    soa: tuple[str, int, SOARecord] | None = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.startswith("$ORIGIN"):
+            origin = normalize(line.split()[1])
+            continue
+        if line.startswith("$TTL"):
+            default_ttl = int(line.split()[1])
+            continue
+        starts_with_space = line[0] in " \t"
+        try:
+            tokens = shlex.split(line)
+        except ValueError as exc:
+            raise ZoneFileError(f"unparseable line: {raw_line!r}") from exc
+        if not tokens:
+            continue
+        if starts_with_space:
+            owner = last_owner
+        else:
+            owner = _resolve_name(tokens.pop(0), origin)
+            last_owner = owner
+        if owner is None:
+            raise ZoneFileError(f"record with no owner: {raw_line!r}")
+
+        ttl = default_ttl
+        if tokens and tokens[0].isdigit():
+            ttl = int(tokens.pop(0))
+        if tokens and tokens[0].upper() == "IN":
+            tokens.pop(0)
+        if not tokens:
+            raise ZoneFileError(f"missing record type: {raw_line!r}")
+        try:
+            rrtype = RRType.parse(tokens.pop(0))
+        except ValueError as exc:
+            raise ZoneFileError(str(exc)) from exc
+        rdata = _parse_rdata(rrtype, tokens, origin)
+        if rrtype == RRType.SOA:
+            if soa is not None:
+                raise ZoneFileError("multiple SOA records")
+            soa = (owner, ttl, rdata)  # type: ignore[assignment]
+        else:
+            pending.append((owner, ttl, rrtype, rdata))
+
+    if soa is None:
+        raise ZoneFileError("zone file has no SOA record")
+    soa_owner, soa_ttl, soa_rdata = soa
+    zone = Zone(soa_owner, soa_rdata, soa_ttl=soa_ttl)
+    for owner, ttl, _rrtype, rdata in pending:
+        zone.add(owner, rdata, ttl=ttl)
+    return zone
+
+
+def zones_to_text(zones: Iterable[Zone]) -> str:
+    """Serialize several zones, separated by blank lines."""
+    return "\n".join(zone_to_text(zone) for zone in zones)

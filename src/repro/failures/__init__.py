@@ -1,0 +1,48 @@
+"""Incident simulation: operational validation of the dependency metrics.
+
+The paper's motivation (Section 2) is three incidents; this package
+replays their mechanics against a generated world and *observes* which
+websites actually break, validating that the graph-predicted impact
+matches ground-truth behaviour:
+
+* :mod:`repro.failures.outage` — take a provider down and probe websites
+  end-to-end (the Dyn 2016 and CloudFront-style scenarios);
+* :mod:`repro.failures.revocation` — the GlobalSign 2016 mass-revocation
+  with response-caching persistence;
+* :mod:`repro.failures.whatif` — a redundancy planner quantifying how a
+  website's exposure changes with added providers.
+"""
+
+from repro.failures.attack import (
+    AttackResult,
+    AttackScenario,
+    ProviderCapacity,
+    attack_sweep,
+    simulate_volumetric_attack,
+)
+from repro.failures.outage import OutageResult, simulate_ca_outage, simulate_cdn_outage, simulate_dns_outage
+from repro.failures.revocation import RevocationIncidentResult, simulate_mass_revocation
+from repro.failures.whatif import (
+    ExposureReport,
+    RobustnessScore,
+    robustness_score,
+    website_exposure,
+)
+
+__all__ = [
+    "AttackResult",
+    "AttackScenario",
+    "ExposureReport",
+    "OutageResult",
+    "ProviderCapacity",
+    "RevocationIncidentResult",
+    "RobustnessScore",
+    "attack_sweep",
+    "robustness_score",
+    "simulate_ca_outage",
+    "simulate_cdn_outage",
+    "simulate_dns_outage",
+    "simulate_mass_revocation",
+    "simulate_volumetric_attack",
+    "website_exposure",
+]

@@ -1,0 +1,43 @@
+"""The measurement toolchain — the paper's Section 3 methodology.
+
+Everything here observes the world strictly through the vantage point's
+tools (dig-style DNS queries, TLS handshakes, landing-page crawls); the
+generator's ground truth is never consulted. The output is a
+:class:`~repro.measurement.records.Dataset` that the analysis layer (the
+classification heuristics, dependency graph, and table/figure builders)
+consumes — mirroring the paper's raw-measurement → analysis split.
+"""
+
+from repro.measurement.records import (
+    CdnObservation,
+    Dataset,
+    DnsObservation,
+    ProviderDnsObservation,
+    RevocationEndpointObservation,
+    SoaIdentity,
+    TlsObservation,
+    WebsiteMeasurement,
+)
+from repro.measurement.cdn_map import CnameToCdnMap
+from repro.measurement.dns_measurer import DnsMeasurer
+from repro.measurement.tls_measurer import TlsMeasurer
+from repro.measurement.cdn_measurer import CdnMeasurer
+from repro.measurement.interservice import InterServiceMeasurer
+from repro.measurement.runner import MeasurementCampaign
+
+__all__ = [
+    "CdnMeasurer",
+    "CdnObservation",
+    "CnameToCdnMap",
+    "Dataset",
+    "DnsMeasurer",
+    "DnsObservation",
+    "InterServiceMeasurer",
+    "MeasurementCampaign",
+    "ProviderDnsObservation",
+    "RevocationEndpointObservation",
+    "SoaIdentity",
+    "TlsMeasurer",
+    "TlsObservation",
+    "WebsiteMeasurement",
+]

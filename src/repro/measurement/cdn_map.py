@@ -1,0 +1,56 @@
+"""The CNAME-to-CDN map (Section 3.3).
+
+The paper builds a self-populated map from providers that publicly
+advertise CDN service. The equivalent public knowledge in the simulation
+is the set of CDN operators and their edge-name patterns; the map is
+seeded from that and can also self-populate from observed CNAMEs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.names.normalize import normalize, split_labels
+
+
+class CnameToCdnMap:
+    """Suffix-matching map from CNAME/hostname patterns to CDN names."""
+
+    def __init__(self) -> None:
+        self._suffixes: dict[str, str] = {}
+
+    @classmethod
+    def from_catalog(cls, entries: Iterable[tuple[str, Iterable[str]]]) -> "CnameToCdnMap":
+        """Build from (cdn display name, cname suffixes) pairs."""
+        instance = cls()
+        for name, suffixes in entries:
+            for suffix in suffixes:
+                instance.register(suffix, name)
+        return instance
+
+    def register(self, suffix: str, cdn_name: str) -> None:
+        """Map every hostname under ``suffix`` to ``cdn_name``."""
+        self._suffixes[normalize(suffix)] = cdn_name
+
+    def lookup(self, hostname: str) -> Optional[str]:
+        """The CDN owning ``hostname``, by longest-suffix match."""
+        labels = split_labels(hostname)
+        for i in range(len(labels)):
+            candidate = ".".join(labels[i:])
+            if candidate in self._suffixes:
+                return self._suffixes[candidate]
+        return None
+
+    def lookup_chain(self, hostname: str, cname_chain: Iterable[str]) -> Optional[str]:
+        """First CDN seen along ``hostname`` and its CNAME chain."""
+        for name in (hostname, *cname_chain):
+            cdn = self.lookup(name)
+            if cdn is not None:
+                return cdn
+        return None
+
+    def __len__(self) -> int:
+        return len(self._suffixes)
+
+    def __contains__(self, suffix: str) -> bool:
+        return normalize(suffix) in self._suffixes

@@ -1,0 +1,84 @@
+"""CDN measurements (Section 3.3).
+
+From a crawled landing page: identify the website's *internal* resources
+(TLD match, SAN list, public-suffix awareness, SOA comparison — the same
+ladder the paper uses), run CNAME queries on them, and match hostnames and
+chains against the CNAME-to-CDN map.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.dnssim.client import DigClient
+from repro.measurement.cdn_map import CnameToCdnMap
+from repro.measurement.records import CdnObservation, SoaIdentity
+from repro.names.registrable import registrable_domain, tld
+from repro.websim.crawler import CrawlResult
+
+SoaLookup = Callable[[str], Optional[SoaIdentity]]
+
+
+def is_internal_resource(
+    hostname: str,
+    website_domain: str,
+    san: tuple[str, ...],
+    soa_lookup: SoaLookup,
+) -> bool:
+    """Whether ``hostname`` is owned by the website (Section 3.3's ladder).
+
+    1. Registrable-domain ("TLD") match — catches static.example.com.
+    2. SAN-list match — catches yahoo.com loading from *.yimg.com.
+    3. SOA identity match — same DNS authority implies same owner.
+    """
+    if tld(hostname) == tld(website_domain):
+        return True
+    host_base = registrable_domain(hostname)
+    for entry in san:
+        entry_base = registrable_domain(entry.lstrip("*."))
+        if entry_base is not None and entry_base == host_base:
+            return True
+    host_soa = soa_lookup(hostname)
+    site_soa = soa_lookup(website_domain)
+    if host_soa is not None and site_soa is not None and host_soa == site_soa:
+        return True
+    return False
+
+
+class CdnMeasurer:
+    """Turns a crawl into a :class:`CdnObservation`."""
+
+    def __init__(
+        self,
+        dig: DigClient,
+        cdn_map: CnameToCdnMap,
+        soa_lookup: SoaLookup,
+    ):
+        self._dig = dig
+        self._map = cdn_map
+        self._soa_lookup = soa_lookup
+
+    def measure(self, crawl: CrawlResult) -> CdnObservation:
+        observation = CdnObservation(domain=crawl.domain, crawl_ok=crawl.ok)
+        if not crawl.ok:
+            return observation
+        observation.resource_hostnames = crawl.hostnames_with_self()
+        san = crawl.san
+        for hostname in observation.resource_hostnames:
+            if not is_internal_resource(
+                hostname, crawl.domain, san, self._soa_lookup
+            ):
+                continue
+            observation.internal_hostnames.append(hostname)
+            chain = self._dig.cname_chain(hostname)
+            observation.cname_chains[hostname] = chain
+            for name in (hostname, *chain):
+                if name not in observation.cname_soas:
+                    observation.cname_soas[name] = self._soa_lookup(name)
+            cdn = self._map.lookup_chain(hostname, chain)
+            if cdn is not None:
+                observation.detected_cdns.setdefault(cdn, [])
+                for name in (hostname, *chain):
+                    if self._map.lookup(name) == cdn:
+                        observation.detected_cdns[cdn].append(name)
+        return observation

@@ -1,0 +1,30 @@
+"""DNS measurements: ``dig NS`` / ``dig SOA`` per website (Section 3.1)."""
+
+from __future__ import annotations
+
+from repro.dnssim.client import DigClient
+from repro.measurement.records import DnsObservation, SoaIdentity
+
+
+class DnsMeasurer:
+    """Collects the raw DNS facts the classification heuristics need."""
+
+    def __init__(self, dig: DigClient):
+        self._dig = dig
+        self._soa_cache: dict[str, SoaIdentity | None] = {}
+
+    def soa_identity(self, name: str) -> SoaIdentity | None:
+        """The (MNAME, RNAME) governing ``name``, memoized per campaign."""
+        if name not in self._soa_cache:
+            self._soa_cache[name] = SoaIdentity.from_record(self._dig.soa(name))
+        return self._soa_cache[name]
+
+    def measure(self, domain: str) -> DnsObservation:
+        """Measure one website's nameserver set and SOA identities."""
+        observation = DnsObservation(domain=domain)
+        observation.nameservers = self._dig.ns(domain)
+        observation.resolvable = self._dig.is_resolvable(domain)
+        observation.website_soa = self.soa_identity(domain)
+        for nameserver in observation.nameservers:
+            observation.nameserver_soas[nameserver] = self.soa_identity(nameserver)
+        return observation

@@ -1,0 +1,83 @@
+"""Inter-service dependency measurements (Section 3.4).
+
+* ``CDN → DNS``: the nameservers of each CDN's edge-name domains.
+* ``CA → DNS``: the nameservers of each CA's OCSP/CDP host domains.
+* ``CA → CDN``: CNAME chains of the OCSP/CDP hosts matched against the
+  CNAME-to-CDN map.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dnssim.client import DigClient
+from repro.measurement.cdn_map import CnameToCdnMap
+from repro.measurement.dns_measurer import DnsMeasurer
+from repro.measurement.records import (
+    ProviderDnsObservation,
+    RevocationEndpointObservation,
+)
+from repro.names.psl import icann_psl
+from repro.names.registrable import registrable_domain
+
+
+class InterServiceMeasurer:
+    """Measures the provider-to-provider dependency surface."""
+
+    def __init__(self, dig: DigClient, dns_measurer: DnsMeasurer, cdn_map: CnameToCdnMap):
+        self._dig = dig
+        self._dns = dns_measurer
+        self._map = cdn_map
+
+    def measure_service_domain(
+        self, provider_name: str, service_hosts: Iterable[str]
+    ) -> ProviderDnsObservation:
+        """NS/SOA measurements for a provider's own service domains.
+
+        ``service_hosts`` are hostnames the provider operates (CDN edge
+        suffixes, OCSP hosts); measurement happens at their registrable
+        domains, where the NS delegation lives.
+        """
+        domains: list[str] = []
+        for host in service_hosts:
+            base = registrable_domain(host, icann_psl()) or host
+            if base not in domains:
+                domains.append(base)
+        observation = ProviderDnsObservation(
+            provider_name=provider_name,
+            service_domain=domains[0] if domains else "",
+        )
+        for domain in domains:
+            for nameserver in self._dig.ns(domain):
+                if nameserver not in observation.nameservers:
+                    observation.nameservers.append(nameserver)
+                observation.nameserver_soas[nameserver] = self._dns.soa_identity(
+                    nameserver
+                )
+        if observation.service_domain:
+            observation.domain_soa = self._dns.soa_identity(
+                observation.service_domain
+            )
+        return observation
+
+    def measure_revocation_endpoints(
+        self, ca_name: str, endpoint_hosts: Iterable[str]
+    ) -> RevocationEndpointObservation:
+        """CNAME-chase a CA's OCSP/CDP hosts and detect CDN fronting."""
+        observation = RevocationEndpointObservation(ca_name=ca_name)
+        for host in endpoint_hosts:
+            if host in observation.endpoint_hosts:
+                continue
+            observation.endpoint_hosts.append(host)
+            chain = self._dig.cname_chain(host)
+            observation.cname_chains[host] = chain
+            for name in (host, *chain):
+                if name not in observation.cname_soas:
+                    observation.cname_soas[name] = self._dns.soa_identity(name)
+            cdn = self._map.lookup_chain(host, chain)
+            if cdn is not None:
+                observation.detected_cdns.setdefault(cdn, [])
+                for name in (host, *chain):
+                    if self._map.lookup(name) == cdn:
+                        observation.detected_cdns[cdn].append(name)
+        return observation

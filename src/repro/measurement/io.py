@@ -1,0 +1,195 @@
+"""Dataset serialization: measure once, analyze offline.
+
+The paper's workflow separates the (expensive, network-bound) measurement
+campaign from the (cheap, repeatable) analysis. :func:`dataset_to_json` /
+:func:`dataset_from_json` make that split concrete here: a campaign's raw
+output round-trips through plain JSON, so analyses, ablations, and
+re-classifications run against a frozen dataset without a world.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.measurement.records import (
+    CdnObservation,
+    Dataset,
+    DnsObservation,
+    ProviderDnsObservation,
+    RevocationEndpointObservation,
+    SoaIdentity,
+    TlsObservation,
+    WebsiteMeasurement,
+)
+
+FORMAT_VERSION = 1
+
+
+def _soa_to_json(soa: Optional[SoaIdentity]) -> Optional[list[str]]:
+    return None if soa is None else [soa.mname, soa.rname]
+
+
+def _soa_from_json(data: Optional[list[str]]) -> Optional[SoaIdentity]:
+    return None if data is None else SoaIdentity(mname=data[0], rname=data[1])
+
+
+def _soa_map_to_json(soas: dict[str, Optional[SoaIdentity]]) -> dict[str, Any]:
+    return {name: _soa_to_json(soa) for name, soa in soas.items()}
+
+
+def _soa_map_from_json(data: dict[str, Any]) -> dict[str, Optional[SoaIdentity]]:
+    return {name: _soa_from_json(soa) for name, soa in data.items()}
+
+
+def dataset_to_json(dataset: Dataset) -> str:
+    """Serialize a dataset to a JSON string (stable key order)."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "year": dataset.year,
+        "notes": dataset.notes,
+        "websites": [
+            {
+                "domain": w.domain,
+                "rank": w.rank,
+                "dns": {
+                    "nameservers": w.dns.nameservers,
+                    "website_soa": _soa_to_json(w.dns.website_soa),
+                    "nameserver_soas": _soa_map_to_json(w.dns.nameserver_soas),
+                    "resolvable": w.dns.resolvable,
+                },
+                "tls": {
+                    "https": w.tls.https,
+                    "san": list(w.tls.san),
+                    "issuer": w.tls.issuer,
+                    "ocsp_urls": list(w.tls.ocsp_urls),
+                    "crl_urls": list(w.tls.crl_urls),
+                    "ocsp_stapled": w.tls.ocsp_stapled,
+                    "endpoint_soas": _soa_map_to_json(w.tls.endpoint_soas),
+                },
+                "cdn": {
+                    "crawl_ok": w.cdn.crawl_ok,
+                    "resource_hostnames": w.cdn.resource_hostnames,
+                    "internal_hostnames": w.cdn.internal_hostnames,
+                    "cname_chains": w.cdn.cname_chains,
+                    "detected_cdns": w.cdn.detected_cdns,
+                    "cname_soas": _soa_map_to_json(w.cdn.cname_soas),
+                },
+            }
+            for w in dataset.websites
+        ],
+        "cdn_dns": {
+            name: _provider_dns_to_json(obs)
+            for name, obs in dataset.cdn_dns.items()
+        },
+        "ca_dns": {
+            name: _provider_dns_to_json(obs)
+            for name, obs in dataset.ca_dns.items()
+        },
+        "ca_cdn": {
+            name: {
+                "endpoint_hosts": obs.endpoint_hosts,
+                "cname_chains": obs.cname_chains,
+                "detected_cdns": obs.detected_cdns,
+                "cname_soas": _soa_map_to_json(obs.cname_soas),
+            }
+            for name, obs in dataset.ca_cdn.items()
+        },
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def _provider_dns_to_json(obs: ProviderDnsObservation) -> dict[str, Any]:
+    return {
+        "service_domain": obs.service_domain,
+        "nameservers": obs.nameservers,
+        "domain_soa": _soa_to_json(obs.domain_soa),
+        "nameserver_soas": _soa_map_to_json(obs.nameserver_soas),
+    }
+
+
+def _provider_dns_from_json(name: str, data: dict[str, Any]) -> ProviderDnsObservation:
+    return ProviderDnsObservation(
+        provider_name=name,
+        service_domain=data["service_domain"],
+        nameservers=list(data["nameservers"]),
+        domain_soa=_soa_from_json(data["domain_soa"]),
+        nameserver_soas=_soa_map_from_json(data["nameserver_soas"]),
+    )
+
+
+def dataset_from_json(text: str) -> Dataset:
+    """Deserialize a dataset produced by :func:`dataset_to_json`."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version: {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    dataset = Dataset(year=payload["year"], notes=dict(payload.get("notes", {})))
+    for entry in payload["websites"]:
+        dns_data = entry["dns"]
+        tls_data = entry["tls"]
+        cdn_data = entry["cdn"]
+        dataset.websites.append(
+            WebsiteMeasurement(
+                domain=entry["domain"],
+                rank=entry["rank"],
+                dns=DnsObservation(
+                    domain=entry["domain"],
+                    nameservers=list(dns_data["nameservers"]),
+                    website_soa=_soa_from_json(dns_data["website_soa"]),
+                    nameserver_soas=_soa_map_from_json(dns_data["nameserver_soas"]),
+                    resolvable=dns_data["resolvable"],
+                ),
+                tls=TlsObservation(
+                    domain=entry["domain"],
+                    https=tls_data["https"],
+                    san=tuple(tls_data["san"]),
+                    issuer=tls_data["issuer"],
+                    ocsp_urls=tuple(tls_data["ocsp_urls"]),
+                    crl_urls=tuple(tls_data["crl_urls"]),
+                    ocsp_stapled=tls_data["ocsp_stapled"],
+                    endpoint_soas=_soa_map_from_json(tls_data["endpoint_soas"]),
+                ),
+                cdn=CdnObservation(
+                    domain=entry["domain"],
+                    crawl_ok=cdn_data["crawl_ok"],
+                    resource_hostnames=list(cdn_data["resource_hostnames"]),
+                    internal_hostnames=list(cdn_data["internal_hostnames"]),
+                    cname_chains={
+                        k: list(v) for k, v in cdn_data["cname_chains"].items()
+                    },
+                    detected_cdns={
+                        k: list(v) for k, v in cdn_data["detected_cdns"].items()
+                    },
+                    cname_soas=_soa_map_from_json(cdn_data["cname_soas"]),
+                ),
+            )
+        )
+    for name, data in payload["cdn_dns"].items():
+        dataset.cdn_dns[name] = _provider_dns_from_json(name, data)
+    for name, data in payload["ca_dns"].items():
+        dataset.ca_dns[name] = _provider_dns_from_json(name, data)
+    for name, data in payload["ca_cdn"].items():
+        dataset.ca_cdn[name] = RevocationEndpointObservation(
+            ca_name=name,
+            endpoint_hosts=list(data["endpoint_hosts"]),
+            cname_chains={k: list(v) for k, v in data["cname_chains"].items()},
+            detected_cdns={k: list(v) for k, v in data["detected_cdns"].items()},
+            cname_soas=_soa_map_from_json(data["cname_soas"]),
+        )
+    return dataset
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write a dataset to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dataset_to_json(dataset))
+
+
+def load_dataset(path: str) -> Dataset:
+    """Read a dataset from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return dataset_from_json(handle.read())

@@ -1,0 +1,136 @@
+"""The measurement campaign: everything Section 3 does, end to end.
+
+Inputs are public knowledge only: the ranked website list, and the set of
+companies that advertise CDN service (the CNAME-to-CDN map). Everything
+else — nameservers, SOAs, certificates, stapling, CNAME chains, provider
+service domains — is observed through the vantage point's resolver and
+web client. The generator's per-website ground truth is never read.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.measurement.cdn_map import CnameToCdnMap
+from repro.measurement.cdn_measurer import CdnMeasurer
+from repro.measurement.dns_measurer import DnsMeasurer
+from repro.measurement.interservice import InterServiceMeasurer
+from repro.measurement.records import Dataset, WebsiteMeasurement
+from repro.measurement.tls_measurer import TlsMeasurer
+from repro.names.psl import icann_psl
+from repro.names.registrable import registrable_domain
+from repro.worldgen.world import World
+
+
+def build_cdn_map(world: World) -> CnameToCdnMap:
+    """The public CNAME-to-CDN map: every company advertising CDN service
+    and its published edge-name patterns."""
+    return CnameToCdnMap.from_catalog(
+        (cdn.display, cdn.cname_suffixes) for cdn in world.spec.cdns.values()
+    )
+
+
+def ca_directory(world: World) -> dict[str, str]:
+    """Public map: revocation-endpoint base domain → CA display name."""
+    directory: dict[str, str] = {}
+    for ca in world.spec.cas.values():
+        for host in (ca.ocsp_host, ca.crl_host):
+            base = registrable_domain(host, icann_psl()) or host
+            directory[base] = ca.display
+    return directory
+
+
+class MeasurementCampaign:
+    """Runs the full Section 3 pipeline against one world.
+
+    ``region`` runs the campaign from a non-default vantage point (GeoDNS
+    views apply) — the paper's single-vantage limitation made explorable.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        limit: Optional[int] = None,
+        region: Optional[str] = None,
+    ):
+        self._world = world
+        self._limit = limit
+        self.region = region
+        if region is None:
+            dig, crawler = world.dig, world.crawler
+        else:
+            vantage = world.vantage(region)
+            dig, crawler = vantage.dig, vantage.crawler
+        self._crawler = crawler
+        self.cdn_map = build_cdn_map(world)
+        self._ca_directory = ca_directory(world)
+        self._dns = DnsMeasurer(dig)
+        self._tls = TlsMeasurer()
+        self._cdn = CdnMeasurer(dig, self.cdn_map, self._dns.soa_identity)
+        self._inter = InterServiceMeasurer(dig, self._dns, self.cdn_map)
+
+    def ca_name_for_endpoint(self, host: str) -> str:
+        """The CA operating a revocation endpoint (by its base domain)."""
+        base = registrable_domain(host, icann_psl()) or host
+        return self._ca_directory.get(base, base)
+
+    def run(self) -> Dataset:
+        """Measure every website, then the observed providers."""
+        dataset = Dataset(year=self._world.year)
+        websites = sorted(self._world.spec.websites, key=lambda w: w.rank)
+        if self._limit is not None:
+            websites = websites[: self._limit]
+
+        observed_cdns: set[str] = set()
+        # CA display name -> observed revocation endpoint hosts.
+        observed_cas: dict[str, list[str]] = {}
+
+        for spec in websites:
+            crawl = self._crawler.crawl(spec.domain)
+            dns_obs = self._dns.measure(spec.domain)
+            tls_obs = self._tls.extract(crawl)
+            for host in tls_obs.ca_hosts:
+                tls_obs.endpoint_soas[host] = self._dns.soa_identity(host)
+            cdn_obs = self._cdn.measure(crawl)
+            dataset.websites.append(
+                WebsiteMeasurement(
+                    domain=spec.domain,
+                    rank=spec.rank,
+                    dns=dns_obs,
+                    tls=tls_obs,
+                    cdn=cdn_obs,
+                )
+            )
+            observed_cdns.update(cdn_obs.detected_cdns)
+            for host in tls_obs.ca_hosts:
+                name = self.ca_name_for_endpoint(host)
+                hosts = observed_cas.setdefault(name, [])
+                if host not in hosts:
+                    hosts.append(host)
+
+        # Inter-service measurements over the observed provider sets. The
+        # paper measures every CDN in its map that appeared and every CA
+        # that issued to its websites.
+        for cdn_name in sorted(observed_cdns):
+            suffixes = [
+                suffix
+                for cdn in self._world.spec.cdns.values()
+                if cdn.display == cdn_name
+                for suffix in cdn.cname_suffixes
+            ]
+            if suffixes:
+                dataset.cdn_dns[cdn_name] = self._inter.measure_service_domain(
+                    cdn_name, suffixes
+                )
+        for ca_name, hosts in sorted(observed_cas.items()):
+            dataset.ca_dns[ca_name] = self._inter.measure_service_domain(
+                ca_name, hosts
+            )
+            dataset.ca_cdn[ca_name] = self._inter.measure_revocation_endpoints(
+                ca_name, hosts
+            )
+
+        dataset.notes["websites_measured"] = len(dataset.websites)
+        dataset.notes["cdns_observed"] = len(observed_cdns)
+        dataset.notes["cas_observed"] = len(observed_cas)
+        return dataset

@@ -1,0 +1,27 @@
+"""TLS measurements: certificate fields and OCSP stapling (Section 3.2)."""
+
+from __future__ import annotations
+
+from repro.measurement.records import TlsObservation
+from repro.websim.crawler import CrawlResult
+
+
+class TlsMeasurer:
+    """Extracts the CA-analysis facts from a landing-page fetch.
+
+    The paper fetches each certificate with OpenSSL; here the crawl's
+    handshake already captured the leaf certificate and whether an OCSP
+    response came stapled, so this is a pure extraction step.
+    """
+
+    def extract(self, crawl: CrawlResult) -> TlsObservation:
+        observation = TlsObservation(domain=crawl.domain)
+        if not crawl.ok or not crawl.https or crawl.certificate is None:
+            return observation
+        observation.https = True
+        observation.san = crawl.san
+        observation.issuer = crawl.certificate.issuer_name
+        observation.ocsp_urls = crawl.ocsp_urls
+        observation.crl_urls = crawl.crl_urls
+        observation.ocsp_stapled = crawl.ocsp_stapled
+        return observation

@@ -1,0 +1,37 @@
+"""Domain-name utilities.
+
+The paper's heuristics (Section 3) constantly compare the "TLD" of two
+hostnames, by which it means the *registrable domain* (eTLD+1) computed
+against the Public Suffix List: ``tld("www.bbc.co.uk") == "bbc.co.uk"``.
+This package provides normalization, a PSL implementation with an embedded
+snapshot, and the registrable-domain helpers used throughout the library.
+"""
+
+from repro.names.normalize import (
+    InvalidDomainError,
+    is_valid_hostname,
+    normalize,
+    split_labels,
+)
+from repro.names.psl import PublicSuffixList, default_psl
+from repro.names.registrable import (
+    is_subdomain_of,
+    public_suffix,
+    registrable_domain,
+    same_registrable_domain,
+    tld,
+)
+
+__all__ = [
+    "InvalidDomainError",
+    "PublicSuffixList",
+    "default_psl",
+    "is_subdomain_of",
+    "is_valid_hostname",
+    "normalize",
+    "public_suffix",
+    "registrable_domain",
+    "same_registrable_domain",
+    "split_labels",
+    "tld",
+]

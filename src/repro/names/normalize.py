@@ -1,0 +1,113 @@
+"""Hostname normalization and validation.
+
+All domain names inside the library are handled in a single canonical form:
+lowercase, no trailing dot, ASCII. Wire-format encoding (length-prefixed
+labels) lives in :mod:`repro.dnssim.message`; this module only deals with
+presentation-format names.
+"""
+
+from __future__ import annotations
+
+import re
+
+# RFC 1035 label: letters, digits, hyphens; must not start/end with a hyphen.
+# We additionally allow underscores because real-world DNS (e.g. SRV, DKIM,
+# and many CDN CNAME targets) uses them.
+_LABEL_RE = re.compile(r"^(?!-)[a-z0-9_-]{1,63}(?<!-)$")
+
+MAX_NAME_LENGTH = 253
+MAX_LABEL_LENGTH = 63
+
+
+class InvalidDomainError(ValueError):
+    """Raised when a string cannot be interpreted as a DNS hostname."""
+
+
+def normalize(name: str) -> str:
+    """Return the canonical form of ``name``.
+
+    Lowercases, strips surrounding whitespace and at most one trailing dot.
+    The root name (``"."`` or ``""``) normalizes to ``""``.
+
+    >>> normalize("WWW.Example.COM.")
+    'www.example.com'
+    >>> normalize(".")
+    ''
+    """
+    if not isinstance(name, str):
+        raise InvalidDomainError(f"expected str, got {type(name).__name__}")
+    name = name.strip().lower()
+    if name.endswith("."):
+        name = name[:-1]
+    return name
+
+
+def split_labels(name: str) -> list[str]:
+    """Split a normalized name into labels, most-specific first.
+
+    >>> split_labels("www.example.com")
+    ['www', 'example', 'com']
+    """
+    name = normalize(name)
+    if not name:
+        return []
+    return name.split(".")
+
+
+def is_valid_hostname(name: str) -> bool:
+    """Check whether ``name`` is a syntactically valid hostname.
+
+    A wildcard leftmost label (``*``) is accepted because certificates and
+    PSL rules use it.
+
+    >>> is_valid_hostname("example.com")
+    True
+    >>> is_valid_hostname("*.example.com")
+    True
+    >>> is_valid_hostname("-bad-.example.com")
+    False
+    """
+    try:
+        name = normalize(name)
+    except InvalidDomainError:
+        return False
+    if not name or len(name) > MAX_NAME_LENGTH:
+        return False
+    labels = name.split(".")
+    for i, label in enumerate(labels):
+        if label == "*" and i == 0:
+            continue
+        if not _LABEL_RE.match(label):
+            return False
+    return True
+
+
+def ensure_valid_hostname(name: str) -> str:
+    """Normalize ``name`` and raise :class:`InvalidDomainError` if invalid."""
+    normalized = normalize(name)
+    if not is_valid_hostname(normalized):
+        raise InvalidDomainError(f"invalid hostname: {name!r}")
+    return normalized
+
+
+def parent_name(name: str) -> str:
+    """Return the name with the leftmost label removed.
+
+    >>> parent_name("www.example.com")
+    'example.com'
+    >>> parent_name("com")
+    ''
+    """
+    labels = split_labels(name)
+    return ".".join(labels[1:])
+
+
+def ancestors(name: str, include_self: bool = False) -> list[str]:
+    """Every ancestor of ``name``, nearest first, excluding the root.
+
+    >>> ancestors("a.b.example.com")
+    ['b.example.com', 'example.com', 'com']
+    """
+    labels = split_labels(name)
+    start = 0 if include_self else 1
+    return [".".join(labels[i:]) for i in range(start, len(labels))]

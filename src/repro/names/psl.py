@@ -1,0 +1,348 @@
+"""Public Suffix List implementation.
+
+Implements the PSL algorithm (https://publicsuffix.org/list/) over an
+embedded snapshot of the suffixes relevant to this reproduction. The paper's
+``tld()`` operator is "registrable domain under the PSL" — e.g. it must treat
+``bbc.co.uk`` (not ``co.uk``) as the organizational identity, and must
+treat ``customer.github.io``-style private suffixes as distinct entities.
+
+The embedded snapshot covers every suffix the world generator emits plus the
+common real-world suffixes; :class:`PublicSuffixList` also accepts arbitrary
+rule lists so tests and downstream users can load a full PSL file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.names.normalize import normalize, split_labels
+
+# A trimmed PSL snapshot: ICANN suffixes used by the generated world and the
+# paper's examples, plus a few private-section suffixes that matter for
+# CDN/hosting classification (the PSL private section is exactly how the
+# paper distinguishes e.g. *.github.io customers from GitHub itself).
+_EMBEDDED_RULES = """
+// ---- ICANN section (excerpt) ----
+com
+org
+net
+edu
+gov
+mil
+int
+io
+co
+ai
+app
+dev
+cloud
+systems
+tech
+site
+online
+store
+shop
+blog
+news
+info
+biz
+name
+pro
+goog
+google
+amazon
+microsoft
+health
+hospital
+care
+clinic
+us
+uk
+co.uk
+org.uk
+ac.uk
+gov.uk
+de
+com.de
+fr
+nl
+se
+no
+fi
+dk
+it
+es
+pt
+pl
+cz
+ru
+com.ru
+cn
+com.cn
+net.cn
+org.cn
+jp
+co.jp
+ne.jp
+or.jp
+kr
+co.kr
+in
+co.in
+net.in
+au
+com.au
+net.au
+org.au
+br
+com.br
+net.br
+ca
+mx
+com.mx
+ar
+com.ar
+tr
+com.tr
+ir
+tw
+com.tw
+hk
+com.hk
+sg
+com.sg
+id
+co.id
+vn
+com.vn
+th
+co.th
+ua
+com.ua
+za
+co.za
+eu
+ch
+at
+be
+tv
+me
+cc
+ws
+fm
+am
+to
+ly
+gg
+gl
+im
+is
+la
+sh
+st
+vc
+xyz
+club
+live
+life
+world
+today
+email
+solutions
+agency
+digital
+network
+media
+studio
+design
+space
+website
+fun
+icu
+top
+vip
+work
+team
+zone
+*.ck
+!www.ck
+// ---- Private section (excerpt) ----
+amazonaws.com
+s3.amazonaws.com
+elasticbeanstalk.com
+cloudfront.net
+azurewebsites.net
+azureedge.net
+blob.core.windows.net
+cloudapp.azure.com
+github.io
+githubusercontent.com
+gitlab.io
+netlify.app
+herokuapp.com
+appspot.com
+firebaseapp.com
+web.app
+pages.dev
+workers.dev
+vercel.app
+fastly.net
+fastlylb.net
+edgekey.net
+edgesuite.net
+akamaized.net
+akamaihd.net
+azurefd.net
+b-cdn.net
+cdn77.org
+kxcdn.com
+stackpathdns.com
+stackpathcdn.com
+netdna-cdn.com
+llnwd.net
+footprint.net
+cachefly.net
+wpengine.com
+myshopify.com
+squarespace.com
+wixsite.com
+weebly.com
+blogspot.com
+wordpress.com
+tumblr.com
+dyndns.org
+duckdns.org
+no-ip.com
+"""
+
+
+class _Rule:
+    """A single PSL rule."""
+
+    __slots__ = ("labels", "is_exception", "is_wildcard")
+
+    def __init__(self, rule: str):
+        self.is_exception = rule.startswith("!")
+        if self.is_exception:
+            rule = rule[1:]
+        self.labels = tuple(split_labels(rule))
+        self.is_wildcard = "*" in self.labels
+
+    def matches(self, labels: tuple[str, ...]) -> bool:
+        """PSL match: rule labels compared right-to-left, ``*`` matches any."""
+        if len(labels) < len(self.labels):
+            return False
+        for rule_label, name_label in zip(reversed(self.labels), reversed(labels)):
+            if rule_label != "*" and rule_label != name_label:
+                return False
+        return True
+
+
+class PublicSuffixList:
+    """A parsed Public Suffix List supporting the standard lookup algorithm.
+
+    >>> psl = default_psl()
+    >>> psl.public_suffix("www.bbc.co.uk")
+    'co.uk'
+    >>> psl.registrable_domain("www.bbc.co.uk")
+    'bbc.co.uk'
+    >>> psl.registrable_domain("foo.github.io")
+    'foo.github.io'
+    """
+
+    def __init__(self, rules: Iterable[str]):
+        self._exact: dict[tuple[str, ...], _Rule] = {}
+        self._wildcards: list[_Rule] = []
+        self._exceptions: list[_Rule] = []
+        for line in rules:
+            line = line.split("//")[0].strip().lower()
+            if not line:
+                continue
+            rule = _Rule(line)
+            if rule.is_exception:
+                self._exceptions.append(rule)
+            elif rule.is_wildcard:
+                self._wildcards.append(rule)
+            else:
+                self._exact[rule.labels] = rule
+
+    def add_rule(self, rule: str) -> None:
+        """Register an additional suffix rule at runtime."""
+        parsed = _Rule(normalize(rule))
+        if parsed.is_exception:
+            self._exceptions.append(parsed)
+        elif parsed.is_wildcard:
+            self._wildcards.append(parsed)
+        else:
+            self._exact[parsed.labels] = parsed
+
+    def _matching_suffix_length(self, labels: tuple[str, ...]) -> int:
+        """Number of labels in the longest matching public suffix."""
+        # Exception rules win outright: the suffix is the rule minus one label.
+        for rule in self._exceptions:
+            if rule.matches(labels):
+                return len(rule.labels) - 1
+        best = 0
+        # Exact rules: check every suffix of the name.
+        for i in range(len(labels)):
+            suffix = labels[i:]
+            if suffix in self._exact:
+                best = max(best, len(suffix))
+        for rule in self._wildcards:
+            if rule.matches(labels):
+                best = max(best, len(rule.labels))
+        # Per the PSL algorithm, an unmatched name's public suffix is its
+        # rightmost label ("*" implicit rule).
+        return best if best else 1
+
+    def public_suffix(self, name: str) -> Optional[str]:
+        """The public suffix of ``name``, or None for empty names."""
+        labels = tuple(split_labels(name))
+        if not labels:
+            return None
+        n = self._matching_suffix_length(labels)
+        return ".".join(labels[len(labels) - n:])
+
+    def registrable_domain(self, name: str) -> Optional[str]:
+        """The registrable domain (eTLD+1), or None if ``name`` is itself a
+        public suffix (or empty)."""
+        labels = tuple(split_labels(name))
+        if not labels:
+            return None
+        n = self._matching_suffix_length(labels)
+        if len(labels) <= n:
+            return None
+        return ".".join(labels[len(labels) - n - 1:])
+
+    def is_public_suffix(self, name: str) -> bool:
+        """Whether ``name`` is exactly a public suffix."""
+        labels = tuple(split_labels(name))
+        if not labels:
+            return False
+        return self._matching_suffix_length(labels) == len(labels)
+
+
+_DEFAULT: Optional[PublicSuffixList] = None
+_ICANN: Optional[PublicSuffixList] = None
+
+
+def default_psl() -> PublicSuffixList:
+    """The process-wide PSL built from the embedded snapshot (ICANN +
+    private sections) — what classification heuristics should use."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PublicSuffixList(_EMBEDDED_RULES.splitlines())
+    return _DEFAULT
+
+
+def icann_psl() -> PublicSuffixList:
+    """The ICANN-only PSL — what the DNS *tree* is organized by.
+
+    Zone delegation happens under real TLDs; private-section suffixes
+    (cloudfront.net, github.io) are ordinary registrable domains there.
+    """
+    global _ICANN
+    if _ICANN is None:
+        icann_rules = _EMBEDDED_RULES.split("// ---- Private section")[0]
+        _ICANN = PublicSuffixList(icann_rules.splitlines())
+    return _ICANN

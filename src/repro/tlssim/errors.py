@@ -1,0 +1,35 @@
+"""Exception hierarchy for the PKI substrate."""
+
+from __future__ import annotations
+
+
+class TlsError(Exception):
+    """Base class for PKI/TLS errors."""
+
+
+class CertificateVerificationError(TlsError):
+    """A certificate failed validation."""
+
+
+class CertificateExpiredError(CertificateVerificationError):
+    """The certificate is outside its validity window."""
+
+
+class HostnameMismatchError(CertificateVerificationError):
+    """No SAN entry covers the requested hostname."""
+
+
+class UntrustedIssuerError(CertificateVerificationError):
+    """The chain does not terminate at a trusted root."""
+
+
+class RevokedCertificateError(CertificateVerificationError):
+    """Revocation checking reported the certificate revoked."""
+
+
+class RevocationCheckError(TlsError):
+    """The revocation status could not be obtained (responder unreachable).
+
+    Under a hard-fail policy this denies access — the situation the paper
+    calls *critical dependency on the CA*.
+    """

@@ -1,0 +1,114 @@
+"""OCSP: responders, responses, and response caching semantics.
+
+The GlobalSign 2016 incident (Section 2 of the paper) is a first-class
+scenario here: a responder can be *misconfigured* to report good
+certificates as revoked, and because responses carry ``next_update``
+validity, clients that cache them keep failing after the responder is
+fixed — the exact dynamics that stretched the incident to a week.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+DEFAULT_RESPONSE_LIFETIME = 3 * 24 * 3600  # three days, a common OCSP window
+
+
+class CertStatus(enum.Enum):
+    """OCSP certificate status values."""
+
+    GOOD = "good"
+    REVOKED = "revoked"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class OCSPResponse:
+    """A signed OCSP response for one certificate serial."""
+
+    serial: int
+    status: CertStatus
+    produced_at: float
+    this_update: float
+    next_update: float
+    responder_name: str
+
+    def is_fresh_at(self, timestamp: float) -> bool:
+        """Whether a client may rely on this response at ``timestamp``."""
+        return self.this_update <= timestamp <= self.next_update
+
+
+class OCSPResponder:
+    """A CA's OCSP service.
+
+    ``misconfigured_revoke_all`` reproduces the GlobalSign failure: every
+    status query returns REVOKED regardless of the truth.
+    """
+
+    def __init__(
+        self,
+        responder_name: str,
+        revoked_serials: set[int],
+        known_serials: set[int],
+        response_lifetime: float = DEFAULT_RESPONSE_LIFETIME,
+    ):
+        self.responder_name = responder_name
+        self._revoked = revoked_serials  # shared live with the CA
+        self._known = known_serials      # shared live with the CA
+        self.response_lifetime = response_lifetime
+        self.misconfigured_revoke_all = False
+        self.requests_served = 0
+
+    def status_of(self, serial: int, now: float) -> OCSPResponse:
+        """Produce a response for ``serial`` as of time ``now``."""
+        self.requests_served += 1
+        if self.misconfigured_revoke_all:
+            status = CertStatus.REVOKED
+        elif serial in self._revoked:
+            status = CertStatus.REVOKED
+        elif serial in self._known:
+            status = CertStatus.GOOD
+        else:
+            status = CertStatus.UNKNOWN
+        return OCSPResponse(
+            serial=serial,
+            status=status,
+            produced_at=now,
+            this_update=now,
+            next_update=now + self.response_lifetime,
+            responder_name=self.responder_name,
+        )
+
+
+class OCSPResponseCache:
+    """Client-side cache of OCSP responses keyed by serial.
+
+    Honors ``next_update`` — including for wrong (misconfigured) responses,
+    which is what makes revocation incidents sticky.
+    """
+
+    def __init__(self) -> None:
+        self._responses: dict[int, OCSPResponse] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, serial: int, now: float) -> Optional[OCSPResponse]:
+        response = self._responses.get(serial)
+        if response is not None and response.is_fresh_at(now):
+            self.hits += 1
+            return response
+        if response is not None:
+            del self._responses[serial]
+        self.misses += 1
+        return None
+
+    def put(self, response: OCSPResponse) -> None:
+        self._responses[response.serial] = response
+
+    def flush(self) -> None:
+        self._responses.clear()
+
+    def __len__(self) -> int:
+        return len(self._responses)

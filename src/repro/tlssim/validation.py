@@ -1,0 +1,195 @@
+"""Client-side certificate validation and revocation checking.
+
+``validate_certificate`` performs the checks a browser performs when the
+paper's Figure 1 request reaches the HTTPS step: hostname match, validity
+window, chain to a trusted root, then revocation — preferring a stapled
+OCSP response, falling back to contacting the CA's OCSP responder or CDP
+through caller-supplied fetchers (which in this repo ride the simulated
+DNS + HTTP fabric, so a CA outage is visible here).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.tlssim.certificate import Certificate, CertificateChain
+from repro.tlssim.crl import CertificateRevocationList
+from repro.tlssim.errors import (
+    CertificateExpiredError,
+    HostnameMismatchError,
+    RevocationCheckError,
+    RevokedCertificateError,
+    UntrustedIssuerError,
+)
+from repro.tlssim.ocsp import CertStatus, OCSPResponse
+
+OcspFetcher = Callable[[str, int], Optional[OCSPResponse]]
+CrlFetcher = Callable[[str], Optional[CertificateRevocationList]]
+
+
+class RevocationPolicy(enum.Enum):
+    """How a client reacts when revocation status is unobtainable.
+
+    Browsers commonly *soft-fail* (proceed), which is why the paper treats
+    OCSP reachability as critical only in the hard-fail sense; both are
+    modelled so experiments can quantify the difference.
+    """
+
+    HARD_FAIL = "hard-fail"
+    SOFT_FAIL = "soft-fail"
+
+
+class TrustStore:
+    """The client's set of trusted root certificates."""
+
+    def __init__(self, roots: Optional[list[Certificate]] = None):
+        self._roots: dict[str, Certificate] = {}
+        for root in roots or []:
+            self.add(root)
+
+    def add(self, root: Certificate) -> None:
+        if not root.is_ca or not root.is_self_signed:
+            raise ValueError("trust anchors must be self-signed CA certificates")
+        self._roots[root.subject] = root
+
+    def find(self, subject: str) -> Optional[Certificate]:
+        return self._roots.get(subject)
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+
+@dataclass
+class ValidationReport:
+    """Everything observed while validating one handshake."""
+
+    hostname: str
+    chain_ok: bool = False
+    revocation_checked: bool = False
+    revocation_source: str = ""  # "stapled" | "ocsp" | "crl" | "cached" | ""
+    stapled: bool = False
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.chain_ok and not self.errors
+
+
+def _verify_chain(
+    chain: CertificateChain, trust_store: TrustStore, now: float
+) -> None:
+    """Walk leaf → intermediates → trusted root, checking each link."""
+    current = chain.leaf
+    seen = 0
+    while True:
+        if not current.is_valid_at(now):
+            raise CertificateExpiredError(
+                f"{current.subject} expired or not yet valid"
+            )
+        if current.is_self_signed:
+            if trust_store.find(current.subject) is None:
+                raise UntrustedIssuerError(f"{current.subject} is not trusted")
+            return
+        root = trust_store.find(current.issuer_name)
+        if root is not None:
+            if current.signature != f"sig:{root.key_id}":
+                raise UntrustedIssuerError(
+                    f"bad signature on {current.subject}"
+                )
+            if not root.is_valid_at(now):
+                raise CertificateExpiredError(f"root {root.subject} expired")
+            return
+        issuer = chain.issuer_of(current)
+        if issuer is None:
+            raise UntrustedIssuerError(
+                f"no issuer for {current.subject} ({current.issuer_name})"
+            )
+        if current.signature != f"sig:{issuer.key_id}":
+            raise UntrustedIssuerError(f"bad signature on {current.subject}")
+        current = issuer
+        seen += 1
+        if seen > len(chain) + 1:
+            raise UntrustedIssuerError("issuer loop in presented chain")
+
+
+def _check_revocation(
+    cert: Certificate,
+    now: float,
+    report: ValidationReport,
+    stapled_response: Optional[OCSPResponse],
+    fetch_ocsp: Optional[OcspFetcher],
+    fetch_crl: Optional[CrlFetcher],
+    policy: RevocationPolicy,
+) -> None:
+    # 1. Stapled response: no CA contact needed (the paper's "not critical").
+    if stapled_response is not None and stapled_response.is_fresh_at(now):
+        report.revocation_checked = True
+        report.revocation_source = "stapled"
+        report.stapled = True
+        if stapled_response.status == CertStatus.REVOKED:
+            raise RevokedCertificateError(f"{cert.subject} is revoked (stapled)")
+        return
+    if cert.must_staple and stapled_response is None:
+        # RFC 7633: a must-staple certificate without a staple is a hard error.
+        raise RevocationCheckError(
+            f"{cert.subject} requires stapling but none was presented"
+        )
+    # 2. Live OCSP.
+    if cert.ocsp_urls and fetch_ocsp is not None:
+        for url in cert.ocsp_urls:
+            response = fetch_ocsp(url, cert.serial)
+            if response is None or not response.is_fresh_at(now):
+                continue
+            report.revocation_checked = True
+            report.revocation_source = "ocsp"
+            if response.status == CertStatus.REVOKED:
+                raise RevokedCertificateError(f"{cert.subject} is revoked")
+            return
+    # 3. CRL fallback.
+    if cert.crl_urls and fetch_crl is not None:
+        for url in cert.crl_urls:
+            crl = fetch_crl(url)
+            if crl is None or not crl.is_fresh_at(now):
+                continue
+            report.revocation_checked = True
+            report.revocation_source = "crl"
+            if crl.is_revoked(cert.serial):
+                raise RevokedCertificateError(f"{cert.subject} is revoked (CRL)")
+            return
+    # 4. Nothing reachable.
+    if cert.ocsp_urls or cert.crl_urls:
+        if policy == RevocationPolicy.HARD_FAIL:
+            raise RevocationCheckError(
+                f"cannot obtain revocation status for {cert.subject}"
+            )
+        # Soft fail: proceed without a verdict.
+
+
+def validate_certificate(
+    hostname: str,
+    chain: CertificateChain,
+    trust_store: TrustStore,
+    now: float,
+    stapled_response: Optional[OCSPResponse] = None,
+    fetch_ocsp: Optional[OcspFetcher] = None,
+    fetch_crl: Optional[CrlFetcher] = None,
+    policy: RevocationPolicy = RevocationPolicy.HARD_FAIL,
+) -> ValidationReport:
+    """Validate a presented chain for ``hostname`` at time ``now``.
+
+    Raises a :class:`repro.tlssim.errors.TlsError` subclass on failure and
+    returns a :class:`ValidationReport` describing what was checked.
+    """
+    report = ValidationReport(hostname=hostname)
+    if not chain.leaf.matches_hostname(hostname):
+        raise HostnameMismatchError(
+            f"certificate {chain.leaf.subject} does not cover {hostname}"
+        )
+    _verify_chain(chain, trust_store, now)
+    report.chain_ok = True
+    _check_revocation(
+        chain.leaf, now, report, stapled_response, fetch_ocsp, fetch_crl, policy
+    )
+    return report

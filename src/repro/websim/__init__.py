@@ -1,0 +1,38 @@
+"""Web substrate: origin servers, CDNs, an HTTP fabric, and a crawler.
+
+Replaces the paper's phantomJS + OpenSSL measurement client. A
+:class:`WebClient` fetch walks the full Figure-1 life cycle against the
+simulated infrastructure: DNS resolution (CNAME chasing through CDN edge
+names), TCP-level reachability, the TLS handshake with certificate
+validation and OCSP/CRL revocation checking, then content retrieval and
+landing-page rendering — so taking a DNS provider, CDN, or CA down in the
+simulator breaks page loads for exactly the websites the dependency
+analysis predicts.
+"""
+
+from repro.websim.url import ParsedUrl, UrlError, parse_url
+from repro.websim.http import HttpFabric, HttpResponse, HttpServer, VirtualHost
+from repro.websim.page import PageBuilder, Resource, WebPage, extract_resource_urls
+from repro.websim.cdn import CdnDeployment, CdnProvider
+from repro.websim.client import FetchResult, WebClient
+from repro.websim.crawler import Crawler, CrawlResult
+
+__all__ = [
+    "CdnDeployment",
+    "CdnProvider",
+    "CrawlResult",
+    "Crawler",
+    "FetchResult",
+    "HttpFabric",
+    "HttpResponse",
+    "HttpServer",
+    "PageBuilder",
+    "ParsedUrl",
+    "Resource",
+    "UrlError",
+    "VirtualHost",
+    "WebClient",
+    "WebPage",
+    "extract_resource_urls",
+    "parse_url",
+]

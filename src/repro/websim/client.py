@@ -1,0 +1,236 @@
+"""The web client: DNS + TCP + TLS + HTTP, end to end.
+
+``WebClient.get`` performs everything the Figure-1 life cycle describes:
+resolve the hostname (chasing CNAMEs through CDN edge names), connect to
+the resulting IP on the HTTP fabric, perform the TLS handshake for https
+URLs — validating the chain and checking revocation via a stapled OCSP
+response or by contacting the CA's responder over this same client — and
+finally issue the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dnssim.client import DigClient
+from repro.dnssim.clock import SimulatedClock
+from repro.dnssim.errors import ResolutionError
+from repro.tlssim.certificate import CertificateChain
+from repro.tlssim.crl import CertificateRevocationList
+from repro.tlssim.errors import TlsError
+from repro.tlssim.ocsp import OCSPResponse, OCSPResponseCache
+from repro.tlssim.validation import (
+    RevocationPolicy,
+    TrustStore,
+    ValidationReport,
+    validate_certificate,
+)
+from repro.websim.http import ConnectionFailedError, HttpFabric, HttpResponse
+from repro.websim.url import UrlError, join_url, parse_url
+
+
+MAX_REDIRECTS = 5
+
+
+@dataclass
+class FetchResult:
+    """Everything observed while fetching one URL."""
+
+    url: str
+    ok: bool = False
+    status: int = 0
+    body: str = ""
+    error: str = ""
+    ip: str = ""
+    cname_chain: list[str] = field(default_factory=list)
+    chain: Optional[CertificateChain] = None
+    stapled_response: Optional[OCSPResponse] = None
+    validation: Optional[ValidationReport] = None
+    # URLs traversed via 3xx responses before the final fetch.
+    redirect_chain: list[str] = field(default_factory=list)
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def final_url(self) -> str:
+        return self.redirect_chain[-1] if self.redirect_chain else self.url
+
+    @property
+    def https_ok(self) -> bool:
+        return self.ok and self.validation is not None and self.validation.ok
+
+
+class WebClient:
+    """A browser-like client bound to the simulated DNS and HTTP fabrics."""
+
+    def __init__(
+        self,
+        dns: DigClient,
+        fabric: HttpFabric,
+        trust_store: TrustStore,
+        clock: SimulatedClock,
+        revocation_policy: RevocationPolicy = RevocationPolicy.HARD_FAIL,
+    ):
+        self._dns = dns
+        self._fabric = fabric
+        self._trust_store = trust_store
+        self._clock = clock
+        self.revocation_policy = revocation_policy
+        self.ocsp_cache = OCSPResponseCache()
+
+    # -- main entry ---------------------------------------------------------
+
+    def get(self, url: str) -> FetchResult:
+        """Fetch ``url``, following redirects; failures land in
+        ``result.error`` rather than raising."""
+        redirects: list[str] = []
+        current = url
+        for _ in range(MAX_REDIRECTS + 1):
+            result = self._get_once(current)
+            location = None
+            if 300 <= result.status < 400:
+                location = self._redirect_target(current, result)
+            if location is None:
+                result.url = url
+                result.redirect_chain = redirects
+                return result
+            redirects.append(location)
+            current = location
+        result = FetchResult(url=url, redirect_chain=redirects)
+        result.error = "http: too many redirects"
+        return result
+
+    def _redirect_target(self, url: str, result: FetchResult) -> Optional[str]:
+        location = None
+        for key, value in result.headers.items():
+            if key.lower() == "location":
+                location = value
+        if location is None:
+            return None
+        try:
+            return str(join_url(parse_url(url), location))
+        except UrlError:
+            return None
+
+    def _get_once(self, url: str) -> FetchResult:
+        result = FetchResult(url=url)
+        try:
+            parsed = parse_url(url)
+        except UrlError as exc:
+            result.error = f"bad-url: {exc}"
+            return result
+
+        # 1. DNS.
+        try:
+            lookup = self._dns.resolver.lookup(parsed.host, "A")
+        except ResolutionError as exc:
+            result.error = f"dns: {exc.reason}"
+            return result
+        result.cname_chain = list(lookup.cname_chain)
+        addresses = [rr.rdata.address for rr in lookup.records]  # type: ignore[union-attr]
+        if not addresses:
+            result.error = "dns: no address records"
+            return result
+
+        # 2. TCP connect (first healthy address wins).
+        server = None
+        for ip in addresses:
+            try:
+                server = self._fabric.connect(ip)
+                result.ip = ip
+                break
+            except ConnectionFailedError:
+                continue
+        if server is None:
+            result.error = "tcp: all addresses unreachable"
+            return result
+
+        # 3. TLS handshake for https.
+        vhost = server.vhost_for(parsed.host)
+        if vhost is None:
+            result.error = f"http: {server.name} does not serve {parsed.host}"
+            return result
+        if parsed.is_https:
+            if vhost.chain is None:
+                result.error = "tls: server has no certificate for this host"
+                return result
+            result.chain = vhost.chain
+            result.stapled_response = vhost.stapled_response_for(
+                vhost.chain.leaf.serial
+            )
+            try:
+                result.validation = validate_certificate(
+                    hostname=parsed.host,
+                    chain=vhost.chain,
+                    trust_store=self._trust_store,
+                    now=self._clock.now(),
+                    stapled_response=result.stapled_response,
+                    fetch_ocsp=self.fetch_ocsp,
+                    fetch_crl=self.fetch_crl,
+                    policy=self.revocation_policy,
+                )
+            except TlsError as exc:
+                result.error = f"tls: {exc}"
+                return result
+
+        # 4. The request itself.
+        response = server.request(parsed.host, parsed.path)
+        result.status = response.status
+        result.body = response.body
+        result.headers = dict(response.headers)
+        result.ok = response.ok
+        if not response.ok and not (300 <= response.status < 400):
+            result.error = f"http: status {response.status}"
+        return result
+
+    # -- revocation transports -----------------------------------------------
+
+    def fetch_ocsp(self, url: str, serial: int) -> Optional[OCSPResponse]:
+        """Contact an OCSP responder over plain HTTP (with client caching).
+
+        Returns None when the responder is unreachable — which under a
+        hard-fail policy denies the website, the paper's critical-dependency
+        mechanism for CAs.
+        """
+        cached = self.ocsp_cache.get(serial, self._clock.now())
+        if cached is not None:
+            return cached
+        response = self._plain_fetch(url, query_serial=serial)
+        if response is None or not isinstance(response.payload, OCSPResponse):
+            return None
+        self.ocsp_cache.put(response.payload)
+        return response.payload
+
+    def fetch_crl(self, url: str) -> Optional[CertificateRevocationList]:
+        """Download a CRL from a distribution point over plain HTTP."""
+        response = self._plain_fetch(url)
+        if response is None or not isinstance(
+            response.payload, CertificateRevocationList
+        ):
+            return None
+        return response.payload
+
+    def _plain_fetch(
+        self, url: str, query_serial: Optional[int] = None
+    ) -> Optional[HttpResponse]:
+        """HTTP-only fetch used for revocation endpoints (no TLS recursion)."""
+        try:
+            parsed = parse_url(url)
+        except UrlError:
+            return None
+        try:
+            addresses = self._dns.resolver.resolve_address(parsed.host)
+        except ResolutionError:
+            return None
+        path = parsed.path
+        if query_serial is not None:
+            path = f"{path}?serial={query_serial}"
+        for ip in addresses:
+            try:
+                server = self._fabric.connect(ip)
+            except ConnectionFailedError:
+                continue
+            response = server.request(parsed.host, path)
+            if response.ok:
+                return response
+        return None

@@ -1,0 +1,110 @@
+"""The landing-page crawler — the phantomJS stand-in.
+
+``Crawler.crawl`` loads a website's landing page (https first, falling
+back to http), parses the HTML, and records every hostname that serves at
+least one object on the page — exactly the artifact the paper's CDN
+pipeline consumes. It also captures the presented certificate and whether
+an OCSP response was stapled, feeding the CA pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.tlssim.certificate import Certificate
+from repro.websim.client import FetchResult, WebClient
+from repro.websim.page import extract_resource_urls
+from repro.websim.url import UrlError, parse_url
+
+
+@dataclass
+class CrawlResult:
+    """The observable facts about one website's landing page."""
+
+    domain: str
+    landing_url: str = ""
+    ok: bool = False
+    https: bool = False
+    error: str = ""
+    resource_hostnames: list[str] = field(default_factory=list)
+    resource_urls: list[str] = field(default_factory=list)
+    certificate: Optional[Certificate] = None
+    san: tuple[str, ...] = ()
+    ocsp_stapled: bool = False
+    ocsp_urls: tuple[str, ...] = ()
+    crl_urls: tuple[str, ...] = ()
+
+    def hostnames_with_self(self) -> list[str]:
+        """Resource hostnames plus the landing host itself."""
+        try:
+            landing_host = parse_url(self.landing_url).host if self.landing_url else self.domain
+        except UrlError:
+            landing_host = self.domain
+        ordered = [landing_host]
+        for hostname in self.resource_hostnames:
+            if hostname not in ordered:
+                ordered.append(hostname)
+        return ordered
+
+
+class Crawler:
+    """Fetches and renders landing pages through a :class:`WebClient`."""
+
+    def __init__(self, client: WebClient, fetch_resources: bool = False):
+        self._client = client
+        self._fetch_resources = fetch_resources
+        self.pages_crawled = 0
+
+    def crawl(self, domain: str, prefer_www: bool = True) -> CrawlResult:
+        """Crawl ``domain``'s landing page.
+
+        Tries ``https://www.domain/``, ``https://domain/``, then http
+        equivalents, stopping at the first successful load.
+        """
+        result = CrawlResult(domain=domain)
+        self.pages_crawled += 1
+        hosts = [f"www.{domain}", domain] if prefer_www else [domain]
+        candidates = [f"https://{h}/" for h in hosts] + [f"http://{h}/" for h in hosts]
+        fetch: Optional[FetchResult] = None
+        for url in candidates:
+            attempt = self._client.get(url)
+            if attempt.ok:
+                fetch = attempt
+                result.landing_url = url
+                break
+            if not result.error:
+                result.error = attempt.error
+        if fetch is None:
+            return result
+
+        result.ok = True
+        result.https = result.landing_url.startswith("https://")
+        result.error = ""
+        if fetch.chain is not None:
+            leaf = fetch.chain.leaf
+            result.certificate = leaf
+            result.san = leaf.san
+            result.ocsp_urls = leaf.ocsp_urls
+            result.crl_urls = leaf.crl_urls
+            result.ocsp_stapled = fetch.stapled_response is not None
+
+        base = parse_url(result.landing_url)
+        for raw_url in extract_resource_urls(fetch.body):
+            try:
+                parsed = parse_url(raw_url) if "://" in raw_url else None
+            except UrlError:
+                continue
+            if parsed is None:
+                # Relative references resolve to the landing host itself.
+                hostname = base.host
+                resource_url = f"{base.scheme}://{base.host}{raw_url if raw_url.startswith('/') else '/' + raw_url}"
+            else:
+                hostname = parsed.host
+                resource_url = str(parsed)
+            result.resource_urls.append(resource_url)
+            if hostname not in result.resource_hostnames:
+                result.resource_hostnames.append(hostname)
+            if self._fetch_resources:
+                self._client.get(resource_url)
+        return result

@@ -1,0 +1,178 @@
+"""The HTTP fabric: servers, virtual hosts, and IP-level routing.
+
+Mirrors :class:`repro.dnssim.network.DnsNetwork` one layer up the stack.
+A :class:`HttpServer` listens on IPs and serves named virtual hosts; the
+fabric routes a connection to whichever server owns the destination IP and
+models availability faults (a CDN outage is "these edge IPs stop serving").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.names.normalize import normalize
+from repro.tlssim.certificate import CertificateChain
+from repro.tlssim.ocsp import OCSPResponse
+
+
+class HttpFabricError(Exception):
+    """Base error for fabric-level failures."""
+
+
+class ConnectionFailedError(HttpFabricError):
+    """Nothing healthy is listening on the destination IP."""
+
+    def __init__(self, ip: str):
+        self.ip = ip
+        super().__init__(f"connection to {ip} failed")
+
+
+@dataclass
+class HttpResponse:
+    """A simulated HTTP response."""
+
+    status: int
+    body: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    payload: object = None  # structured side channel (OCSP/CRL objects)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+Handler = Callable[[str, str], HttpResponse]  # (hostname, path) -> response
+
+
+@dataclass
+class VirtualHost:
+    """One served hostname: content handler plus TLS configuration.
+
+    ``hostname`` may be a wildcard (``*.edge.example-cdn.net``) — CDNs serve
+    thousands of customer edge names from one vhost. ``staple_ocsp`` models
+    the server-side OCSP stapling switch the paper measures; the fresh
+    response itself is provided by ``staple_source`` so a stapling server
+    keeps serving (cached, still-fresh) proofs during a CA outage.
+    """
+
+    hostname: str
+    handler: Handler
+    chain: Optional[CertificateChain] = None
+    staple_ocsp: bool = False
+    staple_source: Optional[Callable[[int], Optional[OCSPResponse]]] = None
+
+    def __post_init__(self) -> None:
+        self.hostname = normalize(self.hostname)
+
+    @property
+    def supports_https(self) -> bool:
+        return self.chain is not None
+
+    def matches(self, hostname: str) -> bool:
+        hostname = normalize(hostname)
+        if self.hostname == hostname:
+            return True
+        if self.hostname.startswith("*."):
+            suffix = self.hostname[2:]
+            return hostname.endswith("." + suffix) and hostname != suffix
+        return False
+
+    def stapled_response_for(self, serial: int) -> Optional[OCSPResponse]:
+        if not self.staple_ocsp or self.staple_source is None:
+            return None
+        return self.staple_source(serial)
+
+
+class HttpServer:
+    """A host serving virtual hosts on a set of IPs.
+
+    ``operator`` is the ground-truth owning organization, used when
+    validating the classification heuristics.
+    """
+
+    def __init__(self, name: str, ips: list[str], operator: str = ""):
+        self.name = name
+        self.ips = list(ips)
+        if not self.ips:
+            raise ValueError("a web server needs at least one IP")
+        self.operator = operator
+        self._vhosts: list[VirtualHost] = []
+        self.requests_served = 0
+
+    def add_vhost(self, vhost: VirtualHost) -> None:
+        self._vhosts.append(vhost)
+
+    def vhost_for(self, hostname: str) -> Optional[VirtualHost]:
+        """Most specific matching vhost (exact beats wildcard)."""
+        hostname = normalize(hostname)
+        wildcard: Optional[VirtualHost] = None
+        for vhost in self._vhosts:
+            if vhost.hostname == hostname:
+                return vhost
+            if wildcard is None and vhost.matches(hostname):
+                wildcard = vhost
+        return wildcard
+
+    def vhosts(self) -> list[VirtualHost]:
+        return list(self._vhosts)
+
+    def request(self, hostname: str, path: str) -> HttpResponse:
+        """Serve one plaintext request."""
+        self.requests_served += 1
+        vhost = self.vhost_for(hostname)
+        if vhost is None:
+            return HttpResponse(status=421, body="misdirected request")
+        return vhost.handler(hostname, path)
+
+    def __repr__(self) -> str:
+        return f"HttpServer({self.name!r}, ips={self.ips}, vhosts={len(self._vhosts)})"
+
+
+class HttpFabric:
+    """IP-level routing between web clients and HTTP servers."""
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, HttpServer] = {}
+        self._down_ips: set[str] = set()
+        self.connections = 0
+        self.failures = 0
+
+    def register_server(self, server: HttpServer) -> None:
+        for ip in server.ips:
+            existing = self._hosts.get(ip)
+            if existing is not None and existing is not server:
+                raise ValueError(f"IP {ip} already assigned to {existing.name}")
+            self._hosts[ip] = server
+
+    def server_at(self, ip: str) -> Optional[HttpServer]:
+        return self._hosts.get(ip)
+
+    def set_ip_available(self, ip: str, available: bool) -> None:
+        if available:
+            self._down_ips.discard(ip)
+        else:
+            self._down_ips.add(ip)
+
+    def set_server_available(self, server: HttpServer, available: bool) -> None:
+        for ip in server.ips:
+            self.set_ip_available(ip, available)
+
+    def is_available(self, ip: str) -> bool:
+        return ip in self._hosts and ip not in self._down_ips
+
+    def connect(self, ip: str) -> HttpServer:
+        """Open a connection; raises :class:`ConnectionFailedError` if the
+        IP is unassigned or the server is down."""
+        self.connections += 1
+        server = self._hosts.get(ip)
+        if server is None or ip in self._down_ips:
+            self.failures += 1
+            raise ConnectionFailedError(ip)
+        return server
+
+    def __repr__(self) -> str:
+        return (
+            f"HttpFabric({len(self._hosts)} listeners, "
+            f"{len(self._down_ips)} down)"
+        )

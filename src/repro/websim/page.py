@@ -1,0 +1,85 @@
+"""Web page modelling and rendering.
+
+Landing pages are generated as simple HTML so the crawler genuinely
+*parses* markup to discover resource hostnames — the same artifact the
+paper extracts with phantomJS ("record all hostnames that serve at least
+one object on the page").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One sub-resource referenced by a page."""
+
+    url: str
+    kind: str  # "script" | "image" | "stylesheet" | "font" | "media"
+
+
+@dataclass
+class WebPage:
+    """A landing page: its canonical URL and the resources it loads."""
+
+    url: str
+    title: str = ""
+    resources: list[Resource] = field(default_factory=list)
+
+    def resource_urls(self) -> list[str]:
+        return [r.url for r in self.resources]
+
+
+_TAG_TEMPLATES = {
+    "script": '  <script src="{url}"></script>',
+    "image": '  <img src="{url}" alt="">',
+    "stylesheet": '  <link rel="stylesheet" href="{url}">',
+    "font": '  <link rel="preload" as="font" href="{url}">',
+    "media": '  <video src="{url}"></video>',
+}
+
+
+class PageBuilder:
+    """Builds the HTML body served for a landing page."""
+
+    def render(self, page: WebPage) -> str:
+        lines = [
+            "<!DOCTYPE html>",
+            "<html>",
+            "<head>",
+            f"  <title>{page.title or page.url}</title>",
+        ]
+        body_lines = ["<body>", f"  <h1>{page.title or 'Welcome'}</h1>"]
+        for resource in page.resources:
+            template = _TAG_TEMPLATES.get(resource.kind, _TAG_TEMPLATES["image"])
+            rendered = template.format(url=resource.url)
+            if resource.kind in ("stylesheet", "font"):
+                lines.append(rendered)
+            else:
+                body_lines.append(rendered)
+        lines.append("</head>")
+        lines.extend(body_lines)
+        lines.extend(["</body>", "</html>"])
+        return "\n".join(lines)
+
+
+_RESOURCE_ATTR_RE = re.compile(
+    r"""<(?:script|img|link|video|audio|source|iframe)\b[^>]*?
+        (?:src|href)\s*=\s*["']([^"']+)["']""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+def extract_resource_urls(html: str) -> list[str]:
+    """Pull every sub-resource URL out of an HTML document (order kept,
+    duplicates removed) — the crawler's parsing step."""
+    seen: set[str] = set()
+    urls: list[str] = []
+    for match in _RESOURCE_ATTR_RE.finditer(html):
+        url = match.group(1).strip()
+        if url and url not in seen:
+            seen.add(url)
+            urls.append(url)
+    return urls

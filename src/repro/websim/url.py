@@ -1,0 +1,60 @@
+"""Minimal URL handling for the simulated web (http/https only)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.names.normalize import normalize
+
+
+class UrlError(ValueError):
+    """A string is not a usable http(s) URL."""
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    """A parsed absolute URL."""
+
+    scheme: str
+    host: str
+    path: str
+
+    @property
+    def is_https(self) -> bool:
+        return self.scheme == "https"
+
+    def __str__(self) -> str:
+        return f"{self.scheme}://{self.host}{self.path}"
+
+
+def parse_url(url: str) -> ParsedUrl:
+    """Parse an absolute http(s) URL into scheme, host, path.
+
+    >>> parse_url("https://Example.com/a/b?q=1").host
+    'example.com'
+    """
+    if "://" not in url:
+        raise UrlError(f"not an absolute URL: {url!r}")
+    scheme, _, rest = url.partition("://")
+    scheme = scheme.lower()
+    if scheme not in ("http", "https"):
+        raise UrlError(f"unsupported scheme: {scheme!r}")
+    host, slash, path = rest.partition("/")
+    if ":" in host:
+        host = host.split(":", 1)[0]  # ports are irrelevant in the simulation
+    host = normalize(host)
+    if not host:
+        raise UrlError(f"URL has no host: {url!r}")
+    return ParsedUrl(scheme=scheme, host=host, path=(slash + path) or "/")
+
+
+def join_url(base: ParsedUrl, ref: str) -> ParsedUrl:
+    """Resolve ``ref`` against ``base`` (absolute, scheme-relative, or path)."""
+    if "://" in ref:
+        return parse_url(ref)
+    if ref.startswith("//"):
+        return parse_url(f"{base.scheme}:{ref}")
+    if ref.startswith("/"):
+        return ParsedUrl(base.scheme, base.host, ref)
+    directory = base.path.rsplit("/", 1)[0]
+    return ParsedUrl(base.scheme, base.host, f"{directory}/{ref}")

@@ -1,0 +1,60 @@
+"""Synthetic-internet generation, calibrated to the paper's measurements.
+
+The generator produces a :class:`~repro.worldgen.world.World`: a fully
+wired instance of the DNS, PKI, and web substrates whose provider market
+shares, rank-dependent adoption curves, inter-service dependencies, and
+2016→2020 churn are calibrated to the numbers reported in the paper
+(see DESIGN.md §5). The measurement pipeline then *measures* this world
+the way the paper measured the real one — nothing downstream reads the
+generator's ground truth except validation tests.
+"""
+
+from repro.worldgen.config import CalibrationTargets, WorldConfig
+from repro.worldgen.catalog import (
+    CaEntry,
+    CdnEntry,
+    DnsProviderEntry,
+    provider_catalog,
+)
+from repro.worldgen.spec import (
+    CaSpec,
+    CdnSpec,
+    DnsSetup,
+    ProviderChoice,
+    SnapshotSpec,
+    WebsiteSpec,
+)
+from repro.worldgen.generate import generate_snapshot
+from repro.worldgen.evolve import evolve_to_2020
+from repro.worldgen.materialize import materialize
+from repro.worldgen.world import World, build_world, build_world_pair
+from repro.worldgen.alexa import AlexaList, generate_domains
+from repro.worldgen.case_studies import (
+    hospital_snapshot,
+    smart_home_companies,
+)
+
+__all__ = [
+    "AlexaList",
+    "CaEntry",
+    "CalibrationTargets",
+    "CaSpec",
+    "CdnEntry",
+    "CdnSpec",
+    "DnsProviderEntry",
+    "DnsSetup",
+    "ProviderChoice",
+    "SnapshotSpec",
+    "WebsiteSpec",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "build_world_pair",
+    "evolve_to_2020",
+    "generate_domains",
+    "generate_snapshot",
+    "hospital_snapshot",
+    "materialize",
+    "provider_catalog",
+    "smart_home_companies",
+]

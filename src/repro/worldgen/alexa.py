@@ -1,0 +1,160 @@
+"""Ranked website population — the Alexa-list stand-in.
+
+Generates plausible, deterministic domain names with a realistic TLD mix,
+pins the paper's named corner-case websites at top ranks, and models list
+churn between the 2016 and 2020 snapshots (3.8% of the 2016 list is dead
+by 2020, with new sites taking the freed slots).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+_WORD_A = (
+    "alpha", "bright", "cloud", "data", "echo", "fast", "global", "hyper",
+    "insta", "jet", "kinetic", "luma", "meta", "nova", "open", "pixel",
+    "quick", "rapid", "smart", "tech", "ultra", "vivid", "web", "zen",
+    "blue", "core", "deep", "ever", "fresh", "green", "home", "iron",
+    "lake", "micro", "north", "omni", "prime", "quant", "river", "solar",
+    "terra", "urban", "velvet", "wave", "xeno", "yonder", "zero", "apex",
+)
+
+_WORD_B = (
+    "base", "cart", "desk", "feed", "gram", "hub", "lab", "mart",
+    "news", "pad", "point", "port", "press", "shop", "space", "store",
+    "stream", "studio", "tool", "verse", "ware", "works", "zone", "box",
+    "cast", "dash", "edge", "flow", "gate", "link", "mind", "net",
+    "path", "rank", "scope", "sense", "stack", "trail", "vault", "view",
+)
+
+_TLD_WEIGHTS = (
+    ("com", 62.0), ("org", 8.0), ("net", 6.0), ("io", 3.0), ("co", 2.0),
+    ("ru", 3.0), ("de", 2.5), ("co.uk", 2.0), ("jp", 1.5), ("fr", 1.5),
+    ("com.br", 1.5), ("in", 1.5), ("com.cn", 1.5), ("info", 1.0),
+    ("edu", 1.0), ("gov", 0.5), ("xyz", 0.7), ("online", 0.4), ("me", 0.4),
+)
+
+# Paper-named websites pinned at top ranks so the Section 3/4/5 anecdotes
+# exist in the world. The generator wires their special structure.
+CORNER_CASE_DOMAINS = (
+    "google.com", "youtube.com", "facebook.com", "amazon.com",
+    "yahoo.com", "twitter.com", "instagram.com", "netflix.com",
+    "microsoft.com", "wikipedia.org", "ebay.com", "spotify.com",
+    "pinterest.com", "godaddy.com", "paypal.com", "imdb.com",
+    "dropbox.com", "wordpress.com", "academia.edu", "espn.com",
+    "flickr.com", "walmart.com", "xbox.com", "twitch.tv",
+    "fiverr.com", "soundcloud.com", "theguardian.com", "airbnb.com",
+    "squarespace.com", "naver.com",
+)
+
+
+@dataclass
+class AlexaList:
+    """A ranked list of domains for one snapshot year."""
+
+    year: int
+    domains: list[str]
+
+    def rank_of(self, domain: str) -> int:
+        """1-based rank; raises KeyError when absent."""
+        try:
+            return self.domains.index(domain) + 1
+        except ValueError:
+            raise KeyError(domain) from None
+
+    def top(self, k: int) -> list[str]:
+        return self.domains[:k]
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self.domains
+
+
+def generate_domains(
+    count: int, rng: random.Random, include_corner_cases: bool = True
+) -> list[str]:
+    """Generate ``count`` distinct ranked domains (rank = list order)."""
+    domains: list[str] = []
+    seen: set[str] = set()
+    if include_corner_cases:
+        for domain in CORNER_CASE_DOMAINS[: min(len(CORNER_CASE_DOMAINS), count)]:
+            domains.append(domain)
+            seen.add(domain)
+    tlds = [t for t, _ in _TLD_WEIGHTS]
+    weights = [w for _, w in _TLD_WEIGHTS]
+    total_weight = sum(weights)
+    while len(domains) < count:
+        a = rng.choice(_WORD_A)
+        b = rng.choice(_WORD_B)
+        point = rng.random() * total_weight
+        cumulative = 0.0
+        tld = tlds[-1]
+        for candidate, weight in zip(tlds, weights):
+            cumulative += weight
+            if point <= cumulative:
+                tld = candidate
+                break
+        name = f"{a}{b}.{tld}"
+        if name in seen:
+            name = f"{a}{b}{rng.randrange(10, 9999)}.{tld}"
+        if name in seen:
+            continue
+        seen.add(name)
+        domains.append(name)
+    # Corner cases stay on top; everything else keeps insertion order, which
+    # is already random — no further shuffle needed for rank assignment.
+    return domains
+
+
+DEATH_RATE_2016_TO_2020 = 0.038
+
+
+@dataclass
+class ListChurn:
+    """How the 2016 list maps onto the 2020 list."""
+
+    survivors: list[str] = field(default_factory=list)
+    dead: list[str] = field(default_factory=list)
+    newcomers: list[str] = field(default_factory=list)
+
+
+def churn_2016_to_2020(
+    list_2016: AlexaList, rng: random.Random
+) -> tuple[AlexaList, ListChurn]:
+    """Produce the 2020 list from the 2016 list.
+
+    3.8% of 2016 domains die (never the pinned corner cases); new domains
+    fill the freed slots at tail-biased ranks.
+    """
+    churn = ListChurn()
+    corner = set(CORNER_CASE_DOMAINS)
+    eligible = [d for d in list_2016.domains if d not in corner]
+    n_dead = round(len(list_2016.domains) * DEATH_RATE_2016_TO_2020)
+    # Death is tail-biased: sample by squared position.
+    dead = set()
+    while len(dead) < min(n_dead, len(eligible)):
+        idx = int((rng.random() ** 0.5) * len(eligible))
+        dead.add(eligible[min(idx, len(eligible) - 1)])
+    churn.dead = sorted(dead)
+    churn.survivors = [d for d in list_2016.domains if d not in dead]
+
+    fresh_rng = random.Random(rng.randrange(1 << 30))
+    needed = len(list_2016.domains) - len(churn.survivors)
+    existing = set(churn.survivors)
+    newcomers: list[str] = []
+    while len(newcomers) < needed:
+        candidate = generate_domains(1, fresh_rng, include_corner_cases=False)[0]
+        if candidate not in existing:
+            existing.add(candidate)
+            newcomers.append(candidate)
+    churn.newcomers = newcomers
+
+    # Newcomers enter at random tail-half positions.
+    domains_2020 = list(churn.survivors)
+    for domain in newcomers:
+        pos = rng.randrange(len(domains_2020) // 2, len(domains_2020) + 1)
+        domains_2020.insert(pos, domain)
+    return AlexaList(year=2020, domains=domains_2020), churn

@@ -1,0 +1,226 @@
+"""Section 6 case-study populations: US hospitals and smart-home companies.
+
+Both verticals reuse the main generator's machinery (markets, materializer,
+measurement pipeline) over different populations, calibrated to Tables 10
+and 11.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.worldgen import rankmodel
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.generate import (
+    build_ca_market,
+    build_cdn_market,
+    build_dns_market,
+)
+from repro.worldgen.spec import (
+    PRIVATE,
+    DnsSetup,
+    SnapshotSpec,
+    WebsiteSpec,
+)
+
+_HOSPITAL_WORDS = (
+    "mercy", "stluke", "regional", "memorial", "unity", "baptist",
+    "sacredheart", "general", "childrens", "university", "community",
+    "valley", "summit", "lakeside", "providence", "goodsam",
+)
+
+# Table 10 calibration (top-200 US hospitals).
+HOSPITAL_THIRD_PARTY_DNS = 0.51
+HOSPITAL_DNS_REDUNDANT_OF_THIRD = 0.10   # 90% of third-party users not redundant
+HOSPITAL_CDN_USAGE = 0.16                # all third-party, all critical
+HOSPITAL_HTTPS = 1.0
+HOSPITAL_THIRD_PARTY_CA = 1.0
+HOSPITAL_STAPLING = 0.22
+HOSPITAL_TOP_DNS = "godaddy-dns"         # GoDaddy: 13% of hospitals
+HOSPITAL_TOP_DNS_SHARE = 0.13
+HOSPITAL_TOP_CDN = "akamai"              # Akamai: 7% of hospitals
+HOSPITAL_TOP_CDN_SHARE = 0.07
+
+
+def hospital_snapshot(
+    config: WorldConfig | None = None, n_hospitals: int = 200
+) -> SnapshotSpec:
+    """Generate the top-``n`` US-hospital population (Table 10)."""
+    config = config or WorldConfig(n_websites=1000, year=2020)
+    rng = random.Random(config.seed + 10_000)
+    dns_market = build_dns_market(config, 2020, rng)
+    cdn_market = build_cdn_market(config, 2020, dns_market, rng)
+    ca_market = build_ca_market(config, 2020, dns_market, cdn_market, rng)
+
+    websites: list[WebsiteSpec] = []
+    seen: set[str] = set()
+    rank = 0
+    while len(websites) < n_hospitals:
+        word = rng.choice(_HOSPITAL_WORDS)
+        domain = f"{word}health{rng.randrange(1, 999)}.org"
+        if domain in seen:
+            continue
+        seen.add(domain)
+        rank += 1
+        if rng.random() < HOSPITAL_THIRD_PARTY_DNS:
+            if rng.random() < HOSPITAL_TOP_DNS_SHARE:
+                provider = HOSPITAL_TOP_DNS
+            else:
+                keys = list(dns_market)
+                weights = [p.share_weight for p in dns_market.values()]
+                provider = rankmodel.weighted_choice(rng, keys, weights)
+            providers = [provider]
+            if rng.random() < HOSPITAL_DNS_REDUNDANT_OF_THIRD:
+                providers.append(PRIVATE)
+            dns = DnsSetup(providers=providers)
+        else:
+            dns = DnsSetup(providers=[PRIVATE], soa_masked=False)
+        cdns: list[str] = []
+        if rng.random() < HOSPITAL_CDN_USAGE:
+            if rng.random() < HOSPITAL_TOP_CDN_SHARE / HOSPITAL_CDN_USAGE:
+                cdns = [HOSPITAL_TOP_CDN]
+            else:
+                keys = [k for k, c in cdn_market.items() if c.share_weight > 0]
+                weights = [cdn_market[k].share_weight for k in keys]
+                cdns = [rankmodel.weighted_choice(rng, keys, weights)]
+        ca_keys = list(ca_market)
+        ca_weights = [c.share_weight for c in ca_market.values()]
+        websites.append(
+            WebsiteSpec(
+                domain=domain,
+                rank=rank,
+                entity=domain,
+                dns=dns,
+                https=True,
+                ca_key=rankmodel.weighted_choice(rng, ca_keys, ca_weights),
+                ocsp_stapled=rng.random() < HOSPITAL_STAPLING,
+                cdns=cdns,
+                n_internal_resources=rng.randrange(2, 5),
+            )
+        )
+    return SnapshotSpec(
+        year=2020,
+        websites=websites,
+        dns_providers=dns_market,
+        cdns=cdn_market,
+        cas=ca_market,
+    )
+
+
+# --------------------------------------------------------------------------
+# Smart home (Table 11)
+# --------------------------------------------------------------------------
+
+@dataclass
+class SmartHomeCompany:
+    """One smart-home company's dependency profile."""
+
+    name: str
+    domain: str
+    cloud_only: bool               # 9 of 23 operate cloud-only
+    dns_providers: list[str] = field(default_factory=lambda: [PRIVATE])
+    cloud_provider: str = PRIVATE  # hosting/cloud choice
+    local_failover: bool = False   # device keeps working without the cloud
+
+    @property
+    def dns_is_third_party(self) -> bool:
+        return any(p != PRIVATE for p in self.dns_providers)
+
+    @property
+    def dns_is_redundant(self) -> bool:
+        return len(set(self.dns_providers)) > 1
+
+    @property
+    def dns_is_critical(self) -> bool:
+        """Single third-party DNS and no local failover (Section 6.2)."""
+        return (
+            self.dns_is_third_party
+            and not self.dns_is_redundant
+            and not self.local_failover
+        )
+
+    @property
+    def cloud_is_third_party(self) -> bool:
+        return self.cloud_provider != PRIVATE
+
+    @property
+    def cloud_is_critical(self) -> bool:
+        return self.cloud_is_third_party and not self.local_failover
+
+
+def smart_home_companies() -> list[SmartHomeCompany]:
+    """The 23 analyzed smart-home companies, calibrated to Table 11.
+
+    21/23 use third-party DNS (1 redundant), 8 critically; 15 use a
+    third-party cloud, 5 critically; 11 of the 15 cloud users are on
+    Amazon, 13 use Amazon DNS.
+    """
+    aws = "aws-dns"
+    return [
+        # Private-DNS pair (Table 11's 91.3% third-party = 21 of 23).
+        SmartHomeCompany("Philips Hue", "meethue.com", False,
+                         dns_providers=[PRIVATE], cloud_provider="amazon-cloud",
+                         local_failover=True),
+        SmartHomeCompany("Amazon Alexa", "alexa-smarthome.com", True,
+                         dns_providers=[PRIVATE], cloud_provider=PRIVATE,
+                         local_failover=True),
+        # Critically dependent on DNS (single third party, no failover).
+        SmartHomeCompany("Logitech Harmony", "myharmony.com", True,
+                         dns_providers=[aws], cloud_provider="amazon-cloud"),
+        SmartHomeCompany("Yonomi", "yonomi.co", True,
+                         dns_providers=[aws], cloud_provider=PRIVATE),
+        SmartHomeCompany("Brilliant Tech", "brilliant.tech", True,
+                         dns_providers=["google-dns"], cloud_provider=PRIVATE),
+        SmartHomeCompany("IFTTT", "ifttt.com", True,
+                         dns_providers=[aws], cloud_provider="amazon-cloud"),
+        SmartHomeCompany("Petnet", "petnet.io", True,
+                         dns_providers=[aws], cloud_provider="amazon-cloud"),
+        SmartHomeCompany("Ecobee", "ecobee.com", True,
+                         dns_providers=[aws], cloud_provider="amazon-cloud"),
+        SmartHomeCompany("Ring Security", "ring.com", True,
+                         dns_providers=[aws], cloud_provider="amazon-cloud"),
+        SmartHomeCompany("Wink", "wink.com", True,
+                         dns_providers=["dyn"], cloud_provider=PRIVATE),
+        # Third-party DNS with local failover (not critical).
+        SmartHomeCompany("Apple HomeKit", "apple-home.com", False,
+                         dns_providers=["akamai-dns"], cloud_provider=PRIVATE,
+                         local_failover=True),
+        SmartHomeCompany("Samsung SmartThings", "smartthings.com", False,
+                         dns_providers=[aws], cloud_provider="amazon-cloud",
+                         local_failover=True),
+        SmartHomeCompany("Lifx", "lifx.com", False,
+                         dns_providers=["cloudflare"], cloud_provider="google-cloud",
+                         local_failover=True),
+        SmartHomeCompany("TP-Link Kasa", "kasasmart.com", False,
+                         dns_providers=[aws], cloud_provider="alibaba-cloud",
+                         local_failover=True),
+        SmartHomeCompany("Wemo", "wemo.com", False,
+                         dns_providers=[aws], cloud_provider="amazon-cloud",
+                         local_failover=True),
+        SmartHomeCompany("Nest", "nest.com", False,
+                         dns_providers=["google-dns"], cloud_provider="google-cloud",
+                         local_failover=True),
+        SmartHomeCompany("Wyze", "wyze.com", False,
+                         dns_providers=[aws], cloud_provider="amazon-cloud",
+                         local_failover=True),
+        SmartHomeCompany("Sengled", "sengled.com", False,
+                         dns_providers=[aws], cloud_provider="alibaba-cloud",
+                         local_failover=True),
+        SmartHomeCompany("Arlo", "arlo.com", False,
+                         dns_providers=["azure-dns"], cloud_provider="amazon-cloud",
+                         local_failover=True),
+        SmartHomeCompany("Hubitat", "hubitat.com", False,
+                         dns_providers=["godaddy-dns"], cloud_provider=PRIVATE,
+                         local_failover=True),
+        SmartHomeCompany("Home Assistant", "home-assistant.io", False,
+                         dns_providers=["cloudflare"], cloud_provider=PRIVATE,
+                         local_failover=True),
+        SmartHomeCompany("Abode", "goabode.com", False,
+                         dns_providers=[aws], cloud_provider="amazon-cloud",
+                         local_failover=True),
+        # The single redundantly-provisioned company.
+        SmartHomeCompany("Control4", "control4.com", False,
+                         dns_providers=[aws, "ultradns"],
+                         cloud_provider=PRIVATE, local_failover=True),
+    ]

@@ -1,0 +1,507 @@
+"""The provider catalog: named DNS providers, CDNs, and CAs.
+
+Market shares, popularity biases, redundancy rates, and inter-service
+dependency choices are calibrated to the paper's reported numbers (see
+DESIGN.md §5). Shares are *weights*: the generator normalizes them within
+each snapshot, and long-tail synthetic providers absorb the remainder so
+concentration CDFs (Figure 6) keep their shape.
+
+Conventions used by the generator:
+
+* ``share_*`` for DNS providers is the fraction of *all* websites using the
+  provider; for CDNs the fraction of *CDN-using* websites; for CAs the
+  fraction of *HTTPS* websites.
+* ``dns_choice`` / ``cdn_choice`` describe the provider's own inter-service
+  dependencies per snapshot: ``"private"``, a provider key, or a tuple of
+  keys (redundantly provisioned).
+* a share of 0 means the provider does not serve that snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+DnsChoice = Union[str, tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class DnsProviderEntry:
+    """A managed-DNS provider."""
+
+    key: str
+    display: str
+    entity: str
+    ns_domains: tuple[str, ...]
+    share_2020: float
+    share_2016: float
+    # Multiplier applied for paper-rank <= 1000 websites (Dyn/Akamai skew
+    # towards popular sites; Cloudflare skews away, per Section 4.2).
+    top_bias_2020: float = 1.0
+    top_bias_2016: float = 1.0
+    # Probability a customer provisions a second provider alongside this one
+    # (Cloudflare's routing model forbids it; Dyn/NS1/UltraDNS encourage it).
+    secondary_rate: float = 0.05
+
+
+@dataclass(frozen=True)
+class CdnEntry:
+    """A content delivery network."""
+
+    key: str
+    display: str
+    entity: str
+    cname_suffixes: tuple[str, ...]
+    share_2020: float
+    share_2016: float
+    top_bias_2020: float = 1.0
+    top_bias_2016: float = 1.0
+    redundancy_rate: float = 0.08
+    dns_choice_2020: DnsChoice = "private"
+    dns_choice_2016: DnsChoice = "private"
+
+
+@dataclass(frozen=True)
+class CaEntry:
+    """A certificate authority."""
+
+    key: str
+    display: str
+    entity: str
+    ocsp_host: str
+    crl_host: str
+    share_2020: float
+    share_2016: float
+    stapling_rate_2020: float = 0.15
+    stapling_rate_2016: float = 0.15
+    dns_choice_2020: DnsChoice = "private"
+    dns_choice_2016: DnsChoice = "private"
+    cdn_choice_2020: Optional[str] = None
+    cdn_choice_2016: Optional[str] = None
+
+
+# --------------------------------------------------------------------------
+# DNS providers. Calibration anchors (2020): Cloudflare C=24/I=23; top-3
+# impact ~40%; DNSMadeEasy ~1-2%; Dyn shrank 2% -> 0.6% after the attack.
+# --------------------------------------------------------------------------
+
+DNS_PROVIDERS: tuple[DnsProviderEntry, ...] = (
+    DnsProviderEntry(
+        key="cloudflare", display="Cloudflare DNS", entity="cloudflare",
+        ns_domains=("ns.cloudflare.com",),
+        share_2020=24.0, share_2016=14.0,
+        top_bias_2020=0.3, top_bias_2016=0.25, secondary_rate=0.01,
+    ),
+    DnsProviderEntry(
+        key="aws-dns", display="AWS Route 53", entity="amazon",
+        ns_domains=("awsdns.net", "awsdns.org"),
+        share_2020=10.0, share_2016=8.0,
+        top_bias_2020=1.2, top_bias_2016=1.2, secondary_rate=0.10,
+    ),
+    DnsProviderEntry(
+        key="godaddy-dns", display="GoDaddy DNS", entity="godaddy",
+        ns_domains=("domaincontrol.com",),
+        share_2020=7.0, share_2016=7.0,
+        top_bias_2020=0.2, top_bias_2016=0.2, secondary_rate=0.02,
+    ),
+    DnsProviderEntry(
+        key="dnsmadeeasy", display="DNSMadeEasy", entity="dnsmadeeasy",
+        ns_domains=("dnsmadeeasy.com",),
+        share_2020=1.5, share_2016=1.5,
+        top_bias_2020=1.5, top_bias_2016=1.5, secondary_rate=0.30,
+    ),
+    DnsProviderEntry(
+        key="dyn", display="Dyn (Oracle)", entity="oracle",
+        ns_domains=("dynect.net",),
+        share_2020=0.6, share_2016=2.0,
+        top_bias_2020=4.0, top_bias_2016=9.0, secondary_rate=0.45,
+    ),
+    DnsProviderEntry(
+        key="ns1", display="NS1", entity="ns1",
+        ns_domains=("nsone.net",),
+        share_2020=1.2, share_2016=0.8,
+        top_bias_2020=2.0, top_bias_2016=2.0, secondary_rate=0.40,
+    ),
+    DnsProviderEntry(
+        key="ultradns", display="UltraDNS (Neustar)", entity="neustar",
+        ns_domains=("ultradns.net", "ultradns.org"),
+        share_2020=1.0, share_2016=1.2,
+        top_bias_2020=2.5, top_bias_2016=2.5, secondary_rate=0.40,
+    ),
+    DnsProviderEntry(
+        key="akamai-dns", display="Akamai Edge DNS", entity="akamai",
+        ns_domains=("akam.net",),
+        share_2020=1.8, share_2016=1.8,
+        top_bias_2020=5.0, top_bias_2016=5.0, secondary_rate=0.20,
+    ),
+    DnsProviderEntry(
+        key="comodo-dns", display="Comodo DNS", entity="sectigo",
+        ns_domains=("comodo.net",),
+        share_2020=0.5, share_2016=0.6, secondary_rate=0.05,
+    ),
+    DnsProviderEntry(
+        key="google-dns", display="Google Cloud DNS", entity="google",
+        ns_domains=("googledomains.com",),
+        share_2020=2.0, share_2016=1.0,
+        top_bias_2020=1.0, top_bias_2016=1.0, secondary_rate=0.05,
+    ),
+    DnsProviderEntry(
+        key="azure-dns", display="Azure DNS", entity="microsoft",
+        ns_domains=("azure-dns.com", "azure-dns.net"),
+        share_2020=1.5, share_2016=0.5, secondary_rate=0.08,
+    ),
+    DnsProviderEntry(
+        key="alibaba-dns", display="Alibaba Cloud DNS", entity="alibaba",
+        ns_domains=("alibabadns.com", "alicdn.com"),
+        share_2020=1.2, share_2016=0.8, secondary_rate=0.02,
+    ),
+    DnsProviderEntry(
+        key="ovh-dns", display="OVH DNS", entity="ovh",
+        ns_domains=("ovh.net",),
+        share_2020=1.0, share_2016=1.2, secondary_rate=0.03,
+    ),
+    DnsProviderEntry(
+        key="namecheap-dns", display="Namecheap DNS", entity="namecheap",
+        ns_domains=("registrar-servers.com",),
+        share_2020=1.5, share_2016=1.5,
+        top_bias_2020=0.2, top_bias_2016=0.2, secondary_rate=0.02,
+    ),
+    DnsProviderEntry(
+        key="he-dns", display="Hurricane Electric DNS", entity="he",
+        ns_domains=("he.net",),
+        share_2020=0.5, share_2016=0.6, secondary_rate=0.10,
+    ),
+)
+
+# Fraction of all websites using third-party DNS that falls to the synthetic
+# long tail (the remainder after the named providers above). The 2016 tail
+# is much fatter: 2705 providers covered 80% of websites then vs 54 in 2020.
+DNS_TAIL_WEIGHT_2020 = 33.0
+DNS_TAIL_WEIGHT_2016 = 46.0
+
+
+# --------------------------------------------------------------------------
+# CDNs. Shares are % of CDN-using websites. Anchors (2020): CloudFront 30,
+# Cloudflare 21 (=7% of all sites, Fig 8a), Akamai 18, StackPath 6 (=2%),
+# Incapsula 3 (=1%); 86 CDNs total. 2016: Cloudflare led; 47 CDNs total.
+# --------------------------------------------------------------------------
+
+CDNS: tuple[CdnEntry, ...] = (
+    CdnEntry(
+        key="cloudfront", display="Amazon CloudFront", entity="amazon",
+        cname_suffixes=("cloudfront.net",),
+        share_2020=30.0, share_2016=24.0,
+        top_bias_2020=0.8, top_bias_2016=0.8, redundancy_rate=0.03,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="cloudflare-cdn", display="Cloudflare CDN", entity="cloudflare",
+        cname_suffixes=("cdn.cloudflare.net",),
+        share_2020=21.0, share_2016=30.0,
+        top_bias_2020=0.5, top_bias_2016=0.5, redundancy_rate=0.03,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="akamai", display="Akamai", entity="akamai",
+        cname_suffixes=("edgekey.net", "edgesuite.net", "akamaized.net"),
+        share_2020=18.0, share_2016=19.0,
+        top_bias_2020=6.0, top_bias_2016=6.0, redundancy_rate=0.30,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="fastly", display="Fastly", entity="fastly",
+        cname_suffixes=("fastly.net", "fastlylb.net"),
+        share_2020=8.0, share_2016=10.0,
+        top_bias_2020=4.0, top_bias_2016=4.0, redundancy_rate=0.30,
+        # Fastly famously used Dyn in 2016 (critically: the Dyn incident took
+        # it out); by 2020 it is redundantly provisioned.
+        dns_choice_2020=("dyn", "private"), dns_choice_2016="dyn",
+    ),
+    CdnEntry(
+        key="stackpath", display="StackPath (MaxCDN)", entity="stackpath",
+        cname_suffixes=("stackpathdns.com", "netdna-cdn.com"),
+        share_2020=6.0, share_2016=4.0, redundancy_rate=0.05,
+        dns_choice_2020="aws-dns", dns_choice_2016="aws-dns",
+    ),
+    CdnEntry(
+        key="incapsula", display="Imperva Incapsula", entity="imperva",
+        cname_suffixes=("incapdns.net",),
+        share_2020=3.0, share_2016=2.0, redundancy_rate=0.02,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="keycdn", display="KeyCDN", entity="proinity",
+        cname_suffixes=("kxcdn.com",),
+        share_2020=2.0, share_2016=1.5, redundancy_rate=0.05,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="limelight", display="Limelight", entity="limelight",
+        cname_suffixes=("llnwd.net",),
+        share_2020=1.5, share_2016=2.0,
+        top_bias_2020=2.0, top_bias_2016=2.0, redundancy_rate=0.20,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="edgecast", display="Verizon Edgecast", entity="verizon",
+        cname_suffixes=("edgecastcdn.net",),
+        share_2020=1.5, share_2016=2.0, redundancy_rate=0.15,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="azure-cdn", display="Azure CDN", entity="microsoft",
+        cname_suffixes=("azureedge.net",),
+        share_2020=1.5, share_2016=0.8, redundancy_rate=0.05,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="google-cdn", display="Google Cloud CDN", entity="google",
+        cname_suffixes=("googleusercontent.com",),
+        share_2020=1.5, share_2016=1.0, redundancy_rate=0.05,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="alibaba-cdn", display="Alibaba Cloud CDN", entity="alibaba",
+        cname_suffixes=("alicdn-edge.com",),
+        share_2020=1.2, share_2016=0.6, redundancy_rate=0.02,
+        dns_choice_2020="alibaba-dns", dns_choice_2016="alibaba-dns",
+    ),
+    CdnEntry(
+        key="cdn77", display="CDN77", entity="datacamp",
+        cname_suffixes=("cdn77.org",),
+        share_2020=1.0, share_2016=0.6, redundancy_rate=0.05,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="bunny", display="BunnyCDN", entity="bunnyway",
+        cname_suffixes=("b-cdn.net",),
+        share_2020=0.8, share_2016=0.0, redundancy_rate=0.05,
+        dns_choice_2020="aws-dns", dns_choice_2016="aws-dns",
+    ),
+    CdnEntry(
+        key="cachefly", display="CacheFly", entity="cachefly",
+        cname_suffixes=("cachefly.net",),
+        share_2020=0.6, share_2016=0.8, redundancy_rate=0.05,
+        dns_choice_2020="private", dns_choice_2016="private",
+    ),
+    CdnEntry(
+        key="netlify", display="Netlify Edge", entity="netlify",
+        cname_suffixes=("netlify.app",),
+        share_2020=0.8, share_2016=0.3, redundancy_rate=0.05,
+        # Critically dependent on a single third-party DNS in 2016; adopted
+        # redundancy by 2020 (Table 9).
+        dns_choice_2020=("ns1", "aws-dns"), dns_choice_2016="ns1",
+    ),
+    CdnEntry(
+        key="kinx", display="KINX CDN", entity="kinx",
+        cname_suffixes=("kinxcdn.com",),
+        share_2020=0.3, share_2016=0.3, redundancy_rate=0.02,
+        dns_choice_2020=("aws-dns", "ns1"), dns_choice_2016="aws-dns",
+    ),
+    CdnEntry(
+        key="gocache", display="GoCache", entity="gocache",
+        cname_suffixes=("gocache.net",),
+        share_2020=0.2, share_2016=0.2, redundancy_rate=0.02,
+        dns_choice_2020="private", dns_choice_2016="dnsmadeeasy",
+    ),
+    CdnEntry(
+        key="zenedge", display="Zenedge", entity="oracle",
+        cname_suffixes=("zenedge.net",),
+        share_2020=0.2, share_2016=0.3, redundancy_rate=0.02,
+        dns_choice_2020="dyn", dns_choice_2016=("dyn", "ultradns"),
+    ),
+    CdnEntry(
+        key="maxcdn", display="MaxCDN", entity="stackpath",
+        cname_suffixes=("maxcdn-edge.com",),
+        share_2020=0.5, share_2016=1.5, redundancy_rate=0.05,
+        dns_choice_2020="aws-dns", dns_choice_2016="aws-dns",
+    ),
+)
+
+CDN_TAIL_SHARE_EACH = 0.12  # tiny synthetic CDNs fill the count to 86/47
+
+
+# --------------------------------------------------------------------------
+# CAs. Shares are % of HTTPS websites. Anchors (2020): DigiCert 32,
+# Let's Encrypt 15, Sectigo 9; top-3 critical for ~60% of HTTPS sites.
+# 2016: Comodo led; Symantec #3 (bought by DigiCert in between); 70 CAs.
+# --------------------------------------------------------------------------
+
+CAS: tuple[CaEntry, ...] = (
+    CaEntry(
+        key="digicert", display="DigiCert", entity="digicert",
+        ocsp_host="ocsp.digicert.com", crl_host="crl3.digicert.com",
+        share_2020=41.0, share_2016=2.5,
+        stapling_rate_2020=0.10, stapling_rate_2016=0.12,
+        # The paper's marquee indirect dependency: DigiCert critically on
+        # DNSMadeEasy (2020); in 2016 it was redundantly provisioned.
+        dns_choice_2020="dnsmadeeasy", dns_choice_2016=("dnsmadeeasy", "ultradns"),
+        cdn_choice_2020="incapsula", cdn_choice_2016="incapsula",
+    ),
+    CaEntry(
+        key="letsencrypt", display="Let's Encrypt", entity="isrg",
+        ocsp_host="ocsp.int-x3.letsencrypt.org", crl_host="crl.letsencrypt.org",
+        share_2020=19.0, share_2016=5.2,
+        stapling_rate_2020=0.35, stapling_rate_2016=0.30,
+        dns_choice_2020="cloudflare", dns_choice_2016="cloudflare",
+        cdn_choice_2020="cloudflare-cdn", cdn_choice_2016=None,
+    ),
+    CaEntry(
+        key="sectigo", display="Sectigo (Comodo)", entity="sectigo",
+        ocsp_host="ocsp.sectigo.com", crl_host="crl.sectigo.com",
+        share_2020=11.5, share_2016=32.0,
+        stapling_rate_2020=0.30, stapling_rate_2016=0.25,
+        dns_choice_2020="private", dns_choice_2016="private",
+        cdn_choice_2020="stackpath", cdn_choice_2016="maxcdn",
+    ),
+    CaEntry(
+        key="globalsign", display="GlobalSign", entity="globalsign",
+        ocsp_host="ocsp.globalsign.com", crl_host="crl.globalsign.com",
+        share_2020=2.5, share_2016=13.0,
+        stapling_rate_2020=0.10, stapling_rate_2016=0.10,
+        dns_choice_2020="akamai-dns", dns_choice_2016="akamai-dns",
+        cdn_choice_2020="akamai", cdn_choice_2016="akamai",
+    ),
+    CaEntry(
+        key="amazon-ca", display="Amazon Trust Services", entity="amazon",
+        ocsp_host="ocsp.amazontrust.com", crl_host="crl.amazontrust.com",
+        share_2020=1.2, share_2016=0.0,
+        stapling_rate_2020=0.08,
+        dns_choice_2020="aws-dns", dns_choice_2016="aws-dns",  # same entity
+        cdn_choice_2020="cloudfront", cdn_choice_2016=None,    # same entity
+    ),
+    CaEntry(
+        key="godaddy-ca", display="GoDaddy CA", entity="godaddy",
+        # Dedicated PKI domain (godaddy.com itself is a measured website);
+        # godaddy.com's certificate carries this domain in its SAN list so
+        # the heuristic classifies the CA as private (same entity).
+        ocsp_host="ocsp.gdpki.com", crl_host="crl.gdpki.com",
+        share_2020=0.8, share_2016=4.0,
+        stapling_rate_2020=0.12, stapling_rate_2016=0.12,
+        # The paper's example: godaddy.com uses its own CA, but that CA's
+        # revocation endpoints ride Akamai DNS (Section 5.1).
+        dns_choice_2020="akamai-dns", dns_choice_2016="akamai-dns",
+        cdn_choice_2020="akamai", cdn_choice_2016="akamai",
+    ),
+    CaEntry(
+        key="entrust", display="Entrust", entity="entrust",
+        ocsp_host="ocsp.entrust.net", crl_host="crl.entrust.net",
+        share_2020=0.4, share_2016=1.0,
+        stapling_rate_2020=0.12, stapling_rate_2016=0.12,
+        dns_choice_2020=("private", "ultradns"), dns_choice_2016=("private", "ultradns"),
+        cdn_choice_2020="cloudflare-cdn", cdn_choice_2016="cloudflare-cdn",
+    ),
+    CaEntry(
+        key="symantec", display="Symantec", entity="symantec",
+        ocsp_host="ocsp.symantec-ca.com", crl_host="crl.symantec-ca.com",
+        share_2020=0.0, share_2016=17.0,
+        stapling_rate_2016=0.10,
+        dns_choice_2016="ultradns", cdn_choice_2016="akamai",
+        dns_choice_2020="private", cdn_choice_2020=None,
+    ),
+    CaEntry(
+        key="geotrust", display="GeoTrust", entity="symantec",
+        ocsp_host="ocsp.geotrust-ca.com", crl_host="crl.geotrust-ca.com",
+        share_2020=0.1, share_2016=3.0,
+        stapling_rate_2020=0.10, stapling_rate_2016=0.10,
+        dns_choice_2020="private", dns_choice_2016="ultradns",
+        cdn_choice_2020=None, cdn_choice_2016="akamai",
+    ),
+    CaEntry(
+        key="thawte", display="Thawte", entity="symantec",
+        ocsp_host="ocsp.thawte-ca.com", crl_host="crl.thawte-ca.com",
+        share_2020=0.1, share_2016=1.0,
+        dns_choice_2020="private", dns_choice_2016="ultradns",
+        cdn_choice_2020=None, cdn_choice_2016="akamai",
+    ),
+    CaEntry(
+        key="rapidssl", display="RapidSSL", entity="symantec",
+        ocsp_host="ocsp.rapidssl-ca.com", crl_host="crl.rapidssl-ca.com",
+        share_2020=0.1, share_2016=1.5,
+        dns_choice_2020="private", dns_choice_2016="ultradns",
+        cdn_choice_2020=None, cdn_choice_2016=None,
+    ),
+    CaEntry(
+        key="teliasonera", display="TeliaSonera CA", entity="telia",
+        ocsp_host="ocsp.telia-ca.com", crl_host="crl.telia-ca.com",
+        share_2020=0.05, share_2016=0.2,
+        dns_choice_2020="private", dns_choice_2016="private",
+        cdn_choice_2020=None, cdn_choice_2016="cloudflare-cdn",
+    ),
+    CaEntry(
+        key="trustasia", display="TrustAsia", entity="trustasia",
+        ocsp_host="ocsp.trustasia-ca.com", crl_host="crl.trustasia-ca.com",
+        share_2020=0.1, share_2016=0.15,
+        dns_choice_2020="alibaba-dns", dns_choice_2016="private",
+        cdn_choice_2020=None, cdn_choice_2016=None,
+    ),
+    CaEntry(
+        key="certum", display="Certum", entity="asseco",
+        ocsp_host="ocsp.certum-ca.com", crl_host="crl.certum-ca.com",
+        share_2020=0.1, share_2016=0.3,
+        # The paper's example: Certum uses MaxCDN which uses AWS DNS.
+        dns_choice_2020="private", dns_choice_2016="private",
+        cdn_choice_2020="maxcdn", cdn_choice_2016="maxcdn",
+    ),
+    CaEntry(
+        key="google-trust", display="Google Trust Services", entity="google",
+        ocsp_host="ocsp.pki.goog", crl_host="crl.pki.goog",
+        share_2020=0.3, share_2016=0.0,
+        stapling_rate_2020=0.20,
+        dns_choice_2020="private", dns_choice_2016="private",
+        cdn_choice_2020="google-cdn", cdn_choice_2016=None,  # same entity
+    ),
+    CaEntry(
+        key="microsoft-ca", display="Microsoft PKI", entity="microsoft",
+        ocsp_host="ocsp.msocsp.com", crl_host="crl.microsoft-pki.com",
+        share_2020=0.15, share_2016=0.1,
+        # Private CA using a third-party CDN: gives microsoft.com, xbox.com
+        # their hidden dependency (Section 5.2).
+        dns_choice_2020="private", dns_choice_2016="private",
+        cdn_choice_2020="akamai", cdn_choice_2016="akamai",
+    ),
+    CaEntry(
+        key="internet2", display="InCommon (Internet2)", entity="internet2",
+        ocsp_host="ocsp.incommon-ca.org", crl_host="crl.incommon-ca.org",
+        share_2020=0.05, share_2016=0.1,
+        dns_choice_2020="comodo-dns", dns_choice_2016=("comodo-dns", "ultradns"),
+        cdn_choice_2020=None, cdn_choice_2016=None,
+    ),
+    CaEntry(
+        key="buypass", display="Buypass", entity="buypass",
+        ocsp_host="ocsp.buypass-ca.no", crl_host="crl.buypass-ca.no",
+        share_2020=0.3, share_2016=0.3,
+        dns_choice_2020="comodo-dns", dns_choice_2016="comodo-dns",
+        cdn_choice_2020=None, cdn_choice_2016=None,
+    ),
+)
+
+# Synthetic tail CAs / CDNs fill the market to the paper's counts; their
+# inter-service choices are assigned procedurally to hit Table 6's rates.
+CA_TAIL_SHARE_EACH = 0.02
+
+
+@dataclass(frozen=True)
+class ProviderCatalog:
+    """All named providers plus lookup helpers."""
+
+    dns_providers: tuple[DnsProviderEntry, ...] = DNS_PROVIDERS
+    cdns: tuple[CdnEntry, ...] = CDNS
+    cas: tuple[CaEntry, ...] = CAS
+
+    def dns_by_key(self) -> dict[str, DnsProviderEntry]:
+        return {p.key: p for p in self.dns_providers}
+
+    def cdn_by_key(self) -> dict[str, CdnEntry]:
+        return {c.key: c for c in self.cdns}
+
+    def ca_by_key(self) -> dict[str, CaEntry]:
+        return {c.key: c for c in self.cas}
+
+
+_CATALOG = ProviderCatalog()
+
+
+def provider_catalog() -> ProviderCatalog:
+    """The process-wide provider catalog."""
+    return _CATALOG

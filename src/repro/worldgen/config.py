@@ -1,0 +1,87 @@
+"""Generation configuration and calibration targets.
+
+The world is a downscaled Alexa top-100K: with ``n_websites = N``, a
+generated rank ``r`` stands for paper rank ``r * (100_000 / N)``, so
+population-level aggregates reproduce the paper's top-100K numbers at any
+scale. Rank-bucket breakdowns (the paper's k=100 / 1K / 10K / 100K) are
+taken at the equivalent scaled ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PAPER_POPULATION = 100_000
+
+
+@dataclass
+class CalibrationTargets:
+    """Headline rates the generator aims for (2020 snapshot, top-100K).
+
+    Values come straight from the paper's Sections 3-5; see DESIGN.md §5
+    for provenance. The provider-population counts (``n_cdns``/``n_cas``)
+    directly size the generated markets; the percentage fields document
+    the targets the hand-tuned rank curves in
+    :mod:`repro.worldgen.rankmodel` were calibrated to land on (validated
+    by the integration tests), rather than being read at generation time.
+    """
+
+    # website -> DNS (fractions of all websites)
+    dns_third_party: float = 0.89
+    dns_third_party_top100: float = 0.49
+    dns_critical: float = 0.85
+    dns_critical_top100: float = 0.28
+
+    # website -> CDN
+    cdn_usage: float = 0.332
+    cdn_usage_2016: float = 0.284
+    cdn_third_party_of_users: float = 0.976
+    cdn_critical_of_users: float = 0.85
+    cdn_critical_of_users_top100: float = 0.43
+
+    # website -> CA
+    https_adoption: float = 0.78
+    https_adoption_2016: float = 0.465
+    ca_third_party_of_https: float = 0.77
+    ca_third_party_of_https_top100: float = 0.71
+    ocsp_stapling_of_https: float = 0.17
+
+    # population sizes of the provider markets
+    n_cdns: int = 86
+    n_cas: int = 59
+    n_cdns_2016: int = 47
+    n_cas_2016: int = 70
+
+
+@dataclass
+class WorldConfig:
+    """Everything that controls one generated world."""
+
+    n_websites: int = 10_000
+    seed: int = 42
+    year: int = 2020
+    include_corner_cases: bool = True
+    targets: CalibrationTargets = field(default_factory=CalibrationTargets)
+    # Long-tail DNS providers scale with population so concentration CDFs
+    # keep their shape at any N.
+    tail_dns_providers_per_1k_sites: float = 12.0
+    tail_dns_providers_per_1k_sites_2016: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.n_websites < 100:
+            raise ValueError("worlds below 100 websites are too noisy to use")
+        if self.year not in (2016, 2020):
+            raise ValueError("only the paper's 2016 and 2020 snapshots exist")
+
+    @property
+    def rank_scale(self) -> float:
+        """Multiplier from generated rank to equivalent paper rank."""
+        return PAPER_POPULATION / self.n_websites
+
+    def effective_rank(self, rank: int) -> float:
+        """The paper-scale rank a generated rank stands for."""
+        return rank * self.rank_scale
+
+    def scaled_bucket(self, paper_bucket: int) -> int:
+        """Generated-world size of a paper rank bucket (k=100 → N/1000...)."""
+        return max(1, round(paper_bucket / self.rank_scale))

@@ -1,0 +1,441 @@
+"""The paper's named corner cases, wired explicitly.
+
+Every anecdote Section 3-5 uses to motivate or stress the classification
+heuristics exists in the generated world with the same structure:
+
+* youtube.com — nameservers under google.com (alias entity; SAN rescues it),
+* yahoo.com — private CDN on yimg.com (TLD mismatch; SAN rescues it),
+* instagram.com — Facebook CDN, AWS SOA (SOA-matching false positive),
+* twitter.com — Dyn with the provider's SOA (SOA false negative), private
+  CDN (twimg) on third-party DNS,
+* amazon.com — Dyn + UltraDNS redundancy with its *own* SOA,
+* godaddy.com / microsoft.com / xbox.com — private CA that itself rides
+  third-party infrastructure,
+* academia.edu — MaxCDN, which uses AWS DNS (the intro's example),
+* the Table 3-5 movers (espn, flickr, twitch, walmart, fiverr, paypal,
+  imdb, ebay, dropbox, wordpress, microsoft, naver...).
+
+``apply_corner_cases(spec, year)`` overwrites the randomly-drawn specs for
+these domains with their year-appropriate ground truth and pins them so the
+evolution step's random quotas skip them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.worldgen.spec import (
+    PRIVATE,
+    CdnSpec,
+    DnsSetup,
+    SnapshotSpec,
+    WebsiteSpec,
+)
+
+#: Domains whose specs are hand-wired; the evolution step must not touch
+#: them with random transitions.
+PINNED_DOMAINS: set[str] = set()
+
+
+def private_cdn_specs(year: int, dns_entities: dict[str, str]) -> list[CdnSpec]:
+    """Corner-case private CDNs that appear in the CNAME→CDN map."""
+    specs = [
+        CdnSpec(
+            key="facebook-cdn", display="Facebook CDN", entity="facebook.com",
+            cname_suffixes=("fbcdn.net",), share_weight=0.0,
+            # Facebook CDN uses Facebook DNS (its SOA says so) — private.
+            dns=DnsSetup(providers=[PRIVATE], soa_masked=False),
+        ),
+        CdnSpec(
+            key="yahoo-cdn", display="Yahoo private CDN", entity="yahoo.com",
+            cname_suffixes=("yimg.com",), share_weight=0.0,
+            dns=DnsSetup(providers=[PRIVATE], soa_masked=False),
+        ),
+        CdnSpec(
+            key="twitter-cdn", display="Twitter private CDN", entity="twitter.com",
+            cname_suffixes=("twimg.com",), share_weight=0.0,
+            # The private CDN itself rides third-party DNS (Section 5.3's
+            # "290 additional websites... include twitter.com").
+            dns=DnsSetup(providers=["dyn"]),
+        ),
+        CdnSpec(
+            key="airbnb-cdn", display="Airbnb private CDN", entity="airbnb.com",
+            cname_suffixes=("airbnb-assets.net",), share_weight=0.0,
+            dns=DnsSetup(providers=["aws-dns"]),
+        ),
+        CdnSpec(
+            key="squarespace-cdn", display="Squarespace private CDN",
+            entity="squarespace.com",
+            cname_suffixes=("sqsp-assets.net",), share_weight=0.0,
+            dns=DnsSetup(providers=["aws-dns"]),
+        ),
+    ]
+    return specs
+
+
+@dataclass
+class _Case:
+    """Year-dependent override for one pinned domain."""
+
+    entity: Optional[str] = None
+    dns_2016: Optional[DnsSetup] = None
+    dns_2020: Optional[DnsSetup] = None
+    cdns_2016: Optional[list[str]] = None
+    cdns_2020: Optional[list[str]] = None
+    https_2016: Optional[bool] = None
+    https_2020: Optional[bool] = None
+    ca_2016: Optional[str] = None
+    ca_2020: Optional[str] = None
+    stapled_2016: Optional[bool] = None
+    stapled_2020: Optional[bool] = None
+    alias_sans: tuple[str, ...] = ()
+    internal_alias_domain: Optional[str] = None
+    external_domains: list[str] = field(default_factory=list)
+
+
+def _own(masked: bool = False) -> DnsSetup:
+    return DnsSetup(providers=[PRIVATE], soa_masked=masked)
+
+
+_CASES: dict[str, _Case] = {
+    # -- the big platform owners ------------------------------------------
+    "google.com": _Case(
+        entity="google",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016=PRIVATE, ca_2020="google-trust",  # GTS is Google's own entity
+        stapled_2016=True, stapled_2020=True,
+        cdns_2016=[], cdns_2020=[],
+        alias_sans=("*.google.com", "youtube.com", "*.youtube.com"),
+    ),
+    "youtube.com": _Case(
+        entity="google",
+        # Nameservers are *.google.com: a TLD mismatch that the SAN list
+        # resolves (Section 3.1's youtube example).
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016=PRIVATE, ca_2020="google-trust",
+        stapled_2016=True, stapled_2020=True,
+        cdns_2016=[], cdns_2020=[],
+        alias_sans=("*.google.com", "google.com"),
+    ),
+    "facebook.com": _Case(
+        entity="facebook",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=True, stapled_2020=True,
+        cdns_2016=["facebook-cdn"], cdns_2020=["facebook-cdn"],
+        alias_sans=("*.facebook.com", "*.fbcdn.net"),
+        internal_alias_domain="fbcdn.net",
+    ),
+    "instagram.com": _Case(
+        entity="facebook",
+        # Third-party DNS whose SOA (AWS) differs from its private CDN's
+        # SOA (Facebook DNS): the Section 3.3 SOA false positive.
+        dns_2016=DnsSetup(providers=["aws-dns"]),
+        dns_2020=DnsSetup(providers=["aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["facebook-cdn"], cdns_2020=["facebook-cdn"],
+        alias_sans=("*.instagram.com", "*.fbcdn.net"),
+        internal_alias_domain="fbcdn.net",
+    ),
+    "yahoo.com": _Case(
+        entity="yahoo",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["yahoo-cdn"], cdns_2020=["yahoo-cdn"],
+        alias_sans=("*.yahoo.com", "*.yimg.com"),
+        internal_alias_domain="yimg.com",
+    ),
+    "amazon.com": _Case(
+        entity="amazon",
+        # Two third-party DNS providers and its own SOA: the case where
+        # plain SOA matching *works* (Section 3.1).
+        dns_2016=DnsSetup(providers=["dyn", "ultradns"], soa_masked=False),
+        dns_2020=DnsSetup(providers=["dyn", "ultradns"], soa_masked=False),
+        https_2016=True, https_2020=True,
+        ca_2016="symantec", ca_2020="amazon-ca",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["cloudfront"], cdns_2020=["cloudfront"],
+    ),
+    "microsoft.com": _Case(
+        entity="microsoft",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        # Private CA that itself uses a third-party CDN (Section 5.2), and
+        # one of the paper's stapling droppers (Table 5).
+        ca_2016="microsoft-ca", ca_2020="microsoft-ca",
+        stapled_2016=True, stapled_2020=False,
+        cdns_2016=["azure-cdn"], cdns_2020=["azure-cdn"],
+    ),
+    "xbox.com": _Case(
+        entity="microsoft",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016="microsoft-ca", ca_2020="microsoft-ca",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["azure-cdn"], cdns_2020=["azure-cdn"],
+        alias_sans=("*.xbox.com", "*.microsoft.com"),
+    ),
+    # -- Dyn incident cast --------------------------------------------------
+    "twitter.com": _Case(
+        entity="twitter.com",
+        # Critically on Dyn in 2016 — with Dyn's SOA on the zone, the trap
+        # that breaks SOA-only classification; redundant by 2020 (and the
+        # SOA reclaimed along with the private leg, so the redundancy is
+        # observable, as the paper reports in Section 4).
+        dns_2016=DnsSetup(providers=["dyn"], soa_masked=True),
+        dns_2020=DnsSetup(providers=["dyn", PRIVATE], soa_masked=False),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["twitter-cdn"], cdns_2020=["twitter-cdn"],
+        alias_sans=("*.twitter.com", "*.twimg.com"),
+        internal_alias_domain="twimg.com",
+    ),
+    "spotify.com": _Case(
+        entity="spotify.com",
+        dns_2016=DnsSetup(providers=["dyn"]),
+        dns_2020=DnsSetup(providers=["dyn", "aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["fastly"], cdns_2020=["fastly", "cloudfront"],
+    ),
+    "netflix.com": _Case(
+        entity="netflix.com",
+        dns_2016=DnsSetup(providers=["dyn"]),
+        dns_2020=DnsSetup(providers=["aws-dns", "ultradns"]),
+        https_2016=True, https_2020=True,
+        # The intro's example: Netflix uses Symantec, which rides
+        # third-party DNS.
+        ca_2016="symantec", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=[], cdns_2020=[],  # Open Connect: private, not CNAMEd
+    ),
+    "pinterest.com": _Case(
+        entity="pinterest.com",
+        dns_2016=DnsSetup(providers=["aws-dns"]),
+        dns_2020=DnsSetup(providers=["aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        # Unreachable during the Dyn incident *through Fastly* (indirect).
+        cdns_2016=["fastly"], cdns_2020=["fastly"],
+    ),
+    # -- the CA-side anecdotes ---------------------------------------------
+    "godaddy.com": _Case(
+        entity="godaddy",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        # Private CA... whose revocation endpoints ride Akamai DNS/CDN.
+        ca_2016="godaddy-ca", ca_2020="godaddy-ca",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=[], cdns_2020=[],
+        alias_sans=("*.godaddy.com", "gdpki.com", "*.gdpki.com"),
+    ),
+    "academia.edu": _Case(
+        entity="academia.edu",
+        dns_2016=DnsSetup(providers=["dnsmadeeasy"]),
+        dns_2020=DnsSetup(providers=["dnsmadeeasy"]),
+        https_2016=True, https_2020=True,
+        ca_2016="sectigo", ca_2020="sectigo",
+        stapled_2016=False, stapled_2020=False,
+        # The intro's example: MaxCDN, which depends on AWS DNS.
+        cdns_2016=["maxcdn"], cdns_2020=["maxcdn"],
+    ),
+    # -- private-CDN-on-third-party-DNS set (Section 5.3) -------------------
+    "airbnb.com": _Case(
+        entity="airbnb.com",
+        dns_2016=DnsSetup(providers=["aws-dns"]),
+        dns_2020=DnsSetup(providers=["aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["airbnb-cdn"], cdns_2020=["airbnb-cdn"],
+        alias_sans=("*.airbnb.com", "*.airbnb-assets.net"),
+        internal_alias_domain="airbnb-assets.net",
+    ),
+    "squarespace.com": _Case(
+        entity="squarespace.com",
+        dns_2016=DnsSetup(providers=["cloudflare"]),
+        dns_2020=DnsSetup(providers=["cloudflare"]),
+        https_2016=True, https_2020=True,
+        ca_2016="sectigo", ca_2020="letsencrypt",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["squarespace-cdn"], cdns_2020=["squarespace-cdn"],
+        alias_sans=("*.squarespace.com", "*.sqsp-assets.net"),
+        internal_alias_domain="sqsp-assets.net",
+    ),
+    # -- Table 3 movers ------------------------------------------------------
+    "espn.com": _Case(
+        entity="espn.com",
+        dns_2016=_own(), dns_2020=DnsSetup(providers=["aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["akamai"], cdns_2020=["akamai"],
+    ),
+    "flickr.com": _Case(
+        entity="flickr.com",
+        dns_2016=_own(), dns_2020=DnsSetup(providers=["cloudflare"]),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["fastly"], cdns_2020=["fastly"],
+    ),
+    # -- Table 4 movers ------------------------------------------------------
+    "twitch.tv": _Case(
+        entity="amazon",
+        dns_2016=DnsSetup(providers=["aws-dns"]),
+        dns_2020=DnsSetup(providers=["aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="amazon-ca",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["cloudfront", "akamai"], cdns_2020=["cloudfront"],
+    ),
+    "walmart.com": _Case(
+        entity="walmart.com",
+        dns_2016=DnsSetup(providers=["akamai-dns", "ultradns"]),
+        dns_2020=DnsSetup(providers=["akamai-dns", "ultradns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="globalsign", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["akamai", "fastly"], cdns_2020=["akamai"],
+    ),
+    "fiverr.com": _Case(
+        entity="fiverr.com",
+        dns_2016=DnsSetup(providers=["aws-dns"]),
+        dns_2020=DnsSetup(providers=["aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="sectigo", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["cloudfront", "fastly"], cdns_2020=["cloudfront"],
+    ),
+    "paypal.com": _Case(
+        entity="paypal.com",
+        dns_2016=DnsSetup(providers=["ultradns"]),
+        dns_2020=DnsSetup(providers=["ultradns", "dyn"]),
+        https_2016=True, https_2020=True,
+        ca_2016="symantec", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["akamai"], cdns_2020=["akamai", "cloudfront"],
+    ),
+    "imdb.com": _Case(
+        entity="amazon",
+        dns_2016=DnsSetup(providers=["dyn", "ultradns"]),
+        dns_2020=DnsSetup(providers=["aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="symantec", ca_2020="amazon-ca",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["cloudfront"], cdns_2020=["cloudfront", "akamai"],
+    ),
+    "ebay.com": _Case(
+        entity="ebay.com",
+        dns_2016=DnsSetup(providers=["ultradns"]),
+        dns_2020=DnsSetup(providers=["ultradns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="symantec", ca_2020="digicert",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["edgecast"], cdns_2020=["edgecast", "akamai"],
+    ),
+    # -- Table 5 movers (stapling) -------------------------------------------
+    "dropbox.com": _Case(
+        entity="dropbox.com",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=True, stapled_2020=False,
+        cdns_2016=["akamai"], cdns_2020=["cloudflare-cdn"],
+    ),
+    "wordpress.com": _Case(
+        entity="wordpress.com",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016="sectigo", ca_2020="letsencrypt",
+        stapled_2016=True, stapled_2020=False,
+        cdns_2016=[], cdns_2020=[],
+    ),
+    "naver.com": _Case(
+        entity="naver.com",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016="digicert", ca_2020="digicert",
+        stapled_2016=True, stapled_2020=True,
+        cdns_2016=[], cdns_2020=["akamai"],
+    ),
+    "theguardian.com": _Case(
+        entity="theguardian.com",
+        # The Guardian's documented Dyn + Route 53 dual setup [23].
+        dns_2016=DnsSetup(providers=["dyn", "aws-dns"]),
+        dns_2020=DnsSetup(providers=["dyn", "aws-dns"]),
+        https_2016=True, https_2020=True,
+        ca_2016="globalsign", ca_2020="globalsign",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["fastly"], cdns_2020=["fastly"],
+    ),
+    "soundcloud.com": _Case(
+        entity="soundcloud.com",
+        dns_2016=DnsSetup(providers=["aws-dns"]),
+        dns_2020=DnsSetup(providers=["aws-dns"]),
+        https_2016=True, https_2020=True,
+        # A GlobalSign revocation-incident victim (Section 2).
+        ca_2016="globalsign", ca_2020="globalsign",
+        stapled_2016=False, stapled_2020=False,
+        cdns_2016=["edgecast"], cdns_2020=["cloudfront"],
+    ),
+    "wikipedia.org": _Case(
+        entity="wikimedia",
+        dns_2016=_own(), dns_2020=_own(),
+        https_2016=True, https_2020=True,
+        ca_2016="globalsign", ca_2020="letsencrypt",
+        stapled_2016=True, stapled_2020=True,
+        cdns_2016=[], cdns_2020=[],
+    ),
+}
+
+PINNED_DOMAINS.update(_CASES)
+
+
+def apply_corner_cases(spec: SnapshotSpec, year: int) -> None:
+    """Overwrite pinned domains' specs with their hand-wired ground truth."""
+    by_domain = spec.website_by_domain()
+    for domain, case in _CASES.items():
+        website = by_domain.get(domain)
+        if website is None:
+            continue
+        _apply(website, case, year)
+
+
+def _pick(year: int, v2016, v2020):
+    return v2016 if year < 2020 else v2020
+
+
+def _apply(website: WebsiteSpec, case: _Case, year: int) -> None:
+    if case.entity is not None:
+        website.entity = case.entity
+    dns = _pick(year, case.dns_2016, case.dns_2020)
+    if dns is not None:
+        website.dns = dns.copy()
+    cdns = _pick(year, case.cdns_2016, case.cdns_2020)
+    if cdns is not None:
+        website.cdns = list(cdns)
+    https = _pick(year, case.https_2016, case.https_2020)
+    if https is not None:
+        website.https = https
+    ca = _pick(year, case.ca_2016, case.ca_2020)
+    if ca is not None:
+        website.ca_key = ca if website.https else None
+    stapled = _pick(year, case.stapled_2016, case.stapled_2020)
+    if stapled is not None:
+        website.ocsp_stapled = stapled and website.https
+    website.alias_sans = case.alias_sans
+    website.internal_alias_domain = case.internal_alias_domain
+    if case.external_domains:
+        website.external_resource_domains = list(case.external_domains)

@@ -1,0 +1,224 @@
+"""The :class:`World`: a live simulated internet plus measurement handles.
+
+Wraps a materialized snapshot with a caching resolver, a dig client, a web
+client, and a crawler — the toolbox a vantage point has — plus fault
+injection (provider outages) used by the incident-replay experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.dnssim.cache import DnsCache
+from repro.dnssim.client import DigClient
+from repro.dnssim.resolver import IterativeResolver
+from repro.tlssim.validation import RevocationPolicy
+from repro.websim.client import WebClient
+from repro.websim.crawler import Crawler
+from repro.worldgen.alexa import ListChurn
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.evolve import evolve_to_2020
+from repro.worldgen.generate import generate_snapshot
+from repro.worldgen.materialize import MaterializedWorld, materialize
+from repro.worldgen.spec import SnapshotSpec
+
+
+@dataclass
+class VantagePoint:
+    """One measurement vantage: a region-tagged resolver and its tools."""
+
+    region: Optional[str]
+    resolver: IterativeResolver
+    dig: DigClient
+    web_client: WebClient
+    crawler: Crawler
+
+
+class World:
+    """One live snapshot of the simulated internet."""
+
+    def __init__(self, materialized: MaterializedWorld, config: WorldConfig):
+        self._m = materialized
+        self.config = config
+        self.resolver = IterativeResolver(
+            materialized.dns_network,
+            materialized.root_hints,
+            clock=materialized.clock,
+        )
+        self.dig = DigClient(self.resolver)
+        self.web_client = WebClient(
+            dns=self.dig,
+            fabric=materialized.http_fabric,
+            trust_store=materialized.trust_store,
+            clock=materialized.clock,
+            revocation_policy=RevocationPolicy.SOFT_FAIL,
+        )
+        self.crawler = Crawler(self.web_client)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def spec(self) -> SnapshotSpec:
+        return self._m.spec
+
+    @property
+    def year(self) -> int:
+        return self._m.spec.year
+
+    @property
+    def clock(self):
+        return self._m.clock
+
+    @property
+    def dns_network(self):
+        return self._m.dns_network
+
+    @property
+    def http_fabric(self):
+        return self._m.http_fabric
+
+    @property
+    def trust_store(self):
+        return self._m.trust_store
+
+    @property
+    def dns_infra(self):
+        return self._m.dns_infra
+
+    @property
+    def cdn_infra(self):
+        return self._m.cdn_infra
+
+    @property
+    def ca_infra(self):
+        return self._m.ca_infra
+
+    @property
+    def website_infra(self):
+        return self._m.website_infra
+
+    def fresh_client(
+        self,
+        policy: RevocationPolicy = RevocationPolicy.HARD_FAIL,
+        region: Optional[str] = None,
+    ) -> WebClient:
+        """A new client with a cold resolver cache (an independent user),
+        optionally resolving from a specific region (GeoDNS views)."""
+        resolver = IterativeResolver(
+            self._m.dns_network,
+            self._m.root_hints,
+            clock=self._m.clock,
+            cache=DnsCache(self._m.clock),
+            region=region,
+        )
+        return WebClient(
+            dns=DigClient(resolver),
+            fabric=self._m.http_fabric,
+            trust_store=self._m.trust_store,
+            clock=self._m.clock,
+            revocation_policy=policy,
+        )
+
+    def vantage(self, region: Optional[str]) -> "VantagePoint":
+        """A full measurement vantage (resolver/dig/client/crawler) in
+        ``region`` — the multi-vantage extension of the paper's §3.5."""
+        resolver = IterativeResolver(
+            self._m.dns_network,
+            self._m.root_hints,
+            clock=self._m.clock,
+            cache=DnsCache(self._m.clock),
+            region=region,
+        )
+        dig = DigClient(resolver)
+        client = WebClient(
+            dns=dig,
+            fabric=self._m.http_fabric,
+            trust_store=self._m.trust_store,
+            clock=self._m.clock,
+            revocation_policy=RevocationPolicy.SOFT_FAIL,
+        )
+        return VantagePoint(
+            region=region,
+            resolver=resolver,
+            dig=dig,
+            web_client=client,
+            crawler=Crawler(client),
+        )
+
+    # -- fault injection -----------------------------------------------------
+
+    def take_down_dns_provider(self, key: str, available: bool = False) -> None:
+        """Stop (or restore) every nameserver a managed-DNS provider runs.
+
+        This is the Dyn scenario: the provider's listener IPs stop
+        answering; zones hosted *only* there become unresolvable.
+        """
+        infra = self._m.dns_infra[key]
+        for server in infra.servers:
+            self._m.dns_network.set_server_available(server, available)
+
+    def take_down_cdn(self, key: str, available: bool = False) -> None:
+        """Stop (or restore) a CDN's edge servers."""
+        infra = self._m.cdn_infra[key]
+        self._m.http_fabric.set_server_available(infra.edge_server, available)
+
+    def take_down_ca(self, key: str, available: bool = False) -> None:
+        """Stop (or restore) a CA's directly-hosted revocation endpoints.
+
+        Endpoints deployed on a CDN keep serving — which is the CA→CDN
+        dependency cutting the other way.
+        """
+        infra = self._m.ca_infra[key]
+        if infra.service_server is not None:
+            self._m.http_fabric.set_server_available(
+                infra.service_server, available
+            )
+
+    def misconfigure_ca_revocations(self, key: str, broken: bool = True) -> None:
+        """Flip a CA's OCSP responder into revoke-everything mode — the
+        GlobalSign 2016 incident."""
+        self._m.ca_infra[key].ca.ocsp_responder.misconfigured_revoke_all = broken
+
+    def restore_all(self) -> None:
+        """Bring every failed component back."""
+        for ip in list(self._m.dns_network.down_ips()):
+            self._m.dns_network.set_ip_available(ip, True)
+        for infra in self._m.cdn_infra.values():
+            self._m.http_fabric.set_server_available(infra.edge_server, True)
+        for infra in self._m.ca_infra.values():
+            if infra.service_server is not None:
+                self._m.http_fabric.set_server_available(
+                    infra.service_server, True
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"World(year={self.year}, websites={len(self.spec.websites)}, "
+            f"dns_providers={len(self.spec.dns_providers)}, "
+            f"cdns={len(self.spec.cdns)}, cas={len(self.spec.cas)})"
+        )
+
+
+def build_world(config: Optional[WorldConfig] = None) -> World:
+    """Generate, (optionally) evolve, and materialize one world."""
+    config = config or WorldConfig()
+    if config.year == 2016:
+        spec = generate_snapshot(config)
+    else:
+        base = generate_snapshot(replace(config, year=2016))
+        spec, _ = evolve_to_2020(base, config)
+    return World(materialize(spec), config)
+
+
+def build_world_pair(
+    config: Optional[WorldConfig] = None,
+) -> tuple[World, World, ListChurn]:
+    """The 2016 and 2020 worlds sharing one evolved population."""
+    config = config or WorldConfig()
+    base_config = replace(config, year=2016)
+    spec_2016 = generate_snapshot(base_config)
+    spec_2020, churn = evolve_to_2020(spec_2016, config)
+    world_2016 = World(materialize(spec_2016), base_config)
+    world_2020 = World(materialize(spec_2020), replace(config, year=2020))
+    return world_2016, world_2020, churn

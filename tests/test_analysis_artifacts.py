@@ -1,0 +1,145 @@
+"""Tests for the table/figure builders and rendering."""
+
+import pytest
+
+from repro.analysis import (
+    figure2_dns_by_rank,
+    figure3_cdn_by_rank,
+    figure4_ca_by_rank,
+    figure5_dependency_graphs,
+    figure6_provider_cdfs,
+    figure7_ca_dns_amplification,
+    figure8_ca_cdn_amplification,
+    figure9_cdn_dns_amplification,
+    render_figure,
+    render_table,
+    table1_dataset_summary,
+    table2_comparison_summary,
+    table3_dns_trends,
+    table4_cdn_trends,
+    table5_ca_trends,
+    table6_interservice_summary,
+    table7_ca_dns_trends,
+    table8_ca_cdn_trends,
+    table9_cdn_dns_trends,
+    table10_hospitals,
+    table11_smart_home,
+)
+from repro.analysis.artifacts import TableArtifact
+from repro.worldgen.case_studies import smart_home_companies
+
+
+class TestTableArtifacts:
+    def test_table1(self, snapshot_2020):
+        table = table1_dataset_summary(snapshot_2020)
+        assert len(table.rows) == 5
+        measured_pct = dict(
+            (row[0], row[2]) for row in table.rows
+        )
+        assert measured_pct["Websites supporting HTTPS"] == pytest.approx(78, abs=6)
+
+    def test_table2(self, snapshot_pair):
+        old, new = snapshot_pair
+        table = table2_comparison_summary(old, new)
+        assert len(table.rows) == 5
+        assert any("no longer exist" in note for note in table.notes)
+
+    def test_trend_tables_have_paper_rows(self, snapshot_pair):
+        old, new = snapshot_pair
+        for build in (table3_dns_trends, table4_cdn_trends, table5_ca_trends):
+            table = build(old, new)
+            assert table.paper_rows is not None
+            assert len(table.paper_rows) == len(table.rows)
+
+    def test_table6(self, snapshot_2020):
+        table = table6_interservice_summary(snapshot_2020)
+        rows = {row[0]: row for row in table.rows}
+        assert set(rows) == {"CDN -> DNS", "CA -> DNS", "CA -> CDN"}
+        for row in table.rows:
+            total, third, critical = row[1], row[2], row[4]
+            assert 0 <= critical <= third <= total
+
+    def test_interservice_trend_tables(self, snapshot_pair):
+        old, new = snapshot_pair
+        for build in (table7_ca_dns_trends, table8_ca_cdn_trends, table9_cdn_dns_trends):
+            table = build(old, new)
+            assert len(table.rows) == 5
+
+    def test_table11_static(self):
+        table = table11_smart_home(smart_home_companies())
+        rows = {row[0]: row for row in table.rows}
+        # Calibrated to the paper: 21/23 third-party DNS, 8 critical...
+        assert rows["DNS"][1] == 21
+        assert rows["DNS"][5] == pytest.approx(34.7, abs=0.5)
+        # ...15 third-party cloud, 5 critical.
+        assert rows["Cloud"][1] == 15
+        assert rows["Cloud"][4] == 5
+
+    def test_add_row_validates_width(self):
+        table = TableArtifact(id="x", title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+
+class TestFigureArtifacts:
+    def test_bucket_figures(self, snapshot_2020):
+        for build in (figure2_dns_by_rank, figure3_cdn_by_rank, figure4_ca_by_rank):
+            figure = build(snapshot_2020)
+            assert figure.series
+            for series in figure.series.values():
+                assert [x for x, _ in series] == [100, 1000, 10000, 100000]
+            assert figure.paper_stats
+
+    def test_figure5(self, snapshot_2020):
+        figure = figure5_dependency_graphs(snapshot_2020)
+        assert "dns_concentration" in figure.series
+        assert len(figure.series["dns_concentration"]) == 5
+        assert figure.stats["websites"] == len(snapshot_2020.websites)
+
+    def test_figure6(self, snapshot_pair):
+        old, new = snapshot_pair
+        figure = figure6_provider_cdfs(old, new)
+        assert "dns_2016" in figure.series and "ca_2020" in figure.series
+        # The DNS tail collapse: far fewer providers needed for 80% in 2020.
+        assert (
+            figure.stats["dns_2020_providers_for_80pct"]
+            < figure.stats["dns_2016_providers_for_80pct"]
+        )
+
+    def test_figure7_amplification(self, snapshot_2020):
+        figure = figure7_ca_dns_amplification(snapshot_2020)
+        assert (
+            figure.stats["top3_impact_with_indirect"]
+            > figure.stats["top3_impact_direct"]
+        )
+
+    def test_figure8_amplification(self, snapshot_2020):
+        figure = figure8_ca_cdn_amplification(snapshot_2020)
+        assert (
+            figure.stats["top3_impact_with_indirect"]
+            >= figure.stats["top3_impact_direct"] + 10.0
+        )
+
+    def test_figure9_null_result(self, snapshot_2020):
+        figure = figure9_cdn_dns_amplification(snapshot_2020)
+        # Major CDNs run private DNS: amplification should be small.
+        delta = (
+            figure.stats["top3_impact_with_indirect"]
+            - figure.stats["top3_impact_direct"]
+        )
+        assert abs(delta) <= 6.0
+
+
+class TestRendering:
+    def test_render_table_text(self, snapshot_2020):
+        text = render_table(table1_dataset_summary(snapshot_2020))
+        assert "table1" in text and "paper" in text.lower()
+
+    def test_render_figure_text(self, snapshot_2020):
+        text = render_figure(figure2_dns_by_rank(snapshot_2020))
+        assert "figure2" in text and "stats:" in text
+
+    def test_render_handles_missing_values(self):
+        table = TableArtifact(id="x", title="t", columns=["a"])
+        table.add_row(None)
+        assert "-" in render_table(table)

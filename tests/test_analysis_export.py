@@ -1,0 +1,58 @@
+"""Tests for CSV export of artifacts."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import figure2_dns_by_rank, table1_dataset_summary
+from repro.analysis.export import (
+    artifact_to_csv,
+    export_artifact,
+    figure_to_csv,
+    table_to_csv,
+)
+
+
+class TestTableCsv:
+    def test_parses_back(self, snapshot_2020):
+        table = table1_dataset_summary(snapshot_2020)
+        rows = list(csv.reader(io.StringIO(table_to_csv(table))))
+        assert rows[0] == table.columns
+        assert len(rows) >= 1 + len(table.rows)
+
+    def test_none_becomes_empty(self, snapshot_2020):
+        from repro.analysis.artifacts import TableArtifact
+
+        table = TableArtifact(id="t", title="t", columns=["a", "b"])
+        table.add_row("x", None)
+        rows = list(csv.reader(io.StringIO(table_to_csv(table))))
+        assert rows[1] == ["x", ""]
+
+
+class TestFigureCsv:
+    def test_long_format(self, snapshot_2020):
+        figure = figure2_dns_by_rank(snapshot_2020)
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert rows[0] == ["series", "x", "y"]
+        point_rows = [r for r in rows[1:] if len(r) == 3 and r[0] in figure.series]
+        total_points = sum(len(p) for p in figure.series.values())
+        assert len(point_rows) == total_points
+
+    def test_stats_appended(self, snapshot_2020):
+        figure = figure2_dns_by_rank(snapshot_2020)
+        text = figure_to_csv(figure)
+        assert "third_party_top100k" in text
+
+
+class TestDispatchAndFiles:
+    def test_dispatch(self, snapshot_2020):
+        assert "series" in artifact_to_csv(figure2_dns_by_rank(snapshot_2020))
+        assert "population" in artifact_to_csv(table1_dataset_summary(snapshot_2020))
+        with pytest.raises(TypeError):
+            artifact_to_csv("not an artifact")  # type: ignore[arg-type]
+
+    def test_export_to_directory(self, snapshot_2020, tmp_path):
+        path = export_artifact(table1_dataset_summary(snapshot_2020), tmp_path)
+        assert path.name == "table1.csv"
+        assert path.read_text().startswith("population")

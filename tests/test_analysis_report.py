@@ -1,0 +1,42 @@
+"""Tests for the whole-paper report builder."""
+
+import pytest
+
+from repro.analysis.report import PaperReport, build_report, export_report_csvs
+
+
+class TestBuildReport:
+    def test_single_snapshot_subset(self, snapshot_2020):
+        report = build_report(snapshot_2020)
+        assert {"table1", "table6", "table11"} <= set(report.tables)
+        assert "table2" not in report.tables  # needs the 2016 snapshot
+        assert {"figure2", "figure5", "figure8"} <= set(report.figures)
+        assert "figure6" not in report.figures
+
+    def test_pair_builds_everything_but_hospitals(self, snapshot_pair):
+        old, new = snapshot_pair
+        report = build_report(new, snapshot_2016=old)
+        assert len(report.tables) == 10  # all but table10
+        assert len(report.figures) == 8
+
+    def test_markdown_rendering(self, snapshot_2020):
+        report = build_report(snapshot_2020)
+        markdown = report.to_markdown(title="Test run")
+        assert markdown.startswith("# Test run")
+        assert "table1" in markdown and "figure2" in markdown
+
+    def test_write_markdown(self, snapshot_2020, tmp_path):
+        report = build_report(snapshot_2020)
+        path = report.write_markdown(tmp_path / "report.md")
+        assert path.read_text().startswith("# Paper artifacts")
+
+    def test_csv_export(self, snapshot_2020, tmp_path):
+        report = build_report(snapshot_2020)
+        paths = export_report_csvs(report, tmp_path)
+        assert len(paths) == len(report.artifacts())
+        assert all(p.exists() for p in paths)
+
+    def test_empty_report(self):
+        report = PaperReport()
+        assert report.artifacts() == []
+        assert report.to_markdown().startswith("# Paper artifacts")

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface (small worlds, captured output)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+ARGS = ["--n", "300", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "12"])
+
+    def test_year_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["summary", "--year", "2019"])
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        assert main(["summary", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "DNS:" in out and "Top-3 impact" in out
+
+    def test_table_single_snapshot(self, capsys):
+        assert main(["table", "1", *ARGS]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_table_11_is_static(self, capsys):
+        assert main(["table", "11"]) == 0
+        assert "smart-home" in capsys.readouterr().out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "2", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out and "stats:" in out
+
+    def test_audit_known_domain(self, capsys):
+        assert main(["audit", "academia.edu", *ARGS]) == 0
+        assert "single points of failure" in capsys.readouterr().out
+
+    def test_audit_unknown_domain(self, capsys):
+        assert main(["audit", "not-in-world.example", *ARGS]) == 1
+        assert "not in this world" in capsys.readouterr().err
+
+    def test_outage(self, capsys):
+        assert main(["outage", "cloudflare", *ARGS]) == 0
+        assert "Outage of cloudflare" in capsys.readouterr().out
+
+    def test_outage_unknown_provider(self, capsys):
+        assert main(["outage", "nonexistent-dns", *ARGS]) == 1
+        assert "unknown provider" in capsys.readouterr().err

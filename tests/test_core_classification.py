@@ -1,0 +1,294 @@
+"""Tests for the Section 3 heuristics: unit-level branches, the paper's
+corner cases, and the validation experiment (heuristic vs baselines)."""
+
+import pytest
+
+from repro.core.classification import (
+    ClassificationMethod,
+    ProviderType,
+    classify_ca,
+    classify_ca_soa_only,
+    classify_ca_tld_only,
+    classify_cdn,
+    classify_cdn_soa_only,
+    classify_cdn_tld_only,
+    classify_dns,
+    classify_nameserver,
+    classify_nameserver_soa_only,
+    classify_nameserver_tld_only,
+)
+from repro.measurement.records import (
+    CdnObservation,
+    DnsObservation,
+    SoaIdentity,
+    TlsObservation,
+)
+
+OWN_SOA = SoaIdentity("ns1.site.com", "hostmaster.site.com")
+DYN_SOA = SoaIdentity("ns1.dynect.net", "hostmaster.dynect.net")
+
+
+class TestNameserverLadder:
+    def test_tld_match_is_private(self):
+        out = classify_nameserver(
+            "site.com", "ns1.site.com", OWN_SOA, OWN_SOA, san=(), concentration=0
+        )
+        assert out.type == ProviderType.PRIVATE
+        assert out.method == ClassificationMethod.TLD
+
+    def test_san_rescues_entity_aliases(self):
+        # youtube.com with *.google.com nameservers: SAN contains google.com.
+        out = classify_nameserver(
+            "youtube.com", "ns1.google.com",
+            SoaIdentity("ns1.google.com", "dns.google.com"),
+            SoaIdentity("ns1.google.com", "dns.google.com"),
+            san=("youtube.com", "*.google.com"),
+            concentration=500,
+        )
+        assert out.type == ProviderType.PRIVATE
+        assert out.method == ClassificationMethod.SAN
+
+    def test_soa_mismatch_is_third_party(self):
+        out = classify_nameserver(
+            "site.com", "ns1.dynect.net", OWN_SOA, DYN_SOA, san=(), concentration=0
+        )
+        assert out.type == ProviderType.THIRD_PARTY
+        assert out.method == ClassificationMethod.SOA
+
+    def test_concentration_rescues_masked_soa(self):
+        # twitter.com's SOA points at Dyn: the SOA rung is blind, but a
+        # nameserver serving many websites is a provider.
+        out = classify_nameserver(
+            "twitter.com", "ns1.dynect.net", DYN_SOA, DYN_SOA,
+            san=("twitter.com", "*.twitter.com"), concentration=120,
+        )
+        assert out.type == ProviderType.THIRD_PARTY
+        assert out.method == ClassificationMethod.CONCENTRATION
+
+    def test_unknown_when_everything_fails(self):
+        out = classify_nameserver(
+            "site.com", "ns1.tiny-dns.net", DYN_SOA, DYN_SOA, san=(), concentration=3
+        )
+        assert out.type == ProviderType.UNKNOWN
+
+
+class TestBaselines:
+    def test_tld_only_misses_aliases(self):
+        # The youtube/google false positive the paper describes.
+        assert (
+            classify_nameserver_tld_only("youtube.com", "ns1.google.com")
+            == ProviderType.THIRD_PARTY
+        )
+
+    def test_soa_only_misses_masked_zones(self):
+        # The twitter/Dyn false negative.
+        assert (
+            classify_nameserver_soa_only(DYN_SOA, DYN_SOA) == ProviderType.PRIVATE
+        )
+
+    def test_soa_only_works_for_amazon_style(self):
+        own = SoaIdentity("ns1.amazon.com", "hostmaster.amazon.com")
+        assert (
+            classify_nameserver_soa_only(own, DYN_SOA) == ProviderType.THIRD_PARTY
+        )
+
+
+class TestDnsClassification:
+    def _observation(self, nameservers, website_soa, ns_soas):
+        return DnsObservation(
+            domain="site.com",
+            nameservers=nameservers,
+            website_soa=website_soa,
+            nameserver_soas=ns_soas,
+        )
+
+    def test_critical_single_provider(self):
+        obs = self._observation(
+            ["ns1.dynect.net", "ns2.dynect.net"], OWN_SOA,
+            {"ns1.dynect.net": DYN_SOA, "ns2.dynect.net": DYN_SOA},
+        )
+        out = classify_dns(obs, san=(), concentration_of=lambda b: 100)
+        assert out.uses_third_party and out.is_critical
+        assert out.third_party_provider_ids == ["dynect.net"]
+
+    def test_redundant_two_providers(self):
+        ultra = SoaIdentity("ns1.ultradns.net", "h.ultradns.net")
+        obs = self._observation(
+            ["ns1.dynect.net", "ns1.ultradns.net"], OWN_SOA,
+            {"ns1.dynect.net": DYN_SOA, "ns1.ultradns.net": ultra},
+        )
+        out = classify_dns(obs, san=(), concentration_of=lambda b: 100)
+        assert out.is_redundant and not out.is_critical
+        assert out.uses_multiple_third_parties
+
+    def test_private_plus_third_is_redundant(self):
+        obs = self._observation(
+            ["ns1.dynect.net", "ns1.site.com"], OWN_SOA,
+            {"ns1.dynect.net": DYN_SOA, "ns1.site.com": OWN_SOA},
+        )
+        out = classify_dns(obs, san=(), concentration_of=lambda b: 100)
+        assert out.uses_third_party and out.has_private
+        assert out.is_redundant and not out.is_critical
+
+    def test_same_entity_multi_domain_not_redundant(self):
+        shared = SoaIdentity("ns1.alibabadns.com", "dns.alibaba")
+        obs = DnsObservation(
+            domain="shop.com",
+            nameservers=["ns1.alicdn.com", "ns1.alibabadns.com"],
+            website_soa=OWN_SOA,
+            nameserver_soas={
+                "ns1.alicdn.com": shared, "ns1.alibabadns.com": shared,
+            },
+        )
+        out = classify_dns(obs, san=(), concentration_of=lambda b: 100)
+        assert out.is_critical  # one entity, despite two TLDs
+
+    def test_uncharacterized_flag(self):
+        obs = self._observation(
+            ["ns1.small.net"], DYN_SOA, {"ns1.small.net": DYN_SOA}
+        )
+        out = classify_dns(obs, san=(), concentration_of=lambda b: 1)
+        assert not out.characterized
+
+
+class TestCaClassification:
+    def _tls(self, **overrides):
+        defaults = dict(
+            domain="site.com",
+            https=True,
+            san=("site.com", "*.site.com"),
+            ocsp_urls=("http://ocsp.digicert.com/ocsp",),
+            crl_urls=(),
+            ocsp_stapled=False,
+        )
+        defaults.update(overrides)
+        return TlsObservation(**defaults)
+
+    def test_third_party_by_soa(self):
+        tls = self._tls()
+        out = classify_ca(
+            tls,
+            website_soa=OWN_SOA,
+            soa_lookup=lambda host: SoaIdentity("ns1.dnsmadeeasy.com", "h.dnsmadeeasy.com"),
+            ca_name_for_host=lambda host: "DigiCert",
+        )
+        assert out.type == ProviderType.THIRD_PARTY
+        assert out.ca_name == "DigiCert"
+        assert out.is_critical  # no stapling
+
+    def test_stapling_removes_criticality(self):
+        tls = self._tls(ocsp_stapled=True)
+        out = classify_ca(
+            tls, OWN_SOA,
+            soa_lookup=lambda host: DYN_SOA,
+            ca_name_for_host=lambda host: "DigiCert",
+        )
+        assert out.uses_third_party and not out.is_critical
+
+    def test_private_by_tld(self):
+        tls = self._tls(ocsp_urls=("http://ocsp.site.com/ocsp",))
+        out = classify_ca(
+            tls, OWN_SOA, lambda host: OWN_SOA, lambda host: "site-internal"
+        )
+        assert out.type == ProviderType.PRIVATE
+        assert out.method == ClassificationMethod.TLD
+
+    def test_private_by_san(self):
+        tls = self._tls(
+            san=("site.com", "gdpki.com"),
+            ocsp_urls=("http://ocsp.gdpki.com/ocsp",),
+        )
+        out = classify_ca(
+            tls, OWN_SOA, lambda host: DYN_SOA, lambda host: "GoDaddy CA"
+        )
+        assert out.type == ProviderType.PRIVATE
+        assert out.method == ClassificationMethod.SAN
+
+    def test_private_by_matching_soa(self):
+        # Google Trust Services vs youtube.com: same DNS identity.
+        google = SoaIdentity("ns1.google.com", "dns-admin.google.com")
+        tls = self._tls(
+            domain="youtube.com",
+            san=("youtube.com", "*.google.com"),
+            ocsp_urls=("http://ocsp.pki.goog/ocsp",),
+        )
+        out = classify_ca(
+            tls, google, lambda host: google, lambda host: "Google Trust Services"
+        )
+        assert out.type == ProviderType.PRIVATE
+
+    def test_no_endpoints_is_private(self):
+        tls = self._tls(ocsp_urls=(), crl_urls=())
+        out = classify_ca(tls, OWN_SOA, lambda host: None, lambda host: "?")
+        assert out.type == ProviderType.PRIVATE
+
+    def test_http_only_site(self):
+        tls = TlsObservation(domain="site.com", https=False)
+        out = classify_ca(tls, OWN_SOA, lambda host: None, lambda host: "?")
+        assert not out.https and out.type == ProviderType.UNKNOWN
+
+    def test_baselines(self):
+        tls = self._tls(
+            san=("site.com", "gdpki.com"),
+            ocsp_urls=("http://ocsp.gdpki.com/ocsp",),
+        )
+        # TLD-only overestimates (classifies the private CA third-party).
+        assert classify_ca_tld_only(tls) == ProviderType.THIRD_PARTY
+        assert (
+            classify_ca_soa_only(tls, OWN_SOA, lambda host: DYN_SOA)
+            == ProviderType.THIRD_PARTY
+        )
+
+
+class TestCdnClassification:
+    def _observation(self, detected, soas):
+        obs = CdnObservation(domain="site.com", crawl_ok=True)
+        obs.detected_cdns = detected
+        obs.cname_soas = soas
+        return obs
+
+    def test_third_party_cdn(self):
+        akamai = SoaIdentity("internal.akam.net", "h.akamai.com")
+        obs = self._observation(
+            {"Akamai": ["a1.edgekey.net"]}, {"a1.edgekey.net": akamai}
+        )
+        out = classify_cdn(obs, san=("site.com",), website_soa=OWN_SOA,
+                           soa_lookup=obs.cname_soas.get)
+        assert out[0].type == ProviderType.THIRD_PARTY
+
+    def test_private_cdn_via_san(self):
+        # yahoo/yimg: TLD mismatch, SAN contains *.yimg.com.
+        obs = CdnObservation(domain="yahoo.com", crawl_ok=True)
+        obs.detected_cdns = {"Yahoo CDN": ["img.yimg.com"]}
+        obs.cname_soas = {"img.yimg.com": SoaIdentity("ns1.yahoo.com", "h.yahoo.com")}
+        out = classify_cdn(
+            obs, san=("yahoo.com", "*.yimg.com"),
+            website_soa=SoaIdentity("ns1.yahoo.com", "h.yahoo.com"),
+            soa_lookup=obs.cname_soas.get,
+        )
+        assert out[0].type == ProviderType.PRIVATE
+        assert out[0].method == ClassificationMethod.SAN
+
+    def test_instagram_soa_false_positive_on_baseline(self):
+        # Instagram: private Facebook CDN, AWS SOA on the site zone.
+        fb = SoaIdentity("a.ns.facebook.com", "dns.facebook.com")
+        aws = SoaIdentity("ns1.awsdns.net", "aws.amazon.com")
+        obs = CdnObservation(domain="instagram.com", crawl_ok=True)
+        obs.detected_cdns = {"Facebook CDN": ["static.fbcdn.net"]}
+        obs.cname_soas = {"static.fbcdn.net": fb}
+        baseline = classify_cdn_soa_only(obs, aws, obs.cname_soas.get)
+        assert baseline["Facebook CDN"] == ProviderType.THIRD_PARTY  # wrong!
+        combined = classify_cdn(
+            obs, san=("instagram.com", "*.fbcdn.net"),
+            website_soa=aws, soa_lookup=obs.cname_soas.get,
+        )
+        assert combined[0].type == ProviderType.PRIVATE  # SAN rescues it
+
+    def test_tld_only_baseline_on_private_suffix(self):
+        obs = CdnObservation(domain="yahoo.com", crawl_ok=True)
+        obs.detected_cdns = {"Yahoo CDN": ["img.yimg.com"]}
+        assert classify_cdn_tld_only(obs)["Yahoo CDN"] == ProviderType.THIRD_PARTY
+
+    def test_no_cdns_empty(self):
+        obs = self._observation({}, {})
+        assert classify_cdn(obs, (), OWN_SOA, lambda n: None) == []

@@ -1,0 +1,78 @@
+"""Unit tests for nameserver entity grouping (the redundancy detector)."""
+
+from repro.core.entitygroup import group_nameservers_by_entity, provider_id_for
+from repro.measurement.records import SoaIdentity
+
+
+def soa(mname: str, rname: str = "admin.example") -> SoaIdentity:
+    return SoaIdentity(mname=mname, rname=rname)
+
+
+class TestGrouping:
+    def test_same_registrable_domain_groups(self):
+        groups = group_nameservers_by_entity(
+            ["ns1.dynect.net", "ns2.dynect.net"], {}
+        )
+        assert len(groups) == 1
+
+    def test_distinct_providers_stay_apart(self):
+        groups = group_nameservers_by_entity(
+            ["ns1.dynect.net", "ns1.ultradns.net"],
+            {
+                "ns1.dynect.net": soa("ns1.dynect.net", "hostmaster.dynect.net"),
+                "ns1.ultradns.net": soa("ns1.ultradns.net", "hostmaster.ultradns.net"),
+            },
+        )
+        assert len(groups) == 2
+
+    def test_paper_alibaba_case_mname(self):
+        # alicdn.com and alibabadns.com share an SOA MNAME: one entity.
+        shared = soa("ns1.alibabadns.com", "dns.alibaba.example")
+        groups = group_nameservers_by_entity(
+            ["ns1.alicdn.com", "ns1.alibabadns.com"],
+            {"ns1.alicdn.com": shared, "ns1.alibabadns.com": shared},
+        )
+        assert len(groups) == 1
+
+    def test_rname_groups_too(self):
+        groups = group_nameservers_by_entity(
+            ["ns1.brand-a.net", "ns1.brand-b.net"],
+            {
+                "ns1.brand-a.net": soa("m1.brand-a.net", "ops.conglomerate.com"),
+                "ns1.brand-b.net": soa("m2.brand-b.net", "ops.conglomerate.com"),
+            },
+        )
+        assert len(groups) == 1
+
+    def test_transitive_union(self):
+        # a~b via mname, b~c via registrable domain => one entity of three.
+        shared = soa("m.hub.net")
+        groups = group_nameservers_by_entity(
+            ["ns1.a.net", "ns1.b.net", "ns2.b.net"],
+            {
+                "ns1.a.net": shared,
+                "ns1.b.net": shared,
+                "ns2.b.net": soa("other.b.net", "x.b.net"),
+            },
+        )
+        assert len(groups) == 1
+
+    def test_missing_soa_isolates_unless_tld_matches(self):
+        groups = group_nameservers_by_entity(
+            ["ns1.a.net", "ns1.b.net"], {"ns1.a.net": soa("m.a.net")}
+        )
+        assert len(groups) == 2
+
+    def test_empty(self):
+        assert group_nameservers_by_entity([], {}) == []
+
+
+class TestProviderId:
+    def test_stable_id(self):
+        assert provider_id_for(["ns2.dynect.net", "ns1.dynect.net"]) == "dynect.net"
+
+    def test_multi_domain_entity_uses_smallest(self):
+        assert (
+            provider_id_for(["ns1.ultradns.org", "ns1.ultradns.net"])
+            == "ultradns.net"
+        )

@@ -1,0 +1,85 @@
+"""Tests for the trend analysis over the evolved snapshot pair."""
+
+import pytest
+
+from repro.core import evolution
+from repro.core.metrics import PAPER_BUCKETS
+
+
+class TestDnsTrends:
+    def test_rows_and_buckets(self, snapshot_pair):
+        old, new = snapshot_pair
+        rows = evolution.dns_trends(old, new)
+        labels = [r.label for r in rows]
+        assert labels == [
+            "Pvt to Single 3rd",
+            "Single Third to Pvt",
+            "Red. to No Red.",
+            "No Red. to Red.",
+            "Critical dependency",
+        ]
+        for row in rows:
+            assert set(row.per_bucket) == set(PAPER_BUCKETS)
+
+    def test_full_bucket_rates_near_paper(self, snapshot_pair):
+        old, new = snapshot_pair
+        rows = {r.label: r for r in evolution.dns_trends(old, new)}
+        k = PAPER_BUCKETS[-1]
+        assert rows["Pvt to Single 3rd"].per_bucket[k] == pytest.approx(10.7, abs=3.0)
+        assert rows["Single Third to Pvt"].per_bucket[k] == pytest.approx(6.0, abs=2.5)
+        assert rows["Critical dependency"].per_bucket[k] == pytest.approx(4.7, abs=3.0)
+
+    def test_formatted_rows(self, snapshot_pair):
+        old, new = snapshot_pair
+        for row in evolution.dns_trends(old, new):
+            text = row.formatted()
+            assert row.label in text and "k=" in text
+
+
+class TestCdnTrends:
+    def test_no_significant_change(self, snapshot_pair):
+        old, new = snapshot_pair
+        rows = {r.label: r for r in evolution.cdn_trends(old, new)}
+        k = PAPER_BUCKETS[-1]
+        # Paper: +0.0% critical dependency change at 100K.
+        assert abs(rows["Critical dependency"].per_bucket[k]) <= 5.0
+
+    def test_third_to_private_is_rare(self, snapshot_pair):
+        old, new = snapshot_pair
+        rows = {r.label: r for r in evolution.cdn_trends(old, new)}
+        assert rows["3rd Party CDN to Pvt"].per_bucket[PAPER_BUCKETS[-1]] <= 1.0
+
+
+class TestCaTrends:
+    def test_stapling_churn_roughly_balances(self, snapshot_pair):
+        old, new = snapshot_pair
+        rows = {r.label: r for r in evolution.ca_stapling_trends(old, new)}
+        k = PAPER_BUCKETS[-1]
+        dropped = rows["Stapling to No Stapling"].per_bucket[k]
+        adopted = rows["No Stapling to Stapling"].per_bucket[k]
+        assert dropped == pytest.approx(9.7, abs=4.0)
+        assert adopted == pytest.approx(9.9, abs=4.0)
+        assert abs(rows["Critical dependency"].per_bucket[k]) <= 5.0
+
+
+class TestInterServiceTrends:
+    def test_ca_dns_critical_decreases(self, snapshot_pair):
+        old, new = snapshot_pair
+        rows = {r.label.split(" (")[0]: r for r in
+                evolution.interservice_ca_dns_trends(old, new)}
+        assert rows["Critical dependency"].count <= 0  # paper: -6
+
+    def test_cdn_dns_trends_have_counts(self, snapshot_pair):
+        old, new = snapshot_pair
+        rows = evolution.interservice_cdn_dns_trends(old, new)
+        for row in rows:
+            assert row.count is not None and row.total is not None
+            assert "k=" not in row.formatted()
+
+    def test_ca_cdn_rows(self, snapshot_pair):
+        old, new = snapshot_pair
+        rows = {r.label.split(" (")[0]: r for r in
+                evolution.interservice_ca_cdn_trends(old, new)}
+        assert "No CDN to Third Party CDN" in rows
+        # Let's Encrypt moved onto a CDN between snapshots.
+        assert rows["No CDN to Third Party CDN"].count >= 1

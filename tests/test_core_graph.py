@@ -1,0 +1,135 @@
+"""Unit tests for the dependency graph and the §2.2 metrics, on hand-built
+graphs where the right answers are computable by hand."""
+
+import pytest
+
+from repro.core.graph import DependencyGraph, ProviderNode, ServiceType
+
+
+def node(service: str, name: str) -> ProviderNode:
+    return ProviderNode(name, ServiceType(service))
+
+
+@pytest.fixture
+def dyn_world() -> DependencyGraph:
+    """The Dyn incident in miniature.
+
+    - twitter, spotify critically on Dyn (DNS)
+    - pinterest critically on Fastly (CDN), Fastly critically on Dyn
+    - amazon uses Dyn redundantly (not critical)
+    """
+    g = DependencyGraph()
+    dyn = node("dns", "dyn")
+    fastly = node("cdn", "fastly")
+    g.add_website_dependency("twitter.com", dyn, critical=True)
+    g.add_website_dependency("spotify.com", dyn, critical=True)
+    g.add_website_dependency("amazon.com", dyn, critical=False)
+    g.add_website_dependency("pinterest.com", fastly, critical=True)
+    g.add_provider_dependency(fastly, dyn, critical=True)
+    return g
+
+
+class TestBasicMetrics:
+    def test_direct_counts(self, dyn_world):
+        dyn = node("dns", "dyn")
+        assert dyn_world.direct_concentration(dyn) == 3
+        assert dyn_world.direct_impact(dyn) == 2
+
+    def test_recursive_concentration(self, dyn_world):
+        # pinterest reaches Dyn through Fastly: 3 direct + 1 indirect.
+        assert dyn_world.concentration(node("dns", "dyn")) == 4
+
+    def test_recursive_impact(self, dyn_world):
+        # twitter + spotify direct, pinterest via Fastly; amazon is safe.
+        assert dyn_world.impact(node("dns", "dyn")) == 3
+
+    def test_concentration_dominates_impact(self, dyn_world):
+        for provider in dyn_world.providers():
+            assert dyn_world.concentration(provider) >= dyn_world.impact(provider)
+
+    def test_fastly_metrics(self, dyn_world):
+        fastly = node("cdn", "fastly")
+        assert dyn_world.concentration(fastly) == 1
+        assert dyn_world.impact(fastly) == 1
+
+
+class TestCriticalChains:
+    def test_noncritical_interservice_edge_breaks_impact_chain(self):
+        g = DependencyGraph()
+        cdn = node("cdn", "c1")
+        dns = node("dns", "d1")
+        g.add_website_dependency("site.com", cdn, critical=True)
+        g.add_provider_dependency(cdn, dns, critical=False)  # CDN is redundant
+        assert g.impact(dns) == 0
+        assert g.concentration(dns) == 1
+
+    def test_noncritical_website_edge_breaks_impact_chain(self):
+        g = DependencyGraph()
+        cdn = node("cdn", "c1")
+        dns = node("dns", "d1")
+        g.add_website_dependency("site.com", cdn, critical=False)
+        g.add_provider_dependency(cdn, dns, critical=True)
+        assert g.impact(dns) == 0
+
+    def test_two_hop_chain(self):
+        # site -> CA -> CDN -> DNS, all critical: the academia.edu shape.
+        g = DependencyGraph()
+        ca = node("ca", "certum")
+        cdn = node("cdn", "maxcdn")
+        dns = node("dns", "aws")
+        g.add_website_dependency("site.com", ca, critical=True)
+        g.add_provider_dependency(ca, cdn, critical=True)
+        g.add_provider_dependency(cdn, dns, critical=True)
+        assert g.impact(dns) == 1
+        assert g.impact(cdn) == 1
+
+    def test_cycle_terminates(self):
+        g = DependencyGraph()
+        a = node("dns", "a")
+        b = node("cdn", "b")
+        g.add_website_dependency("site.com", a, critical=True)
+        g.add_provider_dependency(a, b, critical=True)
+        g.add_provider_dependency(b, a, critical=True)
+        assert g.impact(a) == 1
+        assert g.impact(b) == 1
+
+    def test_diamond_counted_once(self):
+        g = DependencyGraph()
+        dns = node("dns", "shared")
+        cdn1, cdn2 = node("cdn", "c1"), node("cdn", "c2")
+        g.add_website_dependency("site.com", cdn1, critical=True)
+        g.add_website_dependency("site.com", cdn2, critical=True)
+        g.add_provider_dependency(cdn1, dns, critical=True)
+        g.add_provider_dependency(cdn2, dns, critical=True)
+        assert g.concentration(dns) == 1  # one website, via two paths
+
+
+class TestTopProviders:
+    def test_ranking_and_service_filter(self, dyn_world):
+        top_dns = dyn_world.top_providers(ServiceType.DNS, 5, by="impact")
+        assert top_dns[0][0].id == "dyn"
+        top_cdn = dyn_world.top_providers(ServiceType.CDN, 5, by="impact")
+        assert all(n.service == ServiceType.CDN for n, _ in top_cdn)
+
+    def test_direct_only_variant(self, dyn_world):
+        top = dyn_world.top_providers(
+            ServiceType.DNS, 1, by="concentration", indirect=False
+        )
+        assert top[0][1] == 3
+
+    def test_unknown_ranking_rejected(self, dyn_world):
+        with pytest.raises(ValueError):
+            dyn_world.top_providers(ServiceType.DNS, 3, by="magic")
+
+
+class TestWebsiteExposure:
+    def test_critical_dependency_count(self, dyn_world):
+        assert dyn_world.critical_dependency_count("pinterest.com") == 2
+        assert dyn_world.critical_dependency_count("twitter.com") == 1
+        assert dyn_world.critical_dependency_count("amazon.com") == 0
+
+    def test_display_names(self, dyn_world):
+        dyn = node("dns", "dyn")
+        dyn_world.add_provider(dyn, display="Dyn (Oracle)")
+        assert dyn_world.display(dyn) == "Dyn (Oracle)"
+        assert dyn_world.display(node("dns", "unnamed")) == "unnamed"

@@ -1,0 +1,82 @@
+"""Tests for the networkx bridge."""
+
+import networkx as nx
+import pytest
+
+from repro.core.graph import DependencyGraph, ProviderNode, ServiceType
+from repro.core.graphx import degree_statistics, export_graphml, to_networkx
+
+
+@pytest.fixture
+def small_graph() -> DependencyGraph:
+    g = DependencyGraph()
+    dyn = ProviderNode("dyn", ServiceType.DNS)
+    fastly = ProviderNode("fastly", ServiceType.CDN)
+    g.add_website_dependency("a.com", dyn, critical=True)
+    g.add_website_dependency("b.com", dyn, critical=False)
+    g.add_website_dependency("c.com", fastly, critical=True)
+    g.add_provider_dependency(fastly, dyn, critical=True)
+    g.add_provider(dyn, display="Dyn")
+    return g
+
+
+class TestConversion:
+    def test_nodes_and_edges(self, small_graph):
+        nxg = to_networkx(small_graph)
+        assert nxg.number_of_nodes() == 5
+        assert nxg.number_of_edges() == 4
+        assert nxg.nodes["dns:dyn"]["display"] == "Dyn"
+        assert nxg.nodes["a.com"]["kind"] == "website"
+
+    def test_criticality_attribute(self, small_graph):
+        nxg = to_networkx(small_graph)
+        assert nxg.edges["a.com", "dns:dyn"]["critical"] is True
+        assert nxg.edges["b.com", "dns:dyn"]["critical"] is False
+        assert nxg.edges["cdn:fastly", "dns:dyn"]["critical"] is True
+
+    def test_service_restriction(self, small_graph):
+        nxg = to_networkx(small_graph, ServiceType.CDN)
+        assert "cdn:fastly" in nxg
+        assert "a.com" not in nxg  # no CDN dependency
+        assert "c.com" in nxg
+
+    def test_in_degree_equals_direct_concentration(self, small_graph):
+        nxg = to_networkx(small_graph, ServiceType.DNS)
+        dyn = ProviderNode("dyn", ServiceType.DNS)
+        website_edges = [
+            u for u, _ in nxg.in_edges("dns:dyn")
+            if nxg.nodes[u]["kind"] == "website"
+        ]
+        assert len(website_edges) == small_graph.direct_concentration(dyn)
+
+
+class TestStatistics:
+    def test_degree_statistics(self, small_graph):
+        stats = degree_statistics(small_graph, ServiceType.DNS)
+        assert stats["providers"] == 1
+        assert stats["websites"] == 2
+        assert stats["max_in_degree"] >= 2
+
+    def test_empty_service(self, small_graph):
+        stats = degree_statistics(small_graph, ServiceType.CA)
+        assert stats["providers"] == 0
+
+    def test_world_graph_statistics(self, snapshot_2020):
+        stats = degree_statistics(snapshot_2020.graph, ServiceType.DNS)
+        assert stats["websites"] > 100
+        # A few providers dominate (the paper's Figure 5 visual claim).
+        assert stats["top5_degree_share"] > 0.4
+
+
+class TestGraphML:
+    def test_export_and_reload(self, small_graph, tmp_path):
+        path = export_graphml(small_graph, tmp_path / "figure5.graphml")
+        loaded = nx.read_graphml(path)
+        assert loaded.number_of_nodes() == 5
+        assert loaded.number_of_edges() == 4
+
+    def test_world_export(self, snapshot_2020, tmp_path):
+        path = export_graphml(
+            snapshot_2020.graph, tmp_path / "dns.graphml", ServiceType.DNS
+        )
+        assert path.stat().st_size > 1000

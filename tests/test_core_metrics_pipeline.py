@@ -1,0 +1,162 @@
+"""Tests for rank metrics, provider CDFs, and the end-to-end pipeline."""
+
+import pytest
+
+from repro.core import metrics
+from repro.core.classification import ProviderType
+from repro.core.metrics import PAPER_BUCKETS
+
+
+class TestBucketStats:
+    def test_dns_bucket_shapes(self, snapshot_2020):
+        stats = metrics.rank_bucket_stats_dns(
+            snapshot_2020.websites, snapshot_2020.rank_scale
+        )
+        assert [s.paper_k for s in stats] == list(PAPER_BUCKETS)
+        full = stats[-1]
+        assert full.values["third_party"] == pytest.approx(89.0, abs=6.0)
+        assert full.values["critical"] == pytest.approx(85.0, abs=6.0)
+        # Criticality grows down-rank (Observation 1). At small world sizes
+        # the top buckets hold few sites, so compare the first populated
+        # bucket with ≥30 sites and allow sampling noise.
+        head = next(s for s in stats if s.n_websites >= 30)
+        assert head.values["critical"] <= full.values["critical"] + 5.0
+
+    def test_cdn_bucket_shapes(self, snapshot_2020):
+        stats = metrics.rank_bucket_stats_cdn(
+            snapshot_2020.websites, snapshot_2020.rank_scale
+        )
+        full = stats[-1]
+        assert full.values["uses_cdn"] == pytest.approx(33.2, abs=7.0)
+        assert full.values["third_party"] >= 90.0
+        # Redundancy falls down-rank (Observation 3); sampling noise allowed.
+        head = next(s for s in stats if s.n_websites >= 20)
+        assert head.values["multiple_cdns"] >= full.values["multiple_cdns"] - 5.0
+
+    def test_ca_bucket_shapes(self, snapshot_2020):
+        stats = metrics.rank_bucket_stats_ca(
+            snapshot_2020.websites, snapshot_2020.rank_scale
+        )
+        full = stats[-1]
+        assert full.values["https"] == pytest.approx(78.0, abs=6.0)
+        assert full.values["third_party_ca"] == pytest.approx(77.0, abs=7.0)
+        assert full.values["ocsp_stapling"] == pytest.approx(17.0, abs=7.0)
+        # HTTPS higher among popular sites; sampling noise allowed.
+        head = next(s for s in stats if s.n_websites >= 20)
+        assert head.values["https"] >= full.values["https"] - 6.0
+
+    def test_bucket_label(self):
+        from repro.core.metrics import BucketStats
+
+        assert BucketStats(100, 1).label == "top-100"
+        assert BucketStats(100_000, 1).label == "top-100K"
+
+
+class TestProviderCdf:
+    def test_counts_by_service(self, snapshot_2020):
+        counts = metrics.provider_usage_counts(snapshot_2020.websites, "dns")
+        assert counts  # non-empty
+        assert all(v >= 1 for v in counts.values())
+
+    def test_cdf_monotone_and_complete(self, snapshot_2020):
+        counts = metrics.provider_usage_counts(snapshot_2020.websites, "cdn")
+        cdf = metrics.provider_cdf(counts)
+        ys = [y for _, y in cdf]
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_providers_covering(self, snapshot_2020):
+        counts = {"a": 80, "b": 15, "c": 5}
+        assert metrics.providers_covering(counts, 0.8) == 1
+        assert metrics.providers_covering(counts, 0.95) == 2
+        assert metrics.providers_covering(counts, 1.0) == 3
+
+    def test_unknown_service_rejected(self, snapshot_2020):
+        with pytest.raises(ValueError):
+            metrics.provider_usage_counts(snapshot_2020.websites, "smtp")
+
+
+class TestPipelineIntegration:
+    def test_measurement_matches_ground_truth_dns(self, world_2020, snapshot_2020):
+        truth = world_2020.spec.website_by_domain()
+        mismatches = []
+        for website in snapshot_2020.dns_characterized:
+            expected = truth[website.domain].dns.uses_third_party
+            if website.dns.uses_third_party != expected:
+                mismatches.append(website.domain)
+        # The paper validates its heuristic at 100%; allow a whisker.
+        assert len(mismatches) <= len(snapshot_2020.dns_characterized) * 0.01, mismatches[:5]
+
+    def test_measurement_matches_ground_truth_criticality(self, world_2020, snapshot_2020):
+        truth = world_2020.spec.website_by_domain()
+        mismatches = [
+            w.domain
+            for w in snapshot_2020.dns_characterized
+            if w.dns.is_critical != truth[w.domain].dns.is_critical
+        ]
+        assert len(mismatches) <= len(snapshot_2020.dns_characterized) * 0.02, mismatches[:5]
+
+    def test_measurement_matches_ground_truth_ca(self, world_2020, snapshot_2020):
+        truth = world_2020.spec.website_by_domain()
+        mismatches = []
+        for website in snapshot_2020.websites:
+            spec = truth[website.domain]
+            if not spec.https:
+                continue
+            if website.ca.uses_third_party != spec.ca_is_third_party:
+                mismatches.append(website.domain)
+        assert len(mismatches) <= len(snapshot_2020.https_websites) * 0.02, mismatches[:5]
+
+    def test_cdn_detection_recall(self, world_2020, snapshot_2020):
+        truth = world_2020.spec.website_by_domain()
+        missed = []
+        for website in snapshot_2020.websites:
+            spec = truth[website.domain]
+            detectable = [c for c in spec.cdns if c in world_2020.spec.cdns]
+            if detectable and not website.uses_cdn:
+                missed.append(website.domain)
+        assert len(missed) <= max(2, len(snapshot_2020.cdn_websites) * 0.02), missed[:5]
+
+    def test_stapling_observed_faithfully(self, world_2020, snapshot_2020):
+        truth = world_2020.spec.website_by_domain()
+        for website in snapshot_2020.https_websites:
+            assert website.ca.ocsp_stapled == truth[website.domain].ocsp_stapled
+
+    def test_corner_case_classifications(self, snapshot_2020):
+        by_domain = snapshot_2020.by_domain()
+        # youtube: private DNS despite google.com nameservers.
+        assert not by_domain["youtube.com"].dns.uses_third_party
+        # twitter: third-party (Dyn) + private leg = redundant in 2020.
+        twitter = by_domain["twitter.com"]
+        assert twitter.dns.uses_third_party and twitter.dns.is_redundant
+        # amazon: two third-party providers, redundant.
+        amazon = by_domain["amazon.com"]
+        assert amazon.dns.uses_multiple_third_parties
+        # yahoo: CDN detected but private.
+        yahoo = by_domain["yahoo.com"]
+        assert yahoo.uses_cdn and not yahoo.third_party_cdns
+        # instagram: facebook CDN detected as private via SAN.
+        instagram = by_domain["instagram.com"]
+        assert instagram.uses_cdn and not instagram.third_party_cdns
+        # godaddy: private CA via SAN.
+        assert by_domain["godaddy.com"].ca.type == ProviderType.PRIVATE
+
+    def test_marquee_interservice_edges(self, snapshot_2020):
+        inter = snapshot_2020.interservice
+        digicert = inter.ca_dns.get("DigiCert")
+        assert digicert is not None and digicert.is_critical
+        assert digicert.third_party_provider_ids == ["dnsmadeeasy.com"]
+        lets = inter.ca_cdn.get("Let's Encrypt")
+        assert lets is not None and lets.third_party
+        assert lets.cdn_names == ["Cloudflare CDN"]
+
+    def test_amplification_shape(self, snapshot_2020):
+        """Indirect dependencies amplify DNSMadeEasy ~1% -> ~25% (Obs. 9)."""
+        from repro.core.graph import ProviderNode, ServiceType
+
+        node = ProviderNode("dnsmadeeasy.com", ServiceType.DNS)
+        n = len(snapshot_2020.websites)
+        direct = snapshot_2020.graph.direct_impact(node) / n
+        indirect = snapshot_2020.graph.impact(node) / n
+        assert direct < 0.06
+        assert indirect > direct + 0.10

@@ -1,0 +1,141 @@
+"""Unit tests for the resolver cache (TTL + negative caching)."""
+
+import pytest
+
+from repro.dnssim.cache import DnsCache, NegativeCacheHit
+from repro.dnssim.clock import SimulatedClock
+from repro.dnssim.records import ARecord, RRType, ResourceRecord
+
+
+def rr(name: str, ttl: int, address: str = "10.0.0.1") -> ResourceRecord:
+    return ResourceRecord(name, ttl, ARecord(address))
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(5)
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_no_backwards(self):
+        clock = SimulatedClock(start=10)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.at(5)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start=-1)
+
+
+class TestPositiveCaching:
+    def test_hit_before_expiry(self):
+        clock = SimulatedClock()
+        cache = DnsCache(clock)
+        cache.put("x.com", RRType.A, [rr("x.com", 300)])
+        assert cache.get("x.com", RRType.A) is not None
+        assert cache.stats.hits == 1
+
+    def test_miss_after_expiry(self):
+        clock = SimulatedClock()
+        cache = DnsCache(clock)
+        cache.put("x.com", RRType.A, [rr("x.com", 300)])
+        clock.advance(301)
+        assert cache.get("x.com", RRType.A) is None
+        assert cache.stats.misses == 1
+
+    def test_minimum_ttl_governs(self):
+        clock = SimulatedClock()
+        cache = DnsCache(clock)
+        cache.put("x.com", RRType.A, [rr("x.com", 300), rr("x.com", 10, "10.0.0.2")])
+        clock.advance(11)
+        assert cache.get("x.com", RRType.A) is None
+
+    def test_zero_ttl_not_cached(self):
+        cache = DnsCache(SimulatedClock())
+        cache.put("x.com", RRType.A, [rr("x.com", 0)])
+        assert cache.get("x.com", RRType.A) is None
+
+    def test_empty_put_ignored(self):
+        cache = DnsCache(SimulatedClock())
+        cache.put("x.com", RRType.A, [])
+        assert len(cache) == 0
+
+    def test_keying_by_type(self):
+        cache = DnsCache(SimulatedClock())
+        cache.put("x.com", RRType.A, [rr("x.com", 300)])
+        assert cache.get("x.com", RRType.NS) is None
+
+    def test_case_insensitive_keys(self):
+        cache = DnsCache(SimulatedClock())
+        cache.put("X.COM", RRType.A, [rr("x.com", 300)])
+        assert cache.get("x.com", RRType.A) is not None
+
+    def test_peek_does_not_count(self):
+        cache = DnsCache(SimulatedClock())
+        cache.put("x.com", RRType.A, [rr("x.com", 300)])
+        cache.peek("x.com", RRType.A)
+        assert cache.stats.lookups == 0
+
+
+class TestNegativeCaching:
+    def test_nxdomain_hit(self):
+        clock = SimulatedClock()
+        cache = DnsCache(clock)
+        cache.put_negative("gone.com", RRType.A, soa_minimum=60, nxdomain=True)
+        with pytest.raises(NegativeCacheHit) as exc:
+            cache.get("gone.com", RRType.A)
+        assert exc.value.nxdomain
+
+    def test_nodata_hit(self):
+        cache = DnsCache(SimulatedClock())
+        cache.put_negative("x.com", RRType.TXT, soa_minimum=60, nxdomain=False)
+        with pytest.raises(NegativeCacheHit) as exc:
+            cache.get("x.com", RRType.TXT)
+        assert not exc.value.nxdomain
+
+    def test_negative_expiry(self):
+        clock = SimulatedClock()
+        cache = DnsCache(clock)
+        cache.put_negative("x.com", RRType.A, soa_minimum=60, nxdomain=True)
+        clock.advance(61)
+        assert cache.get("x.com", RRType.A) is None
+
+    def test_peek_ignores_negative(self):
+        cache = DnsCache(SimulatedClock())
+        cache.put_negative("x.com", RRType.A, soa_minimum=60, nxdomain=True)
+        assert cache.peek("x.com", RRType.A) is None
+
+
+class TestEviction:
+    def test_capacity_enforced(self):
+        clock = SimulatedClock()
+        cache = DnsCache(clock, max_entries=10)
+        for i in range(25):
+            cache.put(f"site{i}.com", RRType.A, [rr(f"site{i}.com", 300 + i)])
+        assert len(cache) <= 10
+        assert cache.stats.evictions >= 15
+
+    def test_stale_evicted_first(self):
+        clock = SimulatedClock()
+        cache = DnsCache(clock, max_entries=2)
+        cache.put("old.com", RRType.A, [rr("old.com", 5)])
+        clock.advance(6)
+        cache.put("a.com", RRType.A, [rr("a.com", 300)])
+        cache.put("b.com", RRType.A, [rr("b.com", 300)])
+        assert cache.peek("a.com", RRType.A) is not None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DnsCache(SimulatedClock(), max_entries=0)
+
+    def test_flush(self):
+        cache = DnsCache(SimulatedClock())
+        cache.put("x.com", RRType.A, [rr("x.com", 300)])
+        cache.flush()
+        assert len(cache) == 0

@@ -1,0 +1,97 @@
+"""Unit tests for DNS resource records and rdata."""
+
+import pytest
+
+from repro.dnssim.records import (
+    ARecord,
+    AAAARecord,
+    CNAMERecord,
+    MXRecord,
+    NSRecord,
+    RRType,
+    ResourceRecord,
+    SOARecord,
+    TXTRecord,
+    rdata_class_for,
+)
+
+
+class TestRRType:
+    def test_parse_from_name(self):
+        assert RRType.parse("ns") == RRType.NS
+        assert RRType.parse("A") == RRType.A
+
+    def test_parse_from_int(self):
+        assert RRType.parse(5) == RRType.CNAME
+
+    def test_parse_passthrough(self):
+        assert RRType.parse(RRType.SOA) == RRType.SOA
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            RRType.parse("NOPE")
+
+    def test_iana_values(self):
+        assert RRType.A == 1
+        assert RRType.NS == 2
+        assert RRType.CNAME == 5
+        assert RRType.SOA == 6
+        assert RRType.MX == 15
+        assert RRType.TXT == 16
+        assert RRType.AAAA == 28
+
+
+class TestARecord:
+    def test_valid(self):
+        assert ARecord("192.0.2.1").address == "192.0.2.1"
+
+    @pytest.mark.parametrize(
+        "bad", ["256.1.1.1", "1.2.3", "a.b.c.d", "1.2.3.4.5", ""]
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            ARecord(bad)
+
+
+class TestNameRdata:
+    def test_ns_normalizes(self):
+        assert NSRecord("NS1.Example.COM.").nsdname == "ns1.example.com"
+
+    def test_cname_normalizes(self):
+        assert CNAMERecord("Edge.CDN.Net").target == "edge.cdn.net"
+
+    def test_soa_normalizes_names(self):
+        soa = SOARecord("NS1.X.COM", "Admin.X.COM")
+        assert soa.mname == "ns1.x.com"
+        assert soa.rname == "admin.x.com"
+
+    def test_mx(self):
+        mx = MXRecord(10, "Mail.X.com")
+        assert mx.exchange == "mail.x.com"
+        assert mx.preference == 10
+
+
+class TestResourceRecord:
+    def test_owner_normalized(self):
+        rr = ResourceRecord("WWW.X.COM", 300, ARecord("1.2.3.4"))
+        assert rr.name == "www.x.com"
+        assert rr.rrtype == RRType.A
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("x.com", -1, ARecord("1.2.3.4"))
+
+    def test_records_hashable_and_dedupable(self):
+        a = ResourceRecord("x.com", 300, ARecord("1.2.3.4"))
+        b = ResourceRecord("x.com", 300, ARecord("1.2.3.4"))
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_str_rendering(self):
+        rr = ResourceRecord("x.com", 60, TXTRecord("hello"))
+        assert "x.com 60 IN TXT" in str(rr)
+
+    def test_rdata_class_lookup(self):
+        assert rdata_class_for(RRType.AAAA) is AAAARecord
+        with pytest.raises(ValueError):
+            rdata_class_for(99)  # type: ignore[arg-type]

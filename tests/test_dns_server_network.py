@@ -1,0 +1,128 @@
+"""Unit tests for the authoritative server and network fabric."""
+
+import pytest
+
+from repro.dnssim.errors import ServerUnavailableError
+from repro.dnssim.message import DnsMessage, RCode
+from repro.dnssim.network import DnsNetwork
+from repro.dnssim.records import (
+    ARecord,
+    CNAMERecord,
+    NSRecord,
+    RRType,
+    SOARecord,
+)
+from repro.dnssim.server import AuthoritativeServer
+from repro.dnssim.zone import Zone
+
+
+@pytest.fixture
+def server() -> AuthoritativeServer:
+    srv = AuthoritativeServer("ns1.example.com", ["10.0.0.1"], operator="example")
+    zone = Zone("example.com", SOARecord("ns1.example.com", "admin.example.com"))
+    zone.add("example.com", NSRecord("ns1.example.com"))
+    zone.add("ns1.example.com", ARecord("10.0.0.1"))
+    zone.add("example.com", ARecord("93.184.216.34"))
+    zone.add("www.example.com", CNAMERecord("apex.example.com"))
+    zone.add("apex.example.com", ARecord("93.184.216.34"))
+    srv.serve_zone(zone)
+    return srv
+
+
+class TestServer:
+    def test_requires_an_ip(self):
+        with pytest.raises(ValueError):
+            AuthoritativeServer("x", [])
+
+    def test_answers_authoritatively(self, server):
+        response = server.handle(DnsMessage.query("example.com", RRType.A))
+        assert response.aa
+        assert response.rcode == RCode.NOERROR
+        assert response.answers[0].rdata.address == "93.184.216.34"
+
+    def test_refuses_foreign_names(self, server):
+        response = server.handle(DnsMessage.query("other.org", RRType.A))
+        assert response.rcode == RCode.REFUSED
+        assert not response.aa
+
+    def test_nxdomain(self, server):
+        response = server.handle(DnsMessage.query("no.example.com", RRType.A))
+        assert response.rcode == RCode.NXDOMAIN
+        assert response.authorities[0].rrtype == RRType.SOA
+
+    def test_chases_in_zone_cnames(self, server):
+        response = server.handle(DnsMessage.query("www.example.com", RRType.A))
+        types = [rr.rrtype for rr in response.answers]
+        assert RRType.CNAME in types and RRType.A in types
+
+    def test_ns_answer_includes_glue(self, server):
+        response = server.handle(DnsMessage.query("example.com", RRType.NS))
+        assert any(rr.rrtype == RRType.A for rr in response.additionals)
+
+    def test_empty_question_is_formerr(self, server):
+        response = server.handle(DnsMessage())
+        assert response.rcode == RCode.FORMERR
+
+    def test_wire_roundtrip_path(self, server):
+        query = DnsMessage.query("example.com", RRType.A, msg_id=9)
+        wire = server.handle_wire(query.to_wire())
+        response = DnsMessage.from_wire(wire)
+        assert response.id == 9 and response.answers
+
+    def test_most_specific_zone_wins(self, server):
+        sub = Zone("sub.example.com", SOARecord("ns1.sub.example.com", "a.b"))
+        sub.add("sub.example.com", ARecord("10.5.5.5"))
+        server.serve_zone(sub)
+        response = server.handle(DnsMessage.query("sub.example.com", RRType.A))
+        assert response.answers[0].rdata.address == "10.5.5.5"
+
+    def test_query_counter(self, server):
+        before = server.queries_handled
+        server.handle(DnsMessage.query("example.com", RRType.A))
+        assert server.queries_handled == before + 1
+
+
+class TestNetwork:
+    def test_routing(self, server):
+        net = DnsNetwork()
+        net.register_server(server)
+        wire = net.send("10.0.0.1", DnsMessage.query("example.com", RRType.A).to_wire())
+        assert DnsMessage.from_wire(wire).answers
+
+    def test_unknown_ip_times_out(self):
+        net = DnsNetwork()
+        with pytest.raises(ServerUnavailableError):
+            net.send("10.9.9.9", b"\x00" * 12)
+
+    def test_down_server_times_out(self, server):
+        net = DnsNetwork()
+        net.register_server(server)
+        net.set_server_available(server, False)
+        assert not net.is_available("10.0.0.1")
+        with pytest.raises(ServerUnavailableError):
+            net.send("10.0.0.1", b"\x00" * 12)
+        net.set_server_available(server, True)
+        assert net.is_available("10.0.0.1")
+
+    def test_ip_conflict_rejected(self, server):
+        net = DnsNetwork()
+        net.register_server(server)
+        other = AuthoritativeServer("ns2.other.net", ["10.0.0.1"])
+        with pytest.raises(ValueError):
+            net.register_server(other)
+
+    def test_reregistering_same_server_ok(self, server):
+        net = DnsNetwork()
+        net.register_server(server)
+        net.register_server(server)
+        assert len(net.servers()) == 1
+
+    def test_counters(self, server):
+        net = DnsNetwork()
+        net.register_server(server)
+        net.send("10.0.0.1", DnsMessage.query("example.com", RRType.A).to_wire())
+        net.set_server_available(server, False)
+        with pytest.raises(ServerUnavailableError):
+            net.send("10.0.0.1", b"")
+        assert net.queries_sent == 2
+        assert net.timeouts == 1

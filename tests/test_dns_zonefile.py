@@ -1,0 +1,142 @@
+"""Tests for master-file serialization of zones."""
+
+import pytest
+
+from repro.dnssim.records import (
+    ARecord,
+    CNAMERecord,
+    MXRecord,
+    NSRecord,
+    RRType,
+    SOARecord,
+    TXTRecord,
+)
+from repro.dnssim.zone import Zone
+from repro.dnssim.zonefile import (
+    ZoneFileError,
+    zone_from_text,
+    zone_to_text,
+    zones_to_text,
+)
+
+
+@pytest.fixture
+def zone() -> Zone:
+    z = Zone("example.com", SOARecord("ns1.example.com", "admin.example.com", 7))
+    z.add("example.com", NSRecord("ns1.example.com"))
+    z.add("example.com", ARecord("93.184.216.34"))
+    z.add("ns1.example.com", ARecord("10.0.0.1"), ttl=600)
+    z.add("www.example.com", CNAMERecord("cdn.provider.net"))
+    z.add("example.com", MXRecord(10, "mail.example.com"))
+    z.add("example.com", TXTRecord('v=spf1 include:"quoted" -all'))
+    return z
+
+
+class TestSerialization:
+    def test_header(self, zone):
+        text = zone_to_text(zone)
+        assert text.startswith("$ORIGIN example.com.")
+        assert "$TTL" in text
+
+    def test_soa_first(self, zone):
+        lines = [l for l in zone_to_text(zone).splitlines() if "\tIN\t" in l]
+        assert "\tSOA\t" in lines[0]
+
+    def test_relative_and_apex_names(self, zone):
+        text = zone_to_text(zone)
+        assert "\nwww\t" in text
+        assert "\n@\t" in text
+
+    def test_roundtrip_equality(self, zone):
+        restored = zone_from_text(zone_to_text(zone))
+        assert restored.origin == zone.origin
+        assert restored.soa == zone.soa
+        assert set(restored.all_records()) == set(zone.all_records())
+
+    def test_multi_zone_serialization(self, zone):
+        other = Zone("other.net", SOARecord("ns1.other.net", "h.other.net"))
+        text = zones_to_text([zone, other])
+        assert text.count("$ORIGIN") == 2
+
+
+class TestParsing:
+    def test_minimal_file(self):
+        zone = zone_from_text(
+            """
+$ORIGIN example.com.
+@ 3600 IN SOA ns1.example.com. admin.example.com. 1 7200 900 1209600 300
+@ 300 IN NS ns1.example.com.
+ns1 300 IN A 10.0.0.1
+"""
+        )
+        assert zone.origin == "example.com"
+        assert zone.records_at("ns1.example.com", RRType.A)
+
+    def test_comments_ignored(self):
+        zone = zone_from_text(
+            """
+$ORIGIN x.net.  ; the origin
+@ IN SOA ns1.x.net. h.x.net. 1 2 3 4 5  ; the SOA
+; a full-line comment
+www IN A 10.1.1.1
+"""
+        )
+        assert zone.records_at("www.x.net", RRType.A)
+
+    def test_default_ttl_applies(self):
+        zone = zone_from_text(
+            """
+$ORIGIN x.net.
+$TTL 1234
+@ IN SOA ns1.x.net. h.x.net. 1 2 3 4 5
+www IN A 10.1.1.1
+"""
+        )
+        assert zone.records_at("www.x.net", RRType.A)[0].ttl == 1234
+
+    def test_continuation_owner(self):
+        zone = zone_from_text(
+            """
+$ORIGIN x.net.
+@ IN SOA ns1.x.net. h.x.net. 1 2 3 4 5
+www IN A 10.1.1.1
+    IN A 10.1.1.2
+"""
+        )
+        assert len(zone.records_at("www.x.net", RRType.A)) == 2
+
+    def test_quoted_txt(self):
+        zone = zone_from_text(
+            """
+$ORIGIN x.net.
+@ IN SOA ns1.x.net. h.x.net. 1 2 3 4 5
+@ IN TXT "hello world"
+"""
+        )
+        assert zone.records_at("x.net", RRType.TXT)[0].rdata.text == "hello world"
+
+    def test_errors(self):
+        with pytest.raises(ZoneFileError):
+            zone_from_text("$ORIGIN x.net.\nwww IN A 10.0.0.1\n")  # no SOA
+        with pytest.raises(ZoneFileError):
+            zone_from_text(
+                "$ORIGIN x.net.\n@ IN SOA ns1.x.net. h.x.net. 1 2 3 4 5\n"
+                "@ IN SOA ns2.x.net. h.x.net. 1 2 3 4 5\n"
+            )
+        with pytest.raises(ZoneFileError):
+            zone_from_text(
+                "$ORIGIN x.net.\n@ IN SOA ns1.x.net. h.x.net. 1 2 3 4 5\n"
+                "www IN BOGUS data\n"
+            )
+        with pytest.raises(ZoneFileError):
+            zone_from_text(
+                "$ORIGIN x.net.\n@ IN SOA ns1.x.net. h.x.net. 1 2 3 4 5\n"
+                "www IN MX not-a-number mail\n"
+            )
+
+
+class TestWorldZoneDump:
+    def test_generated_zone_roundtrips(self, world_2020):
+        infra = world_2020.website_infra["twitter.com"]
+        restored = zone_from_text(zone_to_text(infra.zone))
+        assert set(restored.all_records()) == set(infra.zone.all_records())

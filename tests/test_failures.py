@@ -1,0 +1,166 @@
+"""Tests for incident replay: outages, mass revocation, what-if planning."""
+
+import pytest
+
+from repro.core.graph import ProviderNode, ServiceType
+from repro.failures import (
+    simulate_ca_outage,
+    simulate_cdn_outage,
+    simulate_dns_outage,
+    simulate_mass_revocation,
+    website_exposure,
+)
+from repro.failures.whatif import exposure_distribution, redundancy_benefit
+from repro.worldgen.spec import PRIVATE
+
+
+class TestDnsOutage:
+    def test_critical_customers_break(self, world_2020):
+        victims = [
+            w.domain for w in world_2020.spec.websites
+            if w.dns.providers == ["cloudflare"]
+        ][:15]
+        assert victims, "need cloudflare-critical sites"
+        result = simulate_dns_outage(
+            world_2020, "cloudflare", domains=victims, check_resources=False
+        )
+        assert set(result.unreachable) == set(victims)
+
+    def test_redundant_customers_survive(self, world_2020):
+        survivors = [
+            w.domain for w in world_2020.spec.websites
+            if "cloudflare" in w.dns.providers and w.dns.is_redundant
+        ][:10]
+        if not survivors:
+            pytest.skip("no redundant cloudflare customers in this world")
+        result = simulate_dns_outage(
+            world_2020, "cloudflare", domains=survivors, check_resources=False
+        )
+        assert not result.unreachable
+
+    def test_world_restored_after_outage(self, world_2020):
+        victim = next(
+            w.domain for w in world_2020.spec.websites
+            if w.dns.providers == ["cloudflare"]
+        )
+        simulate_dns_outage(world_2020, "cloudflare", domains=[victim])
+        client = world_2020.fresh_client()
+        assert client.get(f"http://www.{victim}/").ok
+
+    def test_prediction_matches_behaviour(self, world_2020, snapshot_2020):
+        """The paper's impact metric, validated operationally."""
+        node = ProviderNode("dnsmadeeasy.com", ServiceType.DNS)
+        predicted = snapshot_2020.graph.direct_dependents(node, critical_only=True)
+        sample = sorted(predicted)[:20]
+        if not sample:
+            pytest.skip("nobody critically on dnsmadeeasy in this world")
+        result = simulate_dns_outage(
+            world_2020, "dnsmadeeasy", domains=sample, check_resources=False
+        )
+        assert set(result.unreachable) == set(sample)
+
+    def test_affected_fraction(self, world_2020):
+        result = simulate_dns_outage(
+            world_2020, "dyn",
+            domains=[w.domain for w in world_2020.spec.websites[:50]],
+            check_resources=False,
+        )
+        assert 0.0 <= result.affected_fraction() <= 1.0
+        assert result.total_probed == 50
+
+
+class TestCdnOutage:
+    def test_single_cdn_customers_degrade(self, world_2020):
+        victims = [
+            w.domain for w in world_2020.spec.websites
+            if w.cdns == ["cloudflare-cdn"] and not w.internal_alias_domain
+        ][:8]
+        assert victims
+        result = simulate_cdn_outage(world_2020, "cloudflare-cdn", domains=victims)
+        assert set(result.degraded) >= set(victims[:1])
+        assert not result.unreachable  # landing pages stay up
+
+
+class TestCaOutage:
+    def test_unstapled_sites_lose_https_hard_fail(self, world_2020):
+        # Pick a CA whose endpoints are directly hosted (not CDN-fronted).
+        ca_key = next(
+            key for key, spec in world_2020.spec.cas.items()
+            if spec.cdn_key is None
+        )
+        victims = [
+            w.domain for w in world_2020.spec.websites
+            if w.https and w.ca_key == ca_key and not w.ocsp_stapled
+        ][:5]
+        if not victims:
+            pytest.skip(f"no unstapled {ca_key} customers")
+        result = simulate_ca_outage(world_2020, ca_key, domains=victims)
+        assert set(result.unreachable) == set(victims)
+
+    def test_stapled_sites_survive_ca_outage(self, world_2020):
+        ca_key = next(
+            key for key, spec in world_2020.spec.cas.items()
+            if spec.cdn_key is None
+        )
+        stapled = [
+            w.domain for w in world_2020.spec.websites
+            if w.https and w.ca_key == ca_key and w.ocsp_stapled
+        ][:5]
+        if not stapled:
+            pytest.skip(f"no stapled {ca_key} customers")
+        result = simulate_ca_outage(world_2020, ca_key, domains=stapled)
+        assert set(result.unaffected) == set(stapled)
+
+
+class TestMassRevocation:
+    def test_three_phase_incident(self, world_2020):
+        victims = [
+            w.domain for w in world_2020.spec.websites
+            if w.https and w.ca_key == "globalsign" and not w.ocsp_stapled
+        ][:6]
+        controls = [
+            w.domain for w in world_2020.spec.websites
+            if w.https and w.ca_key == "digicert" and not w.ocsp_stapled
+        ][:4]
+        if not victims:
+            pytest.skip("no globalsign customers")
+        result = simulate_mass_revocation(
+            world_2020, "globalsign", victims + controls
+        )
+        assert set(victims) <= set(result.denied_during)
+        assert not set(controls) & set(result.denied_during)
+        # Cached poison persists, then clears.
+        assert set(result.denied_after_fix_cached) == set(result.denied_during)
+        assert set(result.recovered_after_expiry) == set(result.denied_during)
+
+
+class TestWhatIf:
+    def test_exposure_report_for_academia(self, snapshot_2020):
+        report = website_exposure(snapshot_2020, "academia.edu")
+        assert "DNSMadeEasy" in report.direct_critical
+        assert any("MaxCDN" in p for p in report.direct_critical)
+        # The intro's hidden chain: MaxCDN -> AWS DNS.
+        assert any("Route 53" in p or "aws" in p for p in report.transitive_critical)
+        assert report.critical_dependency_count >= 3
+
+    def test_redundant_site_has_fewer_spofs(self, snapshot_2020):
+        redundant = next(
+            w for w in snapshot_2020.websites
+            if w.dns.is_redundant and not w.uses_cdn and not w.ca.is_critical
+        )
+        report = website_exposure(snapshot_2020, redundant.domain)
+        assert not any(
+            "dns" in p for p in report.direct_critical
+        ) or report.critical_dependency_count <= 1
+
+    def test_exposure_distribution_shape(self, snapshot_2020):
+        histogram = exposure_distribution(snapshot_2020)
+        assert sum(histogram.values()) == len(snapshot_2020.websites)
+        multi = sum(v for k, v in histogram.items() if k >= 3)
+        # Section 8.1: a sizable share of sites carries >= 3 critical deps.
+        assert multi / len(snapshot_2020.websites) > 0.10
+
+    def test_redundancy_benefit_nonnegative(self, snapshot_2020):
+        for service in ("dns", "cdn", "ca"):
+            benefit = redundancy_benefit(snapshot_2020, "academia.edu", service)
+            assert benefit >= 0

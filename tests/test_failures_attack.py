@@ -1,0 +1,110 @@
+"""Tests for the capacity-aware volumetric-attack model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.failures.attack import (
+    AttackScenario,
+    ProviderCapacity,
+    attack_sweep,
+    capacity_for,
+    simulate_volumetric_attack,
+    survival_rate_under,
+)
+
+
+class TestCapacityModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProviderCapacity("x", capacity_gbps=0)
+        with pytest.raises(ValueError):
+            ProviderCapacity("x", capacity_gbps=100, pop_count=0)
+
+    def test_default_catalog(self):
+        assert capacity_for("dynect.net").capacity_gbps == 1200.0
+        assert capacity_for("tail-dns.example").capacity_gbps == 100.0
+
+    def test_attack_volume(self):
+        assert AttackScenario(bots=600_000).volume_gbps == pytest.approx(1200.0)
+
+
+class TestSurvival:
+    def test_under_capacity_is_unharmed(self):
+        capacity = ProviderCapacity("x", 1000.0, pop_count=4)
+        rate, per_pop = survival_rate_under(
+            capacity, AttackScenario(bots=10), random.Random(0)
+        )
+        assert rate == 1.0
+        assert per_pop == [1.0] * 4
+
+    def test_overwhelming_attack_saturates(self):
+        capacity = ProviderCapacity("x", 100.0, pop_count=4)
+        rate, _ = survival_rate_under(
+            capacity, AttackScenario(bots=10_000_000), random.Random(0)
+        )
+        assert rate < 0.01
+
+    @given(
+        capacity=st.floats(10.0, 10_000.0),
+        bots=st.integers(1, 5_000_000),
+        pops=st.integers(1, 32),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60)
+    def test_survival_is_a_rate(self, capacity, bots, pops, seed):
+        model = ProviderCapacity("x", capacity, pop_count=pops)
+        rate, per_pop = survival_rate_under(
+            model, AttackScenario(bots=bots), random.Random(seed)
+        )
+        assert 0.0 <= rate <= 1.0
+        assert all(0.0 <= p <= 1.0 for p in per_pop)
+
+    def test_monotone_in_attack_size(self):
+        model = ProviderCapacity("x", 1000.0, pop_count=8)
+        rng_seed = 7
+        rates = [
+            survival_rate_under(
+                model, AttackScenario(bots=bots), random.Random(rng_seed)
+            )[0]
+            for bots in (1_000, 200_000, 800_000, 3_000_000)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestSimulation:
+    def test_dyn_mirai_scenario(self, snapshot_2020):
+        # ~600K Mirai bots vs Dyn's fleet: saturation, as in 2016.
+        result = simulate_volumetric_attack(
+            snapshot_2020, "dynect.net", AttackScenario(bots=3_000_000)
+        )
+        assert result.survival_rate < 0.5
+        assert (
+            result.expected_unavailable_websites
+            <= result.critically_dependent_websites
+        )
+
+    def test_small_probe_harmless(self, snapshot_2020):
+        result = simulate_volumetric_attack(
+            snapshot_2020, "cloudflare.com", AttackScenario(bots=1_000)
+        )
+        assert result.survival_rate == 1.0
+        assert result.expected_unavailable_websites == 0.0
+        assert not result.fully_saturated
+
+    def test_sweep_is_monotone(self, snapshot_2020):
+        results = attack_sweep(
+            snapshot_2020, "dnsmadeeasy.com",
+            bot_counts=[1_000, 100_000, 1_000_000, 10_000_000],
+        )
+        survival = [r.survival_rate for r in results]
+        assert survival == sorted(survival, reverse=True)
+        downs = [r.expected_unavailable_websites for r in results]
+        assert downs == sorted(downs)
+
+    def test_big_cloud_outlasts_boutique(self, snapshot_2020):
+        attack = AttackScenario(bots=700_000)
+        big = simulate_volumetric_attack(snapshot_2020, "cloudflare.com", attack)
+        small = simulate_volumetric_attack(snapshot_2020, "dnsmadeeasy.com", attack)
+        assert big.survival_rate > small.survival_rate

@@ -1,0 +1,83 @@
+"""End-to-end assertions specific to the 2016 snapshot — the Dyn era."""
+
+import pytest
+
+from repro import WorldConfig, analyze_world, build_world
+from repro.core.graph import ProviderNode, ServiceType
+
+
+@pytest.fixture(scope="module")
+def world_2016():
+    return build_world(WorldConfig(n_websites=600, seed=11, year=2016))
+
+
+@pytest.fixture(scope="module")
+def snapshot_2016(world_2016):
+    return analyze_world(world_2016)
+
+
+class TestDynEra:
+    def test_twitter_measured_critical_on_dyn(self, snapshot_2016):
+        twitter = snapshot_2016.by_domain()["twitter.com"]
+        assert twitter.dns.uses_third_party
+        assert twitter.dns.is_critical
+        assert twitter.dns.third_party_provider_ids == ["dynect.net"]
+
+    def test_twitter_soa_trap_fools_soa_baseline(self, snapshot_2016):
+        measurement = snapshot_2016.dataset.by_domain()["twitter.com"]
+        dyn_soas = [
+            soa for soa in measurement.dns.nameserver_soas.values()
+            if soa is not None
+        ]
+        assert measurement.dns.website_soa in dyn_soas
+
+    def test_fastly_critically_on_dyn(self, snapshot_2016):
+        fastly = snapshot_2016.interservice.cdn_dns.get("Fastly")
+        assert fastly is not None
+        assert fastly.is_critical
+        assert fastly.third_party_provider_ids == ["dynect.net"]
+
+    def test_dyn_impact_includes_fastly_customers(self, snapshot_2016):
+        node = ProviderNode("dynect.net", ServiceType.DNS)
+        direct = snapshot_2016.graph.direct_dependents(node, critical_only=True)
+        total = snapshot_2016.graph.dependent_websites(node, critical_only=True)
+        assert "pinterest.com" in total  # via Fastly, not direct
+        assert "pinterest.com" not in direct
+
+    def test_dyn_prominent_among_top_sites(self, snapshot_2016, world_2016):
+        # The 2016 market: Dyn skews towards popular websites.
+        top = [w for w in world_2016.spec.websites if w.rank <= 60]
+        dyn_top = sum(1 for w in top if "dyn" in w.dns.providers)
+        assert dyn_top >= 2
+
+    def test_symantec_observed_in_2016(self, snapshot_2016):
+        assert any(
+            "Symantec" in name for name in snapshot_2016.interservice.ca_dns
+        )
+
+    def test_lets_encrypt_no_cdn_in_2016(self, snapshot_2016):
+        lets = snapshot_2016.interservice.ca_cdn.get("Let's Encrypt")
+        if lets is None:
+            pytest.skip("LE unobserved at this scale in 2016")
+        assert not lets.uses_cdn
+
+    def test_https_rarer_in_2016(self, snapshot_2016):
+        n = len(snapshot_2016.websites)
+        https = len(snapshot_2016.https_websites)
+        assert 0.38 <= https / n <= 0.58  # paper: 46.5%
+
+
+class TestDynIncidentReplay:
+    def test_full_replay(self, world_2016, snapshot_2016):
+        from repro.failures import simulate_dns_outage
+
+        node = ProviderNode("dynect.net", ServiceType.DNS)
+        predicted = snapshot_2016.graph.dependent_websites(node, critical_only=True)
+        result = simulate_dns_outage(world_2016, "dyn")
+        affected = set(result.affected)
+        # Everything the graph calls critically dependent actually broke.
+        overlap = predicted & affected
+        assert len(overlap) >= 0.8 * len(predicted)
+        assert "twitter.com" in affected
+        # Redundant amazon survives.
+        assert "amazon.com" in result.unaffected

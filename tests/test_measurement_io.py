@@ -1,0 +1,66 @@
+"""Tests for dataset JSON serialization (measure once, analyze offline)."""
+
+import pytest
+
+from repro.core import analyze_dataset
+from repro.measurement.io import (
+    dataset_from_json,
+    dataset_to_json,
+    load_dataset,
+    save_dataset,
+)
+
+
+class TestRoundtrip:
+    def test_full_roundtrip_equality(self, snapshot_2020):
+        dataset = snapshot_2020.dataset
+        restored = dataset_from_json(dataset_to_json(dataset))
+        assert restored.year == dataset.year
+        assert restored.notes == dataset.notes
+        assert len(restored.websites) == len(dataset.websites)
+        for original, copied in zip(dataset.websites, restored.websites):
+            assert copied.domain == original.domain
+            assert copied.rank == original.rank
+            assert copied.dns.nameservers == original.dns.nameservers
+            assert copied.dns.website_soa == original.dns.website_soa
+            assert copied.dns.nameserver_soas == original.dns.nameserver_soas
+            assert copied.tls.san == original.tls.san
+            assert copied.tls.ocsp_urls == original.tls.ocsp_urls
+            assert copied.tls.endpoint_soas == original.tls.endpoint_soas
+            assert copied.cdn.detected_cdns == original.cdn.detected_cdns
+            assert copied.cdn.cname_soas == original.cdn.cname_soas
+        assert set(restored.cdn_dns) == set(dataset.cdn_dns)
+        assert set(restored.ca_dns) == set(dataset.ca_dns)
+        assert set(restored.ca_cdn) == set(dataset.ca_cdn)
+
+    def test_serialization_is_deterministic(self, snapshot_2020):
+        dataset = snapshot_2020.dataset
+        assert dataset_to_json(dataset) == dataset_to_json(dataset)
+
+    def test_analysis_identical_on_restored_dataset(self, snapshot_2020):
+        """The paper workflow: re-analysis of a frozen dataset must agree."""
+        restored = dataset_from_json(dataset_to_json(snapshot_2020.dataset))
+        reanalyzed = analyze_dataset(
+            restored,
+            rank_scale=snapshot_2020.rank_scale,
+            concentration_threshold=snapshot_2020.concentration_threshold,
+        )
+        original_by_domain = snapshot_2020.by_domain()
+        for website in reanalyzed.websites:
+            original = original_by_domain[website.domain]
+            assert website.dns.uses_third_party == original.dns.uses_third_party
+            assert website.dns.is_critical == original.dns.is_critical
+            assert website.ca.is_critical == original.ca.is_critical
+            assert sorted(c.cdn_name for c in website.cdns) == sorted(
+                c.cdn_name for c in original.cdns
+            )
+
+    def test_file_roundtrip(self, snapshot_2020, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(snapshot_2020.dataset, str(path))
+        restored = load_dataset(str(path))
+        assert len(restored.websites) == len(snapshot_2020.dataset.websites)
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            dataset_from_json('{"format_version": 99, "year": 2020}')

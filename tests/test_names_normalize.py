@@ -1,0 +1,103 @@
+"""Unit tests for hostname normalization and validation."""
+
+import pytest
+
+from repro.names.normalize import (
+    InvalidDomainError,
+    ancestors,
+    ensure_valid_hostname,
+    is_valid_hostname,
+    normalize,
+    parent_name,
+    split_labels,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalize("example.com.") == "example.com"
+
+    def test_strips_whitespace(self):
+        assert normalize("  example.com \n") == "example.com"
+
+    def test_root_becomes_empty(self):
+        assert normalize(".") == ""
+        assert normalize("") == ""
+
+    def test_single_trailing_dot_only(self):
+        # Only one trailing dot is an FQDN marker.
+        assert normalize("example.com..") == "example.com."
+
+    def test_rejects_non_string(self):
+        with pytest.raises(InvalidDomainError):
+            normalize(42)  # type: ignore[arg-type]
+
+
+class TestSplitLabels:
+    def test_basic(self):
+        assert split_labels("a.b.c") == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert split_labels("") == []
+
+    def test_normalizes_first(self):
+        assert split_labels("A.B.") == ["a", "b"]
+
+
+class TestIsValidHostname:
+    def test_accepts_normal(self):
+        assert is_valid_hostname("example.com")
+        assert is_valid_hostname("a-b.example.co.uk")
+
+    def test_accepts_wildcard_leftmost(self):
+        assert is_valid_hostname("*.example.com")
+
+    def test_rejects_wildcard_elsewhere(self):
+        assert not is_valid_hostname("www.*.example.com")
+
+    def test_rejects_hyphen_edges(self):
+        assert not is_valid_hostname("-bad.example.com")
+        assert not is_valid_hostname("bad-.example.com")
+
+    def test_rejects_empty(self):
+        assert not is_valid_hostname("")
+
+    def test_rejects_too_long_name(self):
+        assert not is_valid_hostname(".".join(["abc"] * 80))
+
+    def test_rejects_too_long_label(self):
+        assert not is_valid_hostname("a" * 64 + ".com")
+
+    def test_accepts_underscores(self):
+        assert is_valid_hostname("_dmarc.example.com")
+
+
+class TestEnsureValid:
+    def test_returns_normalized(self):
+        assert ensure_valid_hostname("WWW.Example.COM.") == "www.example.com"
+
+    def test_raises_on_invalid(self):
+        with pytest.raises(InvalidDomainError):
+            ensure_valid_hostname("-bad-.com")
+
+
+class TestAncestry:
+    def test_parent(self):
+        assert parent_name("www.example.com") == "example.com"
+        assert parent_name("com") == ""
+
+    def test_ancestors(self):
+        assert ancestors("a.b.example.com") == [
+            "b.example.com", "example.com", "com",
+        ]
+
+    def test_ancestors_include_self(self):
+        assert ancestors("example.com", include_self=True) == [
+            "example.com", "com",
+        ]
+
+    def test_ancestors_of_tld(self):
+        assert ancestors("com") == []

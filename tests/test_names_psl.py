@@ -1,0 +1,79 @@
+"""Unit tests for the Public Suffix List implementation."""
+
+from repro.names.psl import PublicSuffixList, default_psl, icann_psl
+
+
+class TestDefaultPsl:
+    def test_simple_tld(self):
+        psl = default_psl()
+        assert psl.public_suffix("example.com") == "com"
+        assert psl.registrable_domain("www.example.com") == "example.com"
+
+    def test_two_level_suffix(self):
+        psl = default_psl()
+        assert psl.public_suffix("www.bbc.co.uk") == "co.uk"
+        assert psl.registrable_domain("www.bbc.co.uk") == "bbc.co.uk"
+
+    def test_bare_suffix_has_no_registrable(self):
+        psl = default_psl()
+        assert psl.registrable_domain("co.uk") is None
+        assert psl.registrable_domain("com") is None
+
+    def test_private_section_suffixes(self):
+        psl = default_psl()
+        assert psl.registrable_domain("foo.github.io") == "foo.github.io"
+        assert psl.registrable_domain("d1234.cloudfront.net") == "d1234.cloudfront.net"
+
+    def test_unknown_tld_falls_back_to_last_label(self):
+        psl = default_psl()
+        assert psl.public_suffix("example.unknowntld") == "unknowntld"
+        assert psl.registrable_domain("a.b.example.unknowntld") == "example.unknowntld"
+
+    def test_is_public_suffix(self):
+        psl = default_psl()
+        assert psl.is_public_suffix("com")
+        assert psl.is_public_suffix("co.uk")
+        assert not psl.is_public_suffix("example.com")
+
+    def test_empty_name(self):
+        psl = default_psl()
+        assert psl.public_suffix("") is None
+        assert psl.registrable_domain("") is None
+
+
+class TestIcannPsl:
+    def test_private_suffixes_excluded(self):
+        psl = icann_psl()
+        # cloudfront.net is a *private* suffix: under ICANN rules it is an
+        # ordinary registrable domain (this is what the DNS tree uses).
+        assert psl.registrable_domain("d1234.cloudfront.net") == "cloudfront.net"
+
+    def test_icann_suffixes_still_present(self):
+        psl = icann_psl()
+        assert psl.registrable_domain("www.bbc.co.uk") == "bbc.co.uk"
+
+
+class TestCustomRules:
+    def test_wildcard_rule(self):
+        psl = PublicSuffixList(["com", "*.ck"])
+        assert psl.public_suffix("www.shop.ck") == "shop.ck"
+        assert psl.registrable_domain("www.shop.ck") == "www.shop.ck"
+
+    def test_exception_rule(self):
+        psl = PublicSuffixList(["com", "*.ck", "!www.ck"])
+        assert psl.registrable_domain("www.ck") == "www.ck"
+        assert psl.public_suffix("www.ck") == "ck"
+
+    def test_add_rule_at_runtime(self):
+        psl = PublicSuffixList(["com"])
+        assert psl.registrable_domain("a.mycdn.net") == "mycdn.net"
+        psl.add_rule("mycdn.net")
+        assert psl.registrable_domain("a.mycdn.net") == "a.mycdn.net"
+
+    def test_comments_and_blanks_ignored(self):
+        psl = PublicSuffixList(["// comment", "", "com  // trailing"])
+        assert psl.public_suffix("example.com") == "com"
+
+    def test_longest_match_wins(self):
+        psl = PublicSuffixList(["uk", "co.uk"])
+        assert psl.public_suffix("x.co.uk") == "co.uk"

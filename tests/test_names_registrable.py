@@ -1,0 +1,66 @@
+"""Unit tests for registrable-domain helpers (the paper's tld())."""
+
+from repro.names.registrable import (
+    is_subdomain_of,
+    matches_san_entry,
+    registrable_domain,
+    same_registrable_domain,
+    tld,
+)
+
+
+class TestTld:
+    def test_tld_is_registrable_domain(self):
+        assert tld("ns1.dynect.net") == "dynect.net"
+        assert tld("www.twitter.com") == "twitter.com"
+
+    def test_paper_example_youtube_google(self):
+        # tld(ns1.google.com) != tld(youtube.com): the TLD heuristic's
+        # false positive the SAN list must rescue.
+        assert tld("ns1.google.com") == "google.com"
+        assert tld("youtube.com") == "youtube.com"
+        assert tld("ns1.google.com") != tld("youtube.com")
+
+
+class TestSameRegistrable:
+    def test_same(self):
+        assert same_registrable_domain("a.example.com", "b.example.com")
+
+    def test_different(self):
+        assert not same_registrable_domain("a.example.com", "a.example.org")
+
+    def test_identical_bare_suffix(self):
+        assert same_registrable_domain("co.uk", "co.uk")
+
+    def test_distinct_bare_suffixes(self):
+        assert not same_registrable_domain("co.uk", "org.uk")
+
+    def test_psl_private_section_separates_tenants(self):
+        assert not same_registrable_domain("a.github.io", "b.github.io")
+
+
+class TestIsSubdomainOf:
+    def test_true_cases(self):
+        assert is_subdomain_of("a.b.example.com", "example.com")
+        assert is_subdomain_of("example.com", "example.com")
+
+    def test_label_boundary(self):
+        assert not is_subdomain_of("badexample.com", "example.com")
+
+    def test_empty_ancestor(self):
+        assert not is_subdomain_of("example.com", "")
+
+
+class TestSanMatching:
+    def test_exact(self):
+        assert matches_san_entry("www.example.com", "www.example.com")
+
+    def test_wildcard_one_label(self):
+        assert matches_san_entry("www.example.com", "*.example.com")
+        assert not matches_san_entry("a.b.example.com", "*.example.com")
+
+    def test_wildcard_does_not_match_apex(self):
+        assert not matches_san_entry("example.com", "*.example.com")
+
+    def test_case_insensitive(self):
+        assert matches_san_entry("WWW.Example.COM", "*.example.com")

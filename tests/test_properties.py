@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for core data structures & invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import DependencyGraph, ProviderNode, ServiceType
+from repro.dnssim.cache import DnsCache, NegativeCacheHit
+from repro.dnssim.clock import SimulatedClock
+from repro.dnssim.records import ARecord, RRType, ResourceRecord
+from repro.names.normalize import normalize, split_labels
+from repro.names.psl import default_psl
+from repro.names.registrable import is_subdomain_of, registrable_domain
+
+_label = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=10
+)
+_hostnames = st.lists(_label, min_size=1, max_size=5).map(".".join)
+
+
+class TestNameProperties:
+    @given(_hostnames)
+    def test_normalize_idempotent(self, name):
+        assert normalize(normalize(name)) == normalize(name)
+
+    @given(_hostnames)
+    def test_split_join_roundtrip(self, name):
+        assert ".".join(split_labels(name)) == normalize(name)
+
+    @given(_hostnames)
+    def test_registrable_domain_is_suffix_of_name(self, name):
+        base = registrable_domain(name)
+        if base is not None:
+            assert is_subdomain_of(name, base)
+
+    @given(_hostnames)
+    def test_registrable_domain_idempotent(self, name):
+        base = registrable_domain(name)
+        if base is not None:
+            assert registrable_domain(base) == base
+
+    @given(_hostnames)
+    def test_public_suffix_shorter_than_registrable(self, name):
+        psl = default_psl()
+        suffix = psl.public_suffix(name)
+        base = psl.registrable_domain(name)
+        if base is not None and suffix is not None:
+            assert len(split_labels(base)) == len(split_labels(suffix)) + 1
+
+    @given(_hostnames, _label)
+    def test_subdomain_relation_transitive_upward(self, name, extra):
+        child = f"{extra}.{name}"
+        assert is_subdomain_of(child, name)
+
+
+class TestCacheProperties:
+    @given(
+        entries=st.lists(
+            st.tuples(_hostnames, st.integers(1, 10_000)),
+            min_size=1, max_size=30,
+        ),
+        advance=st.integers(0, 12_000),
+    )
+    @settings(max_examples=50)
+    def test_cache_never_serves_expired(self, entries, advance):
+        clock = SimulatedClock()
+        cache = DnsCache(clock)
+        for name, ttl in entries:
+            cache.put(name, RRType.A, [ResourceRecord(name, ttl, ARecord("10.0.0.1"))])
+        clock.advance(advance)
+        for name, ttl in entries:
+            try:
+                got = cache.get(name, RRType.A)
+            except NegativeCacheHit:
+                raise AssertionError("no negative entries were inserted")
+            if got is not None:
+                # The freshest insert for this name must still be valid.
+                max_ttl = max(t for n, t in entries if normalize(n) == normalize(name))
+                assert advance <= max_ttl
+
+    @given(st.integers(1, 20), st.integers(21, 60))
+    @settings(max_examples=30)
+    def test_capacity_bound_holds(self, capacity, inserts):
+        clock = SimulatedClock()
+        cache = DnsCache(clock, max_entries=capacity)
+        for i in range(inserts):
+            cache.put(f"h{i}.example", RRType.A,
+                      [ResourceRecord(f"h{i}.example", 100, ARecord("10.0.0.1"))])
+        assert len(cache) <= capacity
+
+
+def _random_graph(rng: random.Random) -> DependencyGraph:
+    graph = DependencyGraph()
+    services = list(ServiceType)
+    providers = [
+        ProviderNode(f"p{i}", rng.choice(services)) for i in range(rng.randint(2, 8))
+    ]
+    for i in range(rng.randint(3, 25)):
+        provider = rng.choice(providers)
+        graph.add_website_dependency(
+            f"site{i}.com", provider, critical=rng.random() < 0.6
+        )
+    for _ in range(rng.randint(0, 10)):
+        a, b = rng.sample(providers, 2) if len(providers) >= 2 else (None, None)
+        if a is not None:
+            graph.add_provider_dependency(a, b, critical=rng.random() < 0.5)
+    return graph
+
+
+class TestGraphProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_concentration_bounds_impact(self, seed):
+        graph = _random_graph(random.Random(seed))
+        for provider in graph.providers():
+            concentration = graph.concentration(provider)
+            impact = graph.impact(provider)
+            assert 0 <= impact <= concentration <= len(graph.websites())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_indirect_dominates_direct(self, seed):
+        graph = _random_graph(random.Random(seed))
+        for provider in graph.providers():
+            assert graph.concentration(provider) >= graph.direct_concentration(provider)
+            assert graph.impact(provider) >= graph.direct_impact(provider)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_dependents_are_real_websites(self, seed):
+        graph = _random_graph(random.Random(seed))
+        websites = set(graph.websites())
+        for provider in graph.providers():
+            assert graph.dependent_websites(provider) <= websites
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_top_providers_sorted(self, seed):
+        graph = _random_graph(random.Random(seed))
+        for service in ServiceType:
+            scores = [s for _, s in graph.top_providers(service, 10)]
+            assert scores == sorted(scores, reverse=True)
+
+
+class TestWireFormatProperty:
+    @given(
+        st.lists(
+            st.tuples(_hostnames, st.integers(0, 3600)),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=40)
+    def test_message_roundtrip_many_records(self, records):
+        from repro.dnssim.message import DnsMessage
+
+        msg = DnsMessage.query(records[0][0], RRType.A).response()
+        msg.answers = [
+            ResourceRecord(name, ttl, ARecord("10.1.2.3"))
+            for name, ttl in records
+        ]
+        out = DnsMessage.from_wire(msg.to_wire())
+        assert out.answers == msg.answers

@@ -1,0 +1,95 @@
+"""Rendering edge cases and world-pair consistency checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.artifacts import FigureArtifact, TableArtifact
+from repro.analysis.render import render_figure, render_table
+from repro.core.evolution import TrendRow
+from repro.websim.url import join_url, parse_url
+
+
+class TestRenderEdgeCases:
+    def test_long_series_truncated(self):
+        figure = FigureArtifact(id="f", title="t")
+        figure.add_series("big", [(i, i) for i in range(50)])
+        text = render_figure(figure)
+        assert "..." in text
+
+    def test_paper_only_stats_rendered(self):
+        figure = FigureArtifact(id="f", title="t")
+        figure.stats = {"a": 1}
+        figure.paper_stats = {"a": 2, "b": 3}
+        text = render_figure(figure)
+        assert "(paper: 2)" in text
+        assert "paper-only: b = 3" in text
+
+    def test_figure_notes(self):
+        figure = FigureArtifact(id="f", title="t", notes=["check this"])
+        assert "note: check this" in render_figure(figure)
+
+    def test_table_column_alignment(self):
+        table = TableArtifact(id="t", title="x", columns=["col", "value"])
+        table.add_row("short", 1)
+        table.add_row("a much longer label", 22.5)
+        lines = render_table(table).splitlines()
+        header = next(l for l in lines if l.startswith("col"))
+        first = next(l for l in lines if l.startswith("short"))
+        assert header.index("value") == len(first[: first.index("1")])
+
+    def test_trendrow_count_formatting(self):
+        row = TrendRow(label="X to Y", count=3, total=10)
+        assert row.formatted() == "X to Y: 3 (30.0%)"
+        row_no_total = TrendRow(label="X", count=2)
+        assert row_no_total.formatted() == "X: 2"
+
+    def test_trendrow_signed_delta(self):
+        row = TrendRow(label="Critical dependency", per_bucket={100: 4.7})
+        assert "+4.7" in row.formatted()
+
+
+class TestUrlJoinProperties:
+    _path = st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789/._-", min_size=1, max_size=20
+    )
+
+    @given(_path)
+    def test_root_relative_always_rooted(self, ref):
+        base = parse_url("https://x.com/a/b")
+        joined = join_url(base, "/" + ref.lstrip("/"))
+        assert joined.host == "x.com"
+        assert joined.path.startswith("/")
+
+    @given(_path)
+    def test_join_preserves_scheme_for_relative(self, ref):
+        if "://" in ref:
+            return
+        base = parse_url("https://x.com/a/b")
+        assert join_url(base, ref).scheme == "https"
+
+
+class TestWorldPairConsistency:
+    def test_shared_population(self, world_pair):
+        world_2016, world_2020, churn = world_pair
+        domains_2016 = {w.domain for w in world_2016.spec.websites}
+        domains_2020 = {w.domain for w in world_2020.spec.websites}
+        assert set(churn.survivors) == domains_2016 & domains_2020
+        assert set(churn.dead) == domains_2016 - domains_2020
+        assert set(churn.newcomers) == domains_2020 - domains_2016
+
+    def test_years(self, world_pair):
+        world_2016, world_2020, _ = world_pair
+        assert world_2016.year == 2016
+        assert world_2020.year == 2020
+
+    def test_corner_sites_survive(self, world_pair):
+        _, world_2020, churn = world_pair
+        assert "twitter.com" in world_2020.spec.website_by_domain()
+        assert "twitter.com" not in churn.dead
+
+    def test_market_sizes_shift_with_year(self, world_pair):
+        world_2016, world_2020, _ = world_pair
+        assert len(world_2016.spec.cdns) == 47
+        assert len(world_2020.spec.cdns) == 86
+        assert len(world_2016.spec.cas) == 70
+        assert len(world_2020.spec.cas) == 59

@@ -1,0 +1,80 @@
+"""Tests for the robustness score (the paper's proposed defense metric)."""
+
+import pytest
+
+from repro.failures import robustness_score, website_exposure
+
+
+class TestRobustnessScore:
+    def test_bounded(self, snapshot_2020):
+        for website in snapshot_2020.websites[::31]:
+            score = robustness_score(snapshot_2020, website.domain)
+            assert 0.0 <= score.score <= 1.0
+
+    def test_no_spofs_scores_one(self, snapshot_2020):
+        safe = next(
+            (
+                w for w in snapshot_2020.websites
+                if website_exposure(snapshot_2020, w.domain).critical_dependency_count == 0
+            ),
+            None,
+        )
+        if safe is None:
+            pytest.skip("no fully-redundant website in this world")
+        assert robustness_score(snapshot_2020, safe.domain).score == 1.0
+
+    def test_more_spofs_score_lower(self, snapshot_2020):
+        scored = [
+            (
+                website_exposure(snapshot_2020, w.domain).critical_dependency_count,
+                robustness_score(snapshot_2020, w.domain).score,
+            )
+            for w in snapshot_2020.websites[::17]
+        ]
+        none = [s for count, s in scored if count == 0]
+        many = [s for count, s in scored if count >= 3]
+        if not none or not many:
+            pytest.skip("need both safe and exposed websites")
+        assert min(none) > max(many)
+
+    def test_academia_reflects_its_chain(self, snapshot_2020):
+        score = robustness_score(snapshot_2020, "academia.edu")
+        assert score.direct_spofs >= 3
+        assert score.transitive_spofs >= 1
+        assert score.score < 0.5
+        assert score.worst_provider  # some provider dominates
+
+    def test_spof_counts_match_exposure(self, snapshot_2020):
+        for website in snapshot_2020.websites[::43]:
+            report = website_exposure(snapshot_2020, website.domain)
+            score = robustness_score(snapshot_2020, website.domain)
+            assert (
+                score.direct_spofs + score.transitive_spofs
+                == report.critical_dependency_count
+            )
+
+
+class TestStaplingWhatIf:
+    def test_monotone_decrease(self, snapshot_2020):
+        from repro.failures.whatif import stapling_adoption_whatif
+
+        sweep = stapling_adoption_whatif(
+            snapshot_2020, [0.17, 0.4, 0.7, 1.0]
+        )
+        rates = [critical for _, critical in sweep]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_full_adoption_zeroes_criticality(self, snapshot_2020):
+        from repro.failures.whatif import stapling_adoption_whatif
+
+        (_, critical), = stapling_adoption_whatif(snapshot_2020, [1.0])
+        assert critical == 0.0
+
+    def test_current_rate_is_noop(self, snapshot_2020):
+        from repro.failures.whatif import stapling_adoption_whatif
+
+        https = snapshot_2020.https_websites
+        current = sum(1 for w in https if w.ca.ocsp_stapled) / len(https)
+        (_, critical), = stapling_adoption_whatif(snapshot_2020, [current])
+        actual = sum(1 for w in https if w.ca.is_critical) / len(https)
+        assert critical == pytest.approx(actual, abs=0.01)

@@ -1,0 +1,198 @@
+"""Unit tests for chain validation and revocation checking."""
+
+import pytest
+
+from repro.tlssim.ca import CertificateAuthority
+from repro.tlssim.certificate import CertificateChain
+from repro.tlssim.errors import (
+    CertificateExpiredError,
+    HostnameMismatchError,
+    RevocationCheckError,
+    RevokedCertificateError,
+    UntrustedIssuerError,
+)
+from repro.tlssim.validation import (
+    RevocationPolicy,
+    TrustStore,
+    validate_certificate,
+)
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("VCA", "vca", "ocsp.vca.net")
+
+
+@pytest.fixture
+def store(ca):
+    return TrustStore([ca.root])
+
+
+def handshake(ca, domain="example.com", **issue_kwargs):
+    cert = ca.issue(domain, (domain, f"*.{domain}"), now=0.0, **issue_kwargs)
+    return cert, ca.chain_for(cert)
+
+
+def ocsp_fetcher_for(ca, now=1.0):
+    def fetch(url, serial):
+        return ca.ocsp_responder.status_of(serial, now)
+    return fetch
+
+
+class TestTrustStore:
+    def test_only_self_signed_ca_roots(self, ca):
+        store = TrustStore()
+        with pytest.raises(ValueError):
+            store.add(ca.intermediate)
+        store.add(ca.root)
+        assert len(store) == 1
+        assert store.find(ca.root.subject) is ca.root
+
+
+class TestChainValidation:
+    def test_valid_chain(self, ca, store):
+        _, chain = handshake(ca)
+        report = validate_certificate(
+            "example.com", chain, store, now=1.0,
+            fetch_ocsp=ocsp_fetcher_for(ca),
+        )
+        assert report.ok and report.chain_ok
+
+    def test_hostname_mismatch(self, ca, store):
+        _, chain = handshake(ca)
+        with pytest.raises(HostnameMismatchError):
+            validate_certificate("other.org", chain, store, now=1.0)
+
+    def test_expired_leaf(self, ca, store):
+        cert = ca.issue("example.com", ("example.com",), now=0.0, validity=10.0)
+        with pytest.raises(CertificateExpiredError):
+            validate_certificate(
+                "example.com", ca.chain_for(cert), store, now=11.0
+            )
+
+    def test_untrusted_root(self, ca):
+        other = CertificateAuthority("Other", "o", "ocsp.o.net")
+        _, chain = handshake(ca)
+        with pytest.raises(UntrustedIssuerError):
+            validate_certificate(
+                "example.com", chain, TrustStore([other.root]), now=1.0,
+                fetch_ocsp=ocsp_fetcher_for(ca),
+            )
+
+    def test_missing_intermediate(self, ca, store):
+        cert, _ = handshake(ca)
+        broken = CertificateChain(leaf=cert, intermediates=[])
+        with pytest.raises(UntrustedIssuerError):
+            validate_certificate("example.com", broken, store, now=1.0)
+
+    def test_forged_signature(self, ca, store):
+        from dataclasses import replace
+
+        cert, chain = handshake(ca)
+        forged = replace(cert, signature="sig:attacker-key")
+        with pytest.raises(UntrustedIssuerError):
+            validate_certificate(
+                "example.com",
+                CertificateChain(leaf=forged, intermediates=chain.intermediates),
+                store, now=1.0,
+            )
+
+
+class TestRevocationChecking:
+    def test_live_ocsp_good(self, ca, store):
+        _, chain = handshake(ca)
+        report = validate_certificate(
+            "example.com", chain, store, now=1.0,
+            fetch_ocsp=ocsp_fetcher_for(ca),
+        )
+        assert report.revocation_checked
+        assert report.revocation_source == "ocsp"
+
+    def test_live_ocsp_revoked(self, ca, store):
+        cert, chain = handshake(ca)
+        ca.revoke(cert.serial)
+        with pytest.raises(RevokedCertificateError):
+            validate_certificate(
+                "example.com", chain, store, now=1.0,
+                fetch_ocsp=ocsp_fetcher_for(ca),
+            )
+
+    def test_stapled_response_avoids_ca_contact(self, ca, store):
+        cert, chain = handshake(ca)
+        stapled = ca.ocsp_responder.status_of(cert.serial, now=0.5)
+
+        def exploding_fetch(url, serial):
+            raise AssertionError("CA should not be contacted when stapled")
+
+        report = validate_certificate(
+            "example.com", chain, store, now=1.0,
+            stapled_response=stapled, fetch_ocsp=exploding_fetch,
+        )
+        assert report.stapled and report.revocation_source == "stapled"
+
+    def test_stale_staple_falls_back(self, ca, store):
+        cert, chain = handshake(ca)
+        stapled = ca.ocsp_responder.status_of(cert.serial, now=0.0)
+        late = stapled.next_update + 10
+        report = validate_certificate(
+            "example.com", chain, store, now=late,
+            stapled_response=stapled,
+            fetch_ocsp=ocsp_fetcher_for(ca, now=late),
+        )
+        assert report.revocation_source == "ocsp"
+
+    def test_hard_fail_when_unreachable(self, ca, store):
+        _, chain = handshake(ca)
+        with pytest.raises(RevocationCheckError):
+            validate_certificate(
+                "example.com", chain, store, now=1.0,
+                fetch_ocsp=lambda url, serial: None,
+                policy=RevocationPolicy.HARD_FAIL,
+            )
+
+    def test_soft_fail_when_unreachable(self, ca, store):
+        _, chain = handshake(ca)
+        report = validate_certificate(
+            "example.com", chain, store, now=1.0,
+            fetch_ocsp=lambda url, serial: None,
+            policy=RevocationPolicy.SOFT_FAIL,
+        )
+        assert report.ok and not report.revocation_checked
+
+    def test_crl_fallback(self, ca, store):
+        cert, chain = handshake(ca)
+        ca.revoke(cert.serial)
+        with pytest.raises(RevokedCertificateError):
+            validate_certificate(
+                "example.com", chain, store, now=1.0,
+                fetch_ocsp=lambda url, serial: None,
+                fetch_crl=lambda url: ca.cdp.current_crl(1.0),
+            )
+        ca.unrevoke(cert.serial)
+        report = validate_certificate(
+            "example.com", chain, store, now=1.0,
+            fetch_ocsp=lambda url, serial: None,
+            fetch_crl=lambda url: ca.cdp.current_crl(1.0),
+        )
+        assert report.revocation_source == "crl"
+
+    def test_must_staple_without_staple_fails(self, ca, store):
+        cert = ca.issue(
+            "example.com", ("example.com",), now=0.0, must_staple=True
+        )
+        with pytest.raises(RevocationCheckError):
+            validate_certificate(
+                "example.com", ca.chain_for(cert), store, now=1.0,
+                fetch_ocsp=ocsp_fetcher_for(ca),
+            )
+
+    def test_must_staple_with_staple_ok(self, ca, store):
+        cert = ca.issue(
+            "example.com", ("example.com",), now=0.0, must_staple=True
+        )
+        stapled = ca.ocsp_responder.status_of(cert.serial, now=0.5)
+        report = validate_certificate(
+            "example.com", ca.chain_for(cert), store, now=1.0,
+            stapled_response=stapled,
+        )
+        assert report.ok

@@ -1,0 +1,112 @@
+"""Integration tests for the web client and crawler over a generated world."""
+
+import pytest
+
+from repro.tlssim.validation import RevocationPolicy
+from repro.websim.crawler import CrawlResult
+
+
+@pytest.fixture(scope="module")
+def any_https_site(world_2020):
+    for spec in world_2020.spec.websites:
+        if spec.https and spec.ocsp_stapled:
+            return spec
+    pytest.skip("no stapled https site in world")
+
+
+class TestWebClient:
+    def test_fetch_landing_page(self, world_2020):
+        spec = world_2020.spec.websites[0]
+        scheme = "https" if spec.https else "http"
+        result = world_2020.web_client.get(f"{scheme}://www.{spec.domain}/")
+        assert result.ok, result.error
+        assert result.status == 200
+        assert result.ip
+
+    def test_https_validates_chain(self, world_2020):
+        spec = next(w for w in world_2020.spec.websites if w.https)
+        result = world_2020.web_client.get(f"https://www.{spec.domain}/")
+        assert result.https_ok
+        assert result.chain is not None
+        assert result.validation.chain_ok
+
+    def test_stapled_site_presents_staple(self, world_2020, any_https_site):
+        result = world_2020.web_client.get(f"https://www.{any_https_site.domain}/")
+        assert result.stapled_response is not None
+
+    def test_unknown_host_fails_cleanly(self, world_2020):
+        result = world_2020.web_client.get("https://no-such-site.example/")
+        assert not result.ok
+        assert result.error.startswith("dns:")
+
+    def test_bad_url_fails_cleanly(self, world_2020):
+        result = world_2020.web_client.get("not a url")
+        assert not result.ok and result.error.startswith("bad-url")
+
+    def test_hard_fail_client_checks_revocation(self, world_2020):
+        spec = next(
+            w for w in world_2020.spec.websites
+            if w.https and w.ca_key not in (None, "_private") and not w.ocsp_stapled
+        )
+        client = world_2020.fresh_client(policy=RevocationPolicy.HARD_FAIL)
+        result = client.get(f"https://www.{spec.domain}/")
+        assert result.ok, result.error
+        assert result.validation.revocation_checked
+
+    def test_revoked_cert_rejected(self, world_2020):
+        spec = next(
+            w for w in world_2020.spec.websites
+            if w.https and w.ca_key not in (None, "_private") and not w.ocsp_stapled
+        )
+        infra = world_2020.website_infra[spec.domain]
+        ca = infra.issuing_ca
+        ca.revoke(infra.chain.leaf.serial)
+        try:
+            client = world_2020.fresh_client(policy=RevocationPolicy.HARD_FAIL)
+            result = client.get(f"https://www.{spec.domain}/")
+            assert not result.ok
+            assert "revoked" in result.error
+        finally:
+            ca.unrevoke(infra.chain.leaf.serial)
+
+
+class TestCrawler:
+    def test_crawl_records_hostnames(self, world_2020):
+        spec = next(w for w in world_2020.spec.websites if w.n_internal_resources >= 3)
+        result: CrawlResult = world_2020.crawler.crawl(spec.domain)
+        assert result.ok
+        assert result.landing_url.endswith(f"{spec.domain}/")
+        assert len(result.resource_hostnames) >= 1
+
+    def test_crawl_extracts_certificate_fields(self, world_2020):
+        spec = next(w for w in world_2020.spec.websites if w.https)
+        result = world_2020.crawler.crawl(spec.domain)
+        assert result.https
+        assert result.certificate is not None
+        assert spec.domain in result.san
+
+    def test_crawl_falls_back_to_http(self, world_2020):
+        spec = next(w for w in world_2020.spec.websites if not w.https)
+        result = world_2020.crawler.crawl(spec.domain)
+        assert result.ok and not result.https
+        assert result.landing_url.startswith("http://")
+
+    def test_crawl_of_dead_domain(self, world_2020):
+        result = world_2020.crawler.crawl("definitely-not-registered.example")
+        assert not result.ok
+        assert result.error
+
+    def test_external_resources_visible(self, world_2020):
+        spec = next(
+            w for w in world_2020.spec.websites if w.external_resource_domains
+        )
+        result = world_2020.crawler.crawl(spec.domain)
+        external_hosts = {
+            f"cdn.{d}" for d in spec.external_resource_domains
+        }
+        assert external_hosts & set(result.resource_hostnames)
+
+    def test_hostnames_with_self_includes_landing_host(self, world_2020):
+        spec = world_2020.spec.websites[0]
+        result = world_2020.crawler.crawl(spec.domain)
+        assert result.hostnames_with_self()[0] == f"www.{spec.domain}"

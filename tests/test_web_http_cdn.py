@@ -1,0 +1,131 @@
+"""Unit tests for the HTTP fabric, virtual hosts, and CDN mechanics."""
+
+import pytest
+
+from repro.websim.cdn import CdnProvider
+from repro.websim.http import (
+    ConnectionFailedError,
+    HttpFabric,
+    HttpResponse,
+    HttpServer,
+    VirtualHost,
+)
+
+
+def ok_handler(host, path):
+    return HttpResponse(status=200, body=f"{host}{path}")
+
+
+@pytest.fixture
+def server():
+    srv = HttpServer("origin.x.com", ["10.1.0.1"], operator="x")
+    srv.add_vhost(VirtualHost("x.com", ok_handler))
+    srv.add_vhost(VirtualHost("*.edge.x.com", ok_handler))
+    return srv
+
+
+class TestVirtualHost:
+    def test_exact_match(self, server):
+        assert server.vhost_for("x.com").hostname == "x.com"
+
+    def test_wildcard_match(self, server):
+        assert server.vhost_for("cust1.edge.x.com") is not None
+        assert server.vhost_for("edge.x.com") is None  # apex not covered
+
+    def test_exact_beats_wildcard(self, server):
+        server.add_vhost(VirtualHost("special.edge.x.com", ok_handler))
+        assert server.vhost_for("special.edge.x.com").hostname == "special.edge.x.com"
+
+    def test_unknown_host_is_421(self, server):
+        assert server.request("unknown.org", "/").status == 421
+
+    def test_request_dispatch(self, server):
+        response = server.request("x.com", "/index")
+        assert response.ok and response.body == "x.com/index"
+
+    def test_https_support_flag(self, server):
+        assert not server.vhost_for("x.com").supports_https
+
+
+class TestFabric:
+    def test_connect_and_request(self, server):
+        fabric = HttpFabric()
+        fabric.register_server(server)
+        assert fabric.connect("10.1.0.1") is server
+
+    def test_unknown_ip(self):
+        fabric = HttpFabric()
+        with pytest.raises(ConnectionFailedError):
+            fabric.connect("10.9.9.9")
+
+    def test_outage(self, server):
+        fabric = HttpFabric()
+        fabric.register_server(server)
+        fabric.set_server_available(server, False)
+        with pytest.raises(ConnectionFailedError):
+            fabric.connect("10.1.0.1")
+        fabric.set_server_available(server, True)
+        assert fabric.connect("10.1.0.1") is server
+
+    def test_ip_conflict(self, server):
+        fabric = HttpFabric()
+        fabric.register_server(server)
+        with pytest.raises(ValueError):
+            fabric.register_server(HttpServer("other", ["10.1.0.1"]))
+
+    def test_counters(self, server):
+        fabric = HttpFabric()
+        fabric.register_server(server)
+        fabric.connect("10.1.0.1")
+        fabric.set_server_available(server, False)
+        with pytest.raises(ConnectionFailedError):
+            fabric.connect("10.1.0.1")
+        assert fabric.connections == 2 and fabric.failures == 1
+
+    def test_server_needs_ip(self):
+        with pytest.raises(ValueError):
+            HttpServer("no-ip", [])
+
+
+class TestCdnProvider:
+    def make_cdn(self):
+        edge = HttpServer("edge.fastcdn.net", ["10.2.0.1", "10.2.0.2"], operator="fastcdn")
+        return CdnProvider(
+            name="FastCDN", operator="fastcdn",
+            cname_suffixes=["fastcdn.net", "fastcdn-alt.org"],
+            edge_server=edge,
+        )
+
+    def test_needs_suffix(self):
+        edge = HttpServer("e", ["10.0.0.1"])
+        with pytest.raises(ValueError):
+            CdnProvider("X", "x", [], edge)
+
+    def test_edge_hostname_allocation(self):
+        cdn = self.make_cdn()
+        assert cdn.edge_hostname_for("Customer-1") == "customer-1.fastcdn.net"
+
+    def test_serves_cname(self):
+        cdn = self.make_cdn()
+        assert cdn.serves_cname("a.fastcdn.net")
+        assert cdn.serves_cname("b.fastcdn-alt.org")
+        assert not cdn.serves_cname("a.othercdn.net")
+        assert not cdn.serves_cname("notfastcdn.net")
+
+    def test_deploy_registers_vhosts(self):
+        cdn = self.make_cdn()
+        deployment = cdn.deploy("cust1", ["static.cust1.com"])
+        assert deployment.edge_hostname == "cust1.fastcdn.net"
+        # Edge answers for both the customer hostname (SNI) and edge name.
+        assert cdn.edge_server.vhost_for("static.cust1.com") is not None
+        assert cdn.edge_server.vhost_for("cust1.fastcdn.net") is not None
+        response = cdn.edge_server.request("static.cust1.com", "/obj")
+        assert response.ok and response.headers.get("x-cache") == "HIT"
+
+    def test_custom_handler(self):
+        cdn = self.make_cdn()
+        cdn.deploy(
+            "api", ["api.cust.com"],
+            handler=lambda host, path: HttpResponse(status=503),
+        )
+        assert cdn.edge_server.request("api.cust.com", "/").status == 503

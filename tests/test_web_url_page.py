@@ -1,0 +1,98 @@
+"""Unit tests for URL parsing and the page model / HTML extraction."""
+
+import pytest
+
+from repro.websim.page import PageBuilder, Resource, WebPage, extract_resource_urls
+from repro.websim.url import ParsedUrl, UrlError, join_url, parse_url
+
+
+class TestParseUrl:
+    def test_basic(self):
+        parsed = parse_url("https://Example.com/a/b?q=1")
+        assert parsed.scheme == "https"
+        assert parsed.host == "example.com"
+        assert parsed.path == "/a/b?q=1"
+        assert parsed.is_https
+
+    def test_default_path(self):
+        assert parse_url("http://x.com").path == "/"
+
+    def test_port_stripped(self):
+        assert parse_url("http://x.com:8080/p").host == "x.com"
+
+    def test_rejects_relative(self):
+        with pytest.raises(UrlError):
+            parse_url("/relative/path")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(UrlError):
+            parse_url("ftp://x.com/file")
+
+    def test_rejects_empty_host(self):
+        with pytest.raises(UrlError):
+            parse_url("https:///path")
+
+    def test_str_roundtrip(self):
+        assert str(parse_url("https://x.com/p")) == "https://x.com/p"
+
+
+class TestJoinUrl:
+    def test_absolute(self):
+        base = parse_url("https://x.com/a/")
+        assert join_url(base, "http://y.com/z").host == "y.com"
+
+    def test_scheme_relative(self):
+        base = parse_url("https://x.com/a/")
+        joined = join_url(base, "//cdn.y.com/lib.js")
+        assert joined.scheme == "https" and joined.host == "cdn.y.com"
+
+    def test_root_relative(self):
+        base = parse_url("https://x.com/a/b")
+        assert join_url(base, "/c").path == "/c"
+
+    def test_path_relative(self):
+        base = parse_url("https://x.com/a/b")
+        assert join_url(base, "c.png").path == "/a/c.png"
+
+
+class TestPageRendering:
+    def test_render_and_extract_roundtrip(self):
+        page = WebPage(
+            url="https://x.com/",
+            title="X",
+            resources=[
+                Resource("https://static0.x.com/app.js", "script"),
+                Resource("https://img.x.com/logo.png", "image"),
+                Resource("/assets/site.css", "stylesheet"),
+                Resource("https://cdn.tracker.net/t.js", "script"),
+            ],
+        )
+        html = PageBuilder().render(page)
+        extracted = extract_resource_urls(html)
+        assert "https://static0.x.com/app.js" in extracted
+        assert "https://img.x.com/logo.png" in extracted
+        assert "/assets/site.css" in extracted
+        assert "https://cdn.tracker.net/t.js" in extracted
+
+    def test_extract_dedupes_in_order(self):
+        html = (
+            '<img src="https://a.com/1.png">'
+            '<img src="https://b.com/2.png">'
+            '<img src="https://a.com/1.png">'
+        )
+        assert extract_resource_urls(html) == [
+            "https://a.com/1.png", "https://b.com/2.png",
+        ]
+
+    def test_extract_handles_mixed_quotes_and_case(self):
+        html = "<IMG SRC='https://a.com/x.png'><script src=\"https://b.com/y.js\"></script>"
+        assert extract_resource_urls(html) == [
+            "https://a.com/x.png", "https://b.com/y.js",
+        ]
+
+    def test_extract_ignores_tagless_text(self):
+        assert extract_resource_urls("src=https://a.com/x") == []
+
+    def test_resource_urls_helper(self):
+        page = WebPage(url="u", resources=[Resource("a", "image")])
+        assert page.resource_urls() == ["a"]

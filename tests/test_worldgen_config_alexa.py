@@ -1,0 +1,91 @@
+"""Unit tests for world configuration, rank scaling, and the Alexa model."""
+
+import random
+
+import pytest
+
+from repro.worldgen.alexa import (
+    CORNER_CASE_DOMAINS,
+    AlexaList,
+    churn_2016_to_2020,
+    generate_domains,
+)
+from repro.worldgen.config import CalibrationTargets, WorldConfig
+
+
+class TestWorldConfig:
+    def test_rank_scale(self):
+        config = WorldConfig(n_websites=10_000)
+        assert config.rank_scale == 10.0
+        assert config.effective_rank(50) == 500.0
+
+    def test_scaled_bucket(self):
+        config = WorldConfig(n_websites=10_000)
+        assert config.scaled_bucket(100) == 10
+        assert config.scaled_bucket(100_000) == 10_000
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_websites=50)
+
+    def test_only_paper_years(self):
+        with pytest.raises(ValueError):
+            WorldConfig(year=2018)
+
+    def test_targets_defaults(self):
+        targets = CalibrationTargets()
+        assert targets.n_cdns == 86 and targets.n_cas == 59
+        assert targets.n_cdns_2016 == 47 and targets.n_cas_2016 == 70
+
+
+class TestDomainGeneration:
+    def test_count_and_uniqueness(self):
+        domains = generate_domains(500, random.Random(1))
+        assert len(domains) == 500
+        assert len(set(domains)) == 500
+
+    def test_corner_cases_pinned_on_top(self):
+        domains = generate_domains(500, random.Random(1))
+        assert domains[: len(CORNER_CASE_DOMAINS)] == list(CORNER_CASE_DOMAINS)
+
+    def test_deterministic(self):
+        a = generate_domains(300, random.Random(7))
+        b = generate_domains(300, random.Random(7))
+        assert a == b
+
+    def test_without_corner_cases(self):
+        domains = generate_domains(200, random.Random(1), include_corner_cases=False)
+        assert "google.com" not in domains
+
+
+class TestAlexaList:
+    def test_rank_lookup(self):
+        lst = AlexaList(2020, ["a.com", "b.com", "c.com"])
+        assert lst.rank_of("b.com") == 2
+        assert lst.top(2) == ["a.com", "b.com"]
+        assert "c.com" in lst and "z.com" not in lst
+        with pytest.raises(KeyError):
+            lst.rank_of("z.com")
+
+
+class TestChurn:
+    def test_death_rate(self):
+        rng = random.Random(3)
+        lst_2016 = AlexaList(2016, generate_domains(1000, rng))
+        lst_2020, churn = churn_2016_to_2020(lst_2016, rng)
+        assert len(lst_2020) == len(lst_2016)
+        assert 0.02 <= len(churn.dead) / 1000 <= 0.06  # ~3.8%
+        assert len(churn.newcomers) == len(churn.dead)
+
+    def test_corner_cases_never_die(self):
+        rng = random.Random(3)
+        lst_2016 = AlexaList(2016, generate_domains(1000, rng))
+        _, churn = churn_2016_to_2020(lst_2016, rng)
+        assert not set(churn.dead) & set(CORNER_CASE_DOMAINS)
+
+    def test_survivor_order_preserved(self):
+        rng = random.Random(3)
+        lst_2016 = AlexaList(2016, generate_domains(500, rng))
+        lst_2020, churn = churn_2016_to_2020(lst_2016, rng)
+        survivors_in_2020 = [d for d in lst_2020.domains if d in set(churn.survivors)]
+        assert survivors_in_2020 == churn.survivors

@@ -1,0 +1,128 @@
+"""Tests for the 2016→2020 evolution machinery."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.evolve import (
+    CumulativeRates,
+    DNS_PVT_TO_SINGLE_THIRD,
+    evolve_to_2020,
+)
+from repro.worldgen.generate import generate_snapshot
+from repro.worldgen.spec import PRIVATE
+
+
+@pytest.fixture(scope="module")
+def evolved_pair():
+    config = WorldConfig(n_websites=1500, seed=13)
+    base = generate_snapshot(replace(config, year=2016))
+    spec_2020, churn = evolve_to_2020(base, config)
+    return base, spec_2020, churn
+
+
+class TestCumulativeRates:
+    def test_annulus_conversion(self):
+        rates = CumulativeRates(0.0, 7.4, 9.8, 10.7).annulus_rates()
+        # k=100 bucket: 0%; (100,1K]: (74-0)/900; (1K,10K]: (980-74)/9000...
+        assert rates[0] == 0.0
+        assert rates[1] == pytest.approx(74 / 900 * 100)
+        assert rates[2] == pytest.approx((980 - 74) / 9000 * 100)
+        assert rates[3] == pytest.approx((10_700 - 980) / 90_000 * 100)
+
+    def test_uniform_rates(self):
+        rates = CumulativeRates(5.0, 5.0, 5.0, 5.0).annulus_rates()
+        for rate in rates:
+            assert rate == pytest.approx(5.0)
+
+    def test_decreasing_cumulative_clamps_to_zero(self):
+        rates = CumulativeRates(10.0, 1.0, 0.5, 0.1).annulus_rates()
+        assert rates[0] == pytest.approx(10.0)
+        assert all(r >= 0.0 for r in rates)
+
+
+class TestEvolution:
+    def test_population_preserved(self, evolved_pair):
+        base, spec_2020, churn = evolved_pair
+        assert len(spec_2020.websites) == len(base.websites)
+        assert len(churn.dead) + len(churn.survivors) == len(base.websites)
+
+    def test_dead_sites_absent(self, evolved_pair):
+        _, spec_2020, churn = evolved_pair
+        domains_2020 = set(spec_2020.website_by_domain())
+        assert not set(churn.dead) & domains_2020
+
+    def test_newcomers_present(self, evolved_pair):
+        _, spec_2020, churn = evolved_pair
+        domains_2020 = set(spec_2020.website_by_domain())
+        assert set(churn.newcomers) <= domains_2020
+
+    def test_dns_transition_rates_near_paper(self, evolved_pair):
+        base, spec_2020, _ = evolved_pair
+        old = base.website_by_domain()
+        new = spec_2020.website_by_domain()
+        common = set(old) & set(new)
+        pvt_to_third = sum(
+            1 for d in common
+            if not old[d].dns.uses_third_party and new[d].dns.is_critical
+        ) / len(common)
+        third_to_pvt = sum(
+            1 for d in common
+            if old[d].dns.is_critical and not new[d].dns.uses_third_party
+        ) / len(common)
+        assert pvt_to_third == pytest.approx(0.107, abs=0.03)
+        assert third_to_pvt == pytest.approx(0.060, abs=0.025)
+
+    def test_critical_dependency_increases(self, evolved_pair):
+        base, spec_2020, _ = evolved_pair
+        crit16 = sum(1 for w in base.websites if w.dns.is_critical) / len(base.websites)
+        crit20 = sum(1 for w in spec_2020.websites if w.dns.is_critical) / len(
+            spec_2020.websites
+        )
+        assert 0.01 <= crit20 - crit16 <= 0.09  # paper: +4.7%
+
+    def test_https_adoption_grows(self, evolved_pair):
+        base, spec_2020, _ = evolved_pair
+        https16 = sum(1 for w in base.websites if w.https) / len(base.websites)
+        https20 = sum(1 for w in spec_2020.websites if w.https) / len(spec_2020.websites)
+        assert https20 > https16
+        assert https20 == pytest.approx(0.78, abs=0.04)
+
+    def test_cdn_usage_grows(self, evolved_pair):
+        base, spec_2020, _ = evolved_pair
+        cdn16 = sum(1 for w in base.websites if w.uses_cdn) / len(base.websites)
+        cdn20 = sum(1 for w in spec_2020.websites if w.uses_cdn) / len(spec_2020.websites)
+        assert cdn20 > cdn16
+
+    def test_dyn_exodus(self, evolved_pair):
+        base, spec_2020, _ = evolved_pair
+        dyn16 = sum(1 for w in base.websites if "dyn" in w.dns.providers)
+        dyn20 = sum(1 for w in spec_2020.websites if "dyn" in w.dns.providers)
+        assert dyn20 < dyn16  # the post-attack shrink (2% -> 0.6%)
+
+    def test_symantec_customers_migrated(self, evolved_pair):
+        _, spec_2020, _ = evolved_pair
+        assert not any(
+            w.ca_key == "symantec" for w in spec_2020.websites if w.https
+        )
+
+    def test_no_dangling_provider_references(self, evolved_pair):
+        _, spec_2020, _ = evolved_pair
+        for website in spec_2020.websites:
+            for provider in website.dns.providers:
+                assert provider == PRIVATE or provider in spec_2020.dns_providers
+            for cdn in website.cdns:
+                assert cdn == PRIVATE or cdn in spec_2020.cdns
+            if website.https and website.ca_key not in (None, PRIVATE):
+                assert website.ca_key in spec_2020.cas
+
+    def test_pinned_corner_sites_follow_their_script(self, evolved_pair):
+        _, spec_2020, _ = evolved_pair
+        by_domain = spec_2020.website_by_domain()
+        twitter = by_domain["twitter.com"]
+        assert set(twitter.dns.providers) == {"dyn", PRIVATE}  # added redundancy
+        espn = by_domain["espn.com"]
+        assert espn.dns.providers == ["aws-dns"]  # private -> single third
+        microsoft = by_domain["microsoft.com"]
+        assert not microsoft.ocsp_stapled  # dropped stapling

@@ -1,0 +1,81 @@
+"""Unit tests for the rank-dependent adoption curves."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.worldgen import rankmodel
+
+
+class TestInterpolationShape:
+    @given(st.floats(min_value=1, max_value=1_000_000))
+    def test_probabilities_are_probabilities(self, rank):
+        for year in (2016, 2020):
+            for fn in (
+                rankmodel.p_third_party_dns,
+                rankmodel.p_cdn_usage,
+                rankmodel.p_https,
+            ):
+                assert 0.0 <= fn(rank, year) <= 1.0
+
+    def test_third_party_dns_increases_with_rank(self):
+        assert rankmodel.p_third_party_dns(100, 2020) < rankmodel.p_third_party_dns(100_000, 2020)
+
+    def test_https_decreases_with_rank(self):
+        assert rankmodel.p_https(100, 2020) > rankmodel.p_https(100_000, 2020)
+
+    def test_2020_above_2016_for_https(self):
+        for rank in (100, 1_000, 10_000, 100_000):
+            assert rankmodel.p_https(rank, 2020) > rankmodel.p_https(rank, 2016)
+
+    def test_clamped_outside_knots(self):
+        assert rankmodel.p_https(1, 2020) == rankmodel.p_https(100, 2020)
+        assert rankmodel.p_https(10_000_000, 2020) == rankmodel.p_https(100_000, 2020)
+
+    def test_redundancy_multiplier_top_heavy(self):
+        assert rankmodel.dns_redundancy_multiplier(100) > rankmodel.dns_redundancy_multiplier(100_000)
+
+    def test_paper_anchor_values(self):
+        # Knot values anchor the paper's headline bucket numbers.
+        assert rankmodel.p_third_party_dns(100, 2020) == pytest.approx(0.49)
+        assert rankmodel.p_https(100_000, 2020) == pytest.approx(0.772)
+
+
+class TestBias:
+    def test_top_bias_full_at_top(self):
+        assert rankmodel.top_bias_factor(100) == 1.0
+        assert rankmodel.top_bias_factor(100_000) == 0.0
+
+    def test_biased_weight_boosts_top(self):
+        top = rankmodel.biased_weight(2.0, top_bias=9.0, eff_rank=100)
+        tail = rankmodel.biased_weight(2.0, top_bias=9.0, eff_rank=100_000)
+        assert top == pytest.approx(18.0)
+        assert tail == pytest.approx(2.0)
+
+    def test_bias_below_one_suppresses_top(self):
+        top = rankmodel.biased_weight(24.0, top_bias=0.3, eff_rank=100)
+        assert top < 24.0
+
+
+class TestWeightedChoice:
+    def test_respects_zero_weights(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert rankmodel.weighted_choice(rng, ["a", "b"], [0.0, 1.0]) == "b"
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            rankmodel.weighted_choice(random.Random(0), ["a"], [0.0])
+
+    def test_distribution_roughly_matches(self):
+        rng = random.Random(1)
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[rankmodel.weighted_choice(rng, ["a", "b"], [3.0, 1.0])] += 1
+        assert 0.68 <= counts["a"] / 4000 <= 0.82
+
+    def test_zipf_weights_decreasing(self):
+        weights = rankmodel.zipf_weights(10, exponent=1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
