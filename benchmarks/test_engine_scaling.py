@@ -1,0 +1,85 @@
+"""Engine scaling: sites/sec for serial vs multi-worker execution.
+
+Not a paper artifact — this starts the performance trajectory for the
+campaign-execution engine. Each variant runs the full Section 3
+campaign on the shared benchmark world size (``REPRO_BENCH_N``,
+default 3000) and records measurement throughput in the benchmark JSON
+(``--benchmark-json``) via ``extra_info``:
+
+    pytest benchmarks/test_engine_scaling.py --benchmark-only -s \
+        --benchmark-json=engine-scaling.json
+
+Determinism is asserted alongside: every variant must serialize to the
+same bytes. The ≥1.5x four-worker speedup criterion is only asserted
+on hosts with at least 4 CPUs (parallel speedup is unobservable on
+fewer cores).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import pytest
+
+from repro.engine import CampaignStats, run_campaign
+from repro.measurement.io import dataset_to_json
+
+ENGINE_SHARDS = 8
+
+# sha256 + sites/sec per variant, for cross-variant assertions.
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize(
+    "workers", [1, 2, 4], ids=["serial", "workers2", "workers4"]
+)
+def test_engine_scaling(benchmark, bench_config, workers):
+    holder: dict[str, object] = {}
+
+    def run():
+        stats = CampaignStats()
+        dataset = run_campaign(
+            bench_config, shards=ENGINE_SHARDS, workers=workers, stats=stats
+        )
+        holder["stats"] = stats
+        holder["dataset"] = dataset
+        return dataset
+
+    dataset = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats: CampaignStats = holder["stats"]  # type: ignore[assignment]
+    assert len(dataset.websites) == bench_config.n_websites
+
+    digest = hashlib.sha256(
+        dataset_to_json(dataset).encode("utf-8")
+    ).hexdigest()
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["shards"] = ENGINE_SHARDS
+    benchmark.extra_info["sites"] = stats.sites_done
+    benchmark.extra_info["sites_per_sec"] = round(stats.sites_per_sec, 1)
+    benchmark.extra_info["measure_seconds"] = round(stats.measure_seconds, 3)
+    benchmark.extra_info["dataset_sha256"] = digest
+    print(
+        f"\nengine scaling [{workers} worker(s), {ENGINE_SHARDS} shards]: "
+        f"{stats.sites_done} sites in {stats.measure_seconds:.2f}s "
+        f"({stats.sites_per_sec:.0f} sites/s)"
+    )
+
+    key = f"workers{workers}"
+    _RESULTS[key] = {
+        "sha256": digest,  # type: ignore[dict-item]
+        "sites_per_sec": stats.sites_per_sec,
+    }
+
+    # Every variant must produce the serial run's exact bytes.
+    if "workers1" in _RESULTS:
+        assert digest == _RESULTS["workers1"]["sha256"]
+
+    # Throughput criterion, only meaningful with enough cores.
+    if workers == 4 and "workers1" in _RESULTS and (os.cpu_count() or 1) >= 4:
+        speedup = stats.sites_per_sec / _RESULTS["workers1"]["sites_per_sec"]
+        benchmark.extra_info["speedup_vs_serial"] = round(speedup, 2)
+        assert speedup >= 1.5, (
+            f"4-worker throughput only {speedup:.2f}x serial "
+            f"(expected >= 1.5x on a >=4-core host)"
+        )

@@ -7,10 +7,15 @@ Subcommands::
     python -m repro figure    <2..9>   [--n ...] [--seed ...]
     python -m repro audit     <domain> [--n ...] [--seed ...]
     python -m repro outage    <dns-provider-key> [--n ...] [--seed ...]
+    python -m repro measure   [--workers W] [--shards S] [--out dataset.json]
+                              [--checkpoint-dir DIR] [--resume] [--n ...]
+    python -m repro analyze   <dataset.json> [--table N]
 
 ``table``/``figure`` regenerate one paper artifact; ``audit`` prints a
 website's single points of failure (the Section 8 service); ``outage``
-replays a provider outage end-to-end.
+replays a provider outage end-to-end; ``measure`` runs the campaign
+through the sharded execution engine and freezes the raw dataset as
+JSON; ``analyze`` re-analyzes a frozen dataset offline (no world).
 """
 
 from __future__ import annotations
@@ -62,6 +67,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_outage = sub.add_parser("outage", help="replay a DNS provider outage")
     p_outage.add_argument("provider", help="provider key, e.g. dyn, cloudflare")
     _add_world_args(p_outage)
+
+    p_measure = sub.add_parser(
+        "measure", help="run the campaign through the execution engine"
+    )
+    _add_world_args(p_measure)
+    p_measure.add_argument(
+        "--limit", type=int, default=None, help="measure only the top-k sites"
+    )
+    p_measure.add_argument(
+        "--region", default=None, help="vantage-point region (GeoDNS views)"
+    )
+    p_measure.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = in-process serial)",
+    )
+    p_measure.add_argument(
+        "--shards", type=int, default=1, help="shard count (checkpoint units)"
+    )
+    p_measure.add_argument(
+        "--checkpoint-dir", default=None,
+        help="persist finished shards here (enables --resume)",
+    )
+    p_measure.add_argument(
+        "--resume", action="store_true",
+        help="skip shards already checkpointed in --checkpoint-dir",
+    )
+    p_measure.add_argument(
+        "--out", default=None,
+        help="write dataset JSON here (default: stdout)",
+    )
+    p_measure.add_argument(
+        "--quiet", action="store_true", help="suppress progress on stderr"
+    )
+
+    p_analyze = sub.add_parser(
+        "analyze", help="analyze a frozen dataset JSON offline"
+    )
+    p_analyze.add_argument("dataset", help="path to a measure-produced JSON")
+    p_analyze.add_argument(
+        "--table", type=int, default=None, choices=(1, 6),
+        help="render a single-snapshot paper table instead of the summary",
+    )
     return parser
 
 
@@ -81,6 +128,11 @@ def _snapshot_pair(args):
 
 def cmd_summary(args) -> int:
     _, snapshot = _single_snapshot(args)
+    _print_summary(snapshot)
+    return 0
+
+
+def _print_summary(snapshot) -> None:
     websites = snapshot.dns_characterized
     n = len(websites)
     print(f"{snapshot.year} snapshot, {len(snapshot.websites)} websites "
@@ -103,7 +155,6 @@ def cmd_summary(args) -> int:
             for node, score in top
         )
         print(f"  {service.value.upper():3s}: {line}")
-    return 0
 
 
 _TABLE_DISPATCH = {
@@ -208,12 +259,66 @@ def cmd_outage(args) -> int:
     return 0
 
 
+def cmd_measure(args) -> int:
+    from repro.engine import ConsoleProgress, NullProgress, run_campaign
+    from repro.measurement.io import dataset_to_json, save_dataset
+
+    config = WorldConfig(n_websites=args.n, seed=args.seed, year=args.year)
+    progress = NullProgress() if args.quiet else ConsoleProgress()
+    try:
+        dataset = run_campaign(
+            config,
+            shards=args.shards,
+            workers=args.workers,
+            limit=args.limit,
+            region=args.region,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ValueError as exc:  # stale checkpoints, bad shard/worker counts
+        print(f"measure: {exc}", file=sys.stderr)
+        return 1
+    if args.out is None:
+        print(dataset_to_json(dataset))
+    else:
+        save_dataset(dataset, args.out)
+        if not args.quiet:
+            print(f"[engine] dataset written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.core import analyze_dataset
+    from repro.measurement.io import load_dataset
+    from repro.worldgen.config import PAPER_POPULATION
+
+    try:
+        dataset = load_dataset(args.dataset)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.dataset}: {exc}", file=sys.stderr)
+        return 1
+    # The campaign records its world size, so offline analysis recovers
+    # the rank scale; fall back to the measured population.
+    world_n = dataset.notes.get("world_n") or len(dataset.websites)
+    rank_scale = PAPER_POPULATION / world_n if world_n else 1.0
+    snapshot = analyze_dataset(dataset, rank_scale=rank_scale)
+    if args.table is None:
+        _print_summary(snapshot)
+        return 0
+    name, _ = _TABLE_DISPATCH[args.table]
+    print(render_table(getattr(table_builders, name)(snapshot)))
+    return 0
+
+
 _COMMANDS = {
     "summary": cmd_summary,
     "table": cmd_table,
     "figure": cmd_figure,
     "audit": cmd_audit,
     "outage": cmd_outage,
+    "measure": cmd_measure,
+    "analyze": cmd_analyze,
 }
 
 

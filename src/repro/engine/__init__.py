@@ -1,0 +1,157 @@
+"""The campaign-execution engine: sharded, parallel, resumable.
+
+``run_campaign`` orchestrates the pieces::
+
+    plan      partition the ranked site list into shards   (engine.plan)
+    execute   measure shards serially or in a process pool (engine.executor)
+    persist   checkpoint each finished shard + manifest    (engine.checkpoint)
+    merge     recombine shards, rerun inter-service pass   (engine.merge)
+    report    shards done, sites/sec, per-phase timings    (engine.progress)
+
+The contract is determinism: for a fixed world fingerprint
+(n/seed/year/region/limit), the merged dataset serializes to the exact
+bytes a serial :meth:`MeasurementCampaign.run` produces, for any shard
+count, worker count, or interrupt/resume history.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.engine.checkpoint import CheckpointStore, StaleCheckpointError
+from repro.engine.executor import MultiprocessExecutor, SerialExecutor
+from repro.engine.merge import merge_shards
+from repro.engine.plan import (
+    CampaignPlan,
+    ShardSpec,
+    WorldFingerprint,
+    partition_sites,
+    plan_campaign,
+)
+from repro.engine.progress import (
+    CampaignStats,
+    ConsoleProgress,
+    NullProgress,
+    ProgressReporter,
+)
+from repro.measurement.records import Dataset
+from repro.measurement.runner import MeasurementCampaign
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import World, build_world
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignStats",
+    "CheckpointStore",
+    "ConsoleProgress",
+    "MultiprocessExecutor",
+    "NullProgress",
+    "ProgressReporter",
+    "SerialExecutor",
+    "ShardSpec",
+    "StaleCheckpointError",
+    "WorldFingerprint",
+    "merge_shards",
+    "partition_sites",
+    "plan_campaign",
+    "run_campaign",
+]
+
+
+def run_campaign(
+    config: Optional[WorldConfig] = None,
+    *,
+    world: Optional[World] = None,
+    shards: int = 1,
+    workers: int = 1,
+    limit: Optional[int] = None,
+    region: Optional[str] = None,
+    checkpoint_dir: Optional[Union[str, "CheckpointStore"]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressReporter] = None,
+    stats: Optional[CampaignStats] = None,
+) -> Dataset:
+    """Execute one measurement campaign through the engine.
+
+    Pass either a ``config`` (the world is built from it — and rebuilt
+    inside each pool worker) or a prebuilt ``world``. With a
+    ``checkpoint_dir``, finished shards are persisted as they complete;
+    ``resume=True`` validates the directory's manifest against this
+    campaign's world fingerprint and skips already-completed shards,
+    raising :class:`StaleCheckpointError` on any mismatch.
+    """
+    progress = progress if progress is not None else NullProgress()
+    stats = stats if stats is not None else CampaignStats()
+    stats.start()
+    stats.workers = workers
+
+    def finish_phase(name: str, started: float) -> None:
+        seconds = time.monotonic() - started
+        stats.phase_seconds[name] = stats.phase_seconds.get(name, 0.0) + seconds
+        progress.on_phase(name, seconds, stats)
+
+    # -- plan --------------------------------------------------------------
+    phase_start = time.monotonic()
+    if world is None:
+        if config is None:
+            raise ValueError("run_campaign needs a config or a world")
+        world = build_world(config)
+    config = world.config
+    plan = plan_campaign(world, n_shards=shards, limit=limit, region=region)
+    campaign = MeasurementCampaign(world, limit=limit, region=region)
+
+    store: Optional[CheckpointStore] = None
+    if isinstance(checkpoint_dir, CheckpointStore):
+        store = checkpoint_dir
+    elif checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+
+    payloads: dict[int, str] = {}
+    if store is not None:
+        if store.has_manifest():
+            if not resume:
+                raise ValueError(
+                    f"checkpoint directory {store.directory} already holds "
+                    f"a campaign; pass resume=True (--resume) to continue "
+                    f"it, or point at a fresh directory"
+                )
+            store.validate_manifest(plan)
+            completed = store.completed_shards()
+            for shard in plan.shards:
+                if shard.shard_id in completed:
+                    payloads[shard.shard_id] = store.load_shard(shard.shard_id)
+        else:
+            store.write_manifest(plan)
+
+    pending = [s for s in plan.shards if s.shard_id not in payloads]
+    stats.shards_total = len(plan.shards)
+    stats.shards_skipped = len(plan.shards) - len(pending)
+    stats.sites_total = plan.n_sites
+    finish_phase("plan", phase_start)
+    progress.on_plan(stats)
+
+    # -- measure -----------------------------------------------------------
+    phase_start = time.monotonic()
+    if pending:
+        if workers <= 1:
+            # Shares `campaign` with the merge pass — see SerialExecutor.
+            executor = SerialExecutor(campaign)
+        else:
+            executor = MultiprocessExecutor(config, workers, region=region)
+        sites_by_id = {s.shard_id: s.n_sites for s in plan.shards}
+        for shard_id, payload in executor.run(pending):
+            if store is not None:
+                store.write_shard(shard_id, payload)
+            payloads[shard_id] = payload
+            stats.shards_done += 1
+            stats.sites_done += sites_by_id[shard_id]
+            progress.on_shard_done(shard_id, sites_by_id[shard_id], stats)
+    finish_phase("measure", phase_start)
+
+    # -- merge + inter-service pass ---------------------------------------
+    phase_start = time.monotonic()
+    dataset = merge_shards(campaign, plan, payloads)
+    finish_phase("merge", phase_start)
+    progress.on_finish(stats)
+    return dataset

@@ -1,0 +1,100 @@
+"""Shard executors: the backends that run a campaign plan.
+
+Both backends yield ``(shard_id, shard_json)`` pairs as shards finish,
+so the orchestrator can checkpoint each one immediately. Shard payloads
+travel as JSON strings — the exact bytes a checkpoint stores — so a
+fresh run, a resumed run, and a multiprocess run all merge identical
+inputs.
+
+The multiprocessing backend materializes the world *inside each worker
+process* from the campaign's world config (worlds are deterministic
+functions of their config), so nothing heavier than a
+:class:`~repro.engine.plan.ShardSpec` ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterable, Iterator, Optional
+
+from repro.engine.plan import ShardSpec
+from repro.measurement.io import shard_to_json
+from repro.measurement.runner import MeasurementCampaign
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import build_world
+
+# Per-worker-process campaign, created once by the pool initializer.
+_WORKER_CAMPAIGN: Optional[MeasurementCampaign] = None
+
+
+def _init_worker(config: WorldConfig, region: Optional[str]) -> None:
+    global _WORKER_CAMPAIGN
+    world = build_world(config)
+    _WORKER_CAMPAIGN = MeasurementCampaign(world, region=region)
+
+
+def measure_shard(campaign: MeasurementCampaign, shard: ShardSpec) -> str:
+    """Measure one shard's sites; returns the checkpointable payload."""
+    return shard_to_json(
+        [campaign.measure_site(domain, rank) for domain, rank in shard.sites]
+    )
+
+
+def _measure_shard_in_worker(shard: ShardSpec) -> tuple[int, str]:
+    assert _WORKER_CAMPAIGN is not None, "worker pool not initialized"
+    return shard.shard_id, measure_shard(_WORKER_CAMPAIGN, shard)
+
+
+class SerialExecutor:
+    """In-process backend: shards measured in order through one campaign.
+
+    Pass the *same* campaign instance the merger will use: the campaign's
+    SOA memo then spans the measure and inter-service passes exactly as
+    it does in :meth:`MeasurementCampaign.run`, which is what makes the
+    serial engine byte-identical to a direct run (re-querying a name
+    after the measure phase can hit the resolver's negative cache and
+    answer differently than its first touch).
+    """
+
+    def __init__(self, campaign: MeasurementCampaign):
+        self._campaign = campaign
+
+    def run(self, shards: Iterable[ShardSpec]) -> Iterator[tuple[int, str]]:
+        for shard in shards:
+            yield shard.shard_id, measure_shard(self._campaign, shard)
+
+
+class MultiprocessExecutor:
+    """``multiprocessing.Pool`` backend: each worker materializes the
+    world from its config/seed and measures whole shards."""
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        workers: int,
+        region: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self._config = config
+        self._workers = workers
+        self._region = region
+
+    def run(self, shards: Iterable[ShardSpec]) -> Iterator[tuple[int, str]]:
+        shards = list(shards)
+        if not shards:
+            return
+        pool = multiprocessing.Pool(
+            processes=min(self._workers, len(shards)),
+            initializer=_init_worker,
+            initargs=(self._config, self._region),
+        )
+        try:
+            # Unordered: the merger reassembles by shard id, so slow
+            # shards never block checkpointing of finished ones.
+            for result in pool.imap_unordered(_measure_shard_in_worker, shards):
+                yield result
+            pool.close()
+            pool.join()
+        finally:
+            pool.terminate()

@@ -1,0 +1,40 @@
+"""Shard merger: recombine shard payloads into one dataset.
+
+Shards are concatenated in shard-id order (= global rank order, because
+the planner slices contiguously), then the campaign's inter-service
+pass runs once over the merged observed-provider sets. Because that
+pass derives everything from ``dataset.websites``, the merged output is
+byte-identical to a serial run regardless of shard count, worker count,
+or the completion order the executor happened to produce.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.engine.plan import CampaignPlan
+from repro.measurement.io import shard_from_json
+from repro.measurement.records import Dataset
+from repro.measurement.runner import MeasurementCampaign
+
+
+def merge_shards(
+    campaign: MeasurementCampaign,
+    plan: CampaignPlan,
+    payloads: Mapping[int, str],
+) -> Dataset:
+    """Merge shard JSON payloads and run the inter-service pass."""
+    missing = [s.shard_id for s in plan.shards if s.shard_id not in payloads]
+    if missing:
+        raise ValueError(f"cannot merge: shards {missing} have no payload")
+    dataset = Dataset(year=campaign.world.year)
+    for shard in plan.shards:
+        websites = shard_from_json(payloads[shard.shard_id])
+        if len(websites) != shard.n_sites:
+            raise ValueError(
+                f"shard {shard.shard_id} payload has {len(websites)} "
+                f"websites but the plan expects {shard.n_sites}"
+            )
+        dataset.websites.extend(websites)
+    campaign.run_interservice(dataset)
+    return dataset

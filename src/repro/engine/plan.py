@@ -1,0 +1,136 @@
+"""Campaign planning: partition the ranked website list into shards.
+
+A plan is deterministic given (world config, region, limit, shard
+count): shards are contiguous, near-equal, rank-ordered slices of the
+target list, so concatenating shard results in shard order reproduces
+the serial measurement order exactly. The plan also carries a
+:class:`WorldFingerprint` — the identity a checkpoint store uses to
+refuse stale artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import World
+
+
+@dataclass(frozen=True)
+class WorldFingerprint:
+    """What identifies a campaign's measured population: the generated
+    world (n/seed/year), the vantage region, and the target-list limit."""
+
+    n_websites: int
+    seed: int
+    year: int
+    region: Optional[str] = None
+    limit: Optional[int] = None
+
+    @classmethod
+    def of(
+        cls,
+        config: WorldConfig,
+        region: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> "WorldFingerprint":
+        return cls(
+            n_websites=config.n_websites,
+            seed=config.seed,
+            year=config.year,
+            region=region,
+            limit=limit,
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "n_websites": self.n_websites,
+            "seed": self.seed,
+            "year": self.year,
+            "region": self.region,
+            "limit": self.limit,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "WorldFingerprint":
+        return cls(
+            n_websites=data["n_websites"],
+            seed=data["seed"],
+            year=data["year"],
+            region=data.get("region"),
+            limit=data.get("limit"),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n_websites} seed={self.seed} year={self.year} "
+            f"region={self.region} limit={self.limit}"
+        )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous, rank-ordered slice of the target list."""
+
+    shard_id: int
+    sites: tuple[tuple[str, int], ...]  # (domain, rank)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def digest(self) -> str:
+        """Content hash of the site list (manifest integrity check)."""
+        body = "\n".join(f"{domain}#{rank}" for domain, rank in self.sites)
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A fingerprinted, sharded campaign ready for an executor."""
+
+    fingerprint: WorldFingerprint
+    shards: tuple[ShardSpec, ...]
+
+    @property
+    def n_sites(self) -> int:
+        return sum(shard.n_sites for shard in self.shards)
+
+
+def partition_sites(
+    sites: list[tuple[str, int]], n_shards: int
+) -> list[ShardSpec]:
+    """Split a rank-ordered site list into ≤ ``n_shards`` contiguous,
+    near-equal slices (never an empty shard)."""
+    if n_shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, len(sites)) or 1
+    base, extra = divmod(len(sites), n_shards)
+    shards: list[ShardSpec] = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(
+            ShardSpec(shard_id=index, sites=tuple(sites[start : start + size]))
+        )
+        start += size
+    return shards
+
+
+def plan_campaign(
+    world: World,
+    n_shards: int = 1,
+    limit: Optional[int] = None,
+    region: Optional[str] = None,
+) -> CampaignPlan:
+    """Plan a campaign against ``world``'s ranked website list."""
+    from repro.measurement.runner import MeasurementCampaign
+
+    campaign = MeasurementCampaign(world, limit=limit, region=region)
+    sites = campaign.ranked_sites()
+    return CampaignPlan(
+        fingerprint=WorldFingerprint.of(world.config, region=region, limit=limit),
+        shards=tuple(partition_sites(sites, n_shards)),
+    )

@@ -24,6 +24,29 @@ from repro.measurement.records import (
 )
 
 FORMAT_VERSION = 1
+SHARD_FORMAT_VERSION = 1
+
+
+def _check_format_version(found: Any, supported: int, kind: str) -> None:
+    """Refuse payloads this build cannot read, naming both versions."""
+    if found != supported:
+        raise ValueError(
+            f"cannot read {kind}: found format_version {found!r}, "
+            f"but this build supports version {supported}"
+        )
+
+
+def _canonical(obj: Any) -> Any:
+    """Recursively sort dict keys (the stable on-disk order).
+
+    Used instead of ``json.dumps(sort_keys=True)`` so callers can exempt
+    a subtree — dataset ``notes`` keep their insertion order.
+    """
+    if isinstance(obj, dict):
+        return {key: _canonical(obj[key]) for key in sorted(obj)}
+    if isinstance(obj, list):
+        return [_canonical(item) for item in obj]
+    return obj
 
 
 def _soa_to_json(soa: Optional[SoaIdentity]) -> Optional[list[str]]:
@@ -42,42 +65,84 @@ def _soa_map_from_json(data: dict[str, Any]) -> dict[str, Optional[SoaIdentity]]
     return {name: _soa_from_json(soa) for name, soa in data.items()}
 
 
+def _website_to_json(w: WebsiteMeasurement) -> dict[str, Any]:
+    return {
+        "domain": w.domain,
+        "rank": w.rank,
+        "dns": {
+            "nameservers": w.dns.nameservers,
+            "website_soa": _soa_to_json(w.dns.website_soa),
+            "nameserver_soas": _soa_map_to_json(w.dns.nameserver_soas),
+            "resolvable": w.dns.resolvable,
+        },
+        "tls": {
+            "https": w.tls.https,
+            "san": list(w.tls.san),
+            "issuer": w.tls.issuer,
+            "ocsp_urls": list(w.tls.ocsp_urls),
+            "crl_urls": list(w.tls.crl_urls),
+            "ocsp_stapled": w.tls.ocsp_stapled,
+            "endpoint_soas": _soa_map_to_json(w.tls.endpoint_soas),
+        },
+        "cdn": {
+            "crawl_ok": w.cdn.crawl_ok,
+            "resource_hostnames": w.cdn.resource_hostnames,
+            "internal_hostnames": w.cdn.internal_hostnames,
+            "cname_chains": w.cdn.cname_chains,
+            "detected_cdns": w.cdn.detected_cdns,
+            "cname_soas": _soa_map_to_json(w.cdn.cname_soas),
+        },
+    }
+
+
+def _website_from_json(entry: dict[str, Any]) -> WebsiteMeasurement:
+    dns_data = entry["dns"]
+    tls_data = entry["tls"]
+    cdn_data = entry["cdn"]
+    return WebsiteMeasurement(
+        domain=entry["domain"],
+        rank=entry["rank"],
+        dns=DnsObservation(
+            domain=entry["domain"],
+            nameservers=list(dns_data["nameservers"]),
+            website_soa=_soa_from_json(dns_data["website_soa"]),
+            nameserver_soas=_soa_map_from_json(dns_data["nameserver_soas"]),
+            resolvable=dns_data["resolvable"],
+        ),
+        tls=TlsObservation(
+            domain=entry["domain"],
+            https=tls_data["https"],
+            san=tuple(tls_data["san"]),
+            issuer=tls_data["issuer"],
+            ocsp_urls=tuple(tls_data["ocsp_urls"]),
+            crl_urls=tuple(tls_data["crl_urls"]),
+            ocsp_stapled=tls_data["ocsp_stapled"],
+            endpoint_soas=_soa_map_from_json(tls_data["endpoint_soas"]),
+        ),
+        cdn=CdnObservation(
+            domain=entry["domain"],
+            crawl_ok=cdn_data["crawl_ok"],
+            resource_hostnames=list(cdn_data["resource_hostnames"]),
+            internal_hostnames=list(cdn_data["internal_hostnames"]),
+            cname_chains={
+                k: list(v) for k, v in cdn_data["cname_chains"].items()
+            },
+            detected_cdns={
+                k: list(v) for k, v in cdn_data["detected_cdns"].items()
+            },
+            cname_soas=_soa_map_from_json(cdn_data["cname_soas"]),
+        ),
+    )
+
+
 def dataset_to_json(dataset: Dataset) -> str:
-    """Serialize a dataset to a JSON string (stable key order)."""
+    """Serialize a dataset to a JSON string (stable key order; ``notes``
+    keep their insertion order)."""
     payload = {
         "format_version": FORMAT_VERSION,
         "year": dataset.year,
         "notes": dataset.notes,
-        "websites": [
-            {
-                "domain": w.domain,
-                "rank": w.rank,
-                "dns": {
-                    "nameservers": w.dns.nameservers,
-                    "website_soa": _soa_to_json(w.dns.website_soa),
-                    "nameserver_soas": _soa_map_to_json(w.dns.nameserver_soas),
-                    "resolvable": w.dns.resolvable,
-                },
-                "tls": {
-                    "https": w.tls.https,
-                    "san": list(w.tls.san),
-                    "issuer": w.tls.issuer,
-                    "ocsp_urls": list(w.tls.ocsp_urls),
-                    "crl_urls": list(w.tls.crl_urls),
-                    "ocsp_stapled": w.tls.ocsp_stapled,
-                    "endpoint_soas": _soa_map_to_json(w.tls.endpoint_soas),
-                },
-                "cdn": {
-                    "crawl_ok": w.cdn.crawl_ok,
-                    "resource_hostnames": w.cdn.resource_hostnames,
-                    "internal_hostnames": w.cdn.internal_hostnames,
-                    "cname_chains": w.cdn.cname_chains,
-                    "detected_cdns": w.cdn.detected_cdns,
-                    "cname_soas": _soa_map_to_json(w.cdn.cname_soas),
-                },
-            }
-            for w in dataset.websites
-        ],
+        "websites": [_website_to_json(w) for w in dataset.websites],
         "cdn_dns": {
             name: _provider_dns_to_json(obs)
             for name, obs in dataset.cdn_dns.items()
@@ -96,7 +161,11 @@ def dataset_to_json(dataset: Dataset) -> str:
             for name, obs in dataset.ca_cdn.items()
         },
     }
-    return json.dumps(payload, indent=1, sort_keys=True)
+    canonical = _canonical(payload)
+    # notes are campaign-ordered, not alphabetical; reassignment keeps the
+    # key's (sorted) position in the top-level object.
+    canonical["notes"] = dict(dataset.notes)
+    return json.dumps(canonical, indent=1)
 
 
 def _provider_dns_to_json(obs: ProviderDnsObservation) -> dict[str, Any]:
@@ -121,53 +190,10 @@ def _provider_dns_from_json(name: str, data: dict[str, Any]) -> ProviderDnsObser
 def dataset_from_json(text: str) -> Dataset:
     """Deserialize a dataset produced by :func:`dataset_to_json`."""
     payload = json.loads(text)
-    version = payload.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported dataset format version: {version!r} "
-            f"(expected {FORMAT_VERSION})"
-        )
+    _check_format_version(payload.get("format_version"), FORMAT_VERSION, "dataset")
     dataset = Dataset(year=payload["year"], notes=dict(payload.get("notes", {})))
     for entry in payload["websites"]:
-        dns_data = entry["dns"]
-        tls_data = entry["tls"]
-        cdn_data = entry["cdn"]
-        dataset.websites.append(
-            WebsiteMeasurement(
-                domain=entry["domain"],
-                rank=entry["rank"],
-                dns=DnsObservation(
-                    domain=entry["domain"],
-                    nameservers=list(dns_data["nameservers"]),
-                    website_soa=_soa_from_json(dns_data["website_soa"]),
-                    nameserver_soas=_soa_map_from_json(dns_data["nameserver_soas"]),
-                    resolvable=dns_data["resolvable"],
-                ),
-                tls=TlsObservation(
-                    domain=entry["domain"],
-                    https=tls_data["https"],
-                    san=tuple(tls_data["san"]),
-                    issuer=tls_data["issuer"],
-                    ocsp_urls=tuple(tls_data["ocsp_urls"]),
-                    crl_urls=tuple(tls_data["crl_urls"]),
-                    ocsp_stapled=tls_data["ocsp_stapled"],
-                    endpoint_soas=_soa_map_from_json(tls_data["endpoint_soas"]),
-                ),
-                cdn=CdnObservation(
-                    domain=entry["domain"],
-                    crawl_ok=cdn_data["crawl_ok"],
-                    resource_hostnames=list(cdn_data["resource_hostnames"]),
-                    internal_hostnames=list(cdn_data["internal_hostnames"]),
-                    cname_chains={
-                        k: list(v) for k, v in cdn_data["cname_chains"].items()
-                    },
-                    detected_cdns={
-                        k: list(v) for k, v in cdn_data["detected_cdns"].items()
-                    },
-                    cname_soas=_soa_map_from_json(cdn_data["cname_soas"]),
-                ),
-            )
-        )
+        dataset.websites.append(_website_from_json(entry))
     for name, data in payload["cdn_dns"].items():
         dataset.cdn_dns[name] = _provider_dns_from_json(name, data)
     for name, data in payload["ca_dns"].items():
@@ -181,6 +207,28 @@ def dataset_from_json(text: str) -> Dataset:
             cname_soas=_soa_map_from_json(data["cname_soas"]),
         )
     return dataset
+
+
+def shard_to_json(websites: list[WebsiteMeasurement]) -> str:
+    """Serialize one shard's website measurements (a checkpoint artifact).
+
+    Shards carry only website-level records; the inter-service pass runs
+    once over the merged dataset.
+    """
+    payload = {
+        "shard_format_version": SHARD_FORMAT_VERSION,
+        "websites": [_website_to_json(w) for w in websites],
+    }
+    return json.dumps(_canonical(payload), indent=1)
+
+
+def shard_from_json(text: str) -> list[WebsiteMeasurement]:
+    """Deserialize a shard produced by :func:`shard_to_json`."""
+    payload = json.loads(text)
+    _check_format_version(
+        payload.get("shard_format_version"), SHARD_FORMAT_VERSION, "shard"
+    )
+    return [_website_from_json(entry) for entry in payload["websites"]]
 
 
 def save_dataset(dataset: Dataset, path: str) -> None:

@@ -9,7 +9,7 @@ web client. The generator's per-website ground truth is never read.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.measurement.cdn_map import CnameToCdnMap
 from repro.measurement.cdn_measurer import CdnMeasurer
@@ -69,44 +69,78 @@ class MeasurementCampaign:
         self._cdn = CdnMeasurer(dig, self.cdn_map, self._dns.soa_identity)
         self._inter = InterServiceMeasurer(dig, self._dns, self.cdn_map)
 
+    @property
+    def world(self) -> World:
+        return self._world
+
     def ca_name_for_endpoint(self, host: str) -> str:
         """The CA operating a revocation endpoint (by its base domain)."""
         base = registrable_domain(host, icann_psl()) or host
         return self._ca_directory.get(base, base)
 
-    def run(self) -> Dataset:
-        """Measure every website, then the observed providers."""
-        dataset = Dataset(year=self._world.year)
+    def ranked_sites(self) -> list[tuple[str, int]]:
+        """The campaign's target list: (domain, rank), rank-ordered,
+        truncated to ``limit``. This is the unit the engine shards."""
         websites = sorted(self._world.spec.websites, key=lambda w: w.rank)
         if self._limit is not None:
             websites = websites[: self._limit]
+        return [(w.domain, w.rank) for w in websites]
 
+    def measure_site(self, domain: str, rank: int) -> WebsiteMeasurement:
+        """Measure one website: crawl, DNS, TLS (+ endpoint SOAs), CDN.
+
+        Self-contained per site, so the engine can run sites in any
+        process as long as the final dataset lists them in rank order.
+        """
+        crawl = self._crawler.crawl(domain)
+        dns_obs = self._dns.measure(domain)
+        tls_obs = self._tls.extract(crawl)
+        for host in tls_obs.ca_hosts:
+            tls_obs.endpoint_soas[host] = self._dns.soa_identity(host)
+        cdn_obs = self._cdn.measure(crawl)
+        return WebsiteMeasurement(
+            domain=domain,
+            rank=rank,
+            dns=dns_obs,
+            tls=tls_obs,
+            cdn=cdn_obs,
+        )
+
+    def observed_providers(
+        self, websites: Sequence[WebsiteMeasurement]
+    ) -> tuple[set[str], dict[str, list[str]]]:
+        """The provider sets the inter-service pass measures, recomputed
+        from website measurements (so merged shards and a serial loop see
+        the identical encounter order)."""
         observed_cdns: set[str] = set()
         # CA display name -> observed revocation endpoint hosts.
         observed_cas: dict[str, list[str]] = {}
-
-        for spec in websites:
-            crawl = self._crawler.crawl(spec.domain)
-            dns_obs = self._dns.measure(spec.domain)
-            tls_obs = self._tls.extract(crawl)
-            for host in tls_obs.ca_hosts:
-                tls_obs.endpoint_soas[host] = self._dns.soa_identity(host)
-            cdn_obs = self._cdn.measure(crawl)
-            dataset.websites.append(
-                WebsiteMeasurement(
-                    domain=spec.domain,
-                    rank=spec.rank,
-                    dns=dns_obs,
-                    tls=tls_obs,
-                    cdn=cdn_obs,
-                )
-            )
-            observed_cdns.update(cdn_obs.detected_cdns)
-            for host in tls_obs.ca_hosts:
+        for measurement in websites:
+            observed_cdns.update(measurement.cdn.detected_cdns)
+            for host in measurement.tls.ca_hosts:
                 name = self.ca_name_for_endpoint(host)
                 hosts = observed_cas.setdefault(name, [])
                 if host not in hosts:
                     hosts.append(host)
+        return observed_cdns, observed_cas
+
+    def run(self) -> Dataset:
+        """Measure every website, then the observed providers."""
+        dataset = Dataset(year=self._world.year)
+        for domain, rank in self.ranked_sites():
+            dataset.websites.append(self.measure_site(domain, rank))
+        self.run_interservice(dataset)
+        return dataset
+
+    def run_interservice(self, dataset: Dataset) -> Dataset:
+        """The separable second pass: measure the observed providers.
+
+        Fills ``cdn_dns``/``ca_dns``/``ca_cdn`` and the campaign notes
+        from ``dataset.websites`` alone, so it produces identical output
+        whether the websites were measured serially or merged from
+        shards.
+        """
+        observed_cdns, observed_cas = self.observed_providers(dataset.websites)
 
         # Inter-service measurements over the observed provider sets. The
         # paper measures every CDN in its map that appeared and every CA
@@ -133,4 +167,6 @@ class MeasurementCampaign:
         dataset.notes["websites_measured"] = len(dataset.websites)
         dataset.notes["cdns_observed"] = len(observed_cdns)
         dataset.notes["cas_observed"] = len(observed_cas)
+        # World size, so offline analysis can recover the rank scale.
+        dataset.notes["world_n"] = self._world.config.n_websites
         return dataset

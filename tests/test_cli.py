@@ -56,3 +56,55 @@ class TestCommands:
     def test_outage_unknown_provider(self, capsys):
         assert main(["outage", "nonexistent-dns", *ARGS]) == 1
         assert "unknown provider" in capsys.readouterr().err
+
+
+class TestMeasureAnalyze:
+    def test_measure_to_stdout_is_dataset_json(self, capsys):
+        assert main(["measure", *ARGS, "--quiet", "--limit", "50"]) == 0
+        out = capsys.readouterr().out
+        from repro.measurement.io import dataset_from_json
+
+        dataset = dataset_from_json(out)
+        assert len(dataset.websites) == 50
+
+    def test_measure_then_analyze_workflow(self, capsys, tmp_path):
+        path = tmp_path / "dataset.json"
+        assert main(
+            ["measure", *ARGS, "--quiet", "--shards", "4", "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2020 snapshot, 300 websites" in out
+        assert "Top-3 impact" in out
+
+    def test_analyze_renders_single_snapshot_table(self, capsys, tmp_path):
+        path = tmp_path / "dataset.json"
+        assert main(
+            ["measure", *ARGS, "--quiet", "--limit", "120", "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(path), "--table", "1"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_analyze_missing_file(self, capsys, tmp_path):
+        assert main(["analyze", str(tmp_path / "nope.json")]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_analyze_rejects_wrong_version(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "year": 2020}')
+        assert main(["analyze", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "99" in err and "supports version 1" in err
+
+    def test_measure_checkpoint_resume_flags(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        args = [
+            "measure", *ARGS, "--quiet", "--limit", "40", "--shards", "2",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main([*args, "--resume"]) == 0
+        assert capsys.readouterr().out == first

@@ -1,0 +1,283 @@
+"""Tests for the campaign-execution engine (repro.engine).
+
+The core guarantee under test: for a fixed world fingerprint, the
+engine's merged dataset serializes to the *exact bytes* of a direct
+serial :meth:`MeasurementCampaign.run`, for any shard count, worker
+count, or interrupt/resume history. ``REPRO_ENGINE_WORKERS`` (default
+2) sets the parallel worker count so CI can push it higher.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import WorldConfig, build_world
+from repro.engine import (
+    CampaignStats,
+    CheckpointStore,
+    ProgressReporter,
+    StaleCheckpointError,
+    WorldFingerprint,
+    partition_sites,
+    plan_campaign,
+    run_campaign,
+)
+from repro.measurement.io import dataset_to_json
+from repro.measurement.runner import MeasurementCampaign
+
+ENGINE_N = 240
+ENGINE_SEED = 7
+WORKERS = int(os.environ.get("REPRO_ENGINE_WORKERS", "2"))
+
+
+@pytest.fixture(scope="module")
+def engine_config() -> WorldConfig:
+    return WorldConfig(n_websites=ENGINE_N, seed=ENGINE_SEED)
+
+
+@pytest.fixture(scope="module")
+def serial_json(engine_config) -> str:
+    """The ground truth: a direct serial campaign, serialized."""
+    world = build_world(engine_config)
+    return dataset_to_json(MeasurementCampaign(world).run())
+
+
+class TestPlanning:
+    def test_partition_is_contiguous_and_near_equal(self):
+        sites = [(f"site{i}.com", i + 1) for i in range(10)]
+        shards = partition_sites(sites, 3)
+        assert [s.n_sites for s in shards] == [4, 3, 3]
+        flattened = [site for shard in shards for site in shard.sites]
+        assert flattened == sites
+        assert [s.shard_id for s in shards] == [0, 1, 2]
+
+    def test_partition_never_makes_empty_shards(self):
+        sites = [("a.com", 1), ("b.com", 2)]
+        shards = partition_sites(sites, 8)
+        assert len(shards) == 2
+        assert all(s.n_sites == 1 for s in shards)
+
+    def test_partition_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            partition_sites([("a.com", 1)], 0)
+
+    def test_plan_covers_ranked_list_in_order(self, engine_config):
+        world = build_world(engine_config)
+        plan = plan_campaign(world, n_shards=7, limit=50)
+        assert plan.n_sites == 50
+        ranks = [
+            rank for shard in plan.shards for _, rank in shard.sites
+        ]
+        assert ranks == sorted(ranks)
+        assert plan.fingerprint == WorldFingerprint(
+            n_websites=ENGINE_N, seed=ENGINE_SEED, year=2020, limit=50
+        )
+
+    def test_fingerprint_json_roundtrip(self):
+        fp = WorldFingerprint(
+            n_websites=300, seed=9, year=2016, region="eu", limit=10
+        )
+        assert WorldFingerprint.from_json(fp.to_json()) == fp
+
+    def test_shard_digest_tracks_content(self):
+        sites = (("a.com", 1), ("b.com", 2))
+        from repro.engine import ShardSpec
+
+        assert (
+            ShardSpec(0, sites).digest()
+            != ShardSpec(0, (("a.com", 1), ("c.com", 2))).digest()
+        )
+
+
+class TestEquivalence:
+    """Serial, 1-worker sharded, and N-worker sharded runs are
+    byte-identical — the PR's acceptance criterion."""
+
+    def test_single_shard_single_worker(self, engine_config, serial_json):
+        result = run_campaign(engine_config, shards=1, workers=1)
+        assert dataset_to_json(result) == serial_json
+
+    def test_many_shards_single_worker(self, engine_config, serial_json):
+        result = run_campaign(engine_config, shards=8, workers=1)
+        assert dataset_to_json(result) == serial_json
+
+    def test_many_shards_many_workers(self, engine_config, serial_json):
+        result = run_campaign(engine_config, shards=8, workers=WORKERS)
+        assert dataset_to_json(result) == serial_json
+
+    def test_limit_and_shards(self, engine_config):
+        world = build_world(engine_config)
+        direct = MeasurementCampaign(world, limit=40).run()
+        sharded = run_campaign(engine_config, shards=5, workers=1, limit=40)
+        assert dataset_to_json(sharded) == dataset_to_json(direct)
+
+
+class _AbortAfter(ProgressReporter):
+    """Simulates a kill: raises after k shards have been checkpointed."""
+
+    def __init__(self, k: int):
+        self.k = k
+
+    def on_shard_done(self, shard_id, n_sites, stats) -> None:
+        if stats.shards_done >= self.k:
+            raise KeyboardInterrupt("simulated kill")
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_to_identical_bytes(
+        self, engine_config, serial_json, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                engine_config,
+                shards=6,
+                workers=1,
+                checkpoint_dir=str(ckpt),
+                progress=_AbortAfter(2),
+            )
+        store = CheckpointStore(ckpt)
+        assert store.completed_shards() == {0, 1}
+
+        stats = CampaignStats()
+        result = run_campaign(
+            engine_config,
+            shards=6,
+            workers=1,
+            checkpoint_dir=str(ckpt),
+            resume=True,
+            stats=stats,
+        )
+        assert stats.shards_skipped == 2
+        assert stats.shards_done == 4
+        assert dataset_to_json(result) == serial_json
+
+    def test_fully_checkpointed_run_remerges_identically(
+        self, engine_config, serial_json, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        first = run_campaign(
+            engine_config, shards=4, workers=1, checkpoint_dir=str(ckpt)
+        )
+        assert dataset_to_json(first) == serial_json
+        stats = CampaignStats()
+        again = run_campaign(
+            engine_config,
+            shards=4,
+            workers=1,
+            checkpoint_dir=str(ckpt),
+            resume=True,
+            stats=stats,
+        )
+        assert stats.shards_done == 0
+        assert stats.shards_skipped == 4
+        assert dataset_to_json(again) == serial_json
+
+    def test_existing_checkpoint_requires_resume_flag(
+        self, engine_config, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        run_campaign(
+            engine_config, shards=2, workers=1, checkpoint_dir=str(ckpt)
+        )
+        with pytest.raises(ValueError, match="resume"):
+            run_campaign(
+                engine_config, shards=2, workers=1, checkpoint_dir=str(ckpt)
+            )
+
+    def test_torn_shard_write_is_invisible(self, engine_config, tmp_path):
+        """A .tmp file left by a killed write is not a completed shard."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.directory.mkdir(parents=True)
+        (store.directory / "shard-0003.json.tmp").write_text("{partial")
+        assert store.completed_shards() == set()
+
+
+class TestStaleCheckpoints:
+    @pytest.fixture()
+    def checkpointed(self, engine_config, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        run_campaign(
+            engine_config, shards=3, workers=1, checkpoint_dir=str(ckpt)
+        )
+        return ckpt
+
+    def test_world_fingerprint_mismatch_is_refused(self, checkpointed):
+        other = WorldConfig(n_websites=ENGINE_N, seed=ENGINE_SEED + 1)
+        with pytest.raises(StaleCheckpointError, match="seed=8"):
+            run_campaign(
+                other,
+                shards=3,
+                workers=1,
+                checkpoint_dir=str(checkpointed),
+                resume=True,
+            )
+
+    def test_shard_count_mismatch_is_refused(self, engine_config, checkpointed):
+        with pytest.raises(StaleCheckpointError, match="shards"):
+            run_campaign(
+                engine_config,
+                shards=5,
+                workers=1,
+                checkpoint_dir=str(checkpointed),
+                resume=True,
+            )
+
+    def test_tampered_manifest_is_refused(self, engine_config, checkpointed):
+        manifest_path = checkpointed / "manifest.json"
+        payload = json.loads(manifest_path.read_text())
+        payload["shards"][0]["sites_sha256"] = "0" * 64
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(StaleCheckpointError, match="different site list"):
+            run_campaign(
+                engine_config,
+                shards=3,
+                workers=1,
+                checkpoint_dir=str(checkpointed),
+                resume=True,
+            )
+
+    def test_unreadable_manifest_is_refused(self, engine_config, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "manifest.json").write_text("not json")
+        with pytest.raises(StaleCheckpointError, match="unreadable"):
+            run_campaign(
+                engine_config,
+                shards=3,
+                workers=1,
+                checkpoint_dir=str(ckpt),
+                resume=True,
+            )
+
+
+class TestStats:
+    def test_stats_and_phases_are_recorded(self, engine_config):
+        stats = CampaignStats()
+        run_campaign(engine_config, shards=4, workers=1, stats=stats)
+        assert stats.shards_total == 4
+        assert stats.shards_done == 4
+        assert stats.sites_done == ENGINE_N
+        assert set(stats.phase_seconds) == {"plan", "measure", "merge"}
+        assert stats.sites_per_sec > 0
+
+    def test_console_progress_writes_to_stream(self, engine_config):
+        import io
+
+        from repro.engine import ConsoleProgress
+
+        stream = io.StringIO()
+        run_campaign(
+            engine_config,
+            shards=2,
+            workers=1,
+            limit=20,
+            progress=ConsoleProgress(stream),
+        )
+        output = stream.getvalue()
+        assert "plan: 20 sites in 2 shards" in output
+        assert "shard 0001 done" in output
+        assert "finished:" in output
