@@ -10,12 +10,15 @@ Subcommands::
     python -m repro measure   [--workers W] [--shards S] [--out dataset.json]
                               [--checkpoint-dir DIR] [--resume] [--n ...]
     python -m repro analyze   <dataset.json> [--table N]
+    python -m repro lint      [paths...] [--format json] [--rules ...]
 
 ``table``/``figure`` regenerate one paper artifact; ``audit`` prints a
 website's single points of failure (the Section 8 service); ``outage``
 replays a provider outage end-to-end; ``measure`` runs the campaign
 through the sharded execution engine and freezes the raw dataset as
-JSON; ``analyze`` re-analyzes a frozen dataset offline (no world).
+JSON; ``analyze`` re-analyzes a frozen dataset offline (no world);
+``lint`` runs the :mod:`repro.staticcheck` invariant rule pack (REP001..
+REP005) over the source tree.
 """
 
 from __future__ import annotations
@@ -109,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--table", type=int, default=None, choices=(1, 6),
         help="render a single-snapshot paper table instead of the summary",
     )
+
+    p_lint = sub.add_parser(
+        "lint", help="run the determinism/layering invariant linter"
+    )
+    from repro.staticcheck.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
     return parser
 
 
@@ -311,6 +321,12 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.staticcheck.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "summary": cmd_summary,
     "table": cmd_table,
@@ -319,6 +335,7 @@ _COMMANDS = {
     "outage": cmd_outage,
     "measure": cmd_measure,
     "analyze": cmd_analyze,
+    "lint": cmd_lint,
 }
 
 

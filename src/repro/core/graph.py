@@ -217,9 +217,8 @@ class DependencyGraph:
             if node in seen:
                 continue
             seen.add(node)
-            frontier.extend(
-                self.provider_dependencies(node, critical_only=True) - seen
-            )
+            deps = self.provider_dependencies(node, critical_only=True)
+            frontier.extend(deps - seen)  # repro: noqa[REP002] -- traversal order cannot change the visited set; only len(seen) is returned
         return len(seen)
 
     def __repr__(self) -> str:

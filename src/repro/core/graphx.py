@@ -29,7 +29,9 @@ def to_networkx(
     """
     out = nx.DiGraph()
     providers = set(graph.providers(service))
-    for node in providers:
+    # Insertion order shapes the exported graph (GraphML, adjacency
+    # dumps), so nodes enter in a stable order.
+    for node in sorted(providers, key=str):
         out.add_node(
             str(node),
             kind="provider",
@@ -48,8 +50,8 @@ def to_networkx(
             out.add_edge(
                 domain, str(provider), critical=provider in critical
             )
-    for provider in providers:
-        for upstream in graph.provider_dependencies(provider):
+    for provider in sorted(providers, key=str):
+        for upstream in sorted(graph.provider_dependencies(provider), key=str):
             if upstream in providers or service is None:
                 out.add_node(
                     str(upstream),

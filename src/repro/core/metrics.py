@@ -171,7 +171,7 @@ def provider_usage_counts(
             )
         else:
             raise ValueError(f"unknown service: {service!r}")
-        for key in set(keys):
+        for key in sorted(set(keys)):
             counts[key] = counts.get(key, 0) + 1
     return counts
 

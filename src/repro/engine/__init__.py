@@ -16,7 +16,6 @@ count, worker count, or interrupt/resume history.
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Union
 
 from repro.engine.checkpoint import CheckpointStore, StaleCheckpointError
@@ -33,6 +32,7 @@ from repro.engine.progress import (
     CampaignStats,
     ConsoleProgress,
     NullProgress,
+    PhaseTimer,
     ProgressReporter,
 )
 from repro.measurement.records import Dataset
@@ -47,6 +47,7 @@ __all__ = [
     "ConsoleProgress",
     "MultiprocessExecutor",
     "NullProgress",
+    "PhaseTimer",
     "ProgressReporter",
     "SerialExecutor",
     "ShardSpec",
@@ -86,13 +87,14 @@ def run_campaign(
     stats.start()
     stats.workers = workers
 
-    def finish_phase(name: str, started: float) -> None:
-        seconds = time.monotonic() - started
+    timer = PhaseTimer()
+
+    def finish_phase(name: str) -> None:
+        seconds = timer.elapsed()
         stats.phase_seconds[name] = stats.phase_seconds.get(name, 0.0) + seconds
         progress.on_phase(name, seconds, stats)
 
     # -- plan --------------------------------------------------------------
-    phase_start = time.monotonic()
     if world is None:
         if config is None:
             raise ValueError("run_campaign needs a config or a world")
@@ -128,12 +130,13 @@ def run_campaign(
     stats.shards_total = len(plan.shards)
     stats.shards_skipped = len(plan.shards) - len(pending)
     stats.sites_total = plan.n_sites
-    finish_phase("plan", phase_start)
+    finish_phase("plan")
     progress.on_plan(stats)
 
     # -- measure -----------------------------------------------------------
-    phase_start = time.monotonic()
+    timer.restart()
     if pending:
+        executor: Union[SerialExecutor, MultiprocessExecutor]
         if workers <= 1:
             # Shares `campaign` with the merge pass — see SerialExecutor.
             executor = SerialExecutor(campaign)
@@ -147,11 +150,11 @@ def run_campaign(
             stats.shards_done += 1
             stats.sites_done += sites_by_id[shard_id]
             progress.on_shard_done(shard_id, sites_by_id[shard_id], stats)
-    finish_phase("measure", phase_start)
+    finish_phase("measure")
 
     # -- merge + inter-service pass ---------------------------------------
-    phase_start = time.monotonic()
+    timer.restart()
     dataset = merge_shards(campaign, plan, payloads)
-    finish_phase("merge", phase_start)
+    finish_phase("merge")
     progress.on_finish(stats)
     return dataset

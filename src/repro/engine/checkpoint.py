@@ -33,7 +33,7 @@ class StaleCheckpointError(ValueError):
 class CheckpointStore:
     """Shard artifacts + manifest under one directory."""
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
 
     # -- paths -------------------------------------------------------------

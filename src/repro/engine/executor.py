@@ -56,7 +56,7 @@ class SerialExecutor:
     answer differently than its first touch).
     """
 
-    def __init__(self, campaign: MeasurementCampaign):
+    def __init__(self, campaign: MeasurementCampaign) -> None:
         self._campaign = campaign
 
     def run(self, shards: Iterable[ShardSpec]) -> Iterator[tuple[int, str]]:
@@ -73,7 +73,7 @@ class MultiprocessExecutor:
         config: WorldConfig,
         workers: int,
         region: Optional[str] = None,
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         self._config = config

@@ -15,6 +15,25 @@ from dataclasses import dataclass, field
 from typing import Optional, TextIO
 
 
+class PhaseTimer:
+    """Wall-clock phase stopwatch.
+
+    Lives here — the engine's telemetry module, which REP001 exempts —
+    so the orchestrator itself never reads a clock. Timings feed
+    operator-facing progress output only; they are never serialized
+    into a dataset.
+    """
+
+    def __init__(self) -> None:
+        self._started = time.monotonic()
+
+    def restart(self) -> None:
+        self._started = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started
+
+
 @dataclass
 class CampaignStats:
     """What a finished (or aborted) run looked like."""
@@ -74,7 +93,7 @@ class ConsoleProgress(ProgressReporter):
     """Human-readable progress lines (stderr by default, so dataset JSON
     on stdout stays clean)."""
 
-    def __init__(self, stream: Optional[TextIO] = None):
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
         self._stream = stream if stream is not None else sys.stderr
 
     def _say(self, message: str) -> None:

@@ -59,10 +59,13 @@ class CdnMeasurer:
         self._soa_lookup = soa_lookup
 
     def measure(self, crawl: CrawlResult) -> CdnObservation:
-        observation = CdnObservation(domain=crawl.domain, crawl_ok=crawl.ok)
         if not crawl.ok:
-            return observation
-        observation.resource_hostnames = crawl.hostnames_with_self()
+            return CdnObservation(domain=crawl.domain, crawl_ok=crawl.ok)
+        observation = CdnObservation(
+            domain=crawl.domain,
+            crawl_ok=crawl.ok,
+            resource_hostnames=crawl.hostnames_with_self(),
+        )
         san = crawl.san
         for hostname in observation.resource_hostnames:
             if not is_internal_resource(

@@ -21,10 +21,19 @@ class DnsMeasurer:
 
     def measure(self, domain: str) -> DnsObservation:
         """Measure one website's nameserver set and SOA identities."""
-        observation = DnsObservation(domain=domain)
-        observation.nameservers = self._dig.ns(domain)
-        observation.resolvable = self._dig.is_resolvable(domain)
-        observation.website_soa = self.soa_identity(domain)
-        for nameserver in observation.nameservers:
-            observation.nameserver_soas[nameserver] = self.soa_identity(nameserver)
-        return observation
+        # Query order matches the PR-1 serial campaign exactly (the
+        # resolver's caches make call order observable).
+        nameservers = self._dig.ns(domain)
+        resolvable = self._dig.is_resolvable(domain)
+        website_soa = self.soa_identity(domain)
+        nameserver_soas = {
+            nameserver: self.soa_identity(nameserver)
+            for nameserver in nameservers
+        }
+        return DnsObservation(
+            domain=domain,
+            nameservers=nameservers,
+            website_soa=website_soa,
+            nameserver_soas=nameserver_soas,
+            resolvable=resolvable,
+        )

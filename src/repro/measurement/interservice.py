@@ -16,6 +16,7 @@ from repro.measurement.dns_measurer import DnsMeasurer
 from repro.measurement.records import (
     ProviderDnsObservation,
     RevocationEndpointObservation,
+    SoaIdentity,
 )
 from repro.names.psl import icann_psl
 from repro.names.registrable import registrable_domain
@@ -43,22 +44,24 @@ class InterServiceMeasurer:
             base = registrable_domain(host, icann_psl()) or host
             if base not in domains:
                 domains.append(base)
-        observation = ProviderDnsObservation(
-            provider_name=provider_name,
-            service_domain=domains[0] if domains else "",
-        )
+        service_domain = domains[0] if domains else ""
+        nameservers: list[str] = []
+        nameserver_soas: dict[str, SoaIdentity | None] = {}
         for domain in domains:
             for nameserver in self._dig.ns(domain):
-                if nameserver not in observation.nameservers:
-                    observation.nameservers.append(nameserver)
-                observation.nameserver_soas[nameserver] = self._dns.soa_identity(
-                    nameserver
-                )
-        if observation.service_domain:
-            observation.domain_soa = self._dns.soa_identity(
-                observation.service_domain
-            )
-        return observation
+                if nameserver not in nameservers:
+                    nameservers.append(nameserver)
+                nameserver_soas[nameserver] = self._dns.soa_identity(nameserver)
+        domain_soa = (
+            self._dns.soa_identity(service_domain) if service_domain else None
+        )
+        return ProviderDnsObservation(
+            provider_name=provider_name,
+            service_domain=service_domain,
+            nameservers=nameservers,
+            domain_soa=domain_soa,
+            nameserver_soas=nameserver_soas,
+        )
 
     def measure_revocation_endpoints(
         self, ca_name: str, endpoint_hosts: Iterable[str]

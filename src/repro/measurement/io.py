@@ -5,26 +5,29 @@ campaign from the (cheap, repeatable) analysis. :func:`dataset_to_json` /
 :func:`dataset_from_json` make that split concrete here: a campaign's raw
 output round-trips through plain JSON, so analyses, ablations, and
 re-classifications run against a frozen dataset without a world.
+
+The per-record field mapping lives on the records themselves
+(``to_dict`` / ``from_dict`` on every :mod:`repro.measurement.records`
+dataclass, parity-checked statically by REP005); this module adds only
+the envelope — format versioning and the canonical on-disk key order.
+
+Format history:
+
+* **2** — self-contained sub-records: each observation dict carries its
+  own ``domain``/``provider_name``/``ca_name``, SOA identities are
+  ``{"mname", "rname"}`` objects (was a 2-list).
+* **1** — the PR-1 layout (context keys hoisted to the parent object).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Optional
+from typing import Any
 
-from repro.measurement.records import (
-    CdnObservation,
-    Dataset,
-    DnsObservation,
-    ProviderDnsObservation,
-    RevocationEndpointObservation,
-    SoaIdentity,
-    TlsObservation,
-    WebsiteMeasurement,
-)
+from repro.measurement.records import Dataset, WebsiteMeasurement
 
-FORMAT_VERSION = 1
-SHARD_FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SHARD_FORMAT_VERSION = 2
 
 
 def _check_format_version(found: Any, supported: int, kind: str) -> None:
@@ -49,118 +52,11 @@ def _canonical(obj: Any) -> Any:
     return obj
 
 
-def _soa_to_json(soa: Optional[SoaIdentity]) -> Optional[list[str]]:
-    return None if soa is None else [soa.mname, soa.rname]
-
-
-def _soa_from_json(data: Optional[list[str]]) -> Optional[SoaIdentity]:
-    return None if data is None else SoaIdentity(mname=data[0], rname=data[1])
-
-
-def _soa_map_to_json(soas: dict[str, Optional[SoaIdentity]]) -> dict[str, Any]:
-    return {name: _soa_to_json(soa) for name, soa in soas.items()}
-
-
-def _soa_map_from_json(data: dict[str, Any]) -> dict[str, Optional[SoaIdentity]]:
-    return {name: _soa_from_json(soa) for name, soa in data.items()}
-
-
-def _website_to_json(w: WebsiteMeasurement) -> dict[str, Any]:
-    return {
-        "domain": w.domain,
-        "rank": w.rank,
-        "dns": {
-            "nameservers": w.dns.nameservers,
-            "website_soa": _soa_to_json(w.dns.website_soa),
-            "nameserver_soas": _soa_map_to_json(w.dns.nameserver_soas),
-            "resolvable": w.dns.resolvable,
-        },
-        "tls": {
-            "https": w.tls.https,
-            "san": list(w.tls.san),
-            "issuer": w.tls.issuer,
-            "ocsp_urls": list(w.tls.ocsp_urls),
-            "crl_urls": list(w.tls.crl_urls),
-            "ocsp_stapled": w.tls.ocsp_stapled,
-            "endpoint_soas": _soa_map_to_json(w.tls.endpoint_soas),
-        },
-        "cdn": {
-            "crawl_ok": w.cdn.crawl_ok,
-            "resource_hostnames": w.cdn.resource_hostnames,
-            "internal_hostnames": w.cdn.internal_hostnames,
-            "cname_chains": w.cdn.cname_chains,
-            "detected_cdns": w.cdn.detected_cdns,
-            "cname_soas": _soa_map_to_json(w.cdn.cname_soas),
-        },
-    }
-
-
-def _website_from_json(entry: dict[str, Any]) -> WebsiteMeasurement:
-    dns_data = entry["dns"]
-    tls_data = entry["tls"]
-    cdn_data = entry["cdn"]
-    return WebsiteMeasurement(
-        domain=entry["domain"],
-        rank=entry["rank"],
-        dns=DnsObservation(
-            domain=entry["domain"],
-            nameservers=list(dns_data["nameservers"]),
-            website_soa=_soa_from_json(dns_data["website_soa"]),
-            nameserver_soas=_soa_map_from_json(dns_data["nameserver_soas"]),
-            resolvable=dns_data["resolvable"],
-        ),
-        tls=TlsObservation(
-            domain=entry["domain"],
-            https=tls_data["https"],
-            san=tuple(tls_data["san"]),
-            issuer=tls_data["issuer"],
-            ocsp_urls=tuple(tls_data["ocsp_urls"]),
-            crl_urls=tuple(tls_data["crl_urls"]),
-            ocsp_stapled=tls_data["ocsp_stapled"],
-            endpoint_soas=_soa_map_from_json(tls_data["endpoint_soas"]),
-        ),
-        cdn=CdnObservation(
-            domain=entry["domain"],
-            crawl_ok=cdn_data["crawl_ok"],
-            resource_hostnames=list(cdn_data["resource_hostnames"]),
-            internal_hostnames=list(cdn_data["internal_hostnames"]),
-            cname_chains={
-                k: list(v) for k, v in cdn_data["cname_chains"].items()
-            },
-            detected_cdns={
-                k: list(v) for k, v in cdn_data["detected_cdns"].items()
-            },
-            cname_soas=_soa_map_from_json(cdn_data["cname_soas"]),
-        ),
-    )
-
-
 def dataset_to_json(dataset: Dataset) -> str:
     """Serialize a dataset to a JSON string (stable key order; ``notes``
     keep their insertion order)."""
-    payload = {
-        "format_version": FORMAT_VERSION,
-        "year": dataset.year,
-        "notes": dataset.notes,
-        "websites": [_website_to_json(w) for w in dataset.websites],
-        "cdn_dns": {
-            name: _provider_dns_to_json(obs)
-            for name, obs in dataset.cdn_dns.items()
-        },
-        "ca_dns": {
-            name: _provider_dns_to_json(obs)
-            for name, obs in dataset.ca_dns.items()
-        },
-        "ca_cdn": {
-            name: {
-                "endpoint_hosts": obs.endpoint_hosts,
-                "cname_chains": obs.cname_chains,
-                "detected_cdns": obs.detected_cdns,
-                "cname_soas": _soa_map_to_json(obs.cname_soas),
-            }
-            for name, obs in dataset.ca_cdn.items()
-        },
-    }
+    payload = dict(dataset.to_dict())
+    payload["format_version"] = FORMAT_VERSION
     canonical = _canonical(payload)
     # notes are campaign-ordered, not alphabetical; reassignment keeps the
     # key's (sorted) position in the top-level object.
@@ -168,45 +64,11 @@ def dataset_to_json(dataset: Dataset) -> str:
     return json.dumps(canonical, indent=1)
 
 
-def _provider_dns_to_json(obs: ProviderDnsObservation) -> dict[str, Any]:
-    return {
-        "service_domain": obs.service_domain,
-        "nameservers": obs.nameservers,
-        "domain_soa": _soa_to_json(obs.domain_soa),
-        "nameserver_soas": _soa_map_to_json(obs.nameserver_soas),
-    }
-
-
-def _provider_dns_from_json(name: str, data: dict[str, Any]) -> ProviderDnsObservation:
-    return ProviderDnsObservation(
-        provider_name=name,
-        service_domain=data["service_domain"],
-        nameservers=list(data["nameservers"]),
-        domain_soa=_soa_from_json(data["domain_soa"]),
-        nameserver_soas=_soa_map_from_json(data["nameserver_soas"]),
-    )
-
-
 def dataset_from_json(text: str) -> Dataset:
     """Deserialize a dataset produced by :func:`dataset_to_json`."""
     payload = json.loads(text)
     _check_format_version(payload.get("format_version"), FORMAT_VERSION, "dataset")
-    dataset = Dataset(year=payload["year"], notes=dict(payload.get("notes", {})))
-    for entry in payload["websites"]:
-        dataset.websites.append(_website_from_json(entry))
-    for name, data in payload["cdn_dns"].items():
-        dataset.cdn_dns[name] = _provider_dns_from_json(name, data)
-    for name, data in payload["ca_dns"].items():
-        dataset.ca_dns[name] = _provider_dns_from_json(name, data)
-    for name, data in payload["ca_cdn"].items():
-        dataset.ca_cdn[name] = RevocationEndpointObservation(
-            ca_name=name,
-            endpoint_hosts=list(data["endpoint_hosts"]),
-            cname_chains={k: list(v) for k, v in data["cname_chains"].items()},
-            detected_cdns={k: list(v) for k, v in data["detected_cdns"].items()},
-            cname_soas=_soa_map_from_json(data["cname_soas"]),
-        )
-    return dataset
+    return Dataset.from_dict(payload)
 
 
 def shard_to_json(websites: list[WebsiteMeasurement]) -> str:
@@ -217,7 +79,7 @@ def shard_to_json(websites: list[WebsiteMeasurement]) -> str:
     """
     payload = {
         "shard_format_version": SHARD_FORMAT_VERSION,
-        "websites": [_website_to_json(w) for w in websites],
+        "websites": [w.to_dict() for w in websites],
     }
     return json.dumps(_canonical(payload), indent=1)
 
@@ -228,7 +90,7 @@ def shard_from_json(text: str) -> list[WebsiteMeasurement]:
     _check_format_version(
         payload.get("shard_format_version"), SHARD_FORMAT_VERSION, "shard"
     )
-    return [_website_from_json(entry) for entry in payload["websites"]]
+    return [WebsiteMeasurement.from_dict(entry) for entry in payload["websites"]]
 
 
 def save_dataset(dataset: Dataset, path: str) -> None:

@@ -15,13 +15,14 @@ class TlsMeasurer:
     """
 
     def extract(self, crawl: CrawlResult) -> TlsObservation:
-        observation = TlsObservation(domain=crawl.domain)
         if not crawl.ok or not crawl.https or crawl.certificate is None:
-            return observation
-        observation.https = True
-        observation.san = crawl.san
-        observation.issuer = crawl.certificate.issuer_name
-        observation.ocsp_urls = crawl.ocsp_urls
-        observation.crl_urls = crawl.crl_urls
-        observation.ocsp_stapled = crawl.ocsp_stapled
-        return observation
+            return TlsObservation(domain=crawl.domain)
+        return TlsObservation(
+            domain=crawl.domain,
+            https=True,
+            san=crawl.san,
+            issuer=crawl.certificate.issuer_name,
+            ocsp_urls=crawl.ocsp_urls,
+            crl_urls=crawl.crl_urls,
+            ocsp_stapled=crawl.ocsp_stapled,
+        )

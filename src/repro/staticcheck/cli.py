@@ -1,0 +1,84 @@
+"""The ``repro lint`` subcommand's implementation.
+
+Kept here (not in ``repro.cli``) so the linter stays usable standalone::
+
+    python -m repro lint [paths...] [--format json] [--rules REP001,REP003]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.staticcheck.config import DEFAULT_CONFIG, LintConfig
+from repro.staticcheck.driver import lint_paths
+from repro.staticcheck.report import (
+    EXIT_USAGE,
+    exit_code_for,
+    render_json,
+    render_text,
+)
+from repro.staticcheck.rules import describe_rules, rule_ids
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack and exit",
+    )
+
+
+def default_lint_root() -> str:
+    """Lint the installed ``repro`` package when no path is given."""
+    import repro
+
+    return str(Path(repro.__file__).parent)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id, title in describe_rules():
+            print(f"{rule_id}  {title}")
+        return 0
+
+    config: LintConfig = DEFAULT_CONFIG
+    if args.rules is not None:
+        wanted = frozenset(r.strip() for r in args.rules.split(",") if r.strip())
+        unknown = sorted(wanted - set(rule_ids()))
+        if unknown:
+            print(
+                f"lint: unknown rule id(s) {unknown}; known: {rule_ids()}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        config = LintConfig(rules=wanted)
+
+    paths = args.paths or [default_lint_root()]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"lint: no such path(s): {missing}", file=sys.stderr)
+        return EXIT_USAGE
+
+    result = lint_paths(paths, config)
+    rendered = render_json(result) if args.format == "json" else render_text(result)
+    print(rendered)
+    return exit_code_for(result)

@@ -1,0 +1,82 @@
+"""Per-rule configuration for the invariant linter.
+
+``DEFAULT_CONFIG`` encodes *this repository's* contract — the layer
+DAG, the sanctioned time/randomness modules, the executor entry points
+the worker-safety rule watches, and the serialization-contract module.
+Tests override individual knobs to lint fixture corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def _default_layers() -> dict[str, int]:
+    # The import-layering DAG (REP003). A module may import strictly
+    # lower layers only; equal-layer packages are peers and may not
+    # import each other. ``websim`` sits above the dnssim/tlssim
+    # substrates because an HTTPS client is built from DNS resolution
+    # plus TLS validation; ``cli`` is the pseudo-package for modules
+    # directly under ``repro`` (cli.py, __main__.py, __init__.py).
+    return {
+        "staticcheck": 0,
+        "names": 0,
+        "dnssim": 1,
+        "tlssim": 1,
+        "websim": 2,
+        "worldgen": 3,
+        "measurement": 4,
+        "core": 5,
+        "engine": 6,
+        "failures": 6,
+        "analysis": 7,
+        "cli": 8,
+    }
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything a lint run can be parameterized with."""
+
+    # Rule ids to run; None means every registered rule.
+    rules: Optional[frozenset[str]] = None
+
+    # REP001: modules allowed to read wall clocks / entropy directly.
+    # dnssim.clock is the simulation's one time source; engine.progress
+    # is operator-facing telemetry (sites/sec, phase timings) that is
+    # never serialized into a dataset.
+    rep001_allowed_modules: frozenset[str] = frozenset(
+        {"repro.dnssim.clock", "repro.engine.progress"}
+    )
+
+    # REP003: package name -> layer number.
+    rep003_layers: dict[str, int] = field(default_factory=_default_layers)
+
+    # REP004: attribute names treated as executor submission points, and
+    # keyword arguments whose value is a worker callable.
+    rep004_submit_methods: frozenset[str] = frozenset(
+        {
+            "imap",
+            "imap_unordered",
+            "map",
+            "map_async",
+            "starmap",
+            "starmap_async",
+            "apply",
+            "apply_async",
+            "submit",
+        }
+    )
+    rep004_callable_kwargs: frozenset[str] = frozenset({"initializer", "target"})
+
+    # REP005: modules whose dataclasses form the serialization contract.
+    rep005_record_modules: frozenset[str] = frozenset(
+        {"repro.measurement.records"}
+    )
+
+    def wants(self, rule_id: str) -> bool:
+        return self.rules is None or rule_id in self.rules
+
+
+DEFAULT_CONFIG = LintConfig()

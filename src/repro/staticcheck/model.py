@@ -1,0 +1,75 @@
+"""Data model for the invariant linter: findings, suppressions, results."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A finding silenced by an inline ``# repro: noqa[...]`` comment."""
+
+    finding: Finding
+    reason: str  # empty when the noqa carries no justification
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressions.extend(other.suppressions)
+        self.files_checked += other.files_checked
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed module, as handed to every rule."""
+
+    path: str  # display path (as given by the caller)
+    module: str  # dotted module name, e.g. "repro.dnssim.zone"
+    tree: ast.Module
+    source: str
+    is_package: bool = False  # True when the file is an __init__.py
+
+    @property
+    def package(self) -> str:
+        """The top-level ``repro`` sub-package this module belongs to,
+        or ``""`` for modules outside the ``repro`` namespace.
+
+        Modules directly under ``repro`` (``repro.cli``, ``repro``,
+        ``repro.__main__``) report the pseudo-package ``"cli"`` — the
+        top of the layer DAG.
+        """
+        parts = self.module.split(".")
+        if parts[0] != "repro":
+            return ""
+        if len(parts) >= 3:
+            return parts[1]
+        if len(parts) == 2 and self.is_package:
+            return parts[1]
+        return "cli"

@@ -1,0 +1,70 @@
+"""Reporters and exit codes for the invariant linter.
+
+Exit codes are part of the CI contract and never change meaning:
+
+* ``EXIT_CLEAN``    (0) — no unsuppressed findings
+* ``EXIT_FINDINGS`` (1) — at least one unsuppressed finding
+* ``EXIT_USAGE``    (2) — bad invocation (unknown rule id, missing path)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.staticcheck.model import LintResult
+from repro.staticcheck.rules import rule_ids
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+JSON_REPORT_VERSION = 1
+
+
+def exit_code_for(result: LintResult) -> int:
+    return EXIT_CLEAN if result.clean else EXIT_FINDINGS
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary."""
+    lines = [finding.render() for finding in result.findings]
+    lines.append(
+        f"checked {result.files_checked} file(s): "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressions)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (schema asserted by the tier-1 suite)."""
+    counts: dict[str, int] = {rule_id: 0 for rule_id in rule_ids()}
+    for finding in result.findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    payload: dict[str, Any] = {
+        "version": JSON_REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "counts": counts,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+        "suppressed": [
+            {
+                "rule": suppression.finding.rule_id,
+                "path": suppression.finding.path,
+                "line": suppression.finding.line,
+                "reason": suppression.reason,
+            }
+            for suppression in result.suppressions
+        ],
+        "exit_code": exit_code_for(result),
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

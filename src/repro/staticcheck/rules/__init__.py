@@ -1,0 +1,26 @@
+"""The REP rule registry."""
+
+from __future__ import annotations
+
+from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.rules.rep001_determinism import DeterminismRule
+from repro.staticcheck.rules.rep002_sorted_iteration import SortedIterationRule
+from repro.staticcheck.rules.rep003_layering import LayeringRule
+from repro.staticcheck.rules.rep004_worker_safety import WorkerSafetyRule
+from repro.staticcheck.rules.rep005_serialization import SerializationContractRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    DeterminismRule(),
+    SortedIterationRule(),
+    LayeringRule(),
+    WorkerSafetyRule(),
+    SerializationContractRule(),
+)
+
+
+def rule_ids() -> list[str]:
+    return [rule.rule_id for rule in ALL_RULES]
+
+
+def describe_rules() -> list[tuple[str, str]]:
+    return [(rule.rule_id, rule.title) for rule in ALL_RULES]

@@ -1,0 +1,87 @@
+"""Rule base class + shared AST helpers for the REP rule pack."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Optional
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.model import Finding, ModuleInfo
+
+
+class Rule:
+    """One invariant. Subclasses visit a parsed module and report
+    :class:`Finding` objects; suppression handling lives in the driver."""
+
+    rule_id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully-qualified origin, from every import statement.
+
+    ``import time as t`` maps ``t -> time``; ``from datetime import
+    datetime as dt`` maps ``dt -> datetime.datetime``. Nested (lazy)
+    imports are included — an invariant holds wherever the import sits.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                origin = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                table[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def resolve_call_target(call: ast.Call, table: dict[str, str]) -> Optional[str]:
+    """The fully-qualified dotted target of a call, through import aliases.
+
+    ``t.monotonic()`` after ``import time as t`` resolves to
+    ``time.monotonic``; a bare ``monotonic()`` after ``from time import
+    monotonic`` resolves the same way.
+    """
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = table.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Child -> parent links (for context-sensitive exemptions)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents

@@ -1,0 +1,136 @@
+"""REP001 — no ambient nondeterminism.
+
+Measurement code must not read wall clocks or OS entropy: campaign
+output has to be a pure function of (world config, plan). Time flows
+through :class:`repro.dnssim.clock.SimulatedClock`; randomness flows
+through explicitly seeded ``random.Random(seed)`` instances threaded
+from the world config. Modules in ``rep001_allowed_modules`` (the
+simulated clock itself, and the engine's operator-facing telemetry)
+are exempt wholesale.
+
+Flags:
+
+* calls to ``time.time``/``time.monotonic``/``perf_counter``/... ,
+  ``datetime.datetime.now``/``utcnow``/``today``, ``datetime.date.today``,
+  ``os.urandom``/``os.getrandom``, ``uuid.uuid1``/``uuid.uuid4``, and
+  anything in ``secrets``;
+* module-level ``random.*`` functions (the hidden global RNG) and
+  ``random.SystemRandom`` (OS entropy);
+* ``random.Random()`` constructed without a seed;
+* ``from``-imports of any of the above (an unused forbidden import is
+  still a landmine).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule, import_table, resolve_call_target
+
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+_DATETIME_TARGETS = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+_OS_FUNCS = frozenset({"urandom", "getrandom"})
+_UUID_FUNCS = frozenset({"uuid1", "uuid4"})
+# The only name worth importing from the random module: an explicitly
+# seeded instance-based RNG.
+_RANDOM_ALLOWED = frozenset({"Random"})
+
+
+def _forbidden_target(target: str) -> str:
+    """A human explanation if ``target`` is forbidden, else ''."""
+    head, _, tail = target.partition(".")
+    if head == "time" and tail in _TIME_FUNCS:
+        return "reads the wall clock; use dnssim.clock.SimulatedClock"
+    if target in _DATETIME_TARGETS:
+        return "reads the wall clock; use dnssim.clock.SimulatedClock"
+    if head == "os" and tail in _OS_FUNCS:
+        return "draws OS entropy; thread a seeded random.Random instead"
+    if head == "uuid" and tail in _UUID_FUNCS:
+        return "generates nondeterministic ids; derive ids from seeded state"
+    if head == "secrets":
+        return "draws OS entropy; thread a seeded random.Random instead"
+    if head == "random" and tail == "SystemRandom":
+        return "draws OS entropy; use a seeded random.Random"
+    if head == "random" and tail and tail not in _RANDOM_ALLOWED:
+        return (
+            "uses the hidden module-level RNG; construct and thread a "
+            "seeded random.Random"
+        )
+    return ""
+
+
+class DeterminismRule(Rule):
+    rule_id = "REP001"
+    title = "no unseeded randomness or wall-clock reads"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        if module.module in config.rep001_allowed_modules:
+            return []
+        table = import_table(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node, table))
+            elif isinstance(node, ast.ImportFrom):
+                findings.extend(self._check_import_from(module, node))
+        return findings
+
+    def _check_call(
+        self, module: ModuleInfo, call: ast.Call, table: dict[str, str]
+    ) -> list[Finding]:
+        target = resolve_call_target(call, table)
+        if target is None:
+            return []
+        if target == "random.Random" and not call.args and not call.keywords:
+            return [
+                self.finding(
+                    module,
+                    call,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass an explicit seed",
+                )
+            ]
+        why = _forbidden_target(target)
+        if why:
+            return [self.finding(module, call, f"call to {target} {why}")]
+        return []
+
+    def _check_import_from(
+        self, module: ModuleInfo, node: ast.ImportFrom
+    ) -> list[Finding]:
+        if node.level != 0 or node.module is None:
+            return []
+        findings: list[Finding] = []
+        for alias in node.names:
+            why = _forbidden_target(f"{node.module}.{alias.name}")
+            if why:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"import of {node.module}.{alias.name} {why}",
+                    )
+                )
+        return findings

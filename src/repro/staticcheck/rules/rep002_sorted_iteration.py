@@ -1,0 +1,254 @@
+"""REP002 — no order-sensitive iteration over sets.
+
+CPython randomizes string hashing per process (PYTHONHASHSEED), so the
+iteration order of a ``set``/``frozenset`` of strings differs between
+runs and between pool workers. Any set iteration whose order can leak
+into output — a list, a joined string, a JSON payload, a dict's
+insertion order — silently breaks the engine's byte-identical-merge
+contract. The fix is always ``sorted(...)`` at the point of iteration.
+
+The rule tracks set-typed values *syntactically* within each scope:
+
+* ``{...}`` set literals, set comprehensions, ``set(...)`` /
+  ``frozenset(...)`` calls;
+* names assigned from (or annotated with) a set-typed expression,
+  including function parameters and ``self.attr`` assignments within
+  the defining class;
+* set algebra (``|  & - ^``, ``.union()``, ``.intersection()``,
+  ``.difference()``, ``.symmetric_difference()``) over set-typed
+  operands.
+
+Iterating such a value is flagged in order-sensitive contexts — ``for``
+loops, list/dict/generator comprehensions, ``list()``/``tuple()``/
+``iter()``/``enumerate()``/``reversed()``/``dict.fromkeys()``,
+``str.join``, ``*`` unpacking, ``yield from`` — and exempt in
+order-insensitive ones: ``sorted``/``set``/``frozenset``/``len``/
+``sum``/``min``/``max``/``any``/``all``, membership tests, and set
+comprehensions (a set built from a set is still unordered).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Union
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule, parent_map
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {"list", "tuple", "iter", "enumerate", "reversed"}
+)
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all"}
+)
+
+_ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    """True for ``set``/``frozenset``/``set[...]``/``typing.Set[...]``."""
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else ""
+    )
+    return name in {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+
+
+class _SetOriginTracker:
+    """Which names (and ``self.*`` attributes) hold sets in a scope."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.self_attrs: set[str] = set()
+
+    def is_set_origin(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.self_attrs
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return self.is_set_origin(func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set_origin(node.left) or self.is_set_origin(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set_origin(node.body) or self.is_set_origin(node.orelse)
+        return False
+
+    def learn(self, scope: _ScopeNode) -> None:
+        """Collect set-typed bindings from a scope's own statements
+        (not from nested function scopes)."""
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *((args.vararg,) if args.vararg else ()),
+                *((args.kwarg,) if args.kwarg else ()),
+            ):
+                if _annotation_is_set(arg.annotation):
+                    self.names.add(arg.arg)
+        for node in _scope_walk(scope):
+            if isinstance(node, ast.AnnAssign):
+                if _annotation_is_set(node.annotation):
+                    self._bind(node.target)
+            elif isinstance(node, ast.Assign):
+                if self.is_set_origin(node.value):
+                    for target in node.targets:
+                        self._bind(target)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.op, _SET_BINOPS) and self.is_set_origin(
+                    node.value
+                ):
+                    self._bind(node.target)
+
+    def _bind(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.self_attrs.add(target.attr)
+
+
+def _scope_walk(scope: _ScopeNode):
+    """Walk a scope without descending into nested function scopes
+    (class bodies are transparent: methods see ``self.*`` bindings)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class SortedIterationRule(Rule):
+    rule_id = "REP002"
+    title = "set iteration must go through sorted(...)"
+
+    _HINT = "set iteration order is nondeterministic; wrap in sorted(...)"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        parents = parent_map(module.tree)
+
+        # Class-level view: methods of one class share self.* knowledge.
+        for scope, tracker in self._scopes(module.tree):
+            self._check_scope(module, scope, tracker, parents, findings)
+        return findings
+
+    def _scopes(self, tree: ast.Module):
+        """Yield (scope, tracker) pairs: the module scope, then every
+        function scope (with class-attribute context where relevant)."""
+        module_tracker = _SetOriginTracker()
+        module_tracker.learn(tree)
+        yield tree, module_tracker
+
+        # Collect self.* set attributes per class (from every method).
+        class_attrs: dict[ast.ClassDef, set[str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                attrs: set[str] = set()
+                for method in ast.walk(node):
+                    if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        probe = _SetOriginTracker()
+                        probe.learn(method)
+                        attrs.update(probe.self_attrs)
+                # Dataclass-style annotated class fields.
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and _annotation_is_set(
+                        stmt.annotation
+                    ):
+                        if isinstance(stmt.target, ast.Name):
+                            attrs.add(stmt.target.id)
+                class_attrs[node] = attrs
+
+        parents = parent_map(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                tracker = _SetOriginTracker()
+                tracker.names |= module_tracker.names
+                owner = parents.get(node)
+                if isinstance(owner, ast.ClassDef):
+                    tracker.self_attrs |= class_attrs.get(owner, set())
+                tracker.learn(node)
+                yield node, tracker
+
+    def _check_scope(
+        self,
+        module: ModuleInfo,
+        scope: _ScopeNode,
+        tracker: _SetOriginTracker,
+        parents: dict[ast.AST, ast.AST],
+        findings: list[Finding],
+    ) -> None:
+        for node in _scope_walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if tracker.is_set_origin(node.iter):
+                    findings.append(self.finding(module, node.iter, self._HINT))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if self._comp_is_exempt(node, parents):
+                    continue
+                for generator in node.generators:
+                    if tracker.is_set_origin(generator.iter):
+                        findings.append(
+                            self.finding(module, generator.iter, self._HINT)
+                        )
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node, tracker))
+            elif isinstance(node, ast.Starred):
+                if tracker.is_set_origin(node.value):
+                    findings.append(self.finding(module, node.value, self._HINT))
+            elif isinstance(node, ast.YieldFrom):
+                if tracker.is_set_origin(node.value):
+                    findings.append(self.finding(module, node.value, self._HINT))
+
+    def _comp_is_exempt(
+        self, comp: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        """A comprehension feeding an order-insensitive consumer is fine:
+        ``sorted(x for x in some_set)``."""
+        parent = parents.get(comp)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_INSENSITIVE_CALLS
+            and comp in parent.args
+        )
+
+    def _check_call(
+        self, module: ModuleInfo, call: ast.Call, tracker: _SetOriginTracker
+    ) -> list[Finding]:
+        func = call.func
+        first = call.args[0] if call.args else None
+        if first is None:
+            return []
+        sensitive = (
+            isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS
+        ) or (
+            isinstance(func, ast.Attribute) and func.attr in {"join", "extend", "fromkeys"}
+        )
+        if sensitive and tracker.is_set_origin(first):
+            return [self.finding(module, first, self._HINT)]
+        return []

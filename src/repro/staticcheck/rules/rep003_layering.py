@@ -1,0 +1,119 @@
+"""REP003 — the import-layering DAG.
+
+Packages form strict layers (see ``LintConfig.rep003_layers``)::
+
+    names, staticcheck                          (0)
+      -> dnssim | tlssim                        (1)   peer simulators
+        -> websim                               (2)   HTTPS = DNS + TLS
+          -> worldgen                           (3)
+            -> measurement                      (4)
+              -> core                           (5)
+                -> engine | failures            (6)   peer consumers
+                  -> analysis                   (7)
+                    -> cli / __main__ / repro   (8)
+
+A module may import strictly *lower* layers only. Equal-layer packages
+are peers (dnssim/tlssim, engine/failures) and may not import each
+other; intra-package imports are always fine. The check covers lazy
+(function-body) imports too — layering is architectural, not an import-
+time concern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule
+
+
+def _imported_repro_packages(
+    tree: ast.Module, current_module: str
+) -> list[tuple[ast.AST, str]]:
+    """(node, imported repro package) for every repro import."""
+    hits: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                package = _repro_package(alias.name)
+                if package is not None:
+                    hits.append((node, package))
+        elif isinstance(node, ast.ImportFrom):
+            module = _absolute_from(node, current_module)
+            if module is None:
+                continue
+            package = _repro_package(module)
+            if package is not None:
+                hits.append((node, package))
+            elif module == "repro":
+                # ``from repro import X`` pulls from the top-level
+                # package — the 'cli' pseudo-layer.
+                hits.append((node, "cli"))
+    return hits
+
+
+def _absolute_from(node: ast.ImportFrom, current_module: str) -> Optional[str]:
+    if node.level == 0:
+        return node.module
+    # Relative import: climb ``level`` packages from the current module.
+    parts = current_module.split(".")
+    if node.level > len(parts):
+        return None
+    base = parts[: len(parts) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None
+
+
+def _repro_package(module: str) -> Optional[str]:
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1] if len(parts) >= 2 else None
+
+
+class LayeringRule(Rule):
+    rule_id = "REP003"
+    title = "imports must flow down the layer DAG"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        importer_pkg = module.package
+        if not importer_pkg:
+            return []
+        layers = config.rep003_layers
+        importer_layer = layers.get(importer_pkg)
+        if importer_layer is None:
+            return []
+        findings: list[Finding] = []
+        for node, imported_pkg in _imported_repro_packages(
+            module.tree, module.module
+        ):
+            if imported_pkg == importer_pkg:
+                continue
+            imported_layer = layers.get(imported_pkg)
+            if imported_layer is None:
+                continue
+            if imported_layer > importer_layer:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"repro.{importer_pkg} (layer {importer_layer}) may "
+                        f"not import repro.{imported_pkg} (layer "
+                        f"{imported_layer}): imports must flow strictly "
+                        f"downward",
+                    )
+                )
+            elif imported_layer == importer_layer:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"repro.{importer_pkg} and repro.{imported_pkg} are "
+                        f"peers at layer {importer_layer} and may not import "
+                        f"each other",
+                    )
+                )
+        return findings

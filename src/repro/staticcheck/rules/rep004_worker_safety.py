@@ -1,0 +1,140 @@
+"""REP004 — worker-safety of callables handed to executors.
+
+The engine ships work to ``multiprocessing`` pools. A worker callable
+must therefore be pickle-safe and state-safe:
+
+* it must be a **module-level function** — lambdas, nested closures,
+  and bound-method attributes either fail to pickle or smuggle
+  unpickled state into the parent that workers never see;
+* a **task** callable must not rewrite module-level state (``global``
+  assignment): per-process caches are initialized exactly once, by the
+  pool *initializer* (``initializer=``/``target=`` keyword, or any
+  ``_init*``-named function), so results can never depend on which
+  worker ran which shard first.
+
+Submission points are attribute calls named ``imap``/``imap_unordered``/
+``map``/``apply_async``/``submit``/... (``LintConfig.rep004_submit_methods``)
+plus the ``initializer=``/``target=`` keywords of any call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule
+
+
+def _module_level_functions(tree: ast.Module) -> set[str]:
+    return {
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _nested_functions(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function's body."""
+    nested: set[str] = set()
+    for outer in ast.walk(tree):
+        if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(outer):
+                if inner is not outer and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(inner.name)
+    return nested
+
+
+class WorkerSafetyRule(Rule):
+    rule_id = "REP004"
+    title = "executor callables must be module-level and state-safe"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        tree = module.tree
+        module_defs = _module_level_functions(tree)
+        nested_defs = _nested_functions(tree)
+        findings: list[Finding] = []
+        task_names: set[str] = set()
+        initializer_names: set[str] = set()
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for worker, role in self._worker_args(node, config):
+                findings.extend(
+                    self._check_worker(
+                        module, worker, module_defs, nested_defs
+                    )
+                )
+                if isinstance(worker, ast.Name):
+                    if role == "initializer":
+                        initializer_names.add(worker.id)
+                    else:
+                        task_names.add(worker.id)
+
+        # Task callables may read per-process state the initializer set
+        # up, but must not rewrite module-level state themselves.
+        for node in tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in task_names or node.name in initializer_names:
+                continue
+            if node.name.startswith("_init"):
+                continue
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Global):
+                    findings.append(
+                        self.finding(
+                            module,
+                            stmt,
+                            f"worker task {node.name!r} rebinds module-level "
+                            f"state ({', '.join(stmt.names)}); move one-time "
+                            f"setup into the pool initializer",
+                        )
+                    )
+        return findings
+
+    def _worker_args(self, call: ast.Call, config: LintConfig):
+        """(callable expression, role) pairs submitted by this call."""
+        out: list[tuple[ast.expr, str]] = []
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in config.rep004_submit_methods
+            and call.args
+        ):
+            out.append((call.args[0], "task"))
+        for keyword in call.keywords:
+            if keyword.arg in config.rep004_callable_kwargs:
+                out.append((keyword.value, "initializer"))
+        return out
+
+    def _check_worker(
+        self,
+        module: ModuleInfo,
+        worker: ast.expr,
+        module_defs: set[str],
+        nested_defs: set[str],
+    ) -> list[Finding]:
+        problem: Optional[str] = None
+        if isinstance(worker, ast.Lambda):
+            problem = (
+                "lambdas do not pickle; define a module-level function"
+            )
+        elif isinstance(worker, ast.Name):
+            if worker.id in nested_defs and worker.id not in module_defs:
+                problem = (
+                    f"{worker.id!r} is a nested function (a closure); "
+                    f"workers need a module-level entry point"
+                )
+        elif isinstance(worker, ast.Attribute):
+            problem = (
+                f"bound attribute {worker.attr!r} drags its instance "
+                f"across the process boundary; use a module-level function"
+            )
+        if problem is None:
+            return []
+        return [self.finding(module, worker, problem)]

@@ -1,0 +1,200 @@
+"""REP005 — serialization-contract parity for measurement records.
+
+Every record type in the serialization-contract modules
+(``LintConfig.rep005_record_modules`` — by default
+``repro.measurement.records``) must be:
+
+* a ``@dataclass(frozen=True)`` — records are measurement *facts*; the
+  io layer round-trips them, so post-construction mutation would let a
+  dataset drift from its own serialized form;
+* equipped with ``to_dict`` / ``from_dict`` whose key sets both match
+  the dataclass's field set exactly — the statically-checkable version
+  of "what you serialize is what you restore".
+
+``to_dict`` must return a dict literal with constant string keys (that
+is what makes the contract checkable); ``from_dict`` consumption is
+read from ``data["key"]`` / ``data.get("key")`` accesses on its payload
+argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.AST]:
+    for decorator in cls.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "dataclass":
+            return decorator
+        if (
+            isinstance(decorator, ast.Call)
+            and isinstance(decorator.func, ast.Name)
+            and decorator.func.id == "dataclass"
+        ):
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.AST) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+def _field_names(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            annotation = stmt.annotation
+            base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+            if isinstance(base, ast.Name) and base.id == "ClassVar":
+                continue
+            names.add(stmt.target.id)
+    return names
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _to_dict_keys(method: ast.FunctionDef) -> Optional[set[str]]:
+    """Keys of the dict literal ``to_dict`` returns; None if it does not
+    return a checkable literal."""
+    for stmt in ast.walk(method):
+        if isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Dict):
+            keys: set[str] = set()
+            for key in stmt.value.keys:
+                if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                    return None
+                keys.add(key.value)
+            return keys
+    return None
+
+
+def _from_dict_keys(method: ast.FunctionDef) -> set[str]:
+    """Constant keys read off the payload argument (``data["k"]`` and
+    ``data.get("k")``)."""
+    args = method.args.posonlyargs + method.args.args
+    if len(args) < 2:  # (cls, data)
+        return set()
+    payload = args[1].arg
+    keys: set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == payload
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == payload
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.add(node.args[0].value)
+    return keys
+
+
+class SerializationContractRule(Rule):
+    rule_id = "REP005"
+    title = "records must be frozen dataclasses with to_dict/from_dict parity"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        if module.module not in config.rep005_record_modules:
+            return []
+        findings: list[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> list[Finding]:
+        decorator = _dataclass_decorator(cls)
+        if decorator is None:
+            return []  # helper classes are not part of the record contract
+        findings: list[Finding] = []
+        if not _is_frozen(decorator):
+            findings.append(
+                self.finding(
+                    module,
+                    cls,
+                    f"record {cls.name} must be @dataclass(frozen=True): "
+                    f"serialized records are immutable facts",
+                )
+            )
+        fields = _field_names(cls)
+        to_dict = _method(cls, "to_dict")
+        from_dict = _method(cls, "from_dict")
+        if to_dict is None or from_dict is None:
+            missing = [
+                name
+                for name, method in (("to_dict", to_dict), ("from_dict", from_dict))
+                if method is None
+            ]
+            findings.append(
+                self.finding(
+                    module,
+                    cls,
+                    f"record {cls.name} must define {' and '.join(missing)} "
+                    f"(the io layer round-trips every record type)",
+                )
+            )
+            return findings
+
+        to_keys = _to_dict_keys(to_dict)
+        if to_keys is None:
+            findings.append(
+                self.finding(
+                    module,
+                    to_dict,
+                    f"{cls.name}.to_dict must return a dict literal with "
+                    f"constant string keys (that is what makes the "
+                    f"contract checkable)",
+                )
+            )
+            return findings
+        from_keys = _from_dict_keys(from_dict)
+        for label, keys in (("to_dict", to_keys), ("from_dict", from_keys)):
+            extra = sorted(keys - fields)
+            gone = sorted(fields - keys)
+            if extra:
+                findings.append(
+                    self.finding(
+                        module,
+                        to_dict if label == "to_dict" else from_dict,
+                        f"{cls.name}.{label} handles keys {extra} that are "
+                        f"not dataclass fields",
+                    )
+                )
+            if gone:
+                findings.append(
+                    self.finding(
+                        module,
+                        to_dict if label == "to_dict" else from_dict,
+                        f"{cls.name}.{label} omits field(s) {gone}",
+                    )
+                )
+        return findings

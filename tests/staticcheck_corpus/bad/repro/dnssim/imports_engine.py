@@ -1,0 +1,6 @@
+"""Bad fixture: REP003 — a simulator reaching up and sideways."""
+
+import repro.tlssim
+from repro.engine.plan import plan_campaign
+
+__all__ = ["plan_campaign", "repro"]

@@ -1,0 +1,16 @@
+"""Bad fixture: REP001 — ambient nondeterminism in measurement code."""
+
+import os
+import random
+import time
+import uuid
+from random import random as rand
+
+
+def stamp():
+    started = time.time()
+    nonce = os.urandom(8)
+    token = uuid.uuid4()
+    rng = random.Random()
+    jitter = random.random()
+    return started, nonce, token, rng, jitter, rand

@@ -1,0 +1,12 @@
+"""Bad fixture: REP002 — set iteration order leaking into output."""
+
+
+def emit(hostnames: set) -> list:
+    rows = [host for host in hostnames]
+    for host in hostnames:
+        rows.append(host)
+    return rows
+
+
+def render(tags: frozenset) -> str:
+    return ",".join(tags)

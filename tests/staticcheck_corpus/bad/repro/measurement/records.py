@@ -1,0 +1,28 @@
+"""Bad fixture: REP005 — record-contract violations."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MutableRecord:
+    domain: str
+
+    def to_dict(self):
+        return {"domain": self.domain}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(domain=data["domain"])
+
+
+@dataclass(frozen=True)
+class DriftingRecord:
+    domain: str
+    rank: int
+
+    def to_dict(self):
+        return {"domain": self.domain, "extra": 1}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(domain=data["domain"], rank=0)

@@ -1,0 +1,7 @@
+"""Good fixture: the allowlisted clock module may read ``time.*``."""
+
+import time
+
+
+def now() -> float:
+    return time.monotonic()

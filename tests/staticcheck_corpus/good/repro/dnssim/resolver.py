@@ -1,0 +1,14 @@
+"""Good fixture: seeded randomness and strictly-downward imports."""
+
+import random
+
+from repro.names import psl
+
+__all__ = ["psl", "shuffled"]
+
+
+def shuffled(items: list, seed: int) -> list:
+    rng = random.Random(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,20 @@
+"""Good fixture: REP002 — ``sorted()`` at every set-iteration point,
+plus one justified suppression (exercises the noqa path end to end)."""
+
+
+def emit(hostnames: set) -> list:
+    rows = [host for host in sorted(hostnames)]
+    if len(hostnames) and "www" in hostnames:
+        rows.append("www")
+    return rows
+
+
+def render(tags: frozenset) -> str:
+    return ",".join(sorted(tags))
+
+
+def digest(tags: set) -> int:
+    total = 0
+    for tag in tags:  # repro: noqa[REP002] -- XOR fold is order-insensitive
+        total ^= len(tag)
+    return total

@@ -1,0 +1,25 @@
+"""Good fixture: REP005 — a contract-compliant record."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GoodRecord:
+    domain: str
+    rank: int = 0
+    tags: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "domain": self.domain,
+            "rank": self.rank,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GoodRecord":
+        return cls(
+            domain=data["domain"],
+            rank=data["rank"],
+            tags=list(data.get("tags", [])),
+        )

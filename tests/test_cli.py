@@ -96,7 +96,9 @@ class TestMeasureAnalyze:
         path.write_text('{"format_version": 99, "year": 2020}')
         assert main(["analyze", str(path)]) == 1
         err = capsys.readouterr().err
-        assert "99" in err and "supports version 1" in err
+        from repro.measurement.io import FORMAT_VERSION
+
+        assert "99" in err and f"supports version {FORMAT_VERSION}" in err
 
     def test_measure_checkpoint_resume_flags(self, capsys, tmp_path):
         ckpt = tmp_path / "ckpt"

@@ -242,10 +242,10 @@ class TestCaClassification:
 
 class TestCdnClassification:
     def _observation(self, detected, soas):
-        obs = CdnObservation(domain="site.com", crawl_ok=True)
-        obs.detected_cdns = detected
-        obs.cname_soas = soas
-        return obs
+        return CdnObservation(
+            domain="site.com", crawl_ok=True,
+            detected_cdns=detected, cname_soas=soas,
+        )
 
     def test_third_party_cdn(self):
         akamai = SoaIdentity("internal.akam.net", "h.akamai.com")
@@ -258,9 +258,11 @@ class TestCdnClassification:
 
     def test_private_cdn_via_san(self):
         # yahoo/yimg: TLD mismatch, SAN contains *.yimg.com.
-        obs = CdnObservation(domain="yahoo.com", crawl_ok=True)
-        obs.detected_cdns = {"Yahoo CDN": ["img.yimg.com"]}
-        obs.cname_soas = {"img.yimg.com": SoaIdentity("ns1.yahoo.com", "h.yahoo.com")}
+        obs = CdnObservation(
+            domain="yahoo.com", crawl_ok=True,
+            detected_cdns={"Yahoo CDN": ["img.yimg.com"]},
+            cname_soas={"img.yimg.com": SoaIdentity("ns1.yahoo.com", "h.yahoo.com")},
+        )
         out = classify_cdn(
             obs, san=("yahoo.com", "*.yimg.com"),
             website_soa=SoaIdentity("ns1.yahoo.com", "h.yahoo.com"),
@@ -273,9 +275,11 @@ class TestCdnClassification:
         # Instagram: private Facebook CDN, AWS SOA on the site zone.
         fb = SoaIdentity("a.ns.facebook.com", "dns.facebook.com")
         aws = SoaIdentity("ns1.awsdns.net", "aws.amazon.com")
-        obs = CdnObservation(domain="instagram.com", crawl_ok=True)
-        obs.detected_cdns = {"Facebook CDN": ["static.fbcdn.net"]}
-        obs.cname_soas = {"static.fbcdn.net": fb}
+        obs = CdnObservation(
+            domain="instagram.com", crawl_ok=True,
+            detected_cdns={"Facebook CDN": ["static.fbcdn.net"]},
+            cname_soas={"static.fbcdn.net": fb},
+        )
         baseline = classify_cdn_soa_only(obs, aws, obs.cname_soas.get)
         assert baseline["Facebook CDN"] == ProviderType.THIRD_PARTY  # wrong!
         combined = classify_cdn(
@@ -285,8 +289,10 @@ class TestCdnClassification:
         assert combined[0].type == ProviderType.PRIVATE  # SAN rescues it
 
     def test_tld_only_baseline_on_private_suffix(self):
-        obs = CdnObservation(domain="yahoo.com", crawl_ok=True)
-        obs.detected_cdns = {"Yahoo CDN": ["img.yimg.com"]}
+        obs = CdnObservation(
+            domain="yahoo.com", crawl_ok=True,
+            detected_cdns={"Yahoo CDN": ["img.yimg.com"]},
+        )
         assert classify_cdn_tld_only(obs)["Yahoo CDN"] == ProviderType.THIRD_PARTY
 
     def test_no_cdns_empty(self):

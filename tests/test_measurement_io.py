@@ -4,6 +4,8 @@ import pytest
 
 from repro.core import analyze_dataset
 from repro.measurement.io import (
+    FORMAT_VERSION,
+    SHARD_FORMAT_VERSION,
     dataset_from_json,
     dataset_to_json,
     load_dataset,
@@ -75,7 +77,7 @@ class TestFormatVersionErrors:
             dataset_from_json('{"format_version": 99, "year": 2020}')
         message = str(excinfo.value)
         assert "99" in message
-        assert "supports version 1" in message
+        assert f"supports version {FORMAT_VERSION}" in message
 
     def test_missing_version_reports_none(self):
         with pytest.raises(ValueError, match="None"):
@@ -86,7 +88,7 @@ class TestFormatVersionErrors:
             shard_from_json('{"shard_format_version": 7, "websites": []}')
         message = str(excinfo.value)
         assert "7" in message
-        assert "supports version 1" in message
+        assert f"supports version {SHARD_FORMAT_VERSION}" in message
 
 
 class TestNotesOrder:

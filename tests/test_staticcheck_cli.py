@@ -1,0 +1,81 @@
+"""End-to-end tests for ``repro lint`` against the on-disk corpus.
+
+``tests/staticcheck_corpus/bad`` is a miniature ``repro`` package tree
+with at least one violation per rule; ``.../good`` mirrors it with the
+compliant version of each pattern (plus one justified suppression).
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.staticcheck.report import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    JSON_REPORT_VERSION,
+)
+
+CORPUS = Path(__file__).parent / "staticcheck_corpus"
+BAD = str(CORPUS / "bad")
+GOOD = str(CORPUS / "good")
+
+
+class TestCorpus:
+    def test_bad_corpus_fails_with_accurate_locations(self, capsys):
+        assert main(["lint", BAD]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        # Every rule in the pack must fire at least once.
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out
+        # Findings carry path:line:col anchors into the corpus.
+        assert "bad/repro/dnssim/wallclock.py:11:" in out
+        assert "bad/repro/engine/workers.py:" in out
+
+    def test_good_corpus_is_clean_with_one_suppression(self, capsys):
+        assert main(["lint", GOOD]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "0 finding(s), 1 suppressed" in out
+
+    def test_json_report_over_bad_corpus(self, capsys):
+        assert main(["lint", "--format", "json", BAD]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_REPORT_VERSION
+        assert payload["exit_code"] == EXIT_FINDINGS
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert payload["counts"][rule_id] >= 1, rule_id
+        assert payload["files_checked"] == len(
+            list((CORPUS / "bad").rglob("*.py"))
+        )
+        for finding in payload["findings"]:
+            assert Path(finding["path"]).exists()
+            assert finding["line"] >= 1
+
+    def test_rule_selection_narrows_the_run(self, capsys):
+        assert main(
+            ["lint", "--rules", "REP003", "--format", "json", BAD]
+        ) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["REP003"] >= 1
+        assert all(f["rule"] == "REP003" for f in payload["findings"])
+
+    def test_single_file_paths_work(self, capsys):
+        bad_file = str(CORPUS / "bad" / "repro" / "measurement" / "emit.py")
+        assert main(["lint", bad_file]) == EXIT_FINDINGS
+        assert "REP002" in capsys.readouterr().out
+
+
+class TestUsageErrors:
+    def test_unknown_rule_id_is_a_usage_error(self, capsys):
+        assert main(["lint", "--rules", "REP999", BAD]) == EXIT_USAGE
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert main(["lint", "does/not/exist"]) == EXIT_USAGE
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out

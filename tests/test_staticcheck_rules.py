@@ -1,0 +1,450 @@
+"""Unit tests for the invariant linter's rule pack (REP001–REP005).
+
+Each rule gets a bad snippet that must flag, a good snippet that must
+pass, and a noqa-suppression path. The on-disk corpus under
+``tests/staticcheck_corpus/`` exercises the same rules through the CLI
+(see ``test_staticcheck_cli.py``); these tests pin the per-rule
+semantics at the ``lint_source`` level.
+"""
+
+import json
+import textwrap
+
+from repro.staticcheck import lint_source
+from repro.staticcheck.driver import PARSE_RULE_ID, parse_suppressions
+from repro.staticcheck.report import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    JSON_REPORT_VERSION,
+    exit_code_for,
+    render_json,
+    render_text,
+)
+
+
+def lint(source, module="repro.measurement.example", **kwargs):
+    return lint_source(textwrap.dedent(source), module=module, **kwargs)
+
+
+def rule_ids_of(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestRep001Determinism:
+    def test_wall_clock_read_is_flagged(self):
+        result = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rule_ids_of(result) == ["REP001"]
+        assert "wall clock" in result.findings[0].message
+
+    def test_unseeded_random_is_flagged_seeded_is_not(self):
+        bad = lint("import random\nrng = random.Random()\n")
+        good = lint("import random\nrng = random.Random(1234)\n")
+        assert rule_ids_of(bad) == ["REP001"]
+        assert good.clean
+
+    def test_module_level_rng_and_entropy(self):
+        result = lint(
+            """
+            import os
+            import random
+            import uuid
+
+            def roll():
+                return random.random(), os.urandom(4), uuid.uuid4()
+            """
+        )
+        assert rule_ids_of(result) == ["REP001", "REP001", "REP001"]
+
+    def test_forbidden_from_import_is_flagged_even_unused(self):
+        result = lint("from random import choice\n")
+        assert rule_ids_of(result) == ["REP001"]
+        assert "import of random.choice" in result.findings[0].message
+
+    def test_allowlisted_module_is_exempt(self):
+        result = lint(
+            "import time\n\ndef now():\n    return time.monotonic()\n",
+            module="repro.dnssim.clock",
+        )
+        assert result.clean
+
+    def test_import_alias_is_resolved(self):
+        result = lint(
+            """
+            import time as clk
+
+            def stamp():
+                return clk.perf_counter()
+            """
+        )
+        assert rule_ids_of(result) == ["REP001"]
+
+    def test_noqa_suppresses_with_reason(self):
+        result = lint(
+            "import time\n"
+            "t = time.time()  # repro: noqa[REP001] -- operator-facing only\n"
+        )
+        assert result.clean
+        assert len(result.suppressions) == 1
+        assert result.suppressions[0].reason == "operator-facing only"
+
+
+class TestRep002SortedIteration:
+    def test_for_loop_over_set_is_flagged(self):
+        result = lint(
+            """
+            names = {"a", "b"}
+            for name in names:
+                print(name)
+            """
+        )
+        assert rule_ids_of(result) == ["REP002"]
+
+    def test_sorted_wrap_passes(self):
+        result = lint(
+            """
+            names = {"a", "b"}
+            for name in sorted(names):
+                print(name)
+            """
+        )
+        assert result.clean
+
+    def test_join_and_list_of_set_are_flagged(self):
+        result = lint(
+            """
+            def render(tags: set) -> str:
+                return ",".join(tags) + str(list(tags))
+            """
+        )
+        assert rule_ids_of(result) == ["REP002", "REP002"]
+
+    def test_order_insensitive_consumers_pass(self):
+        result = lint(
+            """
+            def stats(tags: set):
+                return len(tags), max(tags), any(t for t in tags)
+            """
+        )
+        assert result.clean
+
+    def test_set_algebra_result_is_tracked(self):
+        result = lint(
+            """
+            def diff(seen: set, all_items: set):
+                return [item for item in all_items - seen]
+            """
+        )
+        assert rule_ids_of(result) == ["REP002"]
+
+    def test_self_attribute_sets_are_tracked_across_methods(self):
+        result = lint(
+            """
+            class Collector:
+                def __init__(self):
+                    self.seen = set()
+
+                def dump(self):
+                    return list(self.seen)
+            """
+        )
+        assert rule_ids_of(result) == ["REP002"]
+
+    def test_bare_noqa_suppresses_any_rule(self):
+        result = lint(
+            'names = {"a"}\n'
+            "rows = list(names)  # repro: noqa -- order never serialized\n"
+        )
+        assert result.clean and len(result.suppressions) == 1
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        result = lint(
+            'names = {"a"}\n'
+            "rows = list(names)  # repro: noqa[REP001] -- wrong rule id\n"
+        )
+        assert rule_ids_of(result) == ["REP002"]
+
+
+class TestRep003Layering:
+    def test_upward_import_is_flagged(self):
+        result = lint(
+            "from repro.engine.plan import plan_campaign\n",
+            module="repro.dnssim.resolver",
+        )
+        assert rule_ids_of(result) == ["REP003"]
+        assert "strictly downward" in result.findings[0].message
+
+    def test_peer_simulator_import_is_flagged(self):
+        result = lint("import repro.tlssim\n", module="repro.dnssim.resolver")
+        assert rule_ids_of(result) == ["REP003"]
+        assert "peers" in result.findings[0].message
+
+    def test_downward_import_passes(self):
+        result = lint(
+            "from repro.names import psl\nfrom repro.dnssim.zones import Zone\n",
+            module="repro.worldgen.builder",
+        )
+        assert result.clean
+
+    def test_relative_import_is_resolved(self):
+        # ``from ..engine import plan`` inside repro.analysis climbs to
+        # repro.engine — a legal downward import for analysis (layer 7).
+        down = lint(
+            "from ..engine import plan\n", module="repro.analysis.tables"
+        )
+        assert down.clean
+        # The same relative import from a simulator is upward.
+        up = lint(
+            "from ..engine import plan\n", module="repro.dnssim.resolver"
+        )
+        assert rule_ids_of(up) == ["REP003"]
+
+    def test_lazy_function_body_import_is_still_checked(self):
+        result = lint(
+            """
+            def render():
+                from repro.cli import main
+                return main
+            """,
+            module="repro.analysis.tables",
+        )
+        assert rule_ids_of(result) == ["REP003"]
+
+    def test_top_level_package_import_counts_as_cli(self):
+        result = lint(
+            "from repro import run_campaign\n", module="repro.names.psl"
+        )
+        assert rule_ids_of(result) == ["REP003"]
+
+
+class TestRep004WorkerSafety:
+    def test_lambda_submission_is_flagged(self):
+        result = lint("list(pool.map(lambda x: x, items))\n")
+        assert rule_ids_of(result) == ["REP004"]
+        assert "pickle" in result.findings[0].message
+
+    def test_nested_function_submission_is_flagged(self):
+        result = lint(
+            """
+            def run(pool, items):
+                def work(item):
+                    return item
+                return pool.map(work, items)
+            """
+        )
+        assert rule_ids_of(result) == ["REP004"]
+
+    def test_bound_method_submission_is_flagged(self):
+        result = lint(
+            """
+            def run(pool, worker, items):
+                return pool.imap_unordered(worker.measure, items)
+            """
+        )
+        assert rule_ids_of(result) == ["REP004"]
+
+    def test_module_level_function_passes(self):
+        result = lint(
+            """
+            def work(item):
+                return item
+
+            def run(pool, items):
+                return pool.map(work, items)
+            """
+        )
+        assert result.clean
+
+    def test_task_rebinding_module_state_is_flagged(self):
+        result = lint(
+            """
+            _CACHE = {}
+
+            def work(item):
+                global _CACHE
+                _CACHE = {}
+                return item
+
+            def run(pool, items):
+                return pool.map(work, items)
+            """
+        )
+        assert rule_ids_of(result) == ["REP004"]
+        assert "initializer" in result.findings[0].message
+
+    def test_initializer_may_rebind_module_state(self):
+        result = lint(
+            """
+            _CONFIG = None
+
+            def setup(config):
+                global _CONFIG
+                _CONFIG = config
+
+            def run(pool_factory, config):
+                return pool_factory(initializer=setup, initargs=(config,))
+            """
+        )
+        assert result.clean
+
+
+class TestRep005SerializationContract:
+    RECORDS = "repro.measurement.records"
+
+    def test_unfrozen_record_is_flagged(self):
+        result = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Rec:
+                domain: str
+
+                def to_dict(self):
+                    return {"domain": self.domain}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(domain=data["domain"])
+            """,
+            module=self.RECORDS,
+        )
+        assert rule_ids_of(result) == ["REP005"]
+        assert "frozen=True" in result.findings[0].message
+
+    def test_key_field_drift_is_flagged_both_ways(self):
+        result = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Rec:
+                domain: str
+                rank: int
+
+                def to_dict(self):
+                    return {"domain": self.domain, "extra": 1}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(domain=data["domain"], rank=0)
+            """,
+            module=self.RECORDS,
+        )
+        messages = " | ".join(f.message for f in result.findings)
+        assert rule_ids_of(result) == ["REP005"] * 3
+        assert "['extra']" in messages  # to_dict key that is not a field
+        assert "omits field(s) ['rank']" in messages
+
+    def test_missing_methods_are_flagged(self):
+        result = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Rec:
+                domain: str
+            """,
+            module=self.RECORDS,
+        )
+        assert rule_ids_of(result) == ["REP005"]
+        assert "to_dict and from_dict" in result.findings[0].message
+
+    def test_compliant_record_passes(self):
+        result = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Rec:
+                domain: str
+                rank: int = 0
+
+                def to_dict(self):
+                    return {"domain": self.domain, "rank": self.rank}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(domain=data["domain"], rank=data.get("rank", 0))
+            """,
+            module=self.RECORDS,
+        )
+        assert result.clean
+
+    def test_rule_only_applies_to_record_modules(self):
+        result = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Helper:
+                value: int
+            """,
+            module="repro.core.metrics",
+        )
+        assert result.clean
+
+
+class TestDriverMechanics:
+    def test_syntax_error_becomes_parse_finding(self):
+        result = lint("def broken(:\n")
+        assert rule_ids_of(result) == [PARSE_RULE_ID]
+
+    def test_parse_suppressions_reads_rules_and_reason(self):
+        directives = parse_suppressions(
+            "x = 1\n"
+            "y = 2  # repro: noqa[REP001,REP002] -- because\n"
+            "z = 3  # repro: noqa\n"
+        )
+        assert directives[2] == (frozenset({"REP001", "REP002"}), "because")
+        assert directives[3] == (None, "")
+        assert 1 not in directives
+
+    def test_rule_selection_via_config(self):
+        from repro.staticcheck import LintConfig
+
+        source = 'names = {"a"}\nrows = list(names)\n'
+        only_rep001 = lint_source(
+            source, module="m", config=LintConfig(rules=frozenset({"REP001"}))
+        )
+        assert only_rep001.clean  # the REP002 finding is not even computed
+
+
+class TestReporters:
+    def _result(self):
+        return lint(
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()  # repro: noqa[REP001] -- waived\n"
+        )
+
+    def test_text_report_has_findings_and_summary(self):
+        text = render_text(self._result())
+        assert "REP001" in text
+        assert "checked 1 file(s): 1 finding(s), 1 suppressed" in text
+
+    def test_json_report_schema(self):
+        result = self._result()
+        payload = json.loads(render_json(result))
+        assert payload["version"] == JSON_REPORT_VERSION
+        assert payload["files_checked"] == 1
+        assert payload["exit_code"] == EXIT_FINDINGS
+        assert set(payload["counts"]) == {
+            "REP001", "REP002", "REP003", "REP004", "REP005"
+        }
+        assert payload["counts"]["REP001"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "REP001" and finding["line"] == 2
+        (suppressed,) = payload["suppressed"]
+        assert suppressed["reason"] == "waived"
+
+    def test_exit_codes(self):
+        assert exit_code_for(lint("x = 1\n")) == EXIT_CLEAN
+        assert exit_code_for(self._result()) == EXIT_FINDINGS

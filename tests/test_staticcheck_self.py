@@ -1,0 +1,69 @@
+"""The linter applied to this repository itself.
+
+This is the teeth of the whole exercise: ``src/repro`` must be clean
+under every rule, and any suppression must carry a written
+justification. The optional mypy check mirrors the CI ``staticcheck``
+job (skipped when mypy is not installed — it is not a runtime
+dependency).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.staticcheck import DEFAULT_CONFIG, lint_paths
+
+SRC = Path(repro.__file__).parent
+
+
+class TestSelfCheck:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return lint_paths([SRC], DEFAULT_CONFIG)
+
+    def test_src_has_zero_findings(self, result):
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.findings == [], f"lint findings in src/:\n{rendered}"
+
+    def test_whole_package_was_scanned(self, result):
+        assert result.files_checked == len(list(SRC.rglob("*.py")))
+
+    def test_every_suppression_is_justified(self, result):
+        unjustified = [
+            s.finding.render()
+            for s in result.suppressions
+            if not s.reason.strip()
+        ]
+        assert unjustified == [], (
+            "reason-less noqa in src/ (add '-- why' to the directive): "
+            f"{unjustified}"
+        )
+
+    def test_suppressions_are_rare(self, result):
+        # A ratchet, not a style preference: every waiver weakens the
+        # determinism contract. Raising this number needs a PR argument.
+        assert len(result.suppressions) <= 3
+
+
+class TestTypeChecking:
+    def test_engine_and_io_pass_strict_mypy(self):
+        pytest.importorskip("mypy")
+        repo_root = SRC.parent.parent
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "mypy",
+                "--config-file",
+                str(repo_root / "pyproject.toml"),
+                str(SRC / "engine"),
+                str(SRC / "measurement" / "io.py"),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=repo_root,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
