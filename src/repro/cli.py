@@ -9,7 +9,9 @@ Subcommands::
     python -m repro outage    <dns-provider-key> [--n ...] [--seed ...]
     python -m repro measure   [--workers W] [--shards S] [--out dataset.json]
                               [--checkpoint-dir DIR] [--resume] [--n ...]
+                              [--fault-plan plan.json] [--fault-seed S]
     python -m repro analyze   <dataset.json> [--table N]
+    python -m repro faults    validate <plan.json>
     python -m repro lint      [paths...] [--format json] [--rules ...]
 
 ``table``/``figure`` regenerate one paper artifact; ``audit`` prints a
@@ -103,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument(
         "--quiet", action="store_true", help="suppress progress on stderr"
     )
+    p_measure.add_argument(
+        "--fault-plan", default=None, metavar="PLAN_JSON",
+        help="inject seeded faults from this fault-plan JSON file",
+    )
+    p_measure.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="override the fault plan's seed (replay variations)",
+    )
 
     p_analyze = sub.add_parser(
         "analyze", help="analyze a frozen dataset JSON offline"
@@ -112,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--table", type=int, default=None, choices=(1, 6),
         help="render a single-snapshot paper table instead of the summary",
     )
+
+    p_faults = sub.add_parser("faults", help="fault-plan utilities")
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_faults_validate = faults_sub.add_parser(
+        "validate", help="check a fault-plan JSON file and summarize it"
+    )
+    p_faults_validate.add_argument("plan", help="path to a fault-plan JSON")
 
     p_lint = sub.add_parser(
         "lint", help="run the determinism/layering invariant linter"
@@ -269,10 +286,33 @@ def cmd_outage(args) -> int:
     return 0
 
 
+def _load_fault_plan(path: str, seed: int | None):
+    """Read and validate a fault-plan JSON file, optionally reseeded."""
+    from dataclasses import replace as dc_replace
+
+    from repro.faults.plan import FaultPlan
+
+    with open(path, encoding="utf-8") as handle:
+        plan = FaultPlan.from_json(handle.read())
+    if seed is not None:
+        plan = dc_replace(plan, seed=seed)
+    return plan
+
+
 def cmd_measure(args) -> int:
     from repro.engine import ConsoleProgress, NullProgress, run_campaign
     from repro.measurement.io import dataset_to_json, save_dataset
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = _load_fault_plan(args.fault_plan, args.fault_seed)
+        except (OSError, ValueError) as exc:
+            print(
+                f"measure: cannot load fault plan {args.fault_plan}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
     config = WorldConfig(n_websites=args.n, seed=args.seed, year=args.year)
     progress = NullProgress() if args.quiet else ConsoleProgress()
     try:
@@ -285,6 +325,7 @@ def cmd_measure(args) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             progress=progress,
+            fault_plan=fault_plan,
         )
     except ValueError as exc:  # stale checkpoints, bad shard/worker counts
         print(f"measure: {exc}", file=sys.stderr)
@@ -321,6 +362,35 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.faults.plan import FAULT_LAYERS
+
+    try:
+        plan = _load_fault_plan(args.plan, None)
+    except OSError as exc:
+        print(f"faults: cannot read {args.plan}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"faults: invalid plan: {exc}", file=sys.stderr)
+        return 1
+    print(f"fault plan OK: {len(plan.rules)} rule(s), seed={plan.seed}, "
+          f"digest={plan.digest()[:12]}")
+    for layer in FAULT_LAYERS:
+        rules = plan.rules_for(layer)
+        if not rules:
+            continue
+        print(f"  {layer}:")
+        for rule in rules:
+            window = (
+                f" ranks {rule.rank_window[0]}-{rule.rank_window[1]}"
+                if rule.rank_window is not None
+                else ""
+            )
+            print(f"    {rule.name}: {rule.kind} p={rule.probability:g} "
+                  f"scope={rule.scope} server={rule.server}{window}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.staticcheck.cli import run_lint
 
@@ -335,6 +405,7 @@ _COMMANDS = {
     "outage": cmd_outage,
     "measure": cmd_measure,
     "analyze": cmd_analyze,
+    "faults": cmd_faults,
     "lint": cmd_lint,
 }
 

@@ -30,10 +30,13 @@ class ResolutionError(DnsError):
     delegations, unreachable servers, or CNAME loops.
     """
 
-    def __init__(self, qname: str, qtype: str, reason: str):
+    def __init__(self, qname: str, qtype: str, reason: str, attempts: int = 1):
         self.qname = qname
         self.qtype = qtype
         self.reason = reason
+        # Query rounds spent before giving up (filled by the resolver's
+        # retry loop; 1 when retries never applied).
+        self.attempts = attempts
         super().__init__(f"cannot resolve {qname}/{qtype}: {reason}")
 
 

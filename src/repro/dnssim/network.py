@@ -2,15 +2,21 @@
 
 :class:`DnsNetwork` routes wire-format queries to the server listening on a
 destination IP and models availability faults — the mechanism behind every
-outage experiment (a Dyn-style DDoS is "these IPs stop answering").
+outage experiment (a Dyn-style DDoS is "these IPs stop answering"). An
+installed :class:`~repro.faults.injector.FaultInjector` additionally
+perturbs individual queries: drops, SERVFAIL/REFUSED, truncation, lame
+responses, and slow servers (simulated-clock delays).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.dnssim.clock import SimulatedClock
 from repro.dnssim.errors import ServerUnavailableError
+from repro.dnssim.message import DnsMessage, RCode
 from repro.dnssim.server import AuthoritativeServer
+from repro.faults.injector import FaultInjector
 
 
 class DnsNetwork:
@@ -19,6 +25,8 @@ class DnsNetwork:
     def __init__(self) -> None:
         self._hosts: dict[str, AuthoritativeServer] = {}
         self._down_ips: set[str] = set()
+        self._fault_injector: Optional[FaultInjector] = None
+        self._fault_clock: Optional[SimulatedClock] = None
         self.queries_sent = 0
         self.timeouts = 0
 
@@ -65,14 +73,30 @@ class DnsNetwork:
         """IPs currently failing (for experiment bookkeeping)."""
         return set(self._down_ips)
 
+    def install_faults(
+        self, injector: Optional[FaultInjector], clock: Optional[SimulatedClock]
+    ) -> None:
+        """Attach (or with ``None`` detach) a fault injector.
+
+        ``clock`` is the simulation clock slow-server faults advance.
+        """
+        self._fault_injector = injector
+        self._fault_clock = clock if injector is not None else None
+
     # -- transport ---------------------------------------------------------
 
     def send(
-        self, ip: str, wire_query: bytes, region: Optional[str] = None
+        self,
+        ip: str,
+        wire_query: bytes,
+        region: Optional[str] = None,
+        attempt: int = 0,
     ) -> bytes:
         """Deliver a wire query to ``ip`` and return the wire response.
 
-        ``region`` tags the querying resolver's vantage (GeoDNS views).
+        ``region`` tags the querying resolver's vantage (GeoDNS views);
+        ``attempt`` is the sender's retry round, keying per-attempt fault
+        draws so a retried query re-rolls its fate deterministically.
         Raises :class:`ServerUnavailableError` when nothing (or nothing
         healthy) listens there — the resolver sees a timeout.
         """
@@ -81,7 +105,48 @@ class DnsNetwork:
         if server is None or ip in self._down_ips:
             self.timeouts += 1
             raise ServerUnavailableError(ip)
-        return server.handle_wire(wire_query, region)
+        if self._fault_injector is None:
+            return server.handle_wire(wire_query, region)
+        return self._send_with_faults(server, ip, wire_query, region, attempt)
+
+    def _send_with_faults(
+        self,
+        server: AuthoritativeServer,
+        ip: str,
+        wire_query: bytes,
+        region: Optional[str],
+        attempt: int,
+    ) -> bytes:
+        assert self._fault_injector is not None
+        query = DnsMessage.from_wire(wire_query)
+        question = query.question
+        qname = question.qname if question is not None else ""
+        qtype = question.qtype.name if question is not None else ""
+        rule = self._fault_injector.dns_fault(server.name, ip, qname, qtype, attempt)
+        if rule is None:
+            return server.handle_wire(wire_query, region)
+        if rule.kind == "drop":
+            self.timeouts += 1
+            raise ServerUnavailableError(ip)
+        if rule.kind == "slow":
+            if self._fault_clock is not None:
+                self._fault_clock.advance(rule.delay)
+            return server.handle_wire(wire_query, region)
+        if rule.kind == "servfail":
+            return query.response(RCode.SERVFAIL, aa=False).to_wire()
+        if rule.kind == "refused":
+            return query.response(RCode.REFUSED, aa=False).to_wire()
+        if rule.kind == "lame":
+            # Answers, but knows nothing: not authoritative, no referral.
+            return query.response(RCode.NOERROR, aa=False).to_wire()
+        # truncate: the real response with TC set and sections clipped,
+        # exactly what an oversized UDP answer looks like to a stub.
+        response = DnsMessage.from_wire(server.handle_wire(wire_query, region))
+        response.tc = True
+        response.answers = []
+        response.authorities = []
+        response.additionals = []
+        return response.to_wire()
 
     def __repr__(self) -> str:
         return (

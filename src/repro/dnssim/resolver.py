@@ -28,6 +28,30 @@ MAX_CNAME_CHAIN = 16
 MAX_GLUELESS_DEPTH = 8
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    Retry round ``k`` (1-based) waits ``backoff_base * backoff_factor**(k-1)``
+    simulated seconds before re-querying; a whole query gives up once
+    ``timeout_budget`` simulated seconds have elapsed since its first
+    send. All waiting advances the shared :class:`SimulatedClock`, never
+    a wall clock, so retried campaigns stay replayable.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    timeout_budget: float = 8.0
+
+    def backoff(self, retry: int) -> float:
+        """Delay before 1-based retry round ``retry``."""
+        return self.backoff_base * self.backoff_factor ** (retry - 1)
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
 @dataclass
 class ResolverStats:
     """Counters describing resolver work."""
@@ -37,6 +61,7 @@ class ResolverStats:
     cname_chases: int = 0
     glueless_lookups: int = 0
     failures: int = 0
+    retries: int = 0
 
 
 @dataclass
@@ -55,6 +80,11 @@ class ResolutionResult:
     records: list[ResourceRecord] = field(default_factory=list)
     cname_chain: list[str] = field(default_factory=list)
     authority_soa: Optional[ResourceRecord] = None
+    # Worst-case query rounds any single step of this resolution needed
+    # (1 = every query answered first try). Counts only the lookup's own
+    # walk, not shared infrastructure side-quests (glueless NS lookups),
+    # so the number is independent of cache warmth.
+    attempts: int = 1
 
     @property
     def is_nxdomain(self) -> bool:
@@ -79,6 +109,7 @@ class IterativeResolver:
         clock: Optional[SimulatedClock] = None,
         cache: Optional[DnsCache] = None,
         region: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if not root_hints:
             raise ValueError("resolver needs at least one root hint")
@@ -87,8 +118,11 @@ class IterativeResolver:
         self._root_hints = dict(root_hints)
         self._clock = clock or SimulatedClock()
         self.cache = cache if cache is not None else DnsCache(self._clock)
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.stats = ResolverStats()
         self._msg_id = 0
+        self._lookup_attempts = 1
+        self._last_failure = ""
 
     # -- public API ----------------------------------------------------------
 
@@ -101,7 +135,13 @@ class IterativeResolver:
         qname = normalize(qname)
         qtype = RRType.parse(qtype)
         result = ResolutionResult(qname=qname, qtype=qtype, rcode=RCode.NOERROR)
-        self._resolve_into(qname, qtype, result, depth=0)
+        self._lookup_attempts = 1
+        try:
+            self._resolve_into(qname, qtype, result, depth=0)
+        except ResolutionError as exc:
+            exc.attempts = max(exc.attempts, self._lookup_attempts)
+            raise
+        result.attempts = self._lookup_attempts
         return result
 
     def resolve(self, qname: str, qtype: RRType) -> list[ResourceRecord]:
@@ -162,11 +202,13 @@ class IterativeResolver:
 
         server_ips = self._closest_known_servers(qname, depth)
         for _ in range(MAX_REFERRALS):
-            response = self._query_any(server_ips, qname, qtype)
+            response = self._query_any(server_ips, qname, qtype, depth)
             if response is None:
                 self.stats.failures += 1
                 raise ResolutionError(
-                    qname, qtype.name, "no reachable authoritative servers"
+                    qname,
+                    qtype.name,
+                    self._last_failure or "no reachable authoritative servers",
                 )
 
             if response.rcode == RCode.NXDOMAIN:
@@ -243,18 +285,74 @@ class IterativeResolver:
         return None
 
     def _query_any(
-        self, server_ips: list[str], qname: str, qtype: RRType
+        self, server_ips: list[str], qname: str, qtype: RRType, depth: int = 0
     ) -> Optional[DnsMessage]:
-        """Try each server IP in turn until one answers."""
-        for ip in server_ips:
-            query = DnsMessage.query(qname, qtype, msg_id=self._next_id())
-            try:
-                wire = self._network.send(ip, query.to_wire(), self.region)
-            except ServerUnavailableError:
-                continue
-            self.stats.queries += 1
-            return DnsMessage.from_wire(wire)
-        return None
+        """Query the server set with bounded, clock-backed retries.
+
+        Each round tries every IP once; a round fails only when *every*
+        server timed out, answered SERVFAIL/REFUSED, truncated, or proved
+        lame — so the number of rounds a query needs is independent of
+        the IP iteration order. Failed rounds back off exponentially on
+        the simulated clock; the whole query abandons once the policy's
+        timeout budget of simulated seconds is spent. Returns the last
+        SERVFAIL/REFUSED response when retries never found a healthy
+        server (the caller surfaces the upstream rcode), or ``None`` when
+        nothing answered at all.
+        """
+        policy = self.retry_policy
+        start = self._clock.now()
+        error_response: Optional[DnsMessage] = None
+        self._last_failure = ""
+        attempts_used = 1
+        for attempt in range(policy.max_attempts):
+            attempts_used = attempt + 1
+            if attempt:
+                self.stats.retries += 1
+                self._clock.advance(policy.backoff(attempt))
+            if self._clock.now() - start > policy.timeout_budget:
+                self._last_failure = "query timeout budget exhausted"
+                break
+            for ip in server_ips:
+                query = DnsMessage.query(qname, qtype, msg_id=self._next_id())
+                try:
+                    wire = self._network.send(
+                        ip, query.to_wire(), self.region, attempt=attempt
+                    )
+                except ServerUnavailableError:
+                    self._last_failure = "no reachable authoritative servers"
+                    continue
+                self.stats.queries += 1
+                response = DnsMessage.from_wire(wire)
+                if response.tc:
+                    self._last_failure = "truncated response"
+                    continue
+                if response.rcode in (RCode.SERVFAIL, RCode.REFUSED):
+                    error_response = response
+                    self._last_failure = (
+                        f"upstream rcode {response.rcode.name}"
+                    )
+                    continue
+                if (
+                    not response.aa
+                    and not response.answers
+                    and not response.authorities
+                ):
+                    self._last_failure = "lame response (no answer, no referral)"
+                    continue
+                self._count_attempts(attempts_used, depth)
+                return response
+        self._count_attempts(attempts_used, depth)
+        return error_response
+
+    def _count_attempts(self, attempts_used: int, depth: int) -> None:
+        """Fold a query's round count into the current lookup's total.
+
+        Only depth-0 queries count: glueless NS side-quests are shared
+        infrastructure that a warm cache legitimately skips, and the
+        reported ``attempts`` must not depend on cache state.
+        """
+        if depth == 0:
+            self._lookup_attempts = max(self._lookup_attempts, attempts_used)
 
     def _closest_known_servers(self, qname: str, depth: int) -> list[str]:
         """Start from the deepest cached delegation covering ``qname``."""

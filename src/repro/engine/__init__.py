@@ -35,6 +35,7 @@ from repro.engine.progress import (
     PhaseTimer,
     ProgressReporter,
 )
+from repro.faults.plan import FaultPlan
 from repro.measurement.records import Dataset
 from repro.measurement.runner import MeasurementCampaign
 from repro.worldgen.config import WorldConfig
@@ -72,6 +73,7 @@ def run_campaign(
     resume: bool = False,
     progress: Optional[ProgressReporter] = None,
     stats: Optional[CampaignStats] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dataset:
     """Execute one measurement campaign through the engine.
 
@@ -80,7 +82,10 @@ def run_campaign(
     ``checkpoint_dir``, finished shards are persisted as they complete;
     ``resume=True`` validates the directory's manifest against this
     campaign's world fingerprint and skips already-completed shards,
-    raising :class:`StaleCheckpointError` on any mismatch.
+    raising :class:`StaleCheckpointError` on any mismatch. A non-empty
+    ``fault_plan`` threads seeded fault injection through every worker's
+    world; the plan's digest joins the fingerprint, so a checkpoint from
+    one plan refuses shards measured under another.
     """
     progress = progress if progress is not None else NullProgress()
     stats = stats if stats is not None else CampaignStats()
@@ -100,8 +105,12 @@ def run_campaign(
             raise ValueError("run_campaign needs a config or a world")
         world = build_world(config)
     config = world.config
-    plan = plan_campaign(world, n_shards=shards, limit=limit, region=region)
-    campaign = MeasurementCampaign(world, limit=limit, region=region)
+    plan = plan_campaign(
+        world, n_shards=shards, limit=limit, region=region, fault_plan=fault_plan
+    )
+    campaign = MeasurementCampaign(
+        world, limit=limit, region=region, fault_plan=fault_plan
+    )
 
     store: Optional[CheckpointStore] = None
     if isinstance(checkpoint_dir, CheckpointStore):
@@ -141,7 +150,9 @@ def run_campaign(
             # Shares `campaign` with the merge pass — see SerialExecutor.
             executor = SerialExecutor(campaign)
         else:
-            executor = MultiprocessExecutor(config, workers, region=region)
+            executor = MultiprocessExecutor(
+                config, workers, region=region, fault_plan=fault_plan
+            )
         sites_by_id = {s.shard_id: s.n_sites for s in plan.shards}
         for shard_id, payload in executor.run(pending):
             if store is not None:

@@ -18,6 +18,7 @@ import multiprocessing
 from typing import Iterable, Iterator, Optional
 
 from repro.engine.plan import ShardSpec
+from repro.faults.plan import FaultPlan
 from repro.measurement.io import shard_to_json
 from repro.measurement.runner import MeasurementCampaign
 from repro.worldgen.config import WorldConfig
@@ -27,10 +28,16 @@ from repro.worldgen.world import build_world
 _WORKER_CAMPAIGN: Optional[MeasurementCampaign] = None
 
 
-def _init_worker(config: WorldConfig, region: Optional[str]) -> None:
+def _init_worker(
+    config: WorldConfig,
+    region: Optional[str],
+    fault_plan: Optional[FaultPlan] = None,
+) -> None:
     global _WORKER_CAMPAIGN
     world = build_world(config)
-    _WORKER_CAMPAIGN = MeasurementCampaign(world, region=region)
+    _WORKER_CAMPAIGN = MeasurementCampaign(
+        world, region=region, fault_plan=fault_plan
+    )
 
 
 def measure_shard(campaign: MeasurementCampaign, shard: ShardSpec) -> str:
@@ -73,12 +80,14 @@ class MultiprocessExecutor:
         config: WorldConfig,
         workers: int,
         region: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         self._config = config
         self._workers = workers
         self._region = region
+        self._fault_plan = fault_plan
 
     def run(self, shards: Iterable[ShardSpec]) -> Iterator[tuple[int, str]]:
         shards = list(shards)
@@ -87,7 +96,7 @@ class MultiprocessExecutor:
         pool = multiprocessing.Pool(
             processes=min(self._workers, len(shards)),
             initializer=_init_worker,
-            initargs=(self._config, self._region),
+            initargs=(self._config, self._region, self._fault_plan),
         )
         try:
             # Unordered: the merger reassembles by shard id, so slow

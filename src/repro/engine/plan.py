@@ -14,6 +14,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.faults.plan import FaultPlan
 from repro.worldgen.config import WorldConfig
 from repro.worldgen.world import World
 
@@ -21,13 +22,16 @@ from repro.worldgen.world import World
 @dataclass(frozen=True)
 class WorldFingerprint:
     """What identifies a campaign's measured population: the generated
-    world (n/seed/year), the vantage region, and the target-list limit."""
+    world (n/seed/year), the vantage region, the target-list limit, and
+    the fault plan (by content digest; ``None`` for a fault-free run, so
+    pre-fault checkpoints stay valid)."""
 
     n_websites: int
     seed: int
     year: int
     region: Optional[str] = None
     limit: Optional[int] = None
+    fault_digest: Optional[str] = None
 
     @classmethod
     def of(
@@ -35,13 +39,18 @@ class WorldFingerprint:
         config: WorldConfig,
         region: Optional[str] = None,
         limit: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> "WorldFingerprint":
+        fault_digest = None
+        if fault_plan is not None and not fault_plan.empty:
+            fault_digest = fault_plan.digest()
         return cls(
             n_websites=config.n_websites,
             seed=config.seed,
             year=config.year,
             region=region,
             limit=limit,
+            fault_digest=fault_digest,
         )
 
     def to_json(self) -> dict[str, Any]:
@@ -51,6 +60,7 @@ class WorldFingerprint:
             "year": self.year,
             "region": self.region,
             "limit": self.limit,
+            "fault_digest": self.fault_digest,
         }
 
     @classmethod
@@ -61,12 +71,16 @@ class WorldFingerprint:
             year=data["year"],
             region=data.get("region"),
             limit=data.get("limit"),
+            fault_digest=data.get("fault_digest"),
         )
 
     def describe(self) -> str:
+        faults = (
+            f" faults={self.fault_digest[:12]}" if self.fault_digest else ""
+        )
         return (
             f"n={self.n_websites} seed={self.seed} year={self.year} "
-            f"region={self.region} limit={self.limit}"
+            f"region={self.region} limit={self.limit}{faults}"
         )
 
 
@@ -124,13 +138,18 @@ def plan_campaign(
     n_shards: int = 1,
     limit: Optional[int] = None,
     region: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> CampaignPlan:
     """Plan a campaign against ``world``'s ranked website list."""
     from repro.measurement.runner import MeasurementCampaign
 
-    campaign = MeasurementCampaign(world, limit=limit, region=region)
+    campaign = MeasurementCampaign(
+        world, limit=limit, region=region, fault_plan=fault_plan
+    )
     sites = campaign.ranked_sites()
     return CampaignPlan(
-        fingerprint=WorldFingerprint.of(world.config, region=region, limit=limit),
+        fingerprint=WorldFingerprint.of(
+            world.config, region=region, limit=limit, fault_plan=fault_plan
+        ),
         shards=tuple(partition_sites(sites, n_shards)),
     )

@@ -24,8 +24,11 @@ from repro.failures.outage import OutageResult, simulate_ca_outage, simulate_cdn
 from repro.failures.revocation import RevocationIncidentResult, simulate_mass_revocation
 from repro.failures.whatif import (
     ExposureReport,
+    OutageValidationReport,
     RobustnessScore,
+    outage_fault_plan,
     robustness_score,
+    validate_outage_prediction,
     website_exposure,
 )
 
@@ -34,11 +37,14 @@ __all__ = [
     "AttackScenario",
     "ExposureReport",
     "OutageResult",
+    "OutageValidationReport",
     "ProviderCapacity",
     "RevocationIncidentResult",
     "RobustnessScore",
     "attack_sweep",
+    "outage_fault_plan",
     "robustness_score",
+    "validate_outage_prediction",
     "simulate_ca_outage",
     "simulate_cdn_outage",
     "simulate_dns_outage",

@@ -9,9 +9,13 @@ query before making business decisions" the paper envisions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.graph import ProviderNode
 from repro.core.pipeline import AnalyzedSnapshot
+from repro.failures.outage import simulate_dns_outage
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.worldgen.world import World, build_world
 
 
 @dataclass
@@ -146,6 +150,100 @@ def stapling_adoption_whatif(
         )
         results.append((rate, critical / len(https_sites)))
     return results
+
+
+def outage_fault_plan(
+    world: World, provider_key: str, seed: int = 0
+) -> FaultPlan:
+    """A fault plan reproducing a managed-DNS provider outage: every
+    nameserver the provider runs drops 100% of queries."""
+    infra = world.dns_infra[provider_key]
+    rules = tuple(
+        FaultRule(
+            name=f"outage-{provider_key}-{index}",
+            layer="dns",
+            kind="drop",
+            server=server.name,
+            probability=1.0,
+        )
+        for index, server in enumerate(infra.servers)
+    )
+    return FaultPlan(rules=rules, seed=seed)
+
+
+@dataclass
+class OutageValidationReport:
+    """Analytical outage prediction vs fault-injected measurement.
+
+    ``predicted`` comes from :func:`simulate_dns_outage` (take the
+    provider's listeners down, probe with a cold-cache client);
+    ``measured`` from a full measurement campaign run under an injected
+    100%-drop fault plan targeting the same nameservers. Perfect
+    agreement means the two independent failure paths — availability
+    flags on the fabric vs per-query fault draws in the transport —
+    reach identical conclusions about who breaks.
+    """
+
+    provider_key: str
+    predicted: list[str] = field(default_factory=list)
+    measured: list[str] = field(default_factory=list)
+    agree: list[str] = field(default_factory=list)
+    only_predicted: list[str] = field(default_factory=list)
+    only_measured: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.only_predicted and not self.only_measured
+
+    def agreement_rate(self) -> float:
+        union = len(self.agree) + len(self.only_predicted) + len(self.only_measured)
+        return len(self.agree) / union if union else 1.0
+
+
+def validate_outage_prediction(
+    world: World,
+    provider_key: str,
+    limit: Optional[int] = None,
+    seed: int = 0,
+) -> OutageValidationReport:
+    """Check a provider-outage prediction against injected-fault reality.
+
+    Measures a *fresh* world (same config) under the outage fault plan so
+    the campaign's resolver caches carry no pre-outage answers, then
+    compares the set of domains the campaign found unresolvable with the
+    set :func:`simulate_dns_outage` predicts unreachable.
+    """
+    from repro.measurement.runner import MeasurementCampaign
+
+    domains: Optional[list[str]] = None
+    if limit is not None:
+        ranked = sorted(world.spec.websites, key=lambda w: w.rank)[:limit]
+        domains = [w.domain for w in ranked]
+    predicted = simulate_dns_outage(
+        world, provider_key, domains=domains, check_resources=False
+    )
+
+    fresh = build_world(world.config)
+    campaign = MeasurementCampaign(
+        fresh,
+        limit=limit,
+        fault_plan=outage_fault_plan(world, provider_key, seed=seed),
+    )
+    dataset = campaign.run()
+    fresh.clear_faults()
+
+    predicted_down = set(predicted.unreachable)
+    measured_down = {
+        w.domain for w in dataset.websites if not w.dns.resolvable
+    }
+    return OutageValidationReport(
+        provider_key=provider_key,
+        predicted=sorted(predicted_down),
+        measured=sorted(measured_down),
+        agree=sorted(predicted_down & measured_down),
+        only_predicted=sorted(predicted_down - measured_down),
+        only_measured=sorted(measured_down - predicted_down),
+    )
 
 
 def redundancy_benefit(

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the simulated stack.
+
+The paper's premise is that third-party *failures* are what make
+dependencies dangerous, yet a healthy simulated Internet never exercises
+the failure paths. This package injects faults — DNS packet loss,
+SERVFAIL/REFUSED, truncation, lame delegations, slow servers, origin/CDN
+5xx and timeouts, expired OCSP responses, stale CRLs — under a strict
+determinism contract: every fault decision is a pure function of
+``(plan seed, rule name, event key)``, so a campaign over a faulty
+universe replays byte-identically for any worker count or resume
+history.
+
+Layering: this package sits at layer 0 and imports nothing from
+``repro`` — the simulators (dnssim/tlssim/websim) consume it, never the
+other way around.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DNS_FAULT_KINDS,
+    FAULT_LAYERS,
+    TLS_FAULT_KINDS,
+    WEB_FAULT_KINDS,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+)
+from repro.faults.prng import SeededFaultSource
+
+__all__ = [
+    "DNS_FAULT_KINDS",
+    "FAULT_LAYERS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "SeededFaultSource",
+    "TLS_FAULT_KINDS",
+    "WEB_FAULT_KINDS",
+]

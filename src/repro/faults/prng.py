@@ -1,0 +1,56 @@
+"""The seeded randomness source every fault decision flows through.
+
+Two disciplines, one seed:
+
+* :meth:`SeededFaultSource.unit` — a *stateless* uniform draw: a pure
+  sha256 hash of ``(seed, key parts)`` mapped to ``[0, 1)``. The same
+  key always yields the same value, no matter how many draws happened
+  before it. This is what keeps fault outcomes identical between a
+  warm-cache serial campaign and cold-cache pool workers: caches change
+  *how many* queries happen, and stateful PRNG streams would shift every
+  subsequent draw — pure keys cannot.
+* :meth:`SeededFaultSource.stream` — a *named* seeded ``random.Random``
+  for callers that genuinely want a sequence (e.g. sampling a fault
+  schedule up front). Streams with different names are independent;
+  the same name always restarts the same sequence.
+
+REP001 enforces that modules under ``repro.faults`` construct PRNGs
+only here, so every fault decision is traceable to the plan seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+# 2**64, the denominator mapping a 64-bit digest prefix into [0, 1).
+_UNIT_DENOMINATOR = float(1 << 64)
+
+
+class SeededFaultSource:
+    """All randomness for one fault plan, derived from one seed."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def _digest(self, parts: tuple[object, ...]) -> bytes:
+        hasher = hashlib.sha256()
+        hasher.update(str(self._seed).encode("utf-8"))
+        for part in parts:
+            hasher.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+            hasher.update(str(part).encode("utf-8"))
+        return hasher.digest()
+
+    def unit(self, *key: object) -> float:
+        """A uniform draw in ``[0, 1)`` — a pure function of the key."""
+        prefix = int.from_bytes(self._digest(key)[:8], "big")
+        return prefix / _UNIT_DENOMINATOR
+
+    def stream(self, name: str) -> random.Random:
+        """An independent, named, seeded PRNG stream."""
+        derived = int.from_bytes(self._digest(("stream", name))[:8], "big")
+        return random.Random(derived)

@@ -60,28 +60,53 @@ class CdnMeasurer:
 
     def measure(self, crawl: CrawlResult) -> CdnObservation:
         if not crawl.ok:
-            return CdnObservation(domain=crawl.domain, crawl_ok=crawl.ok)
-        observation = CdnObservation(
-            domain=crawl.domain,
-            crawl_ok=crawl.ok,
-            resource_hostnames=crawl.hostnames_with_self(),
-        )
+            return CdnObservation(
+                domain=crawl.domain,
+                crawl_ok=crawl.ok,
+                attempts=crawl.attempts,
+                failure_mode=crawl.error,
+                degraded=bool(crawl.error),
+            )
+        resource_hostnames = crawl.hostnames_with_self()
+        internal_hostnames: list[str] = []
+        cname_chains: dict[str, list[str]] = {}
+        detected_cdns: dict[str, list[str]] = {}
+        cname_soas: dict[str, Optional[SoaIdentity]] = {}
+        # Aggregated from the crawl plus this site's own CNAME lookups
+        # (memoized SOA probes are shared across sites and excluded).
+        attempts = crawl.attempts
+        failure_mode = ""
         san = crawl.san
-        for hostname in observation.resource_hostnames:
+        for hostname in resource_hostnames:
             if not is_internal_resource(
                 hostname, crawl.domain, san, self._soa_lookup
             ):
                 continue
-            observation.internal_hostnames.append(hostname)
+            internal_hostnames.append(hostname)
             chain = self._dig.cname_chain(hostname)
-            observation.cname_chains[hostname] = chain
+            status = self._dig.last_status
+            attempts = max(attempts, status.attempts)
+            if not failure_mode:
+                failure_mode = status.failure
+            cname_chains[hostname] = chain
             for name in (hostname, *chain):
-                if name not in observation.cname_soas:
-                    observation.cname_soas[name] = self._soa_lookup(name)
+                if name not in cname_soas:
+                    cname_soas[name] = self._soa_lookup(name)
             cdn = self._map.lookup_chain(hostname, chain)
             if cdn is not None:
-                observation.detected_cdns.setdefault(cdn, [])
+                detected_cdns.setdefault(cdn, [])
                 for name in (hostname, *chain):
                     if self._map.lookup(name) == cdn:
-                        observation.detected_cdns[cdn].append(name)
-        return observation
+                        detected_cdns[cdn].append(name)
+        return CdnObservation(
+            domain=crawl.domain,
+            crawl_ok=crawl.ok,
+            resource_hostnames=resource_hostnames,
+            internal_hostnames=internal_hostnames,
+            cname_chains=cname_chains,
+            detected_cdns=detected_cdns,
+            cname_soas=cname_soas,
+            attempts=attempts,
+            failure_mode=failure_mode,
+            degraded=bool(failure_mode),
+        )

@@ -24,16 +24,26 @@ class DnsMeasurer:
         # Query order matches the PR-1 serial campaign exactly (the
         # resolver's caches make call order observable).
         nameservers = self._dig.ns(domain)
+        ns_status = self._dig.last_status
         resolvable = self._dig.is_resolvable(domain)
+        a_status = self._dig.last_status
         website_soa = self.soa_identity(domain)
         nameserver_soas = {
             nameserver: self.soa_identity(nameserver)
             for nameserver in nameservers
         }
+        # The degradation triple aggregates only this site's own lookups;
+        # memoized SOA probes are shared across sites, so folding them in
+        # would make records depend on measurement order.
+        attempts = max(ns_status.attempts, a_status.attempts)
+        failure_mode = ns_status.failure or a_status.failure
         return DnsObservation(
             domain=domain,
             nameservers=nameservers,
             website_soa=website_soa,
             nameserver_soas=nameserver_soas,
             resolvable=resolvable,
+            attempts=attempts,
+            failure_mode=failure_mode,
+            degraded=bool(failure_mode),
         )

@@ -66,13 +66,23 @@ def _soa_map_from_dict(
 
 @dataclass(frozen=True)
 class DnsObservation:
-    """What ``dig`` reveals about one website's DNS arrangement."""
+    """What ``dig`` reveals about one website's DNS arrangement.
+
+    ``attempts`` is the worst query-round count any step of the
+    measurement needed, ``failure_mode`` the first operational failure
+    encountered (empty when clean), and ``degraded`` whether the record
+    was assembled despite such a failure — the graceful-degradation
+    triple every observation carries as of wire format v3.
+    """
 
     domain: str
     nameservers: list[str] = field(default_factory=list)
     website_soa: Optional[SoaIdentity] = None
     nameserver_soas: dict[str, Optional[SoaIdentity]] = field(default_factory=dict)
     resolvable: bool = False
+    attempts: int = 1
+    failure_mode: str = ""
+    degraded: bool = False
 
     @property
     def characterizable(self) -> bool:
@@ -85,6 +95,9 @@ class DnsObservation:
             "website_soa": _soa_to_dict(self.website_soa),
             "nameserver_soas": _soa_map_to_dict(self.nameserver_soas),
             "resolvable": self.resolvable,
+            "attempts": self.attempts,
+            "failure_mode": self.failure_mode,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -95,6 +108,9 @@ class DnsObservation:
             website_soa=_soa_from_dict(data["website_soa"]),
             nameserver_soas=_soa_map_from_dict(data["nameserver_soas"]),
             resolvable=data["resolvable"],
+            attempts=data["attempts"],
+            failure_mode=data["failure_mode"],
+            degraded=data["degraded"],
         )
 
 
@@ -112,6 +128,9 @@ class TlsObservation:
     # SOA identity of each revocation endpoint host, measured alongside so
     # the dataset is self-contained for offline analysis.
     endpoint_soas: dict[str, Optional["SoaIdentity"]] = field(default_factory=dict)
+    attempts: int = 1
+    failure_mode: str = ""
+    degraded: bool = False
 
     @property
     def ca_hosts(self) -> list[str]:
@@ -133,6 +152,9 @@ class TlsObservation:
             "crl_urls": list(self.crl_urls),
             "ocsp_stapled": self.ocsp_stapled,
             "endpoint_soas": _soa_map_to_dict(self.endpoint_soas),
+            "attempts": self.attempts,
+            "failure_mode": self.failure_mode,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -146,6 +168,9 @@ class TlsObservation:
             crl_urls=tuple(data["crl_urls"]),
             ocsp_stapled=data["ocsp_stapled"],
             endpoint_soas=_soa_map_from_dict(data["endpoint_soas"]),
+            attempts=data["attempts"],
+            failure_mode=data["failure_mode"],
+            degraded=data["degraded"],
         )
 
 
@@ -162,6 +187,9 @@ class CdnObservation:
     detected_cdns: dict[str, list[str]] = field(default_factory=dict)
     # SOA identity per observed CNAME/hostname (for offline classification).
     cname_soas: dict[str, Optional[SoaIdentity]] = field(default_factory=dict)
+    attempts: int = 1
+    failure_mode: str = ""
+    degraded: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -172,6 +200,9 @@ class CdnObservation:
             "cname_chains": self.cname_chains,
             "detected_cdns": self.detected_cdns,
             "cname_soas": _soa_map_to_dict(self.cname_soas),
+            "attempts": self.attempts,
+            "failure_mode": self.failure_mode,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -184,6 +215,9 @@ class CdnObservation:
             cname_chains={k: list(v) for k, v in data["cname_chains"].items()},
             detected_cdns={k: list(v) for k, v in data["detected_cdns"].items()},
             cname_soas=_soa_map_from_dict(data["cname_soas"]),
+            attempts=data["attempts"],
+            failure_mode=data["failure_mode"],
+            degraded=data["degraded"],
         )
 
 

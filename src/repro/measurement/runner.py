@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.faults.plan import FaultPlan
 from repro.measurement.cdn_map import CnameToCdnMap
 from repro.measurement.cdn_measurer import CdnMeasurer
 from repro.measurement.dns_measurer import DnsMeasurer
@@ -52,10 +53,15 @@ class MeasurementCampaign:
         world: World,
         limit: Optional[int] = None,
         region: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self._world = world
         self._limit = limit
         self.region = region
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        # None when the plan is empty: every layer keeps its fault-free
+        # fast path and output is byte-identical to a plan-less campaign.
+        self._injector = world.install_faults(self.fault_plan)
         if region is None:
             dig, crawler = world.dig, world.crawler
         else:
@@ -92,12 +98,19 @@ class MeasurementCampaign:
         Self-contained per site, so the engine can run sites in any
         process as long as the final dataset lists them in rank order.
         """
-        crawl = self._crawler.crawl(domain)
-        dns_obs = self._dns.measure(domain)
-        tls_obs = self._tls.extract(crawl)
-        for host in tls_obs.ca_hosts:
-            tls_obs.endpoint_soas[host] = self._dns.soa_identity(host)
-        cdn_obs = self._cdn.measure(crawl)
+        if self._injector is not None:
+            # Rank-windowed fault rules key off the site under measurement.
+            self._injector.set_site(rank)
+        try:
+            crawl = self._crawler.crawl(domain)
+            dns_obs = self._dns.measure(domain)
+            tls_obs = self._tls.extract(crawl)
+            for host in tls_obs.ca_hosts:
+                tls_obs.endpoint_soas[host] = self._dns.soa_identity(host)
+            cdn_obs = self._cdn.measure(crawl)
+        finally:
+            if self._injector is not None:
+                self._injector.clear_site()
         return WebsiteMeasurement(
             domain=domain,
             rank=rank,

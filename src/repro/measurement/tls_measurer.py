@@ -16,7 +16,12 @@ class TlsMeasurer:
 
     def extract(self, crawl: CrawlResult) -> TlsObservation:
         if not crawl.ok or not crawl.https or crawl.certificate is None:
-            return TlsObservation(domain=crawl.domain)
+            return TlsObservation(
+                domain=crawl.domain,
+                attempts=crawl.attempts,
+                failure_mode=crawl.error,
+                degraded=bool(crawl.error),
+            )
         return TlsObservation(
             domain=crawl.domain,
             https=True,
@@ -25,4 +30,5 @@ class TlsMeasurer:
             ocsp_urls=crawl.ocsp_urls,
             crl_urls=crawl.crl_urls,
             ocsp_stapled=crawl.ocsp_stapled,
+            attempts=crawl.attempts,
         )

@@ -22,6 +22,7 @@ def _default_layers() -> dict[str, int]:
     return {
         "staticcheck": 0,
         "names": 0,
+        "faults": 0,
         "dnssim": 1,
         "tlssim": 1,
         "websim": 2,
@@ -48,6 +49,16 @@ class LintConfig:
     # never serialized into a dataset.
     rep001_allowed_modules: frozenset[str] = frozenset(
         {"repro.dnssim.clock", "repro.engine.progress"}
+    )
+
+    # REP001: packages whose randomness must flow through one sanctioned
+    # seeded-source module. Inside a listed package, constructing
+    # ``random.Random`` — even seeded — is flagged everywhere except the
+    # listed source modules: fault draws must be keyed through
+    # ``SeededFaultSource`` or replay breaks.
+    rep001_seeded_source_packages: frozenset[str] = frozenset({"repro.faults"})
+    rep001_seeded_source_modules: frozenset[str] = frozenset(
+        {"repro.faults.prng"}
     )
 
     # REP003: package name -> layer number.

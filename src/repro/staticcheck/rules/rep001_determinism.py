@@ -17,6 +17,10 @@ Flags:
 * module-level ``random.*`` functions (the hidden global RNG) and
   ``random.SystemRandom`` (OS entropy);
 * ``random.Random()`` constructed without a seed;
+* ``random.Random`` constructed *at all* inside a seeded-source package
+  (``rep001_seeded_source_packages``) anywhere but its sanctioned source
+  modules — fault-injection randomness must flow through the package's
+  one keyed PRNG so replays stay exact;
 * ``from``-imports of any of the above (an unused forbidden import is
   still a landmine).
 """
@@ -92,17 +96,48 @@ class DeterminismRule(Rule):
         findings: list[Finding] = []
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
-                findings.extend(self._check_call(module, node, table))
+                findings.extend(self._check_call(module, node, table, config))
             elif isinstance(node, ast.ImportFrom):
                 findings.extend(self._check_import_from(module, node))
         return findings
 
+    @staticmethod
+    def _seeded_source_package(module: ModuleInfo, config: LintConfig) -> str:
+        """The seeded-source package restricting ``module``, or ''."""
+        if module.module in config.rep001_seeded_source_modules:
+            return ""
+        for package in config.rep001_seeded_source_packages:
+            if module.module == package or module.module.startswith(
+                package + "."
+            ):
+                return package
+        return ""
+
     def _check_call(
-        self, module: ModuleInfo, call: ast.Call, table: dict[str, str]
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        table: dict[str, str],
+        config: LintConfig,
     ) -> list[Finding]:
         target = resolve_call_target(call, table)
         if target is None:
             return []
+        if target == "random.Random":
+            package = self._seeded_source_package(module, config)
+            if package:
+                sources = ", ".join(
+                    sorted(config.rep001_seeded_source_modules)
+                )
+                return [
+                    self.finding(
+                        module,
+                        call,
+                        f"{package} draws randomness only through its "
+                        f"seeded source ({sources}); do not construct "
+                        f"random.Random here",
+                    )
+                ]
         if target == "random.Random" and not call.args and not call.keywords:
             return [
                 self.finding(

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.faults.injector import FaultInjector
+
 DEFAULT_RESPONSE_LIFETIME = 3 * 24 * 3600  # three days, a common OCSP window
 
 
@@ -60,6 +62,12 @@ class OCSPResponder:
         self.response_lifetime = response_lifetime
         self.misconfigured_revoke_all = False
         self.requests_served = 0
+        # Fault injection (installed by World.install_faults): when an
+        # ``ocsp_expired`` rule matches, the responder serves responses
+        # whose validity window already ended — the "responder is up but
+        # its signer broke" failure mode.
+        self.fault_injector: Optional[FaultInjector] = None
+        self.fault_host = ""
 
     def status_of(self, serial: int, now: float) -> OCSPResponse:
         """Produce a response for ``serial`` as of time ``now``."""
@@ -72,6 +80,19 @@ class OCSPResponder:
             status = CertStatus.GOOD
         else:
             status = CertStatus.UNKNOWN
+        if self.fault_injector is not None:
+            rule = self.fault_injector.tls_fault(
+                "ocsp_expired", self.fault_host or self.responder_name, serial
+            )
+            if rule is not None:
+                return OCSPResponse(
+                    serial=serial,
+                    status=status,
+                    produced_at=now - self.response_lifetime - 2,
+                    this_update=now - self.response_lifetime - 2,
+                    next_update=now - 1,
+                    responder_name=self.responder_name,
+                )
         return OCSPResponse(
             serial=serial,
             status=status,

@@ -80,13 +80,17 @@ class WebClient:
 
     # -- main entry ---------------------------------------------------------
 
-    def get(self, url: str) -> FetchResult:
+    def get(self, url: str, attempt: int = 0) -> FetchResult:
         """Fetch ``url``, following redirects; failures land in
-        ``result.error`` rather than raising."""
+        ``result.error`` rather than raising.
+
+        ``attempt`` is the caller's retry round; it keys per-attempt fault
+        draws so a retried fetch re-rolls its fate.
+        """
         redirects: list[str] = []
         current = url
         for _ in range(MAX_REDIRECTS + 1):
-            result = self._get_once(current)
+            result = self._get_once(current, attempt)
             location = None
             if 300 <= result.status < 400:
                 location = self._redirect_target(current, result)
@@ -112,7 +116,7 @@ class WebClient:
         except UrlError:
             return None
 
-    def _get_once(self, url: str) -> FetchResult:
+    def _get_once(self, url: str, attempt: int = 0) -> FetchResult:
         result = FetchResult(url=url)
         try:
             parsed = parse_url(url)
@@ -136,7 +140,7 @@ class WebClient:
         server = None
         for ip in addresses:
             try:
-                server = self._fabric.connect(ip)
+                server = self._fabric.connect(ip, host=parsed.host, attempt=attempt)
                 result.ip = ip
                 break
             except ConnectionFailedError:
@@ -174,7 +178,7 @@ class WebClient:
                 return result
 
         # 4. The request itself.
-        response = server.request(parsed.host, parsed.path)
+        response = server.request(parsed.host, parsed.path, attempt=attempt)
         result.status = response.status
         result.body = response.body
         result.headers = dict(response.headers)
@@ -227,7 +231,7 @@ class WebClient:
             path = f"{path}?serial={query_serial}"
         for ip in addresses:
             try:
-                server = self._fabric.connect(ip)
+                server = self._fabric.connect(ip, host=parsed.host)
             except ConnectionFailedError:
                 continue
             response = server.request(parsed.host, path)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.dnssim.clock import SimulatedClock
+from repro.dnssim.resolver import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.tlssim.certificate import Certificate
 from repro.websim.client import FetchResult, WebClient
 from repro.websim.page import extract_resource_urls
@@ -27,6 +29,7 @@ class CrawlResult:
     ok: bool = False
     https: bool = False
     error: str = ""
+    attempts: int = 1
     resource_hostnames: list[str] = field(default_factory=list)
     resource_urls: list[str] = field(default_factory=list)
     certificate: Optional[Certificate] = None
@@ -48,33 +51,69 @@ class CrawlResult:
         return ordered
 
 
-class Crawler:
-    """Fetches and renders landing pages through a :class:`WebClient`."""
+def _retryable(fetch: FetchResult) -> bool:
+    """Transient failures worth a second round: connection-level faults
+    and server 5xx responses. DNS retries happen inside the resolver."""
+    return fetch.error.startswith("tcp:") or fetch.status >= 500
 
-    def __init__(self, client: WebClient, fetch_resources: bool = False):
+
+class Crawler:
+    """Fetches and renders landing pages through a :class:`WebClient`.
+
+    When constructed with a ``clock``, transient fetch failures are retried
+    with deterministic exponential backoff (advancing the simulated clock),
+    mirroring the resolver's retry policy one layer up the stack.
+    """
+
+    def __init__(
+        self,
+        client: WebClient,
+        fetch_resources: bool = False,
+        clock: Optional[SimulatedClock] = None,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ):
         self._client = client
         self._fetch_resources = fetch_resources
+        self._clock = clock
+        self.retry_policy = retry_policy
         self.pages_crawled = 0
+        self.retries = 0
 
     def crawl(self, domain: str, prefer_www: bool = True) -> CrawlResult:
         """Crawl ``domain``'s landing page.
 
         Tries ``https://www.domain/``, ``https://domain/``, then http
-        equivalents, stopping at the first successful load.
+        equivalents, stopping at the first successful load. Each retry
+        round re-tries every candidate, so the round count is independent
+        of candidate ordering.
         """
         result = CrawlResult(domain=domain)
         self.pages_crawled += 1
         hosts = [f"www.{domain}", domain] if prefer_www else [domain]
         candidates = [f"https://{h}/" for h in hosts] + [f"http://{h}/" for h in hosts]
         fetch: Optional[FetchResult] = None
-        for url in candidates:
-            attempt = self._client.get(url)
-            if attempt.ok:
-                fetch = attempt
-                result.landing_url = url
+        max_attempts = (
+            self.retry_policy.max_attempts if self._clock is not None else 1
+        )
+        for attempt in range(max_attempts):
+            if attempt:
+                self.retries += 1
+                assert self._clock is not None
+                self._clock.advance(self.retry_policy.backoff(attempt))
+            result.attempts = attempt + 1
+            round_retryable = False
+            for url in candidates:
+                fetched = self._client.get(url, attempt=attempt)
+                if fetched.ok:
+                    fetch = fetched
+                    result.landing_url = url
+                    break
+                if not result.error:
+                    result.error = fetched.error
+                if _retryable(fetched):
+                    round_retryable = True
+            if fetch is not None or not round_retryable:
                 break
-            if not result.error:
-                result.error = attempt.error
         if fetch is None:
             return result
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.faults.injector import FaultInjector
 from repro.names.normalize import normalize
 from repro.tlssim.certificate import CertificateChain
 from repro.tlssim.ocsp import OCSPResponse
@@ -99,6 +100,8 @@ class HttpServer:
         self.operator = operator
         self._vhosts: list[VirtualHost] = []
         self.requests_served = 0
+        # Installed fabric-wide by HttpFabric.install_faults.
+        self.fault_injector: Optional[FaultInjector] = None
 
     def add_vhost(self, vhost: VirtualHost) -> None:
         self._vhosts.append(vhost)
@@ -117,9 +120,19 @@ class HttpServer:
     def vhosts(self) -> list[VirtualHost]:
         return list(self._vhosts)
 
-    def request(self, hostname: str, path: str) -> HttpResponse:
-        """Serve one plaintext request."""
+    def request(self, hostname: str, path: str, attempt: int = 0) -> HttpResponse:
+        """Serve one plaintext request.
+
+        ``attempt`` is the client's retry round; it keys per-attempt
+        fault draws so a retried request re-rolls its fate.
+        """
         self.requests_served += 1
+        if self.fault_injector is not None:
+            rule = self.fault_injector.web_request_fault(
+                self.name, hostname, path, attempt
+            )
+            if rule is not None:
+                return HttpResponse(status=rule.status, body="injected fault")
         vhost = self.vhost_for(hostname)
         if vhost is None:
             return HttpResponse(status=421, body="misdirected request")
@@ -135,6 +148,7 @@ class HttpFabric:
     def __init__(self) -> None:
         self._hosts: dict[str, HttpServer] = {}
         self._down_ips: set[str] = set()
+        self._fault_injector: Optional[FaultInjector] = None
         self.connections = 0
         self.failures = 0
 
@@ -144,6 +158,14 @@ class HttpFabric:
             if existing is not None and existing is not server:
                 raise ValueError(f"IP {ip} already assigned to {existing.name}")
             self._hosts[ip] = server
+        server.fault_injector = self._fault_injector
+
+    def install_faults(self, injector: Optional[FaultInjector]) -> None:
+        """Attach (or with ``None`` detach) a fault injector fabric-wide:
+        connects consult it here, requests on every registered server."""
+        self._fault_injector = injector
+        for server in self._hosts.values():
+            server.fault_injector = injector
 
     def server_at(self, ip: str) -> Optional[HttpServer]:
         return self._hosts.get(ip)
@@ -161,14 +183,22 @@ class HttpFabric:
     def is_available(self, ip: str) -> bool:
         return ip in self._hosts and ip not in self._down_ips
 
-    def connect(self, ip: str) -> HttpServer:
+    def connect(self, ip: str, host: str = "", attempt: int = 0) -> HttpServer:
         """Open a connection; raises :class:`ConnectionFailedError` if the
-        IP is unassigned or the server is down."""
+        IP is unassigned, the server is down, or an injected ``timeout``
+        fault fires for this (server, ip, host, attempt)."""
         self.connections += 1
         server = self._hosts.get(ip)
         if server is None or ip in self._down_ips:
             self.failures += 1
             raise ConnectionFailedError(ip)
+        if self._fault_injector is not None:
+            rule = self._fault_injector.web_connect_fault(
+                server.name, ip, host, attempt
+            )
+            if rule is not None:
+                self.failures += 1
+                raise ConnectionFailedError(ip)
         return server
 
     def __repr__(self) -> str:

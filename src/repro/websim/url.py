@@ -53,7 +53,13 @@ def join_url(base: ParsedUrl, ref: str) -> ParsedUrl:
     if "://" in ref:
         return parse_url(ref)
     if ref.startswith("//"):
-        return parse_url(f"{base.scheme}:{ref}")
+        authority = ref[2:].split("/", 1)[0]
+        if normalize(authority.split(":", 1)[0]):
+            return parse_url(f"{base.scheme}:{ref}")
+        # Degenerate network-path ref ("//", "///x", "//."): no usable
+        # host, so resolve the remainder against the base host instead.
+        rest = ref[2 + len(authority):]
+        return ParsedUrl(base.scheme, base.host, rest or "/")
     if ref.startswith("/"):
         return ParsedUrl(base.scheme, base.host, ref)
     directory = base.path.rsplit("/", 1)[0]

@@ -13,6 +13,8 @@ from typing import Optional
 from repro.dnssim.cache import DnsCache
 from repro.dnssim.client import DigClient
 from repro.dnssim.resolver import IterativeResolver
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.tlssim.validation import RevocationPolicy
 from repro.websim.client import WebClient
 from repro.websim.crawler import Crawler
@@ -54,7 +56,8 @@ class World:
             clock=materialized.clock,
             revocation_policy=RevocationPolicy.SOFT_FAIL,
         )
-        self.crawler = Crawler(self.web_client)
+        self.crawler = Crawler(self.web_client, clock=materialized.clock)
+        self.fault_injector: Optional[FaultInjector] = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -143,10 +146,43 @@ class World:
             resolver=resolver,
             dig=dig,
             web_client=client,
-            crawler=Crawler(client),
+            crawler=Crawler(client, clock=self._m.clock),
         )
 
     # -- fault injection -----------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> Optional[FaultInjector]:
+        """Thread a seeded fault plan through every simulated layer.
+
+        An empty plan is equivalent to :meth:`clear_faults`: all fast
+        paths stay fault-free and output is byte-identical to a run that
+        never called this.
+        """
+        plan.validate()
+        if plan.empty:
+            self.clear_faults()
+            return None
+        injector = FaultInjector(plan)
+        self.fault_injector = injector
+        self._m.dns_network.install_faults(injector, self._m.clock)
+        self._m.http_fabric.install_faults(injector)
+        for infra in self._m.ca_infra.values():
+            responder = infra.ca.ocsp_responder
+            responder.fault_injector = injector
+            responder.fault_host = infra.spec.ocsp_host
+            cdp = infra.ca.cdp
+            cdp.fault_injector = injector
+            cdp.fault_host = infra.spec.crl_host
+        return injector
+
+    def clear_faults(self) -> None:
+        """Detach any installed fault injector from every layer."""
+        self.fault_injector = None
+        self._m.dns_network.install_faults(None, None)
+        self._m.http_fabric.install_faults(None)
+        for infra in self._m.ca_infra.values():
+            infra.ca.ocsp_responder.fault_injector = None
+            infra.ca.cdp.fault_injector = None
 
     def take_down_dns_provider(self, key: str, available: bool = False) -> None:
         """Stop (or restore) every nameserver a managed-DNS provider runs.

@@ -15,6 +15,21 @@ SMALL_N = 600
 SEED = 11
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-corpus files under tests/goldens/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_goldens(request) -> bool:
+    return request.config.getoption("--regen-goldens")
+
+
 @pytest.fixture(scope="session")
 def world_2020():
     return build_world(WorldConfig(n_websites=SMALL_N, seed=SEED))

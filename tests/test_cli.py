@@ -110,3 +110,73 @@ class TestMeasureAnalyze:
         first = capsys.readouterr().out
         assert main([*args, "--resume"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestFaultsCli:
+    PLAN = """{
+ "seed": 7,
+ "rules": [
+  {"name": "dyn-outage", "layer": "dns", "kind": "drop",
+   "server": "dynect.net", "probability": 0.5},
+  {"name": "brownout", "layer": "web", "kind": "http_error",
+   "status": 502, "rank_window": [1, 5]}
+ ]
+}"""
+
+    def _write_plan(self, tmp_path, text=None):
+        path = tmp_path / "plan.json"
+        path.write_text(text if text is not None else self.PLAN)
+        return str(path)
+
+    def test_faults_validate_summarizes_the_plan(self, capsys, tmp_path):
+        assert main(["faults", "validate", self._write_plan(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan OK: 2 rule(s), seed=7" in out
+        assert "dyn-outage" in out and "brownout" in out
+
+    def test_faults_validate_rejects_bad_plan(self, capsys, tmp_path):
+        bad = self._write_plan(
+            tmp_path, '{"rules": [{"name": "x", "layer": "dns", "kind": "nope"}]}'
+        )
+        assert main(["faults", "validate", bad]) == 1
+        assert "unknown dns fault kind" in capsys.readouterr().err
+
+    def test_faults_validate_missing_file(self, capsys, tmp_path):
+        assert main(["faults", "validate", str(tmp_path / "nope.json")]) == 1
+        assert capsys.readouterr().err
+
+    def test_measure_with_fault_plan_produces_degraded_records(
+        self, capsys, tmp_path
+    ):
+        plan = self._write_plan(
+            tmp_path,
+            '{"seed": 1, "rules": [{"name": "brownout", "layer": "web",'
+            ' "kind": "http_error", "status": 502, "rank_window": [1, 5]}]}',
+        )
+        assert main(
+            ["measure", *ARGS, "--quiet", "--limit", "20", "--fault-plan", plan]
+        ) == 0
+        from repro.measurement.io import dataset_from_json
+
+        dataset = dataset_from_json(capsys.readouterr().out)
+        degraded = {w.rank for w in dataset.websites if w.tls.degraded}
+        assert degraded == {1, 2, 3, 4, 5}
+
+    def test_measure_fault_seed_override_changes_output(self, capsys, tmp_path):
+        plan = self._write_plan(tmp_path)
+        base = ["measure", *ARGS, "--quiet", "--limit", "20", "--fault-plan", plan]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main([*base, "--fault-seed", "7"]) == 0
+        same_seed = capsys.readouterr().out
+        assert same_seed == first  # explicit seed equal to the plan's
+        assert main([*base, "--fault-seed", "8"]) == 0
+        reseeded = capsys.readouterr().out
+        assert reseeded != first
+
+    def test_measure_rejects_bad_fault_plan(self, capsys, tmp_path):
+        bad = self._write_plan(tmp_path, "not json")
+        assert main(
+            ["measure", *ARGS, "--quiet", "--fault-plan", bad]
+        ) == 1
+        assert "cannot load fault plan" in capsys.readouterr().err

@@ -25,7 +25,8 @@ from repro.engine import (
     plan_campaign,
     run_campaign,
 )
-from repro.measurement.io import dataset_to_json
+from repro.faults import FaultPlan, FaultRule
+from repro.measurement.io import dataset_from_json, dataset_to_json
 from repro.measurement.runner import MeasurementCampaign
 
 ENGINE_N = 240
@@ -252,6 +253,112 @@ class TestStaleCheckpoints:
                 checkpoint_dir=str(ckpt),
                 resume=True,
             )
+
+
+def _chaos_plan() -> FaultPlan:
+    """A shard-stable chaos scenario: DNS faults scoped to provider
+    nameservers, web faults scheduled by rank window — the two scoping
+    mechanisms whose fault draws are independent of cache state and
+    worker assignment."""
+    return FaultPlan(
+        rules=(
+            FaultRule(name="dyn-flaky", layer="dns", kind="drop",
+                      server="dynect.net", probability=0.5),
+            FaultRule(name="head-brownout", layer="web", kind="http_error",
+                      status=502, probability=0.7, rank_window=(1, 10)),
+            FaultRule(name="ocsp-rot", layer="tls", kind="ocsp_expired",
+                      probability=0.3),
+        ),
+        seed=2020,
+    )
+
+
+class TestChaosDeterminism:
+    """Under a fault plan, serial and sharded/parallel runs — including
+    interrupted-and-resumed ones — still merge to identical bytes."""
+
+    @pytest.fixture(scope="class")
+    def chaos_json(self, engine_config) -> str:
+        world = build_world(engine_config)
+        dataset = MeasurementCampaign(world, fault_plan=_chaos_plan()).run()
+        return dataset_to_json(dataset)
+
+    def test_chaos_campaign_completes_with_degraded_records(self, chaos_json):
+        dataset = dataset_from_json(chaos_json)
+        assert len(dataset.websites) == ENGINE_N
+        assert any(
+            w.dns.degraded or w.tls.degraded or w.cdn.degraded
+            for w in dataset.websites
+        )
+        assert any(
+            max(w.dns.attempts, w.tls.attempts, w.cdn.attempts) > 1
+            for w in dataset.websites
+        )
+
+    @pytest.mark.parametrize("shards,workers", [(1, 1), (8, 1), (8, WORKERS), (8, 4)])
+    def test_sharded_chaos_matches_serial_bytes(
+        self, engine_config, chaos_json, shards, workers
+    ):
+        result = run_campaign(
+            engine_config, shards=shards, workers=workers,
+            fault_plan=_chaos_plan(),
+        )
+        assert dataset_to_json(result) == chaos_json
+
+    def test_empty_plan_matches_planless_run(self, engine_config, serial_json):
+        result = run_campaign(
+            engine_config, shards=4, workers=1, fault_plan=FaultPlan()
+        )
+        assert dataset_to_json(result) == serial_json
+
+    def test_kill_and_resume_under_faults_matches_uninterrupted(
+        self, engine_config, chaos_json, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                engine_config,
+                shards=6,
+                workers=1,
+                checkpoint_dir=str(ckpt),
+                progress=_AbortAfter(2),
+                fault_plan=_chaos_plan(),
+            )
+        assert CheckpointStore(ckpt).completed_shards() == {0, 1}
+        result = run_campaign(
+            engine_config,
+            shards=6,
+            workers=1,
+            checkpoint_dir=str(ckpt),
+            resume=True,
+            fault_plan=_chaos_plan(),
+        )
+        assert dataset_to_json(result) == chaos_json
+
+    def test_resume_under_a_different_plan_is_refused(
+        self, engine_config, tmp_path
+    ):
+        """The plan digest joins the world fingerprint: shards measured
+        under one fault plan must not merge into another's campaign."""
+        ckpt = tmp_path / "ckpt"
+        run_campaign(
+            engine_config, shards=2, workers=1, checkpoint_dir=str(ckpt),
+            fault_plan=_chaos_plan(),
+        )
+        with pytest.raises(StaleCheckpointError, match="faults="):
+            run_campaign(
+                engine_config, shards=2, workers=1,
+                checkpoint_dir=str(ckpt), resume=True,
+            )
+
+    def test_fingerprint_distinguishes_plans(self, engine_config):
+        world = build_world(engine_config)
+        plain = plan_campaign(world, n_shards=2)
+        faulted = plan_campaign(world, n_shards=2, fault_plan=_chaos_plan())
+        assert plain.fingerprint != faulted.fingerprint
+        assert plain.fingerprint.fault_digest is None
+        assert faulted.fingerprint.fault_digest == _chaos_plan().digest()
+        assert "faults=" in faulted.fingerprint.describe()
 
 
 class TestStats:

@@ -1,0 +1,121 @@
+"""Golden-corpus regression tests.
+
+A fixed world config and a fixed, checked-in fault plan must serialize
+to the *exact bytes* stored under ``tests/goldens/`` — any drift in the
+world generator, the resolver, the measurers, the fault draws, or the
+wire format shows up here as a byte diff before it shows up as a silent
+change in paper numbers.
+
+When a change intentionally alters the output (e.g. a new wire field),
+regenerate with::
+
+    pytest tests/test_golden_corpus.py --regen-goldens
+
+and commit the updated goldens alongside the change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import WorldConfig, build_world
+from repro.faults import FaultPlan, FaultRule
+from repro.measurement.io import dataset_from_json, dataset_to_json
+from repro.measurement.runner import MeasurementCampaign
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_N = 120
+GOLDEN_SEED = 17
+GOLDEN_LIMIT = 25
+
+
+def canonical_chaos_plan() -> FaultPlan:
+    """The checked-in chaos scenario: a Dyn-style flaky provider plus a
+    head-of-list web brownout, expressed only in shard-stable terms
+    (server scopes and rank windows)."""
+    return FaultPlan(
+        rules=(
+            FaultRule(name="dyn-flaky", layer="dns", kind="drop",
+                      server="dynect.net", probability=0.85),
+            FaultRule(name="ultradns-slow", layer="dns", kind="slow",
+                      server="ultradns.net", probability=0.25, delay=1.5),
+            FaultRule(name="head-brownout", layer="web", kind="http_error",
+                      status=503, probability=0.9, rank_window=(1, 8)),
+            FaultRule(name="ocsp-rot", layer="tls", kind="ocsp_expired",
+                      probability=0.5),
+        ),
+        seed=2020,
+    )
+
+
+@pytest.fixture(scope="module")
+def golden_config() -> WorldConfig:
+    return WorldConfig(n_websites=GOLDEN_N, seed=GOLDEN_SEED)
+
+
+def _check_golden(name: str, produced: str, regen: bool) -> None:
+    path = GOLDEN_DIR / name
+    if regen:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(produced, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"golden file {path} is missing; run "
+        f"'pytest tests/test_golden_corpus.py --regen-goldens' to create it"
+    )
+    expected = path.read_text(encoding="utf-8")
+    assert produced == expected, (
+        f"output drifted from {path}; if the change is intentional, "
+        f"regenerate with --regen-goldens and commit the diff"
+    )
+
+
+class TestGoldenCorpus:
+    def test_chaos_plan_matches_golden(self, regen_goldens):
+        _check_golden(
+            "chaos_plan.json",
+            canonical_chaos_plan().to_json() + "\n",
+            regen_goldens,
+        )
+
+    def test_zero_fault_campaign_matches_golden(
+        self, golden_config, regen_goldens
+    ):
+        dataset = MeasurementCampaign(
+            build_world(golden_config), limit=GOLDEN_LIMIT
+        ).run()
+        _check_golden(
+            "dataset_nofault.json", dataset_to_json(dataset) + "\n",
+            regen_goldens,
+        )
+
+    def test_chaos_campaign_matches_golden(self, golden_config, regen_goldens):
+        dataset = MeasurementCampaign(
+            build_world(golden_config),
+            limit=GOLDEN_LIMIT,
+            fault_plan=canonical_chaos_plan(),
+        ).run()
+        _check_golden(
+            "dataset_chaos.json", dataset_to_json(dataset) + "\n",
+            regen_goldens,
+        )
+
+    def test_chaos_golden_actually_exercises_faults(self):
+        """Guard against a vacuous corpus: the checked-in chaos dataset
+        must contain degraded records and multi-attempt recoveries."""
+        path = GOLDEN_DIR / "dataset_chaos.json"
+        dataset = dataset_from_json(path.read_text(encoding="utf-8"))
+        assert any(w.dns.degraded or w.tls.degraded for w in dataset.websites)
+        assert any(
+            max(w.dns.attempts, w.tls.attempts, w.cdn.attempts) > 1
+            for w in dataset.websites
+        )
+
+    def test_goldens_parse_under_the_current_reader(self):
+        for name in ("dataset_nofault.json", "dataset_chaos.json"):
+            dataset = dataset_from_json(
+                (GOLDEN_DIR / name).read_text(encoding="utf-8")
+            )
+            assert len(dataset.websites) == GOLDEN_LIMIT

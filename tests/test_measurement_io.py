@@ -1,17 +1,22 @@
 """Tests for dataset JSON serialization (measure once, analyze offline)."""
 
+import json
+
 import pytest
 
 from repro.core import analyze_dataset
 from repro.measurement.io import (
     FORMAT_VERSION,
+    OLDEST_READABLE_VERSION,
     SHARD_FORMAT_VERSION,
+    WireVersionError,
     dataset_from_json,
     dataset_to_json,
     load_dataset,
     save_dataset,
     shard_from_json,
     shard_to_json,
+    upgrade_dataset_payload,
 )
 from repro.measurement.records import Dataset
 
@@ -89,6 +94,173 @@ class TestFormatVersionErrors:
         message = str(excinfo.value)
         assert "7" in message
         assert f"supports version {SHARD_FORMAT_VERSION}" in message
+
+    def test_errors_are_wire_version_errors(self):
+        # The dedicated type is catchable, and still a ValueError for
+        # callers with older except clauses.
+        assert issubclass(WireVersionError, ValueError)
+        with pytest.raises(WireVersionError):
+            dataset_from_json('{"format_version": 99, "year": 2020}')
+        with pytest.raises(WireVersionError):
+            shard_from_json('{"shard_format_version": 0, "websites": []}')
+
+    @pytest.mark.parametrize(
+        "version", [0, FORMAT_VERSION + 1, "3", True, None, 2.0]
+    )
+    def test_unreadable_dataset_versions_are_refused(self, version):
+        payload = json.dumps({"format_version": version, "year": 2020})
+        with pytest.raises(WireVersionError) as excinfo:
+            dataset_from_json(payload)
+        # The message names the found version and the upgrade range.
+        message = str(excinfo.value)
+        assert repr(version) in message
+        assert (
+            f"versions {OLDEST_READABLE_VERSION}-{FORMAT_VERSION - 1}"
+            in message
+        )
+
+
+# -- historical-format upgrades ---------------------------------------------
+#
+# The inverses of the io module's upgraders: tests *downgrade* a current
+# payload to the documented v2/v1 layouts, then assert that reading the
+# old bytes reproduces the current serialization exactly.
+
+
+def _soa_v2_to_v1(data):
+    return None if data is None else [data["mname"], data["rname"]]
+
+
+def _soa_map_v2_to_v1(data):
+    return {name: _soa_v2_to_v1(entry) for name, entry in data.items()}
+
+
+def _website_v3_to_v2(entry):
+    out = dict(entry)
+    for key in ("dns", "tls", "cdn"):
+        observation = dict(out[key])
+        del observation["attempts"]
+        del observation["failure_mode"]
+        del observation["degraded"]
+        out[key] = observation
+    return out
+
+
+def _website_v2_to_v1(entry):
+    dns = dict(entry["dns"])
+    del dns["domain"]
+    dns["website_soa"] = _soa_v2_to_v1(dns["website_soa"])
+    dns["nameserver_soas"] = _soa_map_v2_to_v1(dns["nameserver_soas"])
+    tls = dict(entry["tls"])
+    del tls["domain"]
+    tls["endpoint_soas"] = _soa_map_v2_to_v1(tls["endpoint_soas"])
+    cdn = dict(entry["cdn"])
+    del cdn["domain"]
+    cdn["cname_soas"] = _soa_map_v2_to_v1(cdn["cname_soas"])
+    return {
+        "domain": entry["domain"],
+        "rank": entry["rank"],
+        "dns": dns,
+        "tls": tls,
+        "cdn": cdn,
+    }
+
+
+def _provider_v2_to_v1(entry):
+    out = dict(entry)
+    del out["provider_name"]
+    out["domain_soa"] = _soa_v2_to_v1(out["domain_soa"])
+    out["nameserver_soas"] = _soa_map_v2_to_v1(out["nameserver_soas"])
+    return out
+
+
+def _revocation_v2_to_v1(entry):
+    out = dict(entry)
+    del out["ca_name"]
+    out["cname_soas"] = _soa_map_v2_to_v1(out["cname_soas"])
+    return out
+
+
+def _downgrade_dataset_to_v2(payload):
+    out = dict(payload)
+    out["websites"] = [_website_v3_to_v2(w) for w in payload["websites"]]
+    out["format_version"] = 2
+    return out
+
+
+def _downgrade_dataset_to_v1(payload):
+    out = _downgrade_dataset_to_v2(payload)
+    out["websites"] = [_website_v2_to_v1(w) for w in out["websites"]]
+    out["cdn_dns"] = {
+        name: _provider_v2_to_v1(entry)
+        for name, entry in out["cdn_dns"].items()
+    }
+    out["ca_dns"] = {
+        name: _provider_v2_to_v1(entry)
+        for name, entry in out["ca_dns"].items()
+    }
+    out["ca_cdn"] = {
+        name: _revocation_v2_to_v1(entry)
+        for name, entry in out["ca_cdn"].items()
+    }
+    out["format_version"] = 1
+    return out
+
+
+class TestUpgradePaths:
+    def test_v2_dataset_reads_to_current_bytes(self, snapshot_2020):
+        current = dataset_to_json(snapshot_2020.dataset)
+        v2_text = json.dumps(_downgrade_dataset_to_v2(json.loads(current)))
+        assert dataset_to_json(dataset_from_json(v2_text)) == current
+
+    def test_v1_dataset_reads_to_current_bytes(self, snapshot_2020):
+        current = dataset_to_json(snapshot_2020.dataset)
+        v1_text = json.dumps(_downgrade_dataset_to_v1(json.loads(current)))
+        assert dataset_to_json(dataset_from_json(v1_text)) == current
+
+    def test_upgrade_dataset_payload_lands_on_current_version(
+        self, snapshot_2020
+    ):
+        payload = json.loads(dataset_to_json(snapshot_2020.dataset))
+        for downgrade in (_downgrade_dataset_to_v1, _downgrade_dataset_to_v2):
+            upgraded = upgrade_dataset_payload(downgrade(payload))
+            assert upgraded["format_version"] == FORMAT_VERSION
+
+    def test_v1_shard_reads_to_current_bytes(self, snapshot_2020):
+        websites = snapshot_2020.dataset.websites[:10]
+        current = shard_to_json(websites)
+        payload = json.loads(current)
+        payload["websites"] = [
+            _website_v2_to_v1(_website_v3_to_v2(w))
+            for w in payload["websites"]
+        ]
+        payload["shard_format_version"] = 1
+        restored = shard_from_json(json.dumps(payload))
+        assert shard_to_json(restored) == current
+
+    def test_v2_shard_reads_to_current_bytes(self, snapshot_2020):
+        websites = snapshot_2020.dataset.websites[:10]
+        current = shard_to_json(websites)
+        payload = json.loads(current)
+        payload["websites"] = [
+            _website_v3_to_v2(w) for w in payload["websites"]
+        ]
+        payload["shard_format_version"] = 2
+        restored = shard_from_json(json.dumps(payload))
+        assert shard_to_json(restored) == current
+
+    def test_upgraded_degradation_fields_default_to_clean(self, snapshot_2020):
+        v1_text = json.dumps(
+            _downgrade_dataset_to_v1(
+                json.loads(dataset_to_json(snapshot_2020.dataset))
+            )
+        )
+        restored = dataset_from_json(v1_text)
+        for website in restored.websites[:20]:
+            for observation in (website.dns, website.tls, website.cdn):
+                assert observation.attempts == 1
+                assert observation.failure_mode == ""
+                assert observation.degraded is False
 
 
 class TestNotesOrder:

@@ -8,6 +8,14 @@ from repro.core.graph import DependencyGraph, ProviderNode, ServiceType
 from repro.dnssim.cache import DnsCache, NegativeCacheHit
 from repro.dnssim.clock import SimulatedClock
 from repro.dnssim.records import ARecord, RRType, ResourceRecord
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.measurement.records import (
+    CdnObservation,
+    DnsObservation,
+    SoaIdentity,
+    TlsObservation,
+    WebsiteMeasurement,
+)
 from repro.names.normalize import normalize, split_labels
 from repro.names.psl import default_psl
 from repro.names.registrable import is_subdomain_of, registrable_domain
@@ -160,3 +168,159 @@ class TestWireFormatProperty:
         ]
         out = DnsMessage.from_wire(msg.to_wire())
         assert out.answers == msg.answers
+
+    @given(
+        qname=_hostnames,
+        msg_id=st.integers(0, 0xFFFF),
+        rcode_value=st.sampled_from([0, 2, 3, 5]),
+        aa=st.booleans(),
+        tc=st.booleans(),
+    )
+    @settings(max_examples=60)
+    def test_header_flags_and_rcode_roundtrip(
+        self, qname, msg_id, rcode_value, aa, tc
+    ):
+        """Every header bit the fault injector manipulates (rcode, AA,
+        TC) survives the wire — what SERVFAIL/lame/truncate faults rely
+        on to reach the resolver intact."""
+        from repro.dnssim.message import DnsMessage, RCode
+
+        msg = DnsMessage.query(qname, RRType.A, msg_id=msg_id).response(
+            RCode(rcode_value), aa=aa
+        )
+        msg.tc = tc
+        out = DnsMessage.from_wire(msg.to_wire())
+        assert out.id == msg_id
+        assert out.rcode == RCode(rcode_value)
+        assert out.aa is aa
+        assert out.tc is tc
+        assert out.question is not None
+        assert out.question.qname == normalize(qname)
+
+
+# -- v3 measurement-record strategies ---------------------------------------
+
+_soas = st.none() | st.builds(SoaIdentity, mname=_hostnames, rname=_hostnames)
+_soa_maps = st.dictionaries(_hostnames, _soas, max_size=4)
+_failures = st.sampled_from(
+    ["", "dns: no reachable authoritative servers",
+     "http: status 502", "tcp: all addresses unreachable"]
+)
+_attempts = st.integers(1, 5)
+_hostname_lists = st.lists(_hostnames, max_size=4)
+_chain_maps = st.dictionaries(_hostnames, _hostname_lists, max_size=3)
+
+_dns_observations = st.builds(
+    DnsObservation,
+    domain=_hostnames,
+    nameservers=_hostname_lists,
+    website_soa=_soas,
+    nameserver_soas=_soa_maps,
+    resolvable=st.booleans(),
+    attempts=_attempts,
+    failure_mode=_failures,
+    degraded=st.booleans(),
+)
+_tls_observations = st.builds(
+    TlsObservation,
+    domain=_hostnames,
+    https=st.booleans(),
+    san=_hostname_lists.map(tuple),
+    issuer=_label,
+    ocsp_urls=_hostname_lists.map(lambda hs: tuple(f"http://{h}/" for h in hs)),
+    crl_urls=_hostname_lists.map(lambda hs: tuple(f"http://{h}/crl" for h in hs)),
+    ocsp_stapled=st.booleans(),
+    endpoint_soas=_soa_maps,
+    attempts=_attempts,
+    failure_mode=_failures,
+    degraded=st.booleans(),
+)
+_cdn_observations = st.builds(
+    CdnObservation,
+    domain=_hostnames,
+    crawl_ok=st.booleans(),
+    resource_hostnames=_hostname_lists,
+    internal_hostnames=_hostname_lists,
+    cname_chains=_chain_maps,
+    detected_cdns=_chain_maps,
+    cname_soas=_soa_maps,
+    attempts=_attempts,
+    failure_mode=_failures,
+    degraded=st.booleans(),
+)
+_website_measurements = st.builds(
+    WebsiteMeasurement,
+    domain=_hostnames,
+    rank=st.integers(1, 1_000_000),
+    dns=_dns_observations,
+    tls=_tls_observations,
+    cdn=_cdn_observations,
+)
+
+
+class TestRecordRoundtripProperties:
+    """to_dict/from_dict is the identity on every v3 record shape —
+    including the degradation triple fault injection fills in."""
+
+    @given(_dns_observations)
+    @settings(max_examples=50)
+    def test_dns_observation_roundtrip(self, observation):
+        assert DnsObservation.from_dict(observation.to_dict()) == observation
+
+    @given(_tls_observations)
+    @settings(max_examples=50)
+    def test_tls_observation_roundtrip(self, observation):
+        assert TlsObservation.from_dict(observation.to_dict()) == observation
+
+    @given(_cdn_observations)
+    @settings(max_examples=50)
+    def test_cdn_observation_roundtrip(self, observation):
+        assert CdnObservation.from_dict(observation.to_dict()) == observation
+
+    @given(_website_measurements)
+    @settings(max_examples=25)
+    def test_website_measurement_roundtrip_through_shard_json(self, website):
+        from repro.measurement.io import shard_from_json, shard_to_json
+
+        payload = shard_to_json([website])
+        restored = shard_from_json(payload)
+        assert restored == [website]
+        # Re-serialization is byte-stable (the checkpoint/merge contract).
+        assert shard_to_json(restored) == payload
+
+
+_fault_rules = st.builds(
+    FaultRule,
+    name=st.uuids().map(str),
+    layer=st.just("dns"),
+    kind=st.sampled_from(["drop", "servfail", "refused", "truncate", "lame"]),
+    scope=st.one_of(st.just("*"), _hostnames),
+    server=st.one_of(st.just("*"), _hostnames),
+    probability=st.floats(0.0, 1.0, allow_nan=False),
+    rank_window=st.none()
+    | st.tuples(st.integers(1, 100), st.integers(100, 10_000)),
+)
+
+
+class TestFaultPlanProperties:
+    @given(st.lists(_fault_rules, max_size=6, unique_by=lambda r: r.name),
+           st.integers(0, 2**32))
+    @settings(max_examples=50)
+    def test_plan_json_roundtrip_and_digest_stability(self, rules, seed):
+        plan = FaultPlan(rules=tuple(rules), seed=seed)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.digest() == plan.digest()
+
+    @given(_fault_rules)
+    @settings(max_examples=50)
+    def test_rule_dict_roundtrip(self, rule):
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    @given(st.integers(0, 2**32), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_digest_separates_seeds(self, seed_a, seed_b):
+        rule = FaultRule(name="r", layer="dns", kind="drop", probability=0.5)
+        digest_a = FaultPlan(rules=(rule,), seed=seed_a).digest()
+        digest_b = FaultPlan(rules=(rule,), seed=seed_b).digest()
+        assert (digest_a == digest_b) == (seed_a == seed_b)

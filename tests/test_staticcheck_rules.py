@@ -94,6 +94,38 @@ class TestRep001Determinism:
         assert len(result.suppressions) == 1
         assert result.suppressions[0].reason == "operator-facing only"
 
+    def test_seeded_random_in_faults_package_is_flagged(self):
+        # Inside repro.faults even a *seeded* Random bypasses the keyed
+        # PRNG contract: draws would depend on call order, not keys.
+        result = lint(
+            "import random\nrng = random.Random(42)\n",
+            module="repro.faults.injector",
+        )
+        assert rule_ids_of(result) == ["REP001"]
+        assert "repro.faults.prng" in result.findings[0].message
+
+    def test_unseeded_random_in_faults_package_is_flagged_once(self):
+        result = lint(
+            "import random\nrng = random.Random()\n",
+            module="repro.faults.injector",
+        )
+        assert rule_ids_of(result) == ["REP001"]
+
+    def test_faults_prng_module_may_construct_seeded_random(self):
+        result = lint(
+            "import random\n\ndef stream(seed):\n"
+            "    return random.Random(seed)\n",
+            module="repro.faults.prng",
+        )
+        assert result.clean
+
+    def test_seeded_random_outside_faults_package_still_fine(self):
+        result = lint(
+            "import random\nrng = random.Random(7)\n",
+            module="repro.worldgen.generate",
+        )
+        assert result.clean
+
 
 class TestRep002SortedIteration:
     def test_for_loop_over_set_is_flagged(self):
