@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by ``repro trace``.
+
+Stdlib-only, so CI can pipe ``repro trace`` output straight through it
+without installing anything::
+
+    PYTHONPATH=src python -m repro trace twitter.com --quiet \
+        | python scripts/check_trace_schema.py -
+
+Checks the subset of the trace-event format the exporter promises
+(DESIGN §10): metadata events first, balanced and properly nested B/E
+pairs, instants marked thread-scoped, integer microsecond timestamps
+from the simulated clock, and a monotonically increasing ``seq`` in
+event args.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REQUIRED_TOP_LEVEL = ("displayTimeUnit", "traceEvents")
+
+
+def validate(payload) -> list[str]:
+    """Return a list of schema violations (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    for key in REQUIRED_TOP_LEVEL:
+        if key not in payload:
+            errors.append(f"missing top-level key {key!r}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + ["traceEvents is not a list"]
+
+    stack: list[tuple[str, int]] = []  # (name, ts) of open B events
+    last_seq = 0
+    seen_metadata = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in {"M", "B", "E", "i"}:
+            errors.append(f"{where}: unsupported phase {phase!r}")
+            continue
+        for key in ("pid", "tid", "ts"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: {key} is not an integer")
+        ts = event.get("ts")
+        if isinstance(ts, int) and ts < 0:
+            errors.append(f"{where}: negative timestamp {ts}")
+        if phase == "M":
+            if stack or (i != seen_metadata):
+                errors.append(f"{where}: metadata event after span events")
+            seen_metadata += 1
+            continue
+        if phase in {"B", "i"}:
+            if not isinstance(event.get("name"), str) or not event["name"]:
+                errors.append(f"{where}: missing event name")
+            args = event.get("args")
+            if not isinstance(args, dict):
+                errors.append(f"{where}: {phase} event has no args object")
+            else:
+                seq = args.get("seq")
+                if not isinstance(seq, int):
+                    errors.append(f"{where}: args.seq is not an integer")
+                elif seq <= last_seq:
+                    errors.append(
+                        f"{where}: seq {seq} not greater than previous "
+                        f"{last_seq} (recording order must be monotonic)"
+                    )
+                else:
+                    last_seq = seq
+        if phase == "B":
+            if isinstance(ts, int) and stack and ts < stack[-1][1]:
+                errors.append(
+                    f"{where}: child begins at {ts}, before its parent "
+                    f"{stack[-1][0]!r} began at {stack[-1][1]}"
+                )
+            stack.append((event.get("name", "?"), ts if isinstance(ts, int) else 0))
+        elif phase == "E":
+            if not stack:
+                errors.append(f"{where}: E event with no open B")
+                continue
+            name, begin_ts = stack.pop()
+            if event.get("name") != name:
+                errors.append(
+                    f"{where}: E for {event.get('name')!r} but the open "
+                    f"span is {name!r} (improper nesting)"
+                )
+            if isinstance(ts, int) and ts < begin_ts:
+                errors.append(
+                    f"{where}: span {name!r} ends at {ts}, before it "
+                    f"began at {begin_ts}"
+                )
+        elif phase == "i":
+            if event.get("s") != "t":
+                errors.append(f"{where}: instant not thread-scoped (s != 't')")
+    for name, _ in stack:
+        errors.append(f"span {name!r} is never closed (unbalanced B/E)")
+    if seen_metadata < 2:
+        errors.append("expected process_name and thread_name metadata events")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2 or argv[1] in {"-h", "--help"}:
+        print(__doc__, file=sys.stderr)
+        return 2
+    source = argv[1]
+    try:
+        if source == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(source, encoding="utf-8") as handle:
+                payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_trace_schema: cannot read {source}: {exc}",
+              file=sys.stderr)
+        return 2
+    errors = validate(payload)
+    if errors:
+        for error in errors:
+            print(f"check_trace_schema: {error}", file=sys.stderr)
+        print(f"check_trace_schema: INVALID ({len(errors)} violation(s))",
+              file=sys.stderr)
+        return 1
+    n_events = len(payload["traceEvents"])
+    print(f"check_trace_schema: OK ({n_events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

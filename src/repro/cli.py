@@ -10,6 +10,11 @@ Subcommands::
     python -m repro measure   [--workers W] [--shards S] [--out dataset.json]
                               [--checkpoint-dir DIR] [--resume] [--n ...]
                               [--fault-plan plan.json] [--fault-seed S]
+                              [--metrics-out m.json]
+                              [--trace-sites a.com,b.com --trace-out t.json]
+    python -m repro trace     <domain> [--n ...] [--fault-plan plan.json]
+                              [--out trace.json]
+    python -m repro stats     <checkpoint-dir | dataset.json> [--json]
     python -m repro analyze   <dataset.json> [--table N]
     python -m repro faults    validate <plan.json>
     python -m repro lint      [paths...] [--format json] [--rules ...]
@@ -18,9 +23,13 @@ Subcommands::
 website's single points of failure (the Section 8 service); ``outage``
 replays a provider outage end-to-end; ``measure`` runs the campaign
 through the sharded execution engine and freezes the raw dataset as
-JSON; ``analyze`` re-analyzes a frozen dataset offline (no world);
-``lint`` runs the :mod:`repro.staticcheck` invariant rule pack (REP001..
-REP005) over the source tree.
+JSON (optionally with campaign metrics and per-site traces); ``trace``
+deep-traces one site's measurement on the simulated clock and emits
+Chrome trace-event JSON (Perfetto-loadable); ``stats`` recovers
+campaign metrics from a checkpoint directory or a frozen dataset;
+``analyze`` re-analyzes a frozen dataset offline (no world); ``lint``
+runs the :mod:`repro.staticcheck` invariant rule pack (REP001..REP006)
+over the source tree.
 """
 
 from __future__ import annotations
@@ -112,6 +121,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument(
         "--fault-seed", type=int, default=None,
         help="override the fault plan's seed (replay variations)",
+    )
+    p_measure.add_argument(
+        "--metrics-out", default=None, metavar="METRICS_JSON",
+        help="write campaign metrics JSON here (shard-stable aggregate)",
+    )
+    p_measure.add_argument(
+        "--trace-sites", default=None, metavar="DOMAINS",
+        help="comma-separated domains to span-trace (requires --workers 1)",
+    )
+    p_measure.add_argument(
+        "--trace-out", default=None, metavar="TRACE_JSON",
+        help="write the Chrome trace-event JSON here (with --trace-sites)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="deep-trace one site's measurement on the simulated clock"
+    )
+    p_trace.add_argument("domain")
+    _add_world_args(p_trace)
+    p_trace.add_argument(
+        "--fault-plan", default=None, metavar="PLAN_JSON",
+        help="inject seeded faults from this fault-plan JSON file",
+    )
+    p_trace.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="override the fault plan's seed (replay variations)",
+    )
+    p_trace.add_argument(
+        "--out", default=None,
+        help="write Chrome trace-event JSON here (default: stdout)",
+    )
+    p_trace.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the diagnostics summary on stderr",
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="campaign metrics from a checkpoint dir or dataset"
+    )
+    p_stats.add_argument(
+        "path", help="checkpoint directory or measure-produced dataset JSON"
+    )
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="emit canonical metrics JSON instead of the summary table",
     )
 
     p_analyze = sub.add_parser(
@@ -302,6 +356,7 @@ def _load_fault_plan(path: str, seed: int | None):
 def cmd_measure(args) -> int:
     from repro.engine import ConsoleProgress, NullProgress, run_campaign
     from repro.measurement.io import dataset_to_json, save_dataset
+    from repro.telemetry import TelemetryConfig, chrome_trace, metrics_to_json
 
     fault_plan = None
     if args.fault_plan is not None:
@@ -313,6 +368,32 @@ def cmd_measure(args) -> int:
                 file=sys.stderr,
             )
             return 1
+    want_trace = args.trace_sites is not None
+    if want_trace and args.workers != 1:
+        print(
+            "measure: --trace-sites requires --workers 1 "
+            "(spans are recorded in-process)",
+            file=sys.stderr,
+        )
+        return 1
+    if want_trace and args.trace_out is None:
+        print("measure: --trace-sites requires --trace-out", file=sys.stderr)
+        return 1
+    if args.trace_out is not None and not want_trace:
+        print("measure: --trace-out requires --trace-sites", file=sys.stderr)
+        return 1
+    telemetry = None
+    if args.metrics_out is not None or want_trace:
+        sites = ()
+        if want_trace:
+            sites = tuple(sorted(
+                {s.strip() for s in args.trace_sites.split(",") if s.strip()}
+            ))
+        telemetry = TelemetryConfig(
+            metrics=args.metrics_out is not None,
+            trace=want_trace,
+            trace_sites=sites,
+        ).build()
     config = WorldConfig(n_websites=args.n, seed=args.seed, year=args.year)
     progress = NullProgress() if args.quiet else ConsoleProgress()
     try:
@@ -326,16 +407,125 @@ def cmd_measure(args) -> int:
             resume=args.resume,
             progress=progress,
             fault_plan=fault_plan,
+            telemetry=telemetry,
         )
     except ValueError as exc:  # stale checkpoints, bad shard/worker counts
         print(f"measure: {exc}", file=sys.stderr)
         return 1
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(metrics_to_json(telemetry.campaign_metrics or {}))
+        if not args.quiet:
+            print(f"[engine] metrics written to {args.metrics_out}",
+                  file=sys.stderr)
+    if want_trace:
+        roots = telemetry.tracer.drain()
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(chrome_trace(roots, label="repro measure"))
+        if not args.quiet:
+            print(f"[engine] trace written to {args.trace_out}",
+                  file=sys.stderr)
     if args.out is None:
         print(dataset_to_json(dataset))
     else:
         save_dataset(dataset, args.out)
         if not args.quiet:
             print(f"[engine] dataset written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.measurement.runner import MeasurementCampaign
+    from repro.telemetry import TelemetryConfig, chrome_trace, summary_table
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = _load_fault_plan(args.fault_plan, args.fault_seed)
+        except (OSError, ValueError) as exc:
+            print(
+                f"trace: cannot load fault plan {args.fault_plan}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    world = build_world(
+        WorldConfig(n_websites=args.n, seed=args.seed, year=args.year)
+    )
+    telemetry = TelemetryConfig(
+        metrics=True, diagnostics=True, trace=True, trace_sites=(args.domain,)
+    ).build()
+    campaign = MeasurementCampaign(
+        world, fault_plan=fault_plan, telemetry=telemetry
+    )
+    rank = dict(campaign.ranked_sites()).get(args.domain)
+    if rank is None:
+        print(
+            f"trace: {args.domain} is not in this world "
+            f"(n={args.n} seed={args.seed}); measuring it anyway at rank 0",
+            file=sys.stderr,
+        )
+        rank = 0
+    campaign.measure_site(args.domain, rank)
+    trace = chrome_trace(
+        telemetry.tracer.drain(), label=f"repro trace {args.domain}"
+    )
+    if args.out is None:
+        print(trace, end="")
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(trace)
+        if not args.quiet:
+            print(f"[trace] written to {args.out}", file=sys.stderr)
+    if not args.quiet:
+        print(summary_table(
+            telemetry.diagnostics, f"diagnostics for {args.domain}"
+        ), end="", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import os
+
+    from repro.telemetry import MetricsRegistry, metrics_to_json, summary_table
+
+    if os.path.isdir(args.path):
+        from repro.engine.checkpoint import CheckpointStore
+        from repro.measurement.io import shard_payload_from_json
+
+        store = CheckpointStore(args.path)
+        shard_ids = sorted(store.completed_shards())
+        if not shard_ids:
+            print(f"stats: no completed shards under {args.path}",
+                  file=sys.stderr)
+            return 1
+        merged = MetricsRegistry()
+        for shard_id in shard_ids:
+            _, metrics = shard_payload_from_json(store.load_shard(shard_id))
+            if metrics is None:
+                print(
+                    f"stats: shard {shard_id} was checkpointed without "
+                    f"telemetry; rerun measure with --metrics-out to "
+                    f"collect metrics",
+                    file=sys.stderr,
+                )
+                return 1
+            merged.merge_dict(metrics)
+        title = f"checkpoint metrics ({len(shard_ids)} shard(s))"
+    else:
+        from repro.measurement.io import load_dataset
+        from repro.measurement.telemetry import dataset_metrics
+
+        try:
+            dataset = load_dataset(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"stats: cannot load {args.path}: {exc}", file=sys.stderr)
+            return 1
+        merged = dataset_metrics(dataset)
+        title = f"dataset metrics ({len(dataset.websites)} website(s))"
+    if args.json:
+        print(metrics_to_json(merged), end="")
+    else:
+        print(summary_table(merged, title), end="")
     return 0
 
 
@@ -404,6 +594,8 @@ _COMMANDS = {
     "audit": cmd_audit,
     "outage": cmd_outage,
     "measure": cmd_measure,
+    "trace": cmd_trace,
+    "stats": cmd_stats,
     "analyze": cmd_analyze,
     "faults": cmd_faults,
     "lint": cmd_lint,

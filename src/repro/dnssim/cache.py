@@ -9,11 +9,14 @@ entries (NXDOMAIN / NODATA) per RFC 2308.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.dnssim.clock import SimulatedClock
 from repro.dnssim.records import RRType, ResourceRecord
 from repro.names.normalize import normalize
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -56,6 +59,8 @@ class DnsCache:
         self._max = max_entries
         self._entries: dict[tuple[str, RRType], _Entry] = {}
         self.stats = CacheStats()
+        # Observability hook; None keeps the hot path to one attr check.
+        self.telemetry: Optional["Telemetry"] = None
 
     def _key(self, name: str, rrtype: RRType) -> tuple[str, RRType]:
         return (normalize(name), RRType.parse(rrtype))
@@ -94,15 +99,27 @@ class DnsCache:
         """
         key = self._key(name, rrtype)
         entry = self._entries.get(key)
+        tel = self.telemetry
         if entry is None or entry.expires_at <= self._clock.now():
             if entry is not None:
                 del self._entries[key]
             self.stats.misses += 1
+            if tel is not None:
+                tel.diag("dns.cache.misses")
+                tel.event("cache.miss", "dns", qname=key[0], qtype=key[1].name)
             return None
         if entry.negative:
             self.stats.negative_hits += 1
+            if tel is not None:
+                tel.diag("dns.cache.negative_hits")
+                tel.event(
+                    "cache.negative_hit", "dns", qname=key[0], qtype=key[1].name
+                )
             raise NegativeCacheHit(entry.nxdomain)
         self.stats.hits += 1
+        if tel is not None:
+            tel.diag("dns.cache.hits")
+            tel.event("cache.hit", "dns", qname=key[0], qtype=key[1].name)
         return list(entry.records)
 
     def peek(self, name: str, rrtype: RRType) -> Optional[list[ResourceRecord]]:

@@ -9,7 +9,7 @@ recursive resolver exhibits when the paper runs ``dig``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.dnssim.cache import DnsCache, NegativeCacheHit
 from repro.dnssim.clock import SimulatedClock
@@ -22,6 +22,10 @@ from repro.dnssim.message import DnsMessage, RCode
 from repro.dnssim.network import DnsNetwork
 from repro.dnssim.records import RRType, ResourceRecord, SOARecord
 from repro.names.normalize import normalize, split_labels
+from repro.telemetry.spans import NULL_SPAN
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 
 MAX_REFERRALS = 48
 MAX_CNAME_CHAIN = 16
@@ -120,6 +124,8 @@ class IterativeResolver:
         self.cache = cache if cache is not None else DnsCache(self._clock)
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self.stats = ResolverStats()
+        # Observability hook; None keeps the hot path to one attr check.
+        self.telemetry: Optional["Telemetry"] = None
         self._msg_id = 0
         self._lookup_attempts = 1
         self._last_failure = ""
@@ -134,14 +140,28 @@ class IterativeResolver:
         """
         qname = normalize(qname)
         qtype = RRType.parse(qtype)
+        tel = self.telemetry
+        span = (
+            tel.span("dns.lookup", "dns", qname=qname, qtype=qtype.name)
+            if tel is not None
+            else NULL_SPAN
+        )
         result = ResolutionResult(qname=qname, qtype=qtype, rcode=RCode.NOERROR)
         self._lookup_attempts = 1
-        try:
-            self._resolve_into(qname, qtype, result, depth=0)
-        except ResolutionError as exc:
-            exc.attempts = max(exc.attempts, self._lookup_attempts)
-            raise
-        result.attempts = self._lookup_attempts
+        with span as sp:
+            try:
+                self._resolve_into(qname, qtype, result, depth=0)
+            except ResolutionError as exc:
+                exc.attempts = max(exc.attempts, self._lookup_attempts)
+                sp.set(error=str(exc), attempts=self._lookup_attempts)
+                raise
+            result.attempts = self._lookup_attempts
+            sp.set(
+                rcode=result.rcode.name,
+                attempts=result.attempts,
+                answers=len(result.records),
+                cname_chain=len(result.cname_chain),
+            )
         return result
 
     def resolve(self, qname: str, qtype: RRType) -> list[ResourceRecord]:
@@ -176,6 +196,10 @@ class IterativeResolver:
             current = outcome  # CNAME target to chase
             result.cname_chain.append(current)
             self.stats.cname_chases += 1
+            tel = self.telemetry
+            if tel is not None:
+                tel.diag("dns.cname_chases")
+                tel.event("dns.cname_chase", "dns", target=current)
         self.stats.failures += 1
         raise ResolutionError(qname, qtype.name, "CNAME chain too long")
 
@@ -245,6 +269,10 @@ class IterativeResolver:
             if ns_records and not response.aa:
                 self.stats.referrals += 1
                 zone_cut = ns_records[0].name
+                tel = self.telemetry
+                if tel is not None:
+                    tel.diag("dns.referrals")
+                    tel.event("dns.referral", "dns", zone=zone_cut or ".")
                 self.cache.put(zone_cut, RRType.NS, ns_records)
                 for glue in response.additionals:
                     if glue.rrtype in (RRType.A, RRType.AAAA):
@@ -304,10 +332,20 @@ class IterativeResolver:
         error_response: Optional[DnsMessage] = None
         self._last_failure = ""
         attempts_used = 1
+        tel = self.telemetry
         for attempt in range(policy.max_attempts):
             attempts_used = attempt + 1
             if attempt:
                 self.stats.retries += 1
+                if tel is not None:
+                    tel.diag("dns.retries")
+                    tel.event(
+                        "dns.retry",
+                        "dns",
+                        qname=qname,
+                        round=attempts_used,
+                        backoff=policy.backoff(attempt),
+                    )
                 self._clock.advance(policy.backoff(attempt))
             if self._clock.now() - start > policy.timeout_budget:
                 self._last_failure = "query timeout budget exhausted"
@@ -322,6 +360,8 @@ class IterativeResolver:
                     self._last_failure = "no reachable authoritative servers"
                     continue
                 self.stats.queries += 1
+                if tel is not None:
+                    tel.diag("dns.queries")
                 response = DnsMessage.from_wire(wire)
                 if response.tc:
                     self._last_failure = "truncated response"
@@ -405,11 +445,22 @@ class IterativeResolver:
                 ips.extend(rr.rdata.address for rr in cached)  # type: ignore[union-attr]
                 continue
             self.stats.glueless_lookups += 1
+            tel = self.telemetry
+            span = (
+                tel.span("dns.glueless", "dns", nsname=nsname)
+                if tel is not None
+                else NULL_SPAN
+            )
+            if tel is not None:
+                tel.diag("dns.glueless_lookups")
             sub = ResolutionResult(qname=nsname, qtype=RRType.A, rcode=RCode.NOERROR)
-            try:
-                self._resolve_into(nsname, RRType.A, sub, depth + 1)
-            except ResolutionError:
-                continue
+            with span as sp:
+                try:
+                    self._resolve_into(nsname, RRType.A, sub, depth + 1)
+                except ResolutionError:
+                    sp.set(failed=True)
+                    continue
+                sp.set(addresses=len(sub.records))
             ips.extend(
                 rr2.rdata.address for rr2 in sub.records  # type: ignore[union-attr]
             )

@@ -38,6 +38,7 @@ from repro.engine.progress import (
 from repro.faults.plan import FaultPlan
 from repro.measurement.records import Dataset
 from repro.measurement.runner import MeasurementCampaign
+from repro.telemetry.context import Telemetry, TelemetryConfig
 from repro.worldgen.config import WorldConfig
 from repro.worldgen.world import World, build_world
 
@@ -74,6 +75,7 @@ def run_campaign(
     progress: Optional[ProgressReporter] = None,
     stats: Optional[CampaignStats] = None,
     fault_plan: Optional[FaultPlan] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dataset:
     """Execute one measurement campaign through the engine.
 
@@ -86,6 +88,14 @@ def run_campaign(
     ``fault_plan`` threads seeded fault injection through every worker's
     world; the plan's digest joins the fingerprint, so a checkpoint from
     one plan refuses shards measured under another.
+
+    ``telemetry`` installs observability: when its metrics registry is
+    on, every shard payload carries the shard's drained (shard-stable)
+    metrics and the merged campaign aggregate lands in
+    ``telemetry.campaign_metrics`` — byte-identical for any worker/shard
+    count. Workers rebuild a metrics-only facade from a picklable
+    config; the parent's tracer (if any) observes the serial path and
+    the inter-service pass.
     """
     progress = progress if progress is not None else NullProgress()
     stats = stats if stats is not None else CampaignStats()
@@ -109,7 +119,8 @@ def run_campaign(
         world, n_shards=shards, limit=limit, region=region, fault_plan=fault_plan
     )
     campaign = MeasurementCampaign(
-        world, limit=limit, region=region, fault_plan=fault_plan
+        world, limit=limit, region=region, fault_plan=fault_plan,
+        telemetry=telemetry,
     )
 
     store: Optional[CheckpointStore] = None
@@ -150,8 +161,20 @@ def run_campaign(
             # Shares `campaign` with the merge pass — see SerialExecutor.
             executor = SerialExecutor(campaign)
         else:
+            # Workers get a metrics-only facade rebuilt from a picklable
+            # config (tracing stays in-process: site traces need the
+            # serial path so one world observes the whole campaign).
+            worker_telemetry = (
+                TelemetryConfig(metrics=True)
+                if telemetry is not None and telemetry.metrics is not None
+                else None
+            )
             executor = MultiprocessExecutor(
-                config, workers, region=region, fault_plan=fault_plan
+                config,
+                workers,
+                region=region,
+                fault_plan=fault_plan,
+                telemetry_config=worker_telemetry,
             )
         sites_by_id = {s.shard_id: s.n_sites for s in plan.shards}
         for shard_id, payload in executor.run(pending):

@@ -21,6 +21,7 @@ from repro.engine.plan import ShardSpec
 from repro.faults.plan import FaultPlan
 from repro.measurement.io import shard_to_json
 from repro.measurement.runner import MeasurementCampaign
+from repro.telemetry.context import TelemetryConfig
 from repro.worldgen.config import WorldConfig
 from repro.worldgen.world import build_world
 
@@ -32,19 +33,32 @@ def _init_worker(
     config: WorldConfig,
     region: Optional[str],
     fault_plan: Optional[FaultPlan] = None,
+    telemetry_config: Optional[TelemetryConfig] = None,
 ) -> None:
     global _WORKER_CAMPAIGN
     world = build_world(config)
+    telemetry = (
+        telemetry_config.build() if telemetry_config is not None else None
+    )
     _WORKER_CAMPAIGN = MeasurementCampaign(
-        world, region=region, fault_plan=fault_plan
+        world, region=region, fault_plan=fault_plan, telemetry=telemetry
     )
 
 
 def measure_shard(campaign: MeasurementCampaign, shard: ShardSpec) -> str:
-    """Measure one shard's sites; returns the checkpointable payload."""
-    return shard_to_json(
-        [campaign.measure_site(domain, rank) for domain, rank in shard.sites]
-    )
+    """Measure one shard's sites; returns the checkpointable payload.
+
+    When the campaign carries telemetry, the shard payload also carries
+    the registry state drained *after exactly this shard's sites* — the
+    drain scopes metrics per shard, so merged aggregates are independent
+    of which worker measured which shard.
+    """
+    websites = [
+        campaign.measure_site(domain, rank) for domain, rank in shard.sites
+    ]
+    tel = campaign.telemetry
+    metrics = tel.drain_metrics() if tel is not None else None
+    return shard_to_json(websites, metrics)
 
 
 def _measure_shard_in_worker(shard: ShardSpec) -> tuple[int, str]:
@@ -81,6 +95,7 @@ class MultiprocessExecutor:
         workers: int,
         region: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
+        telemetry_config: Optional[TelemetryConfig] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
@@ -88,6 +103,7 @@ class MultiprocessExecutor:
         self._workers = workers
         self._region = region
         self._fault_plan = fault_plan
+        self._telemetry_config = telemetry_config
 
     def run(self, shards: Iterable[ShardSpec]) -> Iterator[tuple[int, str]]:
         shards = list(shards)
@@ -96,7 +112,12 @@ class MultiprocessExecutor:
         pool = multiprocessing.Pool(
             processes=min(self._workers, len(shards)),
             initializer=_init_worker,
-            initargs=(self._config, self._region, self._fault_plan),
+            initargs=(
+                self._config,
+                self._region,
+                self._fault_plan,
+                self._telemetry_config,
+            ),
         )
         try:
             # Unordered: the merger reassembles by shard id, so slow

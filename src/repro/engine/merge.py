@@ -6,6 +6,13 @@ pass runs once over the merged observed-provider sets. Because that
 pass derives everything from ``dataset.websites``, the merged output is
 byte-identical to a serial run regardless of shard count, worker count,
 or the completion order the executor happened to produce.
+
+Telemetry metrics merge the same way: per-shard registry states (drained
+into the shard payloads by the executor) are folded in shard-id order —
+integer arithmetic, so the fold is exact and associative — then the
+inter-service pass's own metrics (recorded once, in this process) ride
+on top. The campaign aggregate is therefore byte-identical for any
+worker/shard count, exactly like the dataset.
 """
 
 from __future__ import annotations
@@ -13,9 +20,10 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.engine.plan import CampaignPlan
-from repro.measurement.io import shard_from_json
+from repro.measurement.io import shard_payload_from_json
 from repro.measurement.records import Dataset
 from repro.measurement.runner import MeasurementCampaign
+from repro.telemetry.metrics import MetricsRegistry
 
 
 def merge_shards(
@@ -23,18 +31,43 @@ def merge_shards(
     plan: CampaignPlan,
     payloads: Mapping[int, str],
 ) -> Dataset:
-    """Merge shard JSON payloads and run the inter-service pass."""
+    """Merge shard JSON payloads and run the inter-service pass.
+
+    When the campaign carries a metrics registry, every shard payload
+    must carry drained metrics; a shard without them (checkpointed by a
+    telemetry-less run) raises ``ValueError`` rather than silently
+    under-counting the aggregate. The merged registry lands in
+    ``campaign.telemetry.campaign_metrics``.
+    """
     missing = [s.shard_id for s in plan.shards if s.shard_id not in payloads]
     if missing:
         raise ValueError(f"cannot merge: shards {missing} have no payload")
+    tel = campaign.telemetry
+    collect = tel is not None and tel.metrics is not None
+    merged = MetricsRegistry()
     dataset = Dataset(year=campaign.world.year)
     for shard in plan.shards:
-        websites = shard_from_json(payloads[shard.shard_id])
+        websites, metrics = shard_payload_from_json(payloads[shard.shard_id])
         if len(websites) != shard.n_sites:
             raise ValueError(
                 f"shard {shard.shard_id} payload has {len(websites)} "
                 f"websites but the plan expects {shard.n_sites}"
             )
+        if collect:
+            if metrics is None:
+                raise ValueError(
+                    f"cannot merge metrics: shard {shard.shard_id} was "
+                    f"checkpointed without telemetry; rerun without "
+                    f"metrics collection or from a fresh checkpoint "
+                    f"directory"
+                )
+            merged.merge_dict(metrics)
         dataset.websites.extend(websites)
     campaign.run_interservice(dataset)
+    if collect:
+        assert tel is not None
+        remainder = tel.drain_metrics()
+        if remainder is not None:
+            merged.merge_dict(remainder)
+        tel.campaign_metrics = merged.to_dict()
     return dataset

@@ -5,33 +5,29 @@ a run (plan → shards → merge); :class:`CampaignStats` accumulates what
 the hooks observe — shards done, sites/sec throughput, and per-phase
 wall-clock — so callers can read the numbers afterwards regardless of
 which reporter was attached.
+
+Wall-clock reads live in :class:`~repro.telemetry.profile.PhaseTimer`
+(re-exported here for compatibility), telemetry's quarantined
+self-profiling side: the orchestrator itself never touches a clock, and
+REP006 enforces that timer values feed operator-facing display only —
+never a serialized dataset, checkpoint, or metrics dump.
 """
 
 from __future__ import annotations
 
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import Optional, TextIO
 
+from repro.telemetry.profile import PhaseTimer
 
-class PhaseTimer:
-    """Wall-clock phase stopwatch.
-
-    Lives here — the engine's telemetry module, which REP001 exempts —
-    so the orchestrator itself never reads a clock. Timings feed
-    operator-facing progress output only; they are never serialized
-    into a dataset.
-    """
-
-    def __init__(self) -> None:
-        self._started = time.monotonic()
-
-    def restart(self) -> None:
-        self._started = time.monotonic()
-
-    def elapsed(self) -> float:
-        return time.monotonic() - self._started
+__all__ = [
+    "CampaignStats",
+    "ConsoleProgress",
+    "NullProgress",
+    "PhaseTimer",
+    "ProgressReporter",
+]
 
 
 @dataclass
@@ -45,14 +41,14 @@ class CampaignStats:
     sites_done: int = 0  # measured this run (excludes checkpointed)
     workers: int = 1
     phase_seconds: dict[str, float] = field(default_factory=dict)
-    _started: Optional[float] = None
+    _timer: Optional[PhaseTimer] = None
 
     def start(self) -> None:
-        self._started = time.monotonic()
+        self._timer = PhaseTimer()
 
     @property
     def elapsed(self) -> float:
-        return 0.0 if self._started is None else time.monotonic() - self._started
+        return 0.0 if self._timer is None else self._timer.elapsed()
 
     @property
     def measure_seconds(self) -> float:

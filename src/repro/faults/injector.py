@@ -17,10 +17,13 @@ pass, ad-hoc probes), windowed rules are inactive.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.faults.plan import FaultPlan, FaultRule
 from repro.faults.prng import SeededFaultSource
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 
 
 class FaultInjector:
@@ -33,6 +36,11 @@ class FaultInjector:
         self._web_rules = plan.rules_for("web")
         self._tls_rules = plan.rules_for("tls")
         self._site_rank: Optional[int] = None
+        # Observability hook; None keeps the hot path to one attr check.
+        # Draw/fire counts are vantage-local diagnostics — how often a
+        # hook is consulted depends on cache warmth, so they never enter
+        # the shard-stable campaign registry.
+        self.telemetry: Optional["Telemetry"] = None
 
     # -- site context ------------------------------------------------------
 
@@ -55,11 +63,21 @@ class FaultInjector:
         return lo <= self._site_rank <= hi
 
     def _fires(self, rule: FaultRule, *key: object) -> bool:
+        tel = self.telemetry
+        if tel is not None:
+            tel.diag("faults.draws", rule=rule.name)
         if rule.probability >= 1.0:
-            return True
-        if rule.probability <= 0.0:
-            return False
-        return self._source.unit(rule.name, *key) < rule.probability
+            fired = True
+        elif rule.probability <= 0.0:
+            fired = False
+        else:
+            fired = self._source.unit(rule.name, *key) < rule.probability
+        if fired and tel is not None:
+            tel.diag("faults.fires", rule=rule.name)
+            tel.event(
+                "fault.fire", "faults", rule=rule.name, kind=rule.kind
+            )
+        return fired
 
     # -- layer hooks -------------------------------------------------------
 

@@ -14,6 +14,8 @@ the canonical on-disk key order.
 
 Format history:
 
+* **4** *(shards only)* — an optional ``metrics`` key carrying the
+  shard's drained telemetry registry (dataset format is unchanged).
 * **3** — graceful degradation: every website observation carries
   ``attempts`` / ``failure_mode`` / ``degraded``.
 * **2** — self-contained sub-records: each observation dict carries its
@@ -35,7 +37,7 @@ from typing import Any, Optional
 from repro.measurement.records import Dataset, WebsiteMeasurement
 
 FORMAT_VERSION = 3
-SHARD_FORMAT_VERSION = 3
+SHARD_FORMAT_VERSION = 4
 OLDEST_READABLE_VERSION = 1
 OLDEST_READABLE_SHARD_VERSION = 1
 
@@ -204,22 +206,37 @@ def dataset_from_json(text: str) -> Dataset:
     return Dataset.from_dict(payload)
 
 
-def shard_to_json(websites: list[WebsiteMeasurement]) -> str:
+def shard_to_json(
+    websites: list[WebsiteMeasurement],
+    metrics: Optional[dict[str, Any]] = None,
+) -> str:
     """Serialize one shard's website measurements (a checkpoint artifact).
 
     Shards carry only website-level records; the inter-service pass runs
-    once over the merged dataset.
+    once over the merged dataset. ``metrics`` is the shard's drained
+    telemetry registry (``MetricsRegistry.drain()`` output) — shard-stable
+    values only, carried alongside the records so resumed runs recover
+    metrics without re-measuring. Omitted entirely when ``None`` so a
+    telemetry-less campaign's shards stay byte-identical to before.
     """
-    payload = {
+    payload: dict[str, Any] = {
         "shard_format_version": SHARD_FORMAT_VERSION,
         "websites": [w.to_dict() for w in websites],
     }
+    if metrics is not None:
+        payload["metrics"] = metrics
     return json.dumps(_canonical(payload), indent=1)
 
 
-def shard_from_json(text: str) -> list[WebsiteMeasurement]:
-    """Deserialize a shard produced by :func:`shard_to_json` (any readable
-    shard version; older payloads are upgraded in memory)."""
+def shard_payload_from_json(
+    text: str,
+) -> tuple[list[WebsiteMeasurement], Optional[dict[str, Any]]]:
+    """Deserialize a shard: ``(websites, metrics)``.
+
+    ``metrics`` is ``None`` for shards written without telemetry (and
+    for every pre-v4 shard). Any readable shard version is upgraded in
+    memory.
+    """
     payload = json.loads(text)
     version = payload.get("shard_format_version")
     _check_format_version(
@@ -234,7 +251,14 @@ def shard_from_json(text: str) -> list[WebsiteMeasurement]:
         version = 2
     if version == 2:
         entries = [_website_v2_to_v3(entry) for entry in entries]
-    return [WebsiteMeasurement.from_dict(entry) for entry in entries]
+    websites = [WebsiteMeasurement.from_dict(entry) for entry in entries]
+    return websites, payload.get("metrics")
+
+
+def shard_from_json(text: str) -> list[WebsiteMeasurement]:
+    """Deserialize just the website records of a shard (any readable
+    shard version; older payloads are upgraded in memory)."""
+    return shard_payload_from_json(text)[0]
 
 
 def save_dataset(dataset: Dataset, path: str) -> None:

@@ -17,9 +17,12 @@ from repro.measurement.cdn_measurer import CdnMeasurer
 from repro.measurement.dns_measurer import DnsMeasurer
 from repro.measurement.interservice import InterServiceMeasurer
 from repro.measurement.records import Dataset, WebsiteMeasurement
+from repro.measurement.telemetry import record_interservice, record_site
 from repro.measurement.tls_measurer import TlsMeasurer
 from repro.names.psl import icann_psl
 from repro.names.registrable import registrable_domain
+from repro.telemetry.context import Telemetry
+from repro.telemetry.spans import NULL_SPAN
 from repro.worldgen.world import World
 
 
@@ -54,6 +57,7 @@ class MeasurementCampaign:
         limit: Optional[int] = None,
         region: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._world = world
         self._limit = limit
@@ -68,6 +72,24 @@ class MeasurementCampaign:
             vantage = world.vantage(region)
             dig, crawler = vantage.dig, vantage.crawler
         self._crawler = crawler
+        self.telemetry = telemetry
+        if telemetry is not None:
+            # Span timestamps come from the world's simulated clock; the
+            # same facade is installed into every layer of this vantage.
+            # Layer hooks only feed the tracer and the diagnostics
+            # registry, so a facade with both off is not installed at
+            # all — the per-query hot paths keep their bare
+            # ``telemetry is None`` fast path (campaign metrics are
+            # recorded per *site* in :meth:`measure_site`, which reads
+            # ``self.telemetry`` directly).
+            telemetry.bind_clock(world.clock.now)
+            if telemetry.tracer is not None or telemetry.diagnostics is not None:
+                dig.resolver.telemetry = telemetry
+                dig.resolver.cache.telemetry = telemetry
+                crawler.telemetry = telemetry
+                crawler.client.telemetry = telemetry
+                if self._injector is not None:
+                    self._injector.telemetry = telemetry
         self.cdn_map = build_cdn_map(world)
         self._ca_directory = ca_directory(world)
         self._dns = DnsMeasurer(dig)
@@ -98,26 +120,61 @@ class MeasurementCampaign:
         Self-contained per site, so the engine can run sites in any
         process as long as the final dataset lists them in rank order.
         """
+        tel = self.telemetry
         if self._injector is not None:
             # Rank-windowed fault rules key off the site under measurement.
             self._injector.set_site(rank)
+        if tel is not None:
+            tel.begin_site(domain)
+        span = (
+            tel.span("site.measure", "measure", domain=domain, rank=rank)
+            if tel is not None
+            else NULL_SPAN
+        )
         try:
-            crawl = self._crawler.crawl(domain)
-            dns_obs = self._dns.measure(domain)
-            tls_obs = self._tls.extract(crawl)
-            for host in tls_obs.ca_hosts:
-                tls_obs.endpoint_soas[host] = self._dns.soa_identity(host)
-            cdn_obs = self._cdn.measure(crawl)
+            with span:
+                with (
+                    tel.span("site.crawl", "measure")
+                    if tel is not None
+                    else NULL_SPAN
+                ):
+                    crawl = self._crawler.crawl(domain)
+                with (
+                    tel.span("site.dns", "measure")
+                    if tel is not None
+                    else NULL_SPAN
+                ):
+                    dns_obs = self._dns.measure(domain)
+                with (
+                    tel.span("site.tls", "measure")
+                    if tel is not None
+                    else NULL_SPAN
+                ):
+                    tls_obs = self._tls.extract(crawl)
+                    for host in tls_obs.ca_hosts:
+                        tls_obs.endpoint_soas[host] = self._dns.soa_identity(host)
+                with (
+                    tel.span("site.cdn", "measure")
+                    if tel is not None
+                    else NULL_SPAN
+                ):
+                    cdn_obs = self._cdn.measure(crawl)
         finally:
+            if tel is not None:
+                tel.end_site()
             if self._injector is not None:
                 self._injector.clear_site()
-        return WebsiteMeasurement(
+        measurement = WebsiteMeasurement(
             domain=domain,
             rank=rank,
             dns=dns_obs,
             tls=tls_obs,
             cdn=cdn_obs,
         )
+        if tel is not None:
+            # Shard-stable campaign metrics: pure functions of the record.
+            record_site(tel, measurement, self.fault_plan)
+        return measurement
 
     def observed_providers(
         self, websites: Sequence[WebsiteMeasurement]
@@ -153,6 +210,19 @@ class MeasurementCampaign:
         whether the websites were measured serially or merged from
         shards.
         """
+        tel = self.telemetry
+        span = (
+            tel.span("interservice", "measure")
+            if tel is not None
+            else NULL_SPAN
+        )
+        with span:
+            self._run_interservice(dataset)
+        if tel is not None:
+            record_interservice(tel, dataset)
+        return dataset
+
+    def _run_interservice(self, dataset: Dataset) -> Dataset:
         observed_cdns, observed_cas = self.observed_providers(dataset.websites)
 
         # Inter-service measurements over the observed provider sets. The

@@ -1,0 +1,107 @@
+"""Shard-stable campaign metrics derived from measurement records.
+
+Every metric recorded here is a pure function of a site's own
+:class:`~repro.measurement.records.WebsiteMeasurement` (plus the static
+fault plan) — never of resolver/OCSP cache state, wire traffic, or any
+other cross-site carryover. That is the property that lets per-shard
+registry state merge associatively into byte-identical aggregates at
+any worker/shard count: raw event counts (wire queries, cache hits,
+fault draws) depend on cache warmth, which depends on which sites
+shared a process, so those live in the vantage-local *diagnostics*
+registry instead (see :mod:`repro.telemetry`). The same reasoning gave
+records their warmth-independent ``attempts`` field; these metrics
+aggregate exactly such record fields.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+from repro.measurement.records import Dataset, WebsiteMeasurement
+from repro.telemetry.context import Telemetry
+from repro.telemetry.metrics import ATTEMPT_BUCKETS, MetricsRegistry
+
+
+def record_site(
+    tel: Telemetry,
+    measurement: WebsiteMeasurement,
+    plan: Optional[FaultPlan] = None,
+) -> None:
+    """Fold one site's record into the campaign registry."""
+    if tel.metrics is None:
+        return
+    tel.count("sites")
+    if measurement.tls.https:
+        tel.count("sites.https")
+    if measurement.tls.ocsp_stapled:
+        tel.count("sites.ocsp_stapled")
+    if measurement.dns.resolvable:
+        tel.count("sites.resolvable")
+    if measurement.cdn.crawl_ok:
+        tel.count("sites.crawl_ok")
+
+    for layer, obs in (
+        ("dns", measurement.dns),
+        ("tls", measurement.tls),
+        ("cdn", measurement.cdn),
+    ):
+        tel.observe("site.attempts", obs.attempts, ATTEMPT_BUCKETS, layer=layer)
+        if obs.degraded:
+            tel.count("sites.degraded", layer=layer)
+        if obs.failure_mode:
+            tel.count("sites.failure_mode", layer=layer, mode=obs.failure_mode)
+
+    tel.observe("dns.nameservers", len(measurement.dns.nameservers))
+    tel.observe("cdn.resource_hosts", len(measurement.cdn.resource_hostnames))
+    tel.observe("cdn.detected", len(measurement.cdn.detected_cdns))
+    for chain in measurement.cdn.cname_chains.values():
+        tel.observe("cdn.cname_chain_len", len(chain))
+
+    if plan is not None:
+        # Rank-window liveness is a pure function of (plan, rank): the
+        # deterministic, mergeable face of fault exposure. Raw draw/fire
+        # counts are warmth-dependent and stay in diagnostics.
+        for rule in plan.rules:
+            if rule.rank_window is None:
+                continue
+            lo, hi = rule.rank_window
+            if lo <= measurement.rank <= hi:
+                tel.count("faults.sites_live", rule=rule.name)
+
+
+def record_interservice(tel: Telemetry, dataset: Dataset) -> None:
+    """Fold the inter-service pass into the campaign registry.
+
+    Runs exactly once per campaign — in the merging parent, after shard
+    payloads are folded — so these values ride on top of the shard sum.
+    """
+    if tel.metrics is None:
+        return
+    tel.count("interservice.cdn_domains", len(dataset.cdn_dns))
+    tel.count("interservice.ca_domains", len(dataset.ca_dns))
+    tel.count(
+        "interservice.revocation_endpoints",
+        sum(len(obs.endpoint_hosts) for obs in dataset.ca_cdn.values()),
+    )
+    for obs in dataset.cdn_dns.values():
+        tel.observe("interservice.nameservers", len(obs.nameservers), kind="cdn")
+    for obs in dataset.ca_dns.values():
+        tel.observe("interservice.nameservers", len(obs.nameservers), kind="ca")
+
+
+def dataset_metrics(
+    dataset: Dataset, plan: Optional[FaultPlan] = None
+) -> MetricsRegistry:
+    """Recompute the full campaign registry from a finished dataset.
+
+    ``repro stats`` uses this on plain dataset files; because every
+    campaign metric is record-derived, the result matches what a live
+    campaign with telemetry enabled would have produced.
+    """
+    tel = Telemetry(metrics=MetricsRegistry())
+    for measurement in dataset.websites:
+        record_site(tel, measurement, plan)
+    record_interservice(tel, dataset)
+    assert tel.metrics is not None
+    return tel.metrics

@@ -15,24 +15,27 @@ from typing import Optional
 def _default_layers() -> dict[str, int]:
     # The import-layering DAG (REP003). A module may import strictly
     # lower layers only; equal-layer packages are peers and may not
-    # import each other. ``websim`` sits above the dnssim/tlssim
-    # substrates because an HTTPS client is built from DNS resolution
-    # plus TLS validation; ``cli`` is the pseudo-package for modules
-    # directly under ``repro`` (cli.py, __main__.py, __init__.py).
+    # import each other. ``telemetry`` sits at the bottom so every
+    # simulator (and the fault injector) can report into it; ``websim``
+    # sits above the dnssim/tlssim substrates because an HTTPS client is
+    # built from DNS resolution plus TLS validation; ``cli`` is the
+    # pseudo-package for modules directly under ``repro`` (cli.py,
+    # __main__.py, __init__.py).
     return {
         "staticcheck": 0,
         "names": 0,
-        "faults": 0,
-        "dnssim": 1,
-        "tlssim": 1,
-        "websim": 2,
-        "worldgen": 3,
-        "measurement": 4,
-        "core": 5,
-        "engine": 6,
-        "failures": 6,
-        "analysis": 7,
-        "cli": 8,
+        "telemetry": 0,
+        "faults": 1,
+        "dnssim": 2,
+        "tlssim": 2,
+        "websim": 3,
+        "worldgen": 4,
+        "measurement": 5,
+        "core": 6,
+        "engine": 7,
+        "failures": 7,
+        "analysis": 8,
+        "cli": 9,
     }
 
 
@@ -44,11 +47,12 @@ class LintConfig:
     rules: Optional[frozenset[str]] = None
 
     # REP001: modules allowed to read wall clocks / entropy directly.
-    # dnssim.clock is the simulation's one time source; engine.progress
-    # is operator-facing telemetry (sites/sec, phase timings) that is
-    # never serialized into a dataset.
+    # dnssim.clock is the simulation's one time source; telemetry.profile
+    # is the quarantined wall-clock side of the observability layer
+    # (operator-facing phase timings, never serialized — REP006 holds
+    # the rest of telemetry to the simulated clock).
     rep001_allowed_modules: frozenset[str] = frozenset(
-        {"repro.dnssim.clock", "repro.engine.progress"}
+        {"repro.dnssim.clock", "repro.telemetry.profile"}
     )
 
     # REP001: packages whose randomness must flow through one sanctioned
@@ -84,6 +88,30 @@ class LintConfig:
     # REP005: modules whose dataclasses form the serialization contract.
     rep005_record_modules: frozenset[str] = frozenset(
         {"repro.measurement.records"}
+    )
+
+    # REP006: telemetry's wall-clock boundary. ``wallclock_modules`` are
+    # the only telemetry modules that may read real time (the profiling
+    # side); ``serialized_modules`` sit on the serialization path (span/
+    # metric state, exporters) and may neither read real time nor import
+    # a wallclock module — nothing wall-clock-derived may reach a trace,
+    # metrics dump, checkpoint, or dataset. ``forbidden_edges`` names
+    # (importer package, imported package) pairs that the layer DAG
+    # permits but this repository forbids: the deterministic core must
+    # never grow an observability dependency.
+    rep006_wallclock_modules: frozenset[str] = frozenset(
+        {"repro.telemetry.profile"}
+    )
+    rep006_serialized_modules: frozenset[str] = frozenset(
+        {
+            "repro.telemetry.spans",
+            "repro.telemetry.metrics",
+            "repro.telemetry.context",
+            "repro.telemetry.export",
+        }
+    )
+    rep006_forbidden_edges: frozenset[tuple[str, str]] = frozenset(
+        {("core", "telemetry")}
     )
 
     def wants(self, rule_id: str) -> bool:

@@ -8,6 +8,7 @@ from repro.staticcheck.rules.rep002_sorted_iteration import SortedIterationRule
 from repro.staticcheck.rules.rep003_layering import LayeringRule
 from repro.staticcheck.rules.rep004_worker_safety import WorkerSafetyRule
 from repro.staticcheck.rules.rep005_serialization import SerializationContractRule
+from repro.staticcheck.rules.rep006_telemetry import TelemetryBoundaryRule
 
 ALL_RULES: tuple[Rule, ...] = (
     DeterminismRule(),
@@ -15,6 +16,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LayeringRule(),
     WorkerSafetyRule(),
     SerializationContractRule(),
+    TelemetryBoundaryRule(),
 )
 
 

@@ -2,15 +2,19 @@
 
 Packages form strict layers (see ``LintConfig.rep003_layers``)::
 
-    names, staticcheck                          (0)
-      -> dnssim | tlssim                        (1)   peer simulators
-        -> websim                               (2)   HTTPS = DNS + TLS
-          -> worldgen                           (3)
-            -> measurement                      (4)
-              -> core                           (5)
-                -> engine | failures            (6)   peer consumers
-                  -> analysis                   (7)
-                    -> cli / __main__ / repro   (8)
+    names, staticcheck, telemetry               (0)
+      -> faults                                 (1)   reports into telemetry
+        -> dnssim | tlssim                      (2)   peer simulators
+          -> websim                             (3)   HTTPS = DNS + TLS
+            -> worldgen                         (4)
+              -> measurement                    (5)
+                -> core                         (6)
+                  -> engine | failures          (7)   peer consumers
+                    -> analysis                 (8)
+                      -> cli / __main__ / repro (9)
+
+(REP006 additionally *forbids* specific edges the DAG would allow —
+``core -> telemetry`` — and polices telemetry's wall-clock boundary.)
 
 A module may import strictly *lower* layers only. Equal-layer packages
 are peers (dnssim/tlssim, engine/failures) and may not import each

@@ -1,0 +1,143 @@
+"""REP006 — telemetry's wall-clock boundary.
+
+Telemetry may read the real clock for *self-profiling only*; nothing
+wall-clock-derived may reach a serialized artifact. Statically that
+decomposes into three checks:
+
+* modules on telemetry's serialization path
+  (``rep006_serialized_modules`` — span/metric state and the exporters)
+  may not call wall-clock functions: every timestamp they handle must
+  come from the injected simulated clock;
+* the same modules may not import a wallclock module
+  (``rep006_wallclock_modules`` — the quarantined profiling side), so a
+  real-time value cannot flow into span/metric/export state even
+  indirectly;
+* ``rep006_forbidden_edges`` names (importer package, imported package)
+  pairs that the REP003 layer DAG *permits* but this repository
+  forbids — ``core ↛ telemetry``: the paper's analysis core stays a
+  pure function of records and must never grow an observability
+  dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule, import_table, resolve_call_target
+from repro.staticcheck.rules.rep003_layering import _imported_repro_packages
+
+_WALLCLOCK_TARGETS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _imported_modules(tree: ast.Module, current_module: str) -> list[tuple[ast.AST, str]]:
+    """(node, absolute imported module) for every import statement."""
+    hits: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                hits.append((node, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if node.module:
+                    hits.append((node, node.module))
+                    for alias in node.names:
+                        hits.append((node, f"{node.module}.{alias.name}"))
+                continue
+            # Relative import: climb ``level`` packages.
+            parts = current_module.split(".")
+            if node.level > len(parts):
+                continue
+            base = parts[: len(parts) - node.level]
+            if node.module:
+                base.append(node.module)
+            if base:
+                hits.append((node, ".".join(base)))
+                for alias in node.names:
+                    hits.append((node, ".".join(base + [alias.name])))
+    return hits
+
+
+class TelemetryBoundaryRule(Rule):
+    rule_id = "REP006"
+    title = "wall-clock telemetry must not reach serialized artifacts"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_forbidden_edges(module, config))
+        if module.module in config.rep006_serialized_modules:
+            findings.extend(self._check_serialized_module(module, config))
+        return findings
+
+    def _check_forbidden_edges(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> list[Finding]:
+        importer_pkg = module.package
+        if not importer_pkg:
+            return []
+        findings: list[Finding] = []
+        for node, imported_pkg in _imported_repro_packages(
+            module.tree, module.module
+        ):
+            if (importer_pkg, imported_pkg) in config.rep006_forbidden_edges:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"repro.{importer_pkg} may not import "
+                        f"repro.{imported_pkg}: the edge is forbidden even "
+                        f"though the layer DAG allows it (the deterministic "
+                        f"core stays observability-free)",
+                    )
+                )
+        return findings
+
+    def _check_serialized_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        table = import_table(module.tree)
+        for node, imported in _imported_modules(module.tree, module.module):
+            if imported in config.rep006_wallclock_modules:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{module.module} is on telemetry's serialization "
+                        f"path and may not import {imported}: wall-clock "
+                        f"values must never reach a serialized artifact",
+                    )
+                )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, table)
+            if target in _WALLCLOCK_TARGETS:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"call to {target} in {module.module}: serialized "
+                        f"telemetry (spans, metrics, exports) must be "
+                        f"stamped from the simulated clock only",
+                    )
+                )
+        return findings

@@ -1,0 +1,154 @@
+"""The telemetry facade installed into simulators, and its picklable config.
+
+Instrumented layers (resolver, cache, crawler, web client, fault
+injector, measurement campaign) hold a ``telemetry`` attribute that is
+``None`` by default; every hook guards with ``if tel is not None`` so
+the uninstrumented hot path costs one attribute check. An installed
+:class:`Telemetry` whose tracer/metrics are ``None`` degrades to the
+same guard-only cost — :meth:`Telemetry.span` hands back the shared
+``NULL_SPAN`` and counter calls return immediately.
+
+:class:`TelemetryConfig` is the picklable recipe shipped to worker
+processes through ``Pool`` initargs; each worker builds its own
+:class:`Telemetry` from it, mirroring how worker worlds are rebuilt
+from :class:`WorldConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Union
+
+from repro.telemetry.metrics import SMALL_COUNT_BUCKETS, MetricsRegistry
+from repro.telemetry.spans import NULL_SPAN, Tracer, _NullSpan, _SpanContext
+
+AttrValue = Union[str, int, float, bool]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to collect. Picklable — crosses the Pool boundary as-is.
+
+    ``trace_sites`` is a sorted tuple of domains to trace (empty tuple +
+    ``trace=True`` means trace everything). ``metrics`` enables the
+    shard-stable campaign registry; ``diagnostics`` the per-process raw
+    counters (vantage-local, never serialized).
+    """
+
+    metrics: bool = True
+    diagnostics: bool = False
+    trace: bool = False
+    trace_sites: tuple[str, ...] = ()
+
+    def build(self) -> "Telemetry":
+        tracer: Optional[Tracer] = None
+        if self.trace:
+            site_filter = frozenset(self.trace_sites) if self.trace_sites else None
+            tracer = Tracer(site_filter=site_filter)
+        return Telemetry(
+            tracer=tracer,
+            metrics=MetricsRegistry() if self.metrics else None,
+            diagnostics=MetricsRegistry() if self.diagnostics else None,
+        )
+
+
+class Telemetry:
+    """Facade bundling a tracer plus the two metric scopes.
+
+    * ``metrics`` — the shard-stable campaign registry. Only values that
+      are pure functions of a site's own measurement record may land
+      here (DESIGN §10); its per-shard state is serialized into
+      checkpoints and merged associatively.
+    * ``diagnostics`` — raw vantage-local counters (wire queries, cache
+      hits, fault draws). Warmth-dependent; never serialized or merged.
+    """
+
+    __slots__ = ("tracer", "metrics", "diagnostics", "campaign_metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        diagnostics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.diagnostics = diagnostics
+        # Filled by the engine after merge: the campaign-wide aggregate.
+        self.campaign_metrics: Optional[dict[str, Any]] = None
+
+    # -- clock / site context ------------------------------------------------
+
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        """Point the tracer at a world's simulated clock."""
+        if self.tracer is not None:
+            self.tracer.bind_clock(now)
+
+    def begin_site(self, domain: str) -> None:
+        if self.tracer is not None:
+            self.tracer.begin_site(domain)
+
+    def end_site(self) -> None:
+        if self.tracer is not None:
+            self.tracer.end_site()
+
+    # -- tracing shortcuts ---------------------------------------------------
+
+    def span(
+        self, name: str, category: str = "", **attrs: AttrValue
+    ) -> Union[_SpanContext, _NullSpan]:
+        tracer = self.tracer
+        if tracer is None:
+            return NULL_SPAN
+        return tracer.span(name, category, **attrs)
+
+    def event(self, name: str, category: str = "", **attrs: AttrValue) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(name, category, **attrs)
+
+    # -- campaign (shard-stable) metrics -------------------------------------
+
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        if self.metrics is not None:
+            self.metrics.count(name, n, **labels)
+
+    def observe(
+        self,
+        name: str,
+        value: int,
+        bounds: tuple[int, ...] = SMALL_COUNT_BUCKETS,
+        **labels: object,
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, value, bounds, **labels)
+
+    def drain_metrics(self) -> Optional[dict[str, Any]]:
+        """Serialize-and-reset the campaign registry (per-shard scoping)."""
+        if self.metrics is None:
+            return None
+        return self.metrics.drain()
+
+    # -- diagnostics (vantage-local, never serialized) -----------------------
+
+    def diag(self, name: str, n: int = 1, **labels: object) -> None:
+        if self.diagnostics is not None:
+            self.diagnostics.count(name, n, **labels)
+
+    def diag_observe(
+        self,
+        name: str,
+        value: int,
+        bounds: tuple[int, ...] = SMALL_COUNT_BUCKETS,
+        **labels: object,
+    ) -> None:
+        if self.diagnostics is not None:
+            self.diagnostics.observe(name, value, bounds, **labels)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"tracer={'on' if self.tracer else 'off'}",
+            f"metrics={'on' if self.metrics else 'off'}",
+            f"diagnostics={'on' if self.diagnostics else 'off'}",
+        ]
+        return f"Telemetry({', '.join(parts)})"

@@ -1,0 +1,175 @@
+"""Exporters: Chrome trace-event JSON, metrics JSON, text summary table.
+
+Every exporter here is deterministic: timestamps are simulated-clock
+values (microseconds in traces), JSON is dumped with sorted keys, and
+series appear in canonical key order — so trace and metrics exports can
+be golden-tested byte-for-byte, exactly like datasets (DESIGN §10).
+Wall-clock values must never enter these functions (REP006).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Union
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.spans import Span
+
+METRICS_FORMAT = "repro-metrics/1"
+_PID = 1  # one simulated world per trace
+_TID = 1  # the simulated stack is single-threaded by construction
+
+
+def _microseconds(seconds: float) -> int:
+    """Simulated seconds → integer µs (Chrome trace ``ts`` unit)."""
+    return int(round(seconds * 1_000_000))
+
+
+def _args(span: Span) -> dict[str, Any]:
+    args: dict[str, Any] = {"seq": span.seq}
+    args.update(span.attrs)
+    return args
+
+
+def _emit(span: Span, events: list[dict[str, Any]]) -> None:
+    """Append this span's events depth-first: B, children, E."""
+    if span.kind == "instant":
+        events.append(
+            {
+                "args": _args(span),
+                "cat": span.category or "repro",
+                "name": span.name,
+                "ph": "i",
+                "pid": _PID,
+                "s": "t",
+                "tid": _TID,
+                "ts": _microseconds(span.start),
+            }
+        )
+        return
+    events.append(
+        {
+            "args": _args(span),
+            "cat": span.category or "repro",
+            "name": span.name,
+            "ph": "B",
+            "pid": _PID,
+            "tid": _TID,
+            "ts": _microseconds(span.start),
+        }
+    )
+    for child in span.children:
+        _emit(child, events)
+    events.append(
+        {
+            "name": span.name,
+            "ph": "E",
+            "pid": _PID,
+            "tid": _TID,
+            "ts": _microseconds(span.end),
+        }
+    )
+
+
+def chrome_trace(roots: Iterable[Span], label: str = "repro simulated stack") -> str:
+    """Serialize span trees as Chrome trace-event JSON (Perfetto-loadable).
+
+    Events are emitted in tree order (begin, children, end), which keeps
+    zero-duration siblings — the common case on a simulated clock —
+    correctly nested when the viewer replays equal-``ts`` events in file
+    order. Each span's monotonic ``seq`` rides along in ``args`` so the
+    original recording order survives any re-sort.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "args": {"name": label},
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "ts": 0,
+        },
+        {
+            "args": {"name": "simulated clock"},
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "ts": 0,
+        },
+    ]
+    for root in roots:
+        _emit(root, events)
+    payload = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def metrics_to_json(
+    metrics: Union[MetricsRegistry, Mapping[str, Any]],
+    notes: Mapping[str, Any] | None = None,
+) -> str:
+    """Canonical metrics dump: sorted keys, one trailing newline.
+
+    Accepts either a live registry or an already-serialized registry
+    dict (``MetricsRegistry.to_dict`` / a merged shard payload) —
+    byte-identity of this output across worker counts is an acceptance
+    criterion, so the serialization is exactly one canonical form.
+    """
+    state = metrics.to_dict() if isinstance(metrics, MetricsRegistry) else dict(metrics)
+    payload: dict[str, Any] = {
+        "counters": state.get("counters", {}),
+        "format": METRICS_FORMAT,
+        "histograms": state.get("histograms", {}),
+    }
+    if notes:
+        payload["notes"] = dict(notes)
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def metrics_from_json(text: str) -> MetricsRegistry:
+    """Parse a :func:`metrics_to_json` dump back into a registry."""
+    payload = json.loads(text)
+    if payload.get("format") != METRICS_FORMAT:
+        raise ValueError(
+            f"not a {METRICS_FORMAT} document "
+            f"(format={payload.get('format')!r})"
+        )
+    return MetricsRegistry.from_dict(payload)
+
+
+def _histogram_line(key: str, histogram: Histogram) -> str:
+    buckets = []
+    for bound, count in zip(histogram.bounds, histogram.counts):
+        buckets.append(f"<={bound}:{count}")
+    buckets.append(f">{histogram.bounds[-1]}:{histogram.counts[-1]}")
+    return (
+        f"  {key}  n={histogram.total} mean={histogram.mean:.2f}  "
+        f"[{' '.join(buckets)}]"
+    )
+
+
+def summary_table(
+    metrics: Union[MetricsRegistry, Mapping[str, Any]],
+    title: str = "campaign metrics",
+) -> str:
+    """Human-readable table of counters and histogram summaries."""
+    registry = (
+        metrics
+        if isinstance(metrics, MetricsRegistry)
+        else MetricsRegistry.from_dict(metrics)
+    )
+    lines = [title, "=" * len(title)]
+    counters = registry.counters()
+    histograms = registry.histograms()
+    if counters:
+        lines.append("counters:")
+        width = max(len(key) for key in counters)
+        for key, value in counters.items():
+            lines.append(f"  {key.ljust(width)}  {value}")
+    if histograms:
+        lines.append("histograms:")
+        for key, histogram in histograms.items():
+            lines.append(_histogram_line(key, histogram))
+    if not counters and not histograms:
+        lines.append("(empty)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,195 @@
+"""Counters and fixed-bucket histograms with associative, exact merge.
+
+Everything here is integer arithmetic: counter increments and histogram
+observations are ints, so merging registries is exact and associative —
+``(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`` to the byte — which is what lets the
+engine serialize per-shard registry state into checkpoints and fold
+shards back together in shard-id order to aggregates that are
+byte-identical at any worker/shard count (DESIGN §10).
+
+Metric keys render labels Prometheus-style — ``name{k=v,k2=v2}`` with
+labels sorted by key — so serialized registries have one canonical
+spelling per series.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Mapping, Optional
+
+# Upper bucket bounds (inclusive); values above the last bound land in
+# the implicit overflow bucket. Attempts are bounded by RetryPolicy
+# (default max 3) but leave headroom for custom policies.
+ATTEMPT_BUCKETS: tuple[int, ...] = (1, 2, 3, 4, 6)
+# Small cardinalities: nameserver counts, CNAME chain lengths, CDN counts.
+SMALL_COUNT_BUCKETS: tuple[int, ...] = (0, 1, 2, 3, 5, 8)
+
+
+def metric_key(name: str, labels: Mapping[str, object]) -> str:
+    """The canonical series key: ``name{k=v,...}``, labels sorted by key."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class Histogram:
+    """A fixed-bucket integer histogram.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket is
+    implicit. Histograms with different bounds never merge — bounds are
+    part of a series' identity.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: tuple[int, ...]) -> None:
+        if not bounds or tuple(sorted(bounds)) != tuple(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds!r}")
+        self.bounds = tuple(int(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with bounds {other.bounds} "
+                f"into bounds {self.bounds}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        histogram = cls(tuple(data["bounds"]))
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(histogram.counts):
+            raise ValueError(
+                f"histogram payload has {len(counts)} buckets but bounds "
+                f"{histogram.bounds} imply {len(histogram.counts)}"
+            )
+        histogram.counts = counts
+        histogram.total = int(data["total"])
+        histogram.sum = int(data["sum"])
+        return histogram
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms.
+
+    One registry instance is single-threaded by design: workers each own
+    one (worker worlds are rebuilt per process), and per-shard state is
+    drained into the shard payload the moment the shard finishes.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        key = metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + int(n)
+
+    def observe(
+        self,
+        name: str,
+        value: int,
+        bounds: tuple[int, ...] = SMALL_COUNT_BUCKETS,
+        **labels: object,
+    ) -> None:
+        key = metric_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(bounds)
+        histogram.observe(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> int:
+        return self._counters.get(metric_key(name, labels), 0)
+
+    def histogram(self, name: str, **labels: object) -> Optional[Histogram]:
+        return self._histograms.get(metric_key(name, labels))
+
+    @property
+    def empty(self) -> bool:
+        return not self._counters and not self._histograms
+
+    def counters(self) -> dict[str, int]:
+        """Counter series in canonical (sorted-key) order."""
+        return {key: self._counters[key] for key in sorted(self._counters)}
+
+    def histograms(self) -> dict[str, Histogram]:
+        """Histogram series in canonical (sorted-key) order."""
+        return {key: self._histograms[key] for key in sorted(self._histograms)}
+
+    # -- merge / serialization ----------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (exact, associative)."""
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, histogram in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = Histogram(histogram.bounds)
+            mine.merge(histogram)
+
+    def merge_dict(self, data: Mapping[str, Any]) -> None:
+        """Fold a serialized registry (``to_dict`` output) into this one."""
+        self.merge(MetricsRegistry.from_dict(data))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical serialized form: sorted series keys, int values."""
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                key: histogram.to_dict()
+                for key, histogram in self.histograms().items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        for key, value in data.get("counters", {}).items():
+            registry._counters[key] = int(value)
+        for key, payload in data.get("histograms", {}).items():
+            registry._histograms[key] = Histogram.from_dict(payload)
+        return registry
+
+    def drain(self) -> dict[str, Any]:
+        """Serialize current state and reset to empty (per-shard scoping)."""
+        state = self.to_dict()
+        self._counters.clear()
+        self._histograms.clear()
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )

@@ -1,0 +1,32 @@
+"""Wall-clock self-profiling — the ONE module allowed to read real time.
+
+Operator-facing throughput numbers (sites/sec, phase durations) need
+the real clock; everything serialized needs the simulated one. This
+module is the quarantine boundary: REP001 exempts it wholesale and
+REP006 enforces that no other telemetry module (and nothing on the
+serialization path) reads ``time.monotonic``/``time.time`` — wall-clock
+values flow from here into progress displays and benchmark output only,
+never into datasets, checkpoints, metrics dumps, or traces.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class PhaseTimer:
+    """Wall-clock phase stopwatch for operator-facing progress output.
+
+    Timings feed progress lines and :class:`~repro.engine.progress.CampaignStats`
+    only; they are never serialized into a dataset, checkpoint, metrics
+    dump, or trace (REP006 guards the boundary).
+    """
+
+    def __init__(self) -> None:
+        self._started = time.monotonic()
+
+    def restart(self) -> None:
+        self._started = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started

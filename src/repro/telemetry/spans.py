@@ -1,0 +1,207 @@
+"""Span tracing on the simulated clock.
+
+A :class:`Tracer` records a forest of :class:`Span` trees — one root per
+traced site (or per ad-hoc operation). Spans open and close through a
+context manager so the tree is well-formed by construction: children
+nest strictly inside their parent, and a span's interval always covers
+its children's intervals on the simulated clock.
+
+Determinism: timestamps come exclusively from the injected ``now``
+callable (the world's simulated clock); every span additionally carries
+a monotonically increasing sequence number so zero-duration siblings
+(the common case — simulated time only advances on backoff and ``slow``
+faults) keep a stable, replayable order in exports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Union
+
+AttrValue = Union[str, int, float, bool]
+
+
+class Span:
+    """One traced operation: a named interval with attributes and children.
+
+    ``kind`` is ``"span"`` for intervals and ``"instant"`` for
+    zero-duration point events.
+    """
+
+    __slots__ = ("name", "category", "start", "end", "seq", "attrs",
+                 "children", "kind")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        seq: int,
+        kind: str = "span",
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = start
+        self.seq = seq
+        self.attrs: dict[str, AttrValue] = {}
+        self.children: list["Span"] = []
+        self.kind = kind
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def set(self, **attrs: AttrValue) -> None:
+        """Attach attributes (overwrites on key collision)."""
+        self.attrs.update(attrs)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, t={self.start:g}..{self.end:g}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """The shared no-op span: a reusable, reentrant context manager.
+
+    Returned by :meth:`Tracer.span` when tracing is off so call sites
+    never branch — ``with tracer.span(...) as sp: sp.set(...)`` costs a
+    handful of attribute lookups in the disabled path.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: AttrValue) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager closing one live span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+    def set(self, **attrs: AttrValue) -> None:
+        self._span.set(**attrs)
+
+
+class Tracer:
+    """Records span trees against an injected simulated-time source.
+
+    ``site_filter`` restricts recording to specific sites: between
+    :meth:`begin_site`/:meth:`end_site` calls the tracer is live only
+    when the site's domain is in the filter (``None`` = trace all).
+    Outside any site context a filtered tracer stays silent, so a
+    campaign traced with ``--trace-sites`` records exactly the requested
+    sites and nothing else.
+    """
+
+    def __init__(
+        self,
+        now: Optional[Callable[[], float]] = None,
+        site_filter: Optional[frozenset[str]] = None,
+    ) -> None:
+        self._now: Callable[[], float] = now if now is not None else (lambda: 0.0)
+        self.site_filter = site_filter
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._seq = 0
+        # Live unless a site filter says otherwise.
+        self._recording = site_filter is None
+
+    # -- clock binding -------------------------------------------------------
+
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        """Point the tracer at the world's simulated clock."""
+        self._now = now
+
+    # -- site context --------------------------------------------------------
+
+    def begin_site(self, domain: str) -> None:
+        """Enter a site's measurement; applies the site filter."""
+        self._recording = self.site_filter is None or domain in self.site_filter
+
+    def end_site(self) -> None:
+        """Leave site context; a filtered tracer goes silent again."""
+        if self.site_filter is not None:
+            self._recording = False
+
+    @property
+    def recording(self) -> bool:
+        return self._recording
+
+    # -- recording -----------------------------------------------------------
+
+    def _open(self, name: str, category: str, kind: str) -> Span:
+        self._seq += 1
+        span = Span(name, category, self._now(), self._seq, kind=kind)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        while self._stack and self._stack[-1] is not span:
+            # Defensive: close any child left open by a non-local exit.
+            self._stack.pop().end = self._now()
+        if self._stack:
+            self._stack.pop()
+        span.end = self._now()
+
+    def span(
+        self, name: str, category: str = "", **attrs: AttrValue
+    ) -> Union[_SpanContext, _NullSpan]:
+        """Open a span; close it by leaving the ``with`` block."""
+        if not self._recording:
+            return NULL_SPAN
+        span = self._open(name, category, "span")
+        if attrs:
+            span.attrs.update(attrs)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def event(self, name: str, category: str = "", **attrs: AttrValue) -> None:
+        """Record an instant (zero-duration) event at the current nesting."""
+        if not self._recording:
+            return
+        span = self._open(name, category, "instant")
+        if attrs:
+            span.attrs.update(attrs)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def drain(self) -> list[Span]:
+        """Detach and return the finished root spans recorded so far."""
+        roots, self.roots = self.roots, []
+        return roots

@@ -11,7 +11,7 @@ finally issue the request.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.dnssim.client import DigClient
 from repro.dnssim.clock import SimulatedClock
@@ -26,8 +26,12 @@ from repro.tlssim.validation import (
     ValidationReport,
     validate_certificate,
 )
+from repro.telemetry.spans import NULL_SPAN
 from repro.websim.http import ConnectionFailedError, HttpFabric, HttpResponse
 from repro.websim.url import UrlError, join_url, parse_url
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 
 
 MAX_REDIRECTS = 5
@@ -77,6 +81,8 @@ class WebClient:
         self._clock = clock
         self.revocation_policy = revocation_policy
         self.ocsp_cache = OCSPResponseCache()
+        # Observability hook; None keeps the hot path to one attr check.
+        self.telemetry: Optional["Telemetry"] = None
 
     # -- main entry ---------------------------------------------------------
 
@@ -87,6 +93,22 @@ class WebClient:
         ``attempt`` is the caller's retry round; it keys per-attempt fault
         draws so a retried fetch re-rolls its fate.
         """
+        tel = self.telemetry
+        span = (
+            tel.span("web.fetch", "web", url=url, attempt=attempt)
+            if tel is not None
+            else NULL_SPAN
+        )
+        if tel is not None:
+            tel.diag("web.fetches")
+        with span as sp:
+            result = self._get(url, attempt)
+            sp.set(status=result.status, ok=result.ok)
+            if result.error:
+                sp.set(error=result.error)
+        return result
+
+    def _get(self, url: str, attempt: int) -> FetchResult:
         redirects: list[str] = []
         current = url
         for _ in range(MAX_REDIRECTS + 1):
@@ -162,20 +184,34 @@ class WebClient:
             result.stapled_response = vhost.stapled_response_for(
                 vhost.chain.leaf.serial
             )
-            try:
-                result.validation = validate_certificate(
-                    hostname=parsed.host,
-                    chain=vhost.chain,
-                    trust_store=self._trust_store,
-                    now=self._clock.now(),
-                    stapled_response=result.stapled_response,
-                    fetch_ocsp=self.fetch_ocsp,
-                    fetch_crl=self.fetch_crl,
-                    policy=self.revocation_policy,
+            tel = self.telemetry
+            span = (
+                tel.span(
+                    "tls.validate",
+                    "tls",
+                    host=parsed.host,
+                    stapled=result.stapled_response is not None,
                 )
-            except TlsError as exc:
-                result.error = f"tls: {exc}"
-                return result
+                if tel is not None
+                else NULL_SPAN
+            )
+            with span as sp:
+                try:
+                    result.validation = validate_certificate(
+                        hostname=parsed.host,
+                        chain=vhost.chain,
+                        trust_store=self._trust_store,
+                        now=self._clock.now(),
+                        stapled_response=result.stapled_response,
+                        fetch_ocsp=self.fetch_ocsp,
+                        fetch_crl=self.fetch_crl,
+                        policy=self.revocation_policy,
+                    )
+                except TlsError as exc:
+                    sp.set(error=str(exc))
+                    result.error = f"tls: {exc}"
+                    return result
+                sp.set(valid=result.validation.ok)
 
         # 4. The request itself.
         response = server.request(parsed.host, parsed.path, attempt=attempt)
@@ -196,23 +232,46 @@ class WebClient:
         hard-fail policy denies the website, the paper's critical-dependency
         mechanism for CAs.
         """
-        cached = self.ocsp_cache.get(serial, self._clock.now())
-        if cached is not None:
-            return cached
-        response = self._plain_fetch(url, query_serial=serial)
-        if response is None or not isinstance(response.payload, OCSPResponse):
-            return None
-        self.ocsp_cache.put(response.payload)
-        return response.payload
+        tel = self.telemetry
+        span = (
+            tel.span("tls.ocsp_check", "tls", url=url)
+            if tel is not None
+            else NULL_SPAN
+        )
+        with span as sp:
+            cached = self.ocsp_cache.get(serial, self._clock.now())
+            if cached is not None:
+                if tel is not None:
+                    tel.diag("tls.ocsp.cache_hits")
+                sp.set(cache_hit=True, status=cached.status.name)
+                return cached
+            if tel is not None:
+                tel.diag("tls.ocsp.cache_misses")
+            response = self._plain_fetch(url, query_serial=serial)
+            if response is None or not isinstance(response.payload, OCSPResponse):
+                sp.set(cache_hit=False, unreachable=True)
+                return None
+            self.ocsp_cache.put(response.payload)
+            sp.set(cache_hit=False, status=response.payload.status.name)
+            return response.payload
 
     def fetch_crl(self, url: str) -> Optional[CertificateRevocationList]:
         """Download a CRL from a distribution point over plain HTTP."""
-        response = self._plain_fetch(url)
-        if response is None or not isinstance(
-            response.payload, CertificateRevocationList
-        ):
-            return None
-        return response.payload
+        tel = self.telemetry
+        span = (
+            tel.span("tls.crl_check", "tls", url=url)
+            if tel is not None
+            else NULL_SPAN
+        )
+        with span as sp:
+            response = self._plain_fetch(url)
+            if response is None or not isinstance(
+                response.payload, CertificateRevocationList
+            ):
+                sp.set(unreachable=True)
+                return None
+            sp.set(revoked_serials=len(response.payload.revoked_serials))
+            return response.payload
 
     def _plain_fetch(
         self, url: str, query_serial: Optional[int] = None

@@ -10,14 +10,18 @@ an OCSP response was stapled, feeding the CA pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.dnssim.clock import SimulatedClock
 from repro.dnssim.resolver import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.telemetry.spans import NULL_SPAN
 from repro.tlssim.certificate import Certificate
 from repro.websim.client import FetchResult, WebClient
 from repro.websim.page import extract_resource_urls
 from repro.websim.url import UrlError, parse_url
+
+if TYPE_CHECKING:
+    from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -72,12 +76,14 @@ class Crawler:
         clock: Optional[SimulatedClock] = None,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     ):
-        self._client = client
+        self.client = client
         self._fetch_resources = fetch_resources
         self._clock = clock
         self.retry_policy = retry_policy
         self.pages_crawled = 0
         self.retries = 0
+        # Observability hook; None keeps the hot path to one attr check.
+        self.telemetry: Optional["Telemetry"] = None
 
     def crawl(self, domain: str, prefer_www: bool = True) -> CrawlResult:
         """Crawl ``domain``'s landing page.
@@ -87,8 +93,31 @@ class Crawler:
         round re-tries every candidate, so the round count is independent
         of candidate ordering.
         """
+        tel = self.telemetry
+        span = (
+            tel.span("web.crawl", "web", domain=domain)
+            if tel is not None
+            else NULL_SPAN
+        )
+        with span as sp:
+            result = self._crawl(domain, prefer_www, tel)
+            sp.set(
+                ok=result.ok,
+                https=result.https,
+                attempts=result.attempts,
+                resources=len(result.resource_hostnames),
+            )
+            if result.error:
+                sp.set(error=result.error)
+        return result
+
+    def _crawl(
+        self, domain: str, prefer_www: bool, tel: Optional["Telemetry"]
+    ) -> CrawlResult:
         result = CrawlResult(domain=domain)
         self.pages_crawled += 1
+        if tel is not None:
+            tel.diag("web.pages_crawled")
         hosts = [f"www.{domain}", domain] if prefer_www else [domain]
         candidates = [f"https://{h}/" for h in hosts] + [f"http://{h}/" for h in hosts]
         fetch: Optional[FetchResult] = None
@@ -99,11 +128,20 @@ class Crawler:
             if attempt:
                 self.retries += 1
                 assert self._clock is not None
+                if tel is not None:
+                    tel.diag("web.retries")
+                    tel.event(
+                        "web.retry",
+                        "web",
+                        domain=domain,
+                        round=attempt + 1,
+                        backoff=self.retry_policy.backoff(attempt),
+                    )
                 self._clock.advance(self.retry_policy.backoff(attempt))
             result.attempts = attempt + 1
             round_retryable = False
             for url in candidates:
-                fetched = self._client.get(url, attempt=attempt)
+                fetched = self.client.get(url, attempt=attempt)
                 if fetched.ok:
                     fetch = fetched
                     result.landing_url = url
@@ -145,5 +183,5 @@ class Crawler:
             if hostname not in result.resource_hostnames:
                 result.resource_hostnames.append(hostname)
             if self._fetch_resources:
-                self._client.get(resource_url)
+                self.client.get(resource_url)
         return result

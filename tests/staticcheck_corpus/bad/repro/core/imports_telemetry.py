@@ -1,0 +1,11 @@
+"""Bad fixture: REP006 — the analysis core growing an observability
+dependency (legal by the layer DAG, forbidden by contract)."""
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def classify_and_count(records):
+    registry = MetricsRegistry()
+    for record in records:
+        registry.count("records")
+    return registry

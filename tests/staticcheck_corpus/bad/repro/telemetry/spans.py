@@ -1,0 +1,11 @@
+"""Bad fixture: REP006 — wall-clock values on the serialization path."""
+
+import time
+
+from repro.telemetry.profile import PhaseTimer
+
+
+def stamp_span(span):
+    span.start = time.monotonic()
+    span.timer = PhaseTimer()
+    return span

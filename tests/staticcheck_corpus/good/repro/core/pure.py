@@ -1,0 +1,6 @@
+"""Good fixture: the analysis core as a pure function of records —
+no observability dependency (REP006 keeps core ↛ telemetry)."""
+
+
+def count_critical(records):
+    return sum(1 for record in records if record.is_critical)

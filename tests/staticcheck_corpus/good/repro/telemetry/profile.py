@@ -1,0 +1,16 @@
+"""Good fixture: the quarantined wall-clock side of telemetry.
+
+``repro.telemetry.profile`` is the one telemetry module allowed to read
+real time (REP001 allowlist); its values are operator-facing only and
+never serialized, so REP006 does not police it.
+"""
+
+import time
+
+
+class PhaseTimer:
+    def __init__(self):
+        self._start = time.monotonic()
+
+    def elapsed(self):
+        return time.monotonic() - self._start

@@ -1,0 +1,10 @@
+"""Good fixture: spans stamped from an injected simulated clock only."""
+
+
+class Tracer:
+    def __init__(self, now):
+        self._now = now
+        self.spans = []
+
+    def open_span(self, name):
+        self.spans.append((name, self._now()))

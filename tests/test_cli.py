@@ -1,5 +1,7 @@
 """Tests for the command-line interface (small worlds, captured output)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -180,3 +182,116 @@ class TestFaultsCli:
             ["measure", *ARGS, "--quiet", "--fault-plan", bad]
         ) == 1
         assert "cannot load fault plan" in capsys.readouterr().err
+
+
+class TestTelemetryCommands:
+    def test_trace_writes_chrome_trace_to_stdout(self, capsys):
+        assert main(["trace", "google.com", *ARGS, "--quiet"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        phases = [e["ph"] for e in payload["traceEvents"]]
+        assert phases[:2] == ["M", "M"]
+        assert phases.count("B") == phases.count("E") > 0
+
+    def test_trace_is_deterministic(self, capsys):
+        assert main(["trace", "google.com", *ARGS, "--quiet"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace", "google.com", *ARGS, "--quiet"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_trace_prints_diagnostics_on_stderr(self, capsys):
+        assert main(["trace", "google.com", *ARGS]) == 0
+        err = capsys.readouterr().err
+        assert "diagnostics for google.com" in err
+        assert "dns.queries" in err
+
+    def test_trace_unknown_domain_warns_but_traces(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        assert main(
+            ["trace", "no-such-site.example", *ARGS,
+             "--out", str(out), "--quiet"]
+        ) == 0
+        assert "not in this world" in capsys.readouterr().err
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert any(
+            e.get("name") == "site.measure" for e in payload["traceEvents"]
+        )
+
+    def test_measure_metrics_out_then_stats_json(self, capsys, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        dataset_path = tmp_path / "d.json"
+        assert main(
+            ["measure", *ARGS, "--limit", "12", "--quiet",
+             "--out", str(dataset_path), "--metrics-out", str(metrics_path)]
+        ) == 0
+        payload = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-metrics/1"
+        assert payload["counters"]["sites"] == 12
+        # ``stats`` over the frozen dataset recomputes the same
+        # shard-stable site counters offline.
+        assert main(["stats", str(dataset_path), "--json"]) == 0
+        recomputed = json.loads(capsys.readouterr().out)
+        assert recomputed["counters"]["sites"] == 12
+        assert (
+            recomputed["counters"]["sites.https"]
+            == payload["counters"]["sites.https"]
+        )
+
+    def test_stats_summary_over_checkpoint_dir(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            ["measure", *ARGS, "--limit", "10", "--shards", "2", "--quiet",
+             "--checkpoint-dir", str(ckpt), "--out", str(tmp_path / "d.json"),
+             "--metrics-out", str(tmp_path / "m.json")]
+        ) == 0
+        assert main(["stats", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint metrics (2 shard(s))" in out
+        assert "sites" in out
+
+    def test_stats_refuses_metrics_less_checkpoints(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            ["measure", *ARGS, "--limit", "10", "--shards", "2", "--quiet",
+             "--checkpoint-dir", str(ckpt), "--out", str(tmp_path / "d.json")]
+        ) == 0
+        assert main(["stats", str(ckpt)]) == 1
+        assert "without" in capsys.readouterr().err
+
+    def test_stats_unreadable_path(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_measure_trace_sites_requires_serial_workers(self, capsys):
+        assert main(
+            ["measure", *ARGS, "--quiet", "--workers", "2",
+             "--trace-sites", "google.com", "--trace-out", "t.json"]
+        ) == 1
+        assert "--workers 1" in capsys.readouterr().err
+
+    def test_measure_trace_sites_requires_trace_out(self, capsys):
+        assert main(
+            ["measure", *ARGS, "--quiet", "--trace-sites", "google.com"]
+        ) == 1
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_measure_trace_out_requires_trace_sites(self, capsys):
+        assert main(
+            ["measure", *ARGS, "--quiet", "--trace-out", "t.json"]
+        ) == 1
+        assert "--trace-sites" in capsys.readouterr().err
+
+    def test_measure_traces_exactly_the_requested_sites(self, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["measure", *ARGS, "--limit", "5", "--quiet",
+             "--out", str(tmp_path / "d.json"),
+             "--trace-sites", "google.com,youtube.com",
+             "--trace-out", str(trace_path)]
+        ) == 0
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        traced = {
+            e["args"]["domain"]
+            for e in payload["traceEvents"]
+            if e.get("name") == "site.measure" and e["ph"] == "B"
+        }
+        assert traced == {"google.com", "youtube.com"}

@@ -361,6 +361,197 @@ class TestChaosDeterminism:
         assert "faults=" in faulted.fingerprint.describe()
 
 
+def _metrics_telemetry():
+    from repro.telemetry import TelemetryConfig
+
+    return TelemetryConfig(metrics=True).build()
+
+
+def _campaign_metrics_json(engine_config, **kwargs) -> str:
+    from repro.telemetry import metrics_to_json
+
+    telemetry = _metrics_telemetry()
+    run_campaign(engine_config, telemetry=telemetry, **kwargs)
+    assert telemetry.campaign_metrics is not None
+    return metrics_to_json(telemetry.campaign_metrics)
+
+
+class TestMetricsDeterminism:
+    """The telemetry acceptance criterion: campaign metrics merge to
+    byte-identical JSON at any shard/worker count, with and without a
+    fault plan, across interrupt/resume histories."""
+
+    @pytest.fixture(scope="class")
+    def serial_metrics(self, engine_config) -> str:
+        return _campaign_metrics_json(engine_config, shards=1, workers=1)
+
+    @pytest.fixture(scope="class")
+    def chaos_metrics(self, engine_config) -> str:
+        return _campaign_metrics_json(
+            engine_config, shards=1, workers=1, fault_plan=_chaos_plan()
+        )
+
+    @pytest.mark.parametrize(
+        "shards,workers", [(8, 1), (8, WORKERS), (8, 4)]
+    )
+    def test_metrics_byte_identical_across_workers(
+        self, engine_config, serial_metrics, shards, workers
+    ):
+        produced = _campaign_metrics_json(
+            engine_config, shards=shards, workers=workers
+        )
+        assert produced == serial_metrics
+
+    @pytest.mark.parametrize(
+        "shards,workers", [(8, 1), (8, WORKERS), (8, 4)]
+    )
+    def test_chaos_metrics_byte_identical_across_workers(
+        self, engine_config, chaos_metrics, shards, workers
+    ):
+        produced = _campaign_metrics_json(
+            engine_config,
+            shards=shards,
+            workers=workers,
+            fault_plan=_chaos_plan(),
+        )
+        assert produced == chaos_metrics
+
+    def test_chaos_metrics_record_the_faults(self, engine_config):
+        from repro.telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig(metrics=True).build()
+        run_campaign(
+            engine_config, shards=4, workers=1, fault_plan=_chaos_plan(),
+            telemetry=telemetry,
+        )
+        counters = telemetry.campaign_metrics["counters"]
+        assert counters["sites"] == ENGINE_N
+        assert counters["faults.sites_live{rule=head-brownout}"] == 10
+        assert any(k.startswith("sites.degraded{") for k in counters)
+
+    def test_kill_and_resume_merges_checkpointed_metrics(
+        self, engine_config, serial_metrics, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                engine_config,
+                shards=6,
+                workers=1,
+                checkpoint_dir=str(ckpt),
+                progress=_AbortAfter(2),
+                telemetry=_metrics_telemetry(),
+            )
+        # The resumed run merges shards 0-1 from their checkpointed
+        # registry state, not from a live registry.
+        produced = _campaign_metrics_json(
+            engine_config,
+            shards=6,
+            workers=1,
+            checkpoint_dir=str(ckpt),
+            resume=True,
+        )
+        assert produced == serial_metrics
+
+    def test_resume_without_checkpointed_metrics_is_refused(
+        self, engine_config, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        run_campaign(
+            engine_config, shards=2, workers=1, checkpoint_dir=str(ckpt)
+        )
+        with pytest.raises(ValueError, match="without telemetry"):
+            run_campaign(
+                engine_config,
+                shards=2,
+                workers=1,
+                checkpoint_dir=str(ckpt),
+                resume=True,
+                telemetry=_metrics_telemetry(),
+            )
+
+    def test_telemetry_less_shards_keep_the_v3_era_bytes(
+        self, engine_config, tmp_path
+    ):
+        """No telemetry → no ``metrics`` key: checkpoints from plain runs
+        are byte-identical to what pre-telemetry builds wrote."""
+        ckpt = tmp_path / "ckpt"
+        run_campaign(
+            engine_config, shards=2, workers=1, limit=20,
+            checkpoint_dir=str(ckpt),
+        )
+        payload = json.loads((ckpt / "shard-0000.json").read_text())
+        assert "metrics" not in payload
+
+
+_WALLCLOCK_KEY_FRAGMENTS = (
+    "wall", "elapsed", "monotonic", "perf_counter", "timestamp",
+    "created_at", "started_at", "finished_at", "duration_s",
+)
+
+
+def _assert_no_wallclock_keys(payload, path="$"):
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            lowered = key.lower()
+            for fragment in _WALLCLOCK_KEY_FRAGMENTS:
+                assert fragment not in lowered, (
+                    f"wall-clock-ish key {key!r} at {path} in a serialized "
+                    f"artifact (REP006: only simulated time may be persisted)"
+                )
+            _assert_no_wallclock_keys(value, f"{path}.{key}")
+    elif isinstance(payload, list):
+        for i, item in enumerate(payload):
+            _assert_no_wallclock_keys(item, f"{path}[{i}]")
+
+
+class TestNoWallClockInArtifacts:
+    """Regression guard for the progress-timer coupling: no serialized
+    artifact (dataset, metrics, checkpoint shard, manifest) may carry a
+    wall-clock-derived field, and two runs produce identical bytes even
+    though real time passed between them."""
+
+    def test_artifacts_carry_no_wallclock_fields(self, engine_config, tmp_path):
+        from repro.telemetry import metrics_to_json
+
+        ckpt = tmp_path / "ckpt"
+        telemetry = _metrics_telemetry()
+        dataset = run_campaign(
+            engine_config, shards=3, workers=1, limit=30,
+            checkpoint_dir=str(ckpt), telemetry=telemetry,
+        )
+        _assert_no_wallclock_keys(json.loads(dataset_to_json(dataset)))
+        _assert_no_wallclock_keys(
+            json.loads(metrics_to_json(telemetry.campaign_metrics))
+        )
+        for artifact in sorted(ckpt.glob("*.json")):
+            _assert_no_wallclock_keys(
+                json.loads(artifact.read_text()), artifact.name
+            )
+
+    def test_wallclock_stats_exist_but_stay_out_of_band(self, engine_config):
+        """The operator-facing timings live in CampaignStats (backed by
+        repro.telemetry.profile), not in any serialized payload."""
+        stats = CampaignStats()
+        dataset = run_campaign(
+            engine_config, shards=2, workers=1, limit=20, stats=stats
+        )
+        assert stats.measure_seconds >= 0.0
+        assert "seconds" not in dataset_to_json(dataset)
+
+    def test_reruns_are_byte_identical_despite_real_time_passing(
+        self, engine_config
+    ):
+        import time as _time
+
+        first = _campaign_metrics_json(engine_config, shards=2, workers=1,
+                                       limit=20)
+        _time.sleep(0.05)
+        second = _campaign_metrics_json(engine_config, shards=2, workers=1,
+                                        limit=20)
+        assert first == second
+
+
 class TestStats:
     def test_stats_and_phases_are_recorded(self, engine_config):
         stats = CampaignStats()

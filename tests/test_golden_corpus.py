@@ -16,6 +16,7 @@ and commit the updated goldens alongside the change.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -101,6 +102,52 @@ class TestGoldenCorpus:
             "dataset_chaos.json", dataset_to_json(dataset) + "\n",
             regen_goldens,
         )
+
+    def test_chaos_trace_matches_golden(self, golden_config, regen_goldens):
+        """The deep trace of twitter.com (the Dyn-customer corner case)
+        under the chaos plan: span timestamps come from the simulated
+        clock only, so the Chrome trace JSON is byte-reproducible."""
+        from repro.telemetry import TelemetryConfig, chrome_trace
+
+        telemetry = TelemetryConfig(
+            metrics=False, trace=True, trace_sites=("twitter.com",)
+        ).build()
+        MeasurementCampaign(
+            build_world(golden_config),
+            limit=GOLDEN_LIMIT,
+            fault_plan=canonical_chaos_plan(),
+            telemetry=telemetry,
+        ).run()
+        _check_golden(
+            "trace_twitter_chaos.json",
+            chrome_trace(telemetry.tracer.drain(),
+                         label="repro trace twitter.com"),
+            regen_goldens,
+        )
+
+    def test_trace_golden_is_a_wellformed_chrome_trace(self):
+        """Structural guard on the checked-in trace: one balanced B/E
+        tree per root, metadata first, instants marked as such."""
+        payload = json.loads(
+            (GOLDEN_DIR / "trace_twitter_chaos.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        events = payload["traceEvents"]
+        assert [e["ph"] for e in events[:2]] == ["M", "M"]
+        depth = 0
+        for event in events[2:]:
+            assert event["ph"] in {"B", "E", "i"}
+            if event["ph"] == "B":
+                depth += 1
+            elif event["ph"] == "E":
+                depth -= 1
+                assert depth >= 0
+            else:
+                assert event["s"] == "t"
+        assert depth == 0
+        names = {e.get("name") for e in events}
+        assert "site.measure" in names and "dns.lookup" in names
 
     def test_chaos_golden_actually_exercises_faults(self):
         """Guard against a vacuous corpus: the checked-in chaos dataset

@@ -26,7 +26,7 @@ class TestCorpus:
         assert main(["lint", BAD]) == EXIT_FINDINGS
         out = capsys.readouterr().out
         # Every rule in the pack must fire at least once.
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
             assert rule_id in out
         # Findings carry path:line:col anchors into the corpus.
         assert "bad/repro/dnssim/wallclock.py:11:" in out
@@ -42,7 +42,7 @@ class TestCorpus:
         payload = json.loads(capsys.readouterr().out)
         assert payload["version"] == JSON_REPORT_VERSION
         assert payload["exit_code"] == EXIT_FINDINGS
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
             assert payload["counts"][rule_id] >= 1, rule_id
         assert payload["files_checked"] == len(
             list((CORPUS / "bad").rglob("*.py"))
@@ -77,5 +77,5 @@ class TestUsageErrors:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
             assert rule_id in out

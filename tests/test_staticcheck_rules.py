@@ -1,4 +1,4 @@
-"""Unit tests for the invariant linter's rule pack (REP001–REP005).
+"""Unit tests for the invariant linter's rule pack (REP001–REP006).
 
 Each rule gets a bad snippet that must flag, a good snippet that must
 pass, and a noqa-suppression path. The on-disk corpus under
@@ -423,6 +423,87 @@ class TestRep005SerializationContract:
         assert result.clean
 
 
+class TestRep006TelemetryBoundary:
+    def test_core_importing_telemetry_is_flagged(self):
+        result = lint(
+            "from repro.telemetry import Telemetry\n",
+            module="repro.core.classification",
+        )
+        assert rule_ids_of(result) == ["REP006"]
+        assert "observability-free" in result.findings[0].message
+
+    def test_core_lazy_import_is_flagged_too(self):
+        result = lint(
+            """
+            def classify():
+                from repro.telemetry.metrics import MetricsRegistry
+                return MetricsRegistry
+            """,
+            module="repro.core.graph",
+        )
+        assert rule_ids_of(result) == ["REP006"]
+
+    def test_other_layers_may_import_telemetry(self):
+        result = lint(
+            "from repro.telemetry import Telemetry\n",
+            module="repro.measurement.runner",
+        )
+        assert result.clean
+
+    def test_wallclock_call_in_serialized_module_is_flagged(self):
+        result = lint(
+            """
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """,
+            module="repro.telemetry.spans",
+        )
+        # REP001 (ambient wall clock) and REP006 (serialization path)
+        # both fire: the serialized side of telemetry has no exemption.
+        assert sorted(set(rule_ids_of(result))) == ["REP001", "REP006"]
+        assert any(
+            "simulated clock" in f.message
+            for f in result.findings
+            if f.rule_id == "REP006"
+        )
+
+    def test_importing_the_wallclock_module_is_flagged(self):
+        result = lint(
+            "from repro.telemetry.profile import PhaseTimer\n",
+            module="repro.telemetry.export",
+        )
+        assert rule_ids_of(result) == ["REP006"]
+        assert "serialization path" in result.findings[0].message
+
+    def test_relative_import_of_the_wallclock_module_is_flagged(self):
+        result = lint(
+            "from .profile import PhaseTimer\n",
+            module="repro.telemetry.metrics",
+        )
+        assert rule_ids_of(result) == ["REP006"]
+
+    def test_profile_module_itself_may_read_real_time(self):
+        result = lint(
+            """
+            import time
+
+            def elapsed(start):
+                return time.monotonic() - start
+            """,
+            module="repro.telemetry.profile",
+        )
+        assert result.clean
+
+    def test_nonserialized_telemetry_module_is_not_policed(self):
+        result = lint(
+            "from repro.telemetry.profile import PhaseTimer\n",
+            module="repro.telemetry.context_helpers",
+        )
+        assert result.clean
+
+
 class TestDriverMechanics:
     def test_syntax_error_becomes_parse_finding(self):
         result = lint("def broken(:\n")
@@ -468,7 +549,7 @@ class TestReporters:
         assert payload["files_checked"] == 1
         assert payload["exit_code"] == EXIT_FINDINGS
         assert set(payload["counts"]) == {
-            "REP001", "REP002", "REP003", "REP004", "REP005"
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
         }
         assert payload["counts"]["REP001"] == 1
         (finding,) = payload["findings"]
