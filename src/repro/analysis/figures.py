@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from repro.analysis.artifacts import FigureArtifact
 from repro.core import metrics
-from repro.core.graph import DependencyGraph, ServiceType
+from repro.core.graph import DependencyGraph, ProviderMetrics, ServiceType
 from repro.core.pipeline import AnalyzedSnapshot
+
+_NO_METRICS = ProviderMetrics(0, 0, 0, 0)
 
 
 def _bucket_series(stats, key: str):
@@ -62,6 +64,10 @@ def figure3_cdn_by_rank(snapshot: AnalyzedSnapshot) -> FigureArtifact:
         "third_party_of_users_top100k": stats[-1].values["third_party"],
         "critical_of_users_top100k": stats[-1].values["critical"],
         "critical_of_users_top100": stats[0].values["critical"],
+        # Both denominators: uses_cdn is over the bucket, the of-users
+        # rates over the CDN-using subset.
+        "cdn_users_top100k": stats[-1].n_websites,
+        "bucket_websites_top100k": stats[-1].n_bucket,
     }
     figure.paper_stats = {
         "uses_cdn_top100k": 33.2,
@@ -97,18 +103,19 @@ def figure4_ca_by_rank(snapshot: AnalyzedSnapshot) -> FigureArtifact:
 def _top5_series(
     graph: DependencyGraph, service: ServiceType, n_websites: int
 ) -> tuple[list, list]:
-    concentration = []
-    impact = []
-    for node, c in graph.top_providers(service, 5, by="concentration"):
-        concentration.append(
-            (graph.display(node), round(100.0 * c / n_websites, 1))
-        )
-        impact.append(
-            (
-                graph.display(node),
-                round(100.0 * graph.impact(node) / n_websites, 1),
-            )
-        )
+    # One batch sweep serves both the ranking and the impact column.
+    metrics = graph.provider_metrics(service)
+    top = sorted(
+        metrics.items(), key=lambda pair: (-pair[1].concentration, str(pair[0]))
+    )[:5]
+    concentration = [
+        (graph.display(node), round(100.0 * m.concentration / n_websites, 1))
+        for node, m in top
+    ]
+    impact = [
+        (graph.display(node), round(100.0 * m.impact / n_websites, 1))
+        for node, m in top
+    ]
     return concentration, impact
 
 
@@ -196,18 +203,21 @@ def _amplification_figure(
     n = len(snapshot.websites)
     direct_graph = snapshot.restricted_graph(())
     indirect_graph = snapshot.restricted_graph(edge_kinds)
+    # Two batch sweeps (one per graph) replace 20 per-provider traversals.
+    direct_metrics = direct_graph.provider_metrics(provider_service)
+    indirect_metrics = indirect_graph.provider_metrics(provider_service)
     top = indirect_graph.top_providers(provider_service, 5, by="concentration")
     for metric in ("concentration", "impact"):
         direct_points = []
         indirect_points = []
         for node, _ in top:
             display = indirect_graph.display(node)
-            if metric == "concentration":
-                direct_value = direct_graph.concentration(node)
-                indirect_value = indirect_graph.concentration(node)
-            else:
-                direct_value = direct_graph.impact(node)
-                indirect_value = indirect_graph.impact(node)
+            # A provider reachable only through inter-service edges has no
+            # entry in the direct-only graph: its direct metrics are zero.
+            direct_value = getattr(
+                direct_metrics.get(node, _NO_METRICS), metric
+            )
+            indirect_value = getattr(indirect_metrics[node], metric)
             direct_points.append((display, round(100.0 * direct_value / n, 1)))
             indirect_points.append((display, round(100.0 * indirect_value / n, 1)))
         figure.add_series(f"{metric}_{direct_label}", direct_points)

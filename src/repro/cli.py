@@ -15,7 +15,7 @@ Subcommands::
     python -m repro trace     <domain> [--n ...] [--fault-plan plan.json]
                               [--out trace.json]
     python -m repro stats     <checkpoint-dir | dataset.json> [--json]
-    python -m repro analyze   <dataset.json> [--table N]
+    python -m repro analyze   <dataset.json> [--table N] [--providers SVC]
     python -m repro faults    validate <plan.json>
     python -m repro lint      [paths...] [--format json] [--rules ...]
 
@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_outage = sub.add_parser("outage", help="replay a DNS provider outage")
     p_outage.add_argument("provider", help="provider key, e.g. dyn, cloudflare")
     _add_world_args(p_outage)
+    p_outage.add_argument(
+        "--predict", action="store_true",
+        help="also print the graph engine's predicted victims and compare",
+    )
 
     p_measure = sub.add_parser(
         "measure", help="run the campaign through the execution engine"
@@ -176,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--table", type=int, default=None, choices=(1, 6),
         help="render a single-snapshot paper table instead of the summary",
     )
+    p_analyze.add_argument(
+        "--providers", default=None, choices=("dns", "cdn", "ca"),
+        help="render the top-provider concentration/impact table instead",
+    )
 
     p_faults = sub.add_parser("faults", help="fault-plan utilities")
     faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
@@ -229,11 +237,15 @@ def _print_summary(snapshot) -> None:
           f"{sum(1 for w in https if w.ca.is_critical) / max(len(https), 1):6.1%} critical (of HTTPS)")
     print("\nTop-3 impact per service (indirect included):")
     for service in ServiceType:
-        top = snapshot.graph.top_providers(service, 3, by="impact")
+        metrics = snapshot.provider_metrics(service)
+        ranked = sorted(
+            metrics.items(),
+            key=lambda pair: (-pair[1].impact, str(pair[0])),
+        )
         line = ", ".join(
             f"{snapshot.graph.display(node)} "
-            f"({100 * score / len(snapshot.websites):.1f}%)"
-            for node, score in top
+            f"({100 * m.impact / len(snapshot.websites):.1f}%)"
+            for node, m in ranked[:3]
         )
         print(f"  {service.value.upper():3s}: {line}")
 
@@ -337,6 +349,20 @@ def cmd_outage(args) -> int:
           f"({result.affected_fraction():.1%} affected)")
     for domain in result.unreachable[:10]:
         print(f"  down: {domain}")
+    if args.predict:
+        from repro.failures import predicted_dns_victims
+
+        predicted = set(
+            predicted_dns_victims(
+                analyze_world(world), world, args.provider, critical_only=True
+            )
+        )
+        observed = set(result.unreachable)
+        agree = len(predicted & observed)
+        print(f"Graph prediction: {len(predicted)} critically dependent "
+              f"({agree} also unreachable in the replay, "
+              f"{len(predicted - observed)} predicted-only, "
+              f"{len(observed - predicted)} observed-only)")
     return 0
 
 
@@ -544,6 +570,11 @@ def cmd_analyze(args) -> int:
     world_n = dataset.notes.get("world_n") or len(dataset.websites)
     rank_scale = PAPER_POPULATION / world_n if world_n else 1.0
     snapshot = analyze_dataset(dataset, rank_scale=rank_scale)
+    if args.providers is not None:
+        print(render_table(table_builders.table_top_providers(
+            snapshot, ServiceType(args.providers)
+        )))
+        return 0
     if args.table is None:
         _print_summary(snapshot)
         return 0

@@ -7,9 +7,10 @@ This package is the primary contribution being reproduced:
   and SOA-only baselines they are validated against;
 * :mod:`repro.core.entitygroup` — grouping nameservers into operating
   entities for redundancy detection;
-* :mod:`repro.core.graph` — the dependency graph with the recursive
+* :mod:`repro.core.graph` — the dependency graph with the
   *concentration* and *impact* metrics of Section 2.2, over both direct
-  and indirect (inter-service) dependencies;
+  and indirect (inter-service) dependencies, served by the
+  SCC-condensation batch engine in :mod:`repro.core.graphx`;
 * :mod:`repro.core.metrics` — rank-stratified adoption/criticality rates
   and provider-concentration CDFs (Figures 2-4, 6);
 * :mod:`repro.core.evolution` — 2016-vs-2020 trend tables (Tables 3-5,
@@ -33,7 +34,13 @@ from repro.core.classification import (
     classify_nameserver_tld_only,
 )
 from repro.core.entitygroup import group_nameservers_by_entity, provider_id_for
-from repro.core.graph import DependencyGraph, ProviderNode, ServiceType
+from repro.core.graph import (
+    DependencyGraph,
+    ProviderMetrics,
+    ProviderNode,
+    ServiceType,
+)
+from repro.core.graphx import MetricEngine
 from repro.core.metrics import (
     BucketStats,
     provider_cdf,
@@ -62,7 +69,9 @@ __all__ = [
     "ClassifiedWebsite",
     "DependencyGraph",
     "DnsClassification",
+    "MetricEngine",
     "NameserverClassification",
+    "ProviderMetrics",
     "ProviderNode",
     "ProviderType",
     "ServiceType",

@@ -10,8 +10,13 @@ Provider→provider edges encode the inter-service dependencies of Section
 * ``impact(p)`` — websites *critically* depending on ``p`` directly or
   through providers critically depending on ``p``.
 
-Both implement the set-union formulas from the paper, with the visited
-set playing the role of the ``\\{p}`` exclusion (cycle guard).
+Both implement the set-union formulas from the paper. The recursive
+reading of those formulas (re-traverse the consumer tree per provider,
+with a path-local visited set as the ``\\{p}`` exclusion) is exponential
+on dense provider→provider graphs; the metrics here are instead served
+by :class:`repro.core.graphx.MetricEngine`, which computes every
+provider's dependent set in one iterative SCC-condensation sweep and is
+invalidated whenever the graph mutates.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
+
+from repro.core.graphx import MetricEngine
 
 
 class ServiceType(enum.Enum):
@@ -46,6 +53,19 @@ class _Edges:
     critical: set[ProviderNode] = field(default_factory=set)
 
 
+@dataclass(frozen=True)
+class ProviderMetrics:
+    """One provider's §2.2 numbers, direct and chain-following."""
+
+    concentration: int
+    impact: int
+    direct_concentration: int
+    direct_impact: int
+
+
+_ZERO_METRICS = ProviderMetrics(0, 0, 0, 0)
+
+
 class DependencyGraph:
     """Websites and providers with typed, criticality-annotated edges."""
 
@@ -60,13 +80,19 @@ class DependencyGraph:
         self._website_critical_of: dict[ProviderNode, set[str]] = {}
         self._provider_uses_of: dict[ProviderNode, set[ProviderNode]] = {}
         self._provider_critical_of: dict[ProviderNode, set[ProviderNode]] = {}
+        # Metric-engine cache: rebuilt lazily whenever _version moves.
+        self._version = 0
+        self._engine: Optional[MetricEngine] = None
+        self._engine_version = -1
 
     # -- construction -------------------------------------------------------
 
     def add_website(self, domain: str) -> None:
+        self._version += 1
         self._website_edges.setdefault(domain, _Edges())
 
     def add_provider(self, node: ProviderNode, display: Optional[str] = None) -> None:
+        self._version += 1
         self._providers.add(node)
         self._provider_edges.setdefault(node, _Edges())
         if display:
@@ -146,34 +172,26 @@ class DependencyGraph:
         )
         return set(index.get(provider, ()))
 
+    def metric_engine(self) -> MetricEngine:
+        """The current batch engine, rebuilt after any mutation."""
+        if self._engine is None or self._engine_version != self._version:
+            self._engine = MetricEngine(self)
+            self._engine_version = self._version
+        return self._engine
+
     def dependent_websites(
         self, provider: ProviderNode, critical_only: bool = False
     ) -> set[str]:
-        """The recursive dependent set (the union formulas of §2.2)."""
-        return self._dependents(provider, critical_only, frozenset({provider}))
-
-    def _dependents(
-        self,
-        provider: ProviderNode,
-        critical_only: bool,
-        visited: frozenset[ProviderNode],
-    ) -> set[str]:
-        result = self.direct_dependents(provider, critical_only)
-        for consumer in self.provider_consumers(provider, critical_only):
-            if consumer in visited:
-                continue
-            result |= self._dependents(
-                consumer, critical_only, visited | {consumer}
-            )
-        return result
+        """The transitive dependent set (the union formulas of §2.2)."""
+        return self.metric_engine().dependent_websites(provider, critical_only)
 
     def concentration(self, provider: ProviderNode) -> int:
         """C_p: websites directly or indirectly dependent on ``provider``."""
-        return len(self.dependent_websites(provider, critical_only=False))
+        return self.metric_engine().count(provider, critical_only=False)
 
     def impact(self, provider: ProviderNode) -> int:
         """I_p: websites directly or indirectly *critically* dependent."""
-        return len(self.dependent_websites(provider, critical_only=True))
+        return self.metric_engine().count(provider, critical_only=True)
 
     def direct_concentration(self, provider: ProviderNode) -> int:
         """C_p counting only website→provider edges (no inter-service)."""
@@ -181,6 +199,28 @@ class DependencyGraph:
 
     def direct_impact(self, provider: ProviderNode) -> int:
         return len(self.direct_dependents(provider, critical_only=True))
+
+    def provider_metrics(
+        self, service: Optional[ServiceType] = None
+    ) -> dict[ProviderNode, ProviderMetrics]:
+        """Batch API: every provider's C_p/I_p from one engine sweep.
+
+        This is the preferred entry point for table/figure builders and
+        failure models — it amortizes the whole metric computation over a
+        single SCC-condensation pass instead of one traversal per query.
+        """
+        engine = self.metric_engine()
+        concentrations = engine.counts(critical_only=False)
+        impacts = engine.counts(critical_only=True)
+        return {
+            node: ProviderMetrics(
+                concentration=concentrations.get(node, 0),
+                impact=impacts.get(node, 0),
+                direct_concentration=self.direct_concentration(node),
+                direct_impact=self.direct_impact(node),
+            )
+            for node in self.providers(service)
+        }
 
     def top_providers(
         self,
@@ -190,19 +230,14 @@ class DependencyGraph:
         indirect: bool = True,
     ) -> list[tuple[ProviderNode, int]]:
         """The top-k providers of a service by impact or concentration."""
-        scores: list[tuple[ProviderNode, int]] = []
-        for node in self.providers(service):
-            if by == "impact":
-                score = self.impact(node) if indirect else self.direct_impact(node)
-            elif by == "concentration":
-                score = (
-                    self.concentration(node)
-                    if indirect
-                    else self.direct_concentration(node)
-                )
-            else:
-                raise ValueError(f"unknown ranking: {by!r}")
-            scores.append((node, score))
+        if by not in ("impact", "concentration"):
+            raise ValueError(f"unknown ranking: {by!r}")
+        metrics = self.provider_metrics(service)
+        attribute = by if indirect else f"direct_{by}"
+        scores = [
+            (node, getattr(node_metrics, attribute))
+            for node, node_metrics in metrics.items()
+        ]
         scores.sort(key=lambda pair: (-pair[1], str(pair[0])))
         return scores[:k]
 

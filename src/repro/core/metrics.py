@@ -19,11 +19,19 @@ def _bucket_label(k: int) -> str:
 
 @dataclass
 class BucketStats:
-    """Percentages for one cumulative rank bucket."""
+    """Percentages for one cumulative rank bucket.
+
+    ``n_websites`` is the denominator of the within-population rates
+    (characterized / CDN-using / HTTPS websites, per builder); adoption
+    rates such as ``uses_cdn`` and ``https`` are computed over the whole
+    bucket, whose size is recorded separately as ``n_bucket`` so exported
+    tables carry both denominators.
+    """
 
     paper_k: int
     n_websites: int
     values: dict[str, float] = field(default_factory=dict)
+    n_bucket: int = 0
 
     @property
     def label(self) -> str:
@@ -60,6 +68,7 @@ def rank_bucket_stats_dns(
             BucketStats(
                 paper_k=k,
                 n_websites=n,
+                n_bucket=len(bucket),
                 values={
                     "third_party": _pct(
                         sum(1 for w in sample if w.dns.uses_third_party), n
@@ -99,7 +108,10 @@ def rank_bucket_stats_cdn(
         stats.append(
             BucketStats(
                 paper_k=k,
+                # n_websites is the denominator of the of-CDN-users rates
+                # below; uses_cdn is over the full bucket (n_bucket).
                 n_websites=n_users,
+                n_bucket=len(bucket),
                 values={
                     "uses_cdn": _pct(n_users, len(bucket)),
                     "third_party": _pct(
@@ -129,6 +141,7 @@ def rank_bucket_stats_ca(
             BucketStats(
                 paper_k=k,
                 n_websites=n_https,
+                n_bucket=len(bucket),
                 values={
                     "https": _pct(n_https, len(bucket)),
                     "third_party_ca": _pct(

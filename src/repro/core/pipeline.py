@@ -20,7 +20,13 @@ from repro.core.classification import (
     classify_cdn,
     classify_dns,
 )
-from repro.core.graph import DependencyGraph, ProviderNode, ServiceType, build_graph
+from repro.core.graph import (
+    DependencyGraph,
+    ProviderMetrics,
+    ProviderNode,
+    ServiceType,
+    build_graph,
+)
 from repro.measurement.records import (
     Dataset,
     DnsObservation,
@@ -92,6 +98,13 @@ class AnalyzedSnapshot:
 
     def by_domain(self) -> dict[str, ClassifiedWebsite]:
         return {w.domain: w for w in self.websites}
+
+    def provider_metrics(
+        self, service: Optional[ServiceType] = None
+    ) -> dict[ProviderNode, ProviderMetrics]:
+        """Batch C_p/I_p for every provider — one SCC-engine sweep serves
+        every table, figure, and failure model reading this snapshot."""
+        return self.graph.provider_metrics(service)
 
     @property
     def dns_characterized(self) -> list[ClassifiedWebsite]:

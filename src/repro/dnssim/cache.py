@@ -27,6 +27,9 @@ class CacheStats:
     misses: int = 0
     negative_hits: int = 0
     evictions: int = 0
+    # Entries found stale at lookup time and dropped by get(); every one
+    # also counts as a miss (the caller still has to re-resolve).
+    expired: int = 0
 
     @property
     def lookups(self) -> int:
@@ -72,8 +75,12 @@ class DnsCache:
         ttl = min(rr.ttl for rr in records)
         if ttl <= 0:
             return
-        self._evict_if_full()
-        self._entries[self._key(name, rrtype)] = _Entry(
+        key = self._key(name, rrtype)
+        # Overwriting an existing key does not grow the cache, so a full
+        # cache must not shed an unrelated entry for it.
+        if key not in self._entries:
+            self._evict_if_full()
+        self._entries[key] = _Entry(
             expires_at=self._clock.now() + ttl, records=list(records)
         )
 
@@ -83,8 +90,10 @@ class DnsCache:
         """Cache an NXDOMAIN or NODATA outcome for the SOA minimum TTL."""
         if soa_minimum <= 0:
             return
-        self._evict_if_full()
-        self._entries[self._key(name, rrtype)] = _Entry(
+        key = self._key(name, rrtype)
+        if key not in self._entries:
+            self._evict_if_full()
+        self._entries[key] = _Entry(
             expires_at=self._clock.now() + soa_minimum,
             records=[],
             negative=True,
@@ -103,6 +112,9 @@ class DnsCache:
         if entry is None or entry.expires_at <= self._clock.now():
             if entry is not None:
                 del self._entries[key]
+                self.stats.expired += 1
+                if tel is not None:
+                    tel.diag("dns.cache.expired")
             self.stats.misses += 1
             if tel is not None:
                 tel.diag("dns.cache.misses")
@@ -139,8 +151,16 @@ class DnsCache:
             del self._entries[k]
             self.stats.evictions += 1
         # Still full after pruning stale entries: drop the soonest-to-expire.
-        while len(self._entries) >= self._max:
-            victim = min(self._entries, key=lambda k: self._entries[k].expires_at)
+        # One sort pass picks every victim at once (the old per-victim
+        # min() rescan was O(n²) when far over capacity); sort stability
+        # keeps the victim order identical to repeated min() scans.
+        overflow = len(self._entries) - self._max + 1
+        if overflow <= 0:
+            return
+        by_expiry = sorted(
+            self._entries, key=lambda k: self._entries[k].expires_at
+        )
+        for victim in by_expiry[:overflow]:
             del self._entries[victim]
             self.stats.evictions += 1
 

@@ -20,7 +20,13 @@ from repro.failures.attack import (
     attack_sweep,
     simulate_volumetric_attack,
 )
-from repro.failures.outage import OutageResult, simulate_ca_outage, simulate_cdn_outage, simulate_dns_outage
+from repro.failures.outage import (
+    OutageResult,
+    predicted_dns_victims,
+    simulate_ca_outage,
+    simulate_cdn_outage,
+    simulate_dns_outage,
+)
 from repro.failures.revocation import RevocationIncidentResult, simulate_mass_revocation
 from repro.failures.whatif import (
     ExposureReport,
@@ -43,6 +49,7 @@ __all__ = [
     "RobustnessScore",
     "attack_sweep",
     "outage_fault_plan",
+    "predicted_dns_victims",
     "robustness_score",
     "validate_outage_prediction",
     "simulate_ca_outage",

@@ -118,18 +118,25 @@ def simulate_volumetric_attack(
     attack: AttackScenario,
     capacity: ProviderCapacity | None = None,
     seed: int = 0,
+    critical_dependents: frozenset[str] | None = None,
 ) -> AttackResult:
     """Expected impact of a volumetric attack on a DNS provider.
 
     A critically-dependent website's availability equals the provider's
     survival rate; redundantly-provisioned dependents fail over and stay
-    up (resolvers retry against the surviving provider).
+    up (resolvers retry against the surviving provider). Sweeps can pass
+    the provider's ``critical_dependents`` once (from the graph's batch
+    metric engine) instead of re-deriving the set per scenario.
     """
     capacity = capacity or capacity_for(provider_id)
     rng = random.Random(seed)
     survival, per_pop = survival_rate_under(capacity, attack, rng)
-    node = ProviderNode(provider_id, ServiceType.DNS)
-    critical = snapshot.graph.dependent_websites(node, critical_only=True)
+    if critical_dependents is None:
+        node = ProviderNode(provider_id, ServiceType.DNS)
+        critical_dependents = frozenset(
+            snapshot.graph.dependent_websites(node, critical_only=True)
+        )
+    critical = critical_dependents
     expected_down = (1.0 - survival) * len(critical)
     return AttackResult(
         provider_id=provider_id,
@@ -150,9 +157,17 @@ def attack_sweep(
     seed: int = 0,
 ) -> list[AttackResult]:
     """Sweep botnet sizes against one provider (the Mirai growth curve)."""
+    node = ProviderNode(provider_id, ServiceType.DNS)
+    critical = frozenset(
+        snapshot.graph.dependent_websites(node, critical_only=True)
+    )
     return [
         simulate_volumetric_attack(
-            snapshot, provider_id, AttackScenario(bots=bots), seed=seed
+            snapshot,
+            provider_id,
+            AttackScenario(bots=bots),
+            seed=seed,
+            critical_dependents=critical,
         )
         for bots in bot_counts
     ]

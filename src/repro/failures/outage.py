@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.core.graph import ProviderNode, ServiceType
+from repro.core.pipeline import AnalyzedSnapshot
+from repro.names.registrable import registrable_domain
 from repro.tlssim.validation import RevocationPolicy
 from repro.worldgen.world import World
 
@@ -66,6 +69,33 @@ def _probe_websites(
                 result.degraded.append(domain)
                 continue
         result.unaffected.append(domain)
+
+
+def predicted_dns_victims(
+    snapshot: AnalyzedSnapshot,
+    world: World,
+    provider_key: str,
+    critical_only: bool = True,
+) -> list[str]:
+    """Websites the dependency graph predicts down for a provider outage.
+
+    The analytical counterpart of :func:`simulate_dns_outage`: instead of
+    probing every website against a degraded world, read the provider's
+    dependent-website set straight off the graph's batch metric engine
+    (every nameserver base the provider operates maps to one DNS node).
+    ``critical_only=True`` predicts *unreachable* sites; ``False`` widens
+    to every site touching the provider at all.
+    """
+    provider = world.spec.dns_providers[provider_key]
+    bases = sorted(
+        {registrable_domain(ns) or ns for ns in provider.ns_domains}
+    )
+    victims: set[str] = set()
+    for base in bases:
+        victims |= snapshot.graph.dependent_websites(
+            ProviderNode(base, ServiceType.DNS), critical_only=critical_only
+        )
+    return sorted(victims)
 
 
 def simulate_dns_outage(

@@ -96,10 +96,12 @@ def robustness_score(snapshot: AnalyzedSnapshot, domain: str) -> RobustnessScore
     direct = graph.website_dependencies(domain, critical_only=True)
     transitive_names = set(report.transitive_critical)
 
+    # One batch sweep covers every direct SPOF's impact share.
+    metrics = graph.provider_metrics()
     score = 1.0
     worst = ("", 0.0)
-    for node in direct:
-        impact_share = graph.impact(node) / population
+    for node in sorted(direct, key=str):
+        impact_share = metrics[node].impact / population
         score -= 0.25 * (0.4 + 0.6 * impact_share)
         if impact_share >= worst[1]:
             worst = (graph.display(node), impact_share)

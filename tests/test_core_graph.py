@@ -122,6 +122,68 @@ class TestTopProviders:
             dyn_world.top_providers(ServiceType.DNS, 3, by="magic")
 
 
+class TestEngineRegressions:
+    """Scenarios the seed's recursive traversal got wrong or could not run."""
+
+    def test_deep_chain_beyond_recursion_limit(self):
+        # site -> p0 -> p1 -> ... -> p4999, all critical. The recursive
+        # traversal blew the interpreter stack around depth ~1000; the
+        # iterative engine answers for the far end of the chain.
+        depth = 5000
+        g = DependencyGraph()
+        providers = [node("dns", f"p{i}") for i in range(depth)]
+        g.add_website_dependency("site.com", providers[0], critical=True)
+        for upper, lower in zip(providers, providers[1:]):
+            g.add_provider_dependency(upper, lower, critical=True)
+        assert g.impact(providers[-1]) == 1
+        assert g.concentration(providers[-1]) == 1
+        assert g.dependent_websites(providers[-1], critical_only=True) == {
+            "site.com"
+        }
+
+    def test_mutually_critical_cycle_with_websites_on_both_sides(self):
+        g = DependencyGraph()
+        a, b = node("dns", "a"), node("cdn", "b")
+        g.add_website_dependency("s1.com", a, critical=True)
+        g.add_website_dependency("s2.com", b, critical=True)
+        g.add_provider_dependency(a, b, critical=True)
+        g.add_provider_dependency(b, a, critical=True)
+        both = {"s1.com", "s2.com"}
+        assert g.dependent_websites(a, critical_only=True) == both
+        assert g.dependent_websites(b, critical_only=True) == both
+        assert g.impact(a) == 2
+        assert g.impact(b) == 2
+
+    def test_mutation_invalidates_cached_metrics(self):
+        g = DependencyGraph()
+        dns = node("dns", "d")
+        g.add_website_dependency("a.com", dns, critical=True)
+        assert g.impact(dns) == 1
+        g.add_website_dependency("b.com", dns, critical=True)
+        assert g.impact(dns) == 2
+        cdn = node("cdn", "c")
+        g.add_website_dependency("c.com", cdn, critical=True)
+        g.add_provider_dependency(cdn, dns, critical=True)
+        assert g.impact(dns) == 3
+        assert g.concentration(cdn) == 1
+
+    def test_batch_metrics_match_single_queries(self, dyn_world):
+        metrics = dyn_world.provider_metrics()
+        assert set(metrics) == set(dyn_world.providers())
+        for provider, m in metrics.items():
+            assert m.concentration == dyn_world.concentration(provider)
+            assert m.impact == dyn_world.impact(provider)
+            assert m.direct_concentration == dyn_world.direct_concentration(
+                provider
+            )
+            assert m.direct_impact == dyn_world.direct_impact(provider)
+
+    def test_batch_metrics_service_filter(self, dyn_world):
+        dns_only = dyn_world.provider_metrics(ServiceType.DNS)
+        assert all(p.service == ServiceType.DNS for p in dns_only)
+        assert dns_only[node("dns", "dyn")].impact == 3
+
+
 class TestWebsiteExposure:
     def test_critical_dependency_count(self, dyn_world):
         assert dyn_world.critical_dependency_count("pinterest.com") == 2

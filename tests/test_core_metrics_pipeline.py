@@ -51,6 +51,27 @@ class TestBucketStats:
         assert BucketStats(100, 1).label == "top-100"
         assert BucketStats(100_000, 1).label == "top-100K"
 
+    def test_cdn_buckets_record_both_denominators(self, snapshot_2020):
+        # Regression: the CDN builder recorded n_websites=n_users while
+        # the uses_cdn rate is over the whole bucket; both now appear.
+        stats = metrics.rank_bucket_stats_cdn(
+            snapshot_2020.websites, snapshot_2020.rank_scale
+        )
+        for s in stats:
+            assert s.n_bucket >= s.n_websites  # users are a subset
+            if s.n_bucket:
+                assert s.values["uses_cdn"] == pytest.approx(
+                    100.0 * s.n_websites / s.n_bucket
+                )
+
+    def test_dns_buckets_record_bucket_size(self, snapshot_2020):
+        stats = metrics.rank_bucket_stats_dns(
+            snapshot_2020.websites, snapshot_2020.rank_scale
+        )
+        # n_websites is the characterized subset; n_bucket the whole bucket.
+        assert all(s.n_bucket >= s.n_websites for s in stats)
+        assert stats[-1].n_websites > 0
+
 
 class TestProviderCdf:
     def test_counts_by_service(self, snapshot_2020):

@@ -130,6 +130,49 @@ class TestEviction:
         cache.put("b.com", RRType.A, [rr("b.com", 300)])
         assert cache.peek("a.com", RRType.A) is not None
 
+    def test_overwrite_at_capacity_does_not_evict(self):
+        # Regression: a full cache used to shed an unrelated entry even
+        # when the write only refreshed an existing key.
+        cache = DnsCache(SimulatedClock(), max_entries=3)
+        for i in range(3):
+            cache.put(f"site{i}.com", RRType.A, [rr(f"site{i}.com", 300)])
+        cache.put("site0.com", RRType.A, [rr("site0.com", 600, "10.0.0.9")])
+        assert cache.stats.evictions == 0
+        for i in range(3):
+            assert cache.peek(f"site{i}.com", RRType.A) is not None
+
+    def test_negative_overwrite_at_capacity_does_not_evict(self):
+        cache = DnsCache(SimulatedClock(), max_entries=2)
+        cache.put_negative("gone.com", RRType.A, soa_minimum=60, nxdomain=True)
+        cache.put("x.com", RRType.A, [rr("x.com", 300)])
+        cache.put_negative("gone.com", RRType.A, soa_minimum=120, nxdomain=True)
+        assert cache.stats.evictions == 0
+        assert cache.peek("x.com", RRType.A) is not None
+
+    def test_capacity_eviction_drops_soonest_to_expire(self):
+        cache = DnsCache(SimulatedClock(), max_entries=3)
+        cache.put("late.com", RRType.A, [rr("late.com", 900)])
+        cache.put("soon.com", RRType.A, [rr("soon.com", 30)])
+        cache.put("mid.com", RRType.A, [rr("mid.com", 300)])
+        cache.put("new.com", RRType.A, [rr("new.com", 600)])
+        assert cache.peek("soon.com", RRType.A) is None
+        for name in ("late.com", "mid.com", "new.com"):
+            assert cache.peek(name, RRType.A) is not None
+        assert cache.stats.evictions == 1
+
+    def test_expired_lookup_counts_expired_and_miss(self):
+        clock = SimulatedClock()
+        cache = DnsCache(clock)
+        cache.put("x.com", RRType.A, [rr("x.com", 30)])
+        clock.advance(31)
+        assert cache.get("x.com", RRType.A) is None
+        assert cache.stats.expired == 1
+        assert cache.stats.misses == 1
+        # The stale entry was dropped, so the next miss is a plain miss.
+        assert cache.get("x.com", RRType.A) is None
+        assert cache.stats.expired == 1
+        assert cache.stats.misses == 2
+
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             DnsCache(SimulatedClock(), max_entries=0)

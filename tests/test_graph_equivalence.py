@@ -1,0 +1,121 @@
+"""Engine-vs-oracle equivalence for the §2.2 metrics.
+
+The seed implementation computed ``dependent_websites`` with a recursive
+traversal carrying a path-local visited set — the union-over-simple-paths
+reading of the paper's formulas. That recursion is kept here verbatim as
+the reference oracle, and hypothesis pits it against the SCC-condensation
+engine on randomized graphs (cycles, diamonds, self-referential tangles
+included): the two must agree exactly, set for set, on every provider.
+
+Union over simple paths equals plain reachability (any simple path to a
+dependent website witnesses reachability, and any reachable website has a
+simple path by cycle-cutting), which is why the engine's single sweep can
+replace the exponential recursion without changing a single answer.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import DependencyGraph, ProviderNode, ServiceType
+
+_SERVICES = (ServiceType.DNS, ServiceType.CDN, ServiceType.CA)
+
+
+def oracle_dependents(
+    graph: DependencyGraph, provider: ProviderNode, critical_only: bool
+) -> set[str]:
+    """The seed's recursive formula, preserved as the reference answer."""
+
+    def rec(node: ProviderNode, visited: frozenset[ProviderNode]) -> set[str]:
+        result = graph.direct_dependents(node, critical_only)
+        for consumer in graph.provider_consumers(node, critical_only):
+            if consumer in visited:
+                continue
+            result |= rec(consumer, visited | {consumer})
+        return result
+
+    return rec(provider, frozenset({provider}))
+
+
+@st.composite
+def dependency_graphs(draw) -> DependencyGraph:
+    """A small random graph: websites, providers, and arbitrary edges.
+
+    Provider-to-provider edges are drawn without direction constraints, so
+    cycles (including mutually-critical pairs) occur routinely.
+    """
+    n_sites = draw(st.integers(min_value=1, max_value=6))
+    n_providers = draw(st.integers(min_value=1, max_value=7))
+    providers = [
+        ProviderNode(f"p{i}", _SERVICES[i % len(_SERVICES)])
+        for i in range(n_providers)
+    ]
+    graph = DependencyGraph()
+    for i in range(n_sites):
+        graph.add_website(f"s{i}.com")
+    for provider in providers:
+        graph.add_provider(provider)
+    site_edges = draw(st.lists(
+        st.tuples(
+            st.integers(0, n_sites - 1),
+            st.integers(0, n_providers - 1),
+            st.booleans(),
+        ),
+        max_size=12,
+    ))
+    for site, provider, critical in site_edges:
+        graph.add_website_dependency(
+            f"s{site}.com", providers[provider], critical=critical
+        )
+    provider_edges = draw(st.lists(
+        st.tuples(
+            st.integers(0, n_providers - 1),
+            st.integers(0, n_providers - 1),
+            st.booleans(),
+        ),
+        max_size=12,
+    ))
+    for a, b, critical in provider_edges:
+        if a == b:
+            continue
+        graph.add_provider_dependency(
+            providers[a], providers[b], critical=critical
+        )
+    return graph
+
+
+class TestEngineMatchesOracle:
+    @given(dependency_graphs())
+    @settings(max_examples=80)
+    def test_dependent_sets_identical(self, graph):
+        for provider in graph.providers():
+            for critical_only in (False, True):
+                assert graph.dependent_websites(
+                    provider, critical_only
+                ) == oracle_dependents(graph, provider, critical_only)
+
+    @given(dependency_graphs())
+    @settings(max_examples=60)
+    def test_counts_and_batch_identical(self, graph):
+        metrics = graph.provider_metrics()
+        assert set(metrics) == set(graph.providers())
+        for provider, m in metrics.items():
+            assert m.concentration == len(
+                oracle_dependents(graph, provider, critical_only=False)
+            )
+            assert m.impact == len(
+                oracle_dependents(graph, provider, critical_only=True)
+            )
+            assert m.direct_concentration == graph.direct_concentration(provider)
+            assert m.direct_impact == graph.direct_impact(provider)
+
+    @given(dependency_graphs())
+    @settings(max_examples=40)
+    def test_top_providers_ranked_by_oracle_scores(self, graph):
+        for service in _SERVICES:
+            top = graph.top_providers(service, 5, by="impact")
+            for provider, score in top:
+                assert score == len(
+                    oracle_dependents(graph, provider, critical_only=True)
+                )
+            scores = [score for _, score in top]
+            assert scores == sorted(scores, reverse=True)
