@@ -1,0 +1,77 @@
+"""Cascade engine throughput: ticks/sec on the benchmark world.
+
+Not a paper artifact — this measures the frontier-driven tick loop on
+the shared benchmark world under the same recovering multi-shock churn
+scenario ``scripts/run_benchmarks.py`` freezes into
+``BENCH_cascade.json``: three high-impact DNS providers go down in
+staggered waves with recovery enabled, so every measured tick is doing
+propagation or healing work, never idling.
+
+Run with::
+
+    pytest benchmarks/test_cascade_scaling.py --benchmark-only -s
+
+``REPRO_BENCH_N`` scales the world (CI uses 1200 to keep the job
+fast; the checked-in artifact is generated at 5000).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cascade import CascadeEngine
+from repro.cascade.config import CascadeConfig, Shock
+from repro.cascade.scenarios import dns_provider_bases
+
+from .conftest import BENCH_N
+
+CHURN_PROVIDERS = ("dyn", "aws-dns", "cloudflare")
+TICKS_PER_SEC_FLOOR = 20.0
+
+
+@pytest.fixture(scope="module")
+def churn_config(worlds) -> CascadeConfig:
+    _, world_2020, _ = worlds
+    shocks = []
+    for wave, key in enumerate(CHURN_PROVIDERS):
+        for base in dns_provider_bases(world_2020, key):
+            shocks.append(
+                Shock(
+                    service="dns",
+                    provider=base,
+                    tick=wave * 12,
+                    duration=10,
+                    name=f"churn:{key}:{base}",
+                )
+            )
+    return CascadeConfig(shocks=tuple(shocks), cooldown=2, ticks=96)
+
+
+def test_cascade_ticks_per_sec(benchmark, snapshot_2020, churn_config, worlds):
+    def run():
+        return CascadeEngine(snapshot_2020, churn_config).run()
+
+    trajectory = benchmark.pedantic(run, rounds=3, iterations=1)
+    seconds = min(benchmark.stats.stats.data)
+    ticks_per_sec = trajectory.ticks_run / seconds
+
+    # The scenario must actually exercise the engine: failures spread
+    # beyond the shocked providers and everything heals by the end.
+    peak_failed = max(
+        len(trajectory.failed_sites(tick))
+        for tick in range(trajectory.ticks_run)
+    )
+    assert peak_failed > 0
+    assert not trajectory.failed_sites(), "churn scenario should fully heal"
+    assert trajectory.quiesced_at is not None
+
+    benchmark.extra_info["sites"] = BENCH_N
+    benchmark.extra_info["ticks_run"] = trajectory.ticks_run
+    benchmark.extra_info["peak_failed_sites"] = peak_failed
+    benchmark.extra_info["ticks_per_sec"] = round(ticks_per_sec, 1)
+    print(
+        f"\ncascade scaling [{BENCH_N} sites]: {trajectory.ticks_run} "
+        f"tick(s) in {seconds * 1000:.1f}ms = {ticks_per_sec:.0f} ticks/sec "
+        f"(peak {peak_failed} failed sites)"
+    )
+    assert ticks_per_sec >= TICKS_PER_SEC_FLOOR

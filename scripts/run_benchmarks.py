@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Regenerate / verify the repo-root benchmark artifacts.
+
+Two versioned JSON artifacts live at the repository root and are kept
+under version control:
+
+* ``BENCH_graph.json``  — world build + analysis + metric-sweep timings
+  and the structural invariants of the benchmark world (node and edge
+  counts, top-provider impact).
+* ``BENCH_cascade.json`` — cascade-engine throughput (ticks/sec) on a
+  >= 5k-site world under a recovering multi-shock churn scenario, plus
+  the deterministic shape of that trajectory (ticks run, peak failures,
+  config digest).
+
+Modes::
+
+    python scripts/run_benchmarks.py            # run + print (no writes)
+    python scripts/run_benchmarks.py --update   # run + rewrite artifacts
+    python scripts/run_benchmarks.py --check    # run + compare (CI gate)
+
+``--check`` fails (exit 1) when an artifact is missing, carries the
+wrong schema, any *deterministic* field differs (counts, digests,
+trajectory shape — those are machine-independent), or throughput has
+regressed below ``MIN_THROUGHPUT_RATIO`` of the recorded value. The
+ratio is deliberately generous: CI machines are noisy; a 5x slowdown is
+a regression, a 1.3x wobble is weather.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import WorldConfig, analyze_world, build_world  # noqa: E402
+from repro.cascade import CascadeEngine, dns_outage_config  # noqa: E402
+from repro.cascade.config import CascadeConfig, Shock  # noqa: E402
+from repro.cascade.scenarios import dns_provider_bases  # noqa: E402
+
+GRAPH_SCHEMA = "repro-bench-graph/1"
+CASCADE_SCHEMA = "repro-bench-cascade/1"
+GRAPH_ARTIFACT = REPO_ROOT / "BENCH_graph.json"
+CASCADE_ARTIFACT = REPO_ROOT / "BENCH_cascade.json"
+
+#: Throughput below this fraction of the recorded value fails --check.
+MIN_THROUGHPUT_RATIO = 0.2
+
+BENCH_N = 5000
+BENCH_SEED = 42
+
+#: Fields that must match exactly between a fresh run and the artifact:
+#: they are functions of (n, seed, code), never of the machine.
+DETERMINISTIC_FIELDS = {
+    GRAPH_ARTIFACT.name: (
+        "schema", "n", "seed", "websites", "providers",
+        "website_edges", "provider_edges", "top_dns_impact",
+    ),
+    CASCADE_ARTIFACT.name: (
+        "schema", "n", "seed", "config_digest", "ticks_run",
+        "quiesced_at", "peak_failed_sites", "endpoint_failed_sites",
+        "transitions",
+    ),
+}
+
+
+def _churn_config(world) -> CascadeConfig:
+    """A sustained multi-shock scenario: the three highest-impact DNS
+    providers go down in staggered 12-tick waves while recovery is on,
+    so the engine keeps propagating and healing for the whole run —
+    ticks/sec measured on busy ticks, not a quiescent no-op loop."""
+    shocks = []
+    providers = ("dyn", "aws-dns", "cloudflare")
+    for wave, key in enumerate(providers):
+        for base in dns_provider_bases(world, key):
+            shocks.append(
+                Shock(
+                    service="dns",
+                    provider=base,
+                    tick=wave * 12,
+                    duration=10,
+                    name=f"churn:{key}:{base}",
+                )
+            )
+    return CascadeConfig(
+        shocks=tuple(shocks),
+        cooldown=2,
+        heal_to=1.0,
+        ticks=96,
+    )
+
+
+def run_graph_bench() -> tuple:
+    start = time.perf_counter()
+    world = build_world(WorldConfig(n_websites=BENCH_N, seed=BENCH_SEED))
+    build_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    snapshot = analyze_world(world)
+    analyze_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    metrics = snapshot.provider_metrics()
+    sweep_s = time.perf_counter() - start
+
+    graph = snapshot.graph
+    website_edges = sum(
+        len(graph.website_dependencies(domain))
+        for domain in sorted(graph.websites())
+    )
+    provider_edges = sum(
+        len(graph.provider_dependencies(node))
+        for node in graph.providers()
+    )
+    top_dns_impact = max(
+        (m.impact for node, m in metrics.items() if str(node).startswith("dns:")),
+        default=0,
+    )
+    artifact = {
+        "schema": GRAPH_SCHEMA,
+        "n": BENCH_N,
+        "seed": BENCH_SEED,
+        "websites": len(snapshot.websites),
+        "providers": len(graph.providers()),
+        "website_edges": website_edges,
+        "provider_edges": provider_edges,
+        "top_dns_impact": top_dns_impact,
+        "build_s": round(build_s, 3),
+        "analyze_s": round(analyze_s, 3),
+        "metrics_sweep_s": round(sweep_s, 4),
+    }
+    return artifact, world, snapshot
+
+
+def run_cascade_bench(world, snapshot) -> dict:
+    config = _churn_config(world)
+    engine = CascadeEngine(snapshot, config)
+    start = time.perf_counter()
+    trajectory = engine.run()
+    elapsed = time.perf_counter() - start
+    peak_failed = max(
+        len(trajectory.failed_sites(tick))
+        for tick in range(trajectory.ticks_run)
+    )
+    return {
+        "schema": CASCADE_SCHEMA,
+        "n": BENCH_N,
+        "seed": BENCH_SEED,
+        "config_digest": config.digest(),
+        "ticks_run": trajectory.ticks_run,
+        "quiesced_at": trajectory.quiesced_at,
+        "peak_failed_sites": peak_failed,
+        "endpoint_failed_sites": len(trajectory.failed_sites()),
+        "transitions": len(trajectory.transitions),
+        "run_s": round(elapsed, 4),
+        "ticks_per_sec": round(trajectory.ticks_run / elapsed, 1),
+    }
+
+
+def _write(path: Path, artifact: dict) -> None:
+    path.write_text(
+        json.dumps(artifact, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _check(path: Path, fresh: dict) -> list[str]:
+    problems: list[str] = []
+    if not path.exists():
+        return [f"{path.name}: missing — run scripts/run_benchmarks.py --update"]
+    try:
+        recorded = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    for key in DETERMINISTIC_FIELDS[path.name]:
+        if recorded.get(key) != fresh.get(key):
+            problems.append(
+                f"{path.name}: {key} changed "
+                f"{recorded.get(key)!r} -> {fresh.get(key)!r} "
+                f"(deterministic field; update the artifact if intended)"
+            )
+    if "ticks_per_sec" in fresh:
+        recorded_tps = recorded.get("ticks_per_sec") or 0.0
+        floor = recorded_tps * MIN_THROUGHPUT_RATIO
+        if fresh["ticks_per_sec"] < floor:
+            problems.append(
+                f"{path.name}: throughput regressed — "
+                f"{fresh['ticks_per_sec']} ticks/sec vs recorded "
+                f"{recorded_tps} (floor {floor:.1f})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--update", action="store_true",
+        help="rewrite the repo-root BENCH_*.json artifacts",
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="fail if artifacts are missing, stale, or regressed (CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"[bench] world n={BENCH_N} seed={BENCH_SEED}", file=sys.stderr)
+    graph_artifact, world, snapshot = run_graph_bench()
+    print(
+        f"[bench] graph: build {graph_artifact['build_s']}s, "
+        f"analyze {graph_artifact['analyze_s']}s, "
+        f"sweep {graph_artifact['metrics_sweep_s']}s",
+        file=sys.stderr,
+    )
+    cascade_artifact = run_cascade_bench(world, snapshot)
+    print(
+        f"[bench] cascade: {cascade_artifact['ticks_run']} tick(s) in "
+        f"{cascade_artifact['run_s']}s = "
+        f"{cascade_artifact['ticks_per_sec']} ticks/sec",
+        file=sys.stderr,
+    )
+
+    if args.update:
+        _write(GRAPH_ARTIFACT, graph_artifact)
+        _write(CASCADE_ARTIFACT, cascade_artifact)
+        print(
+            f"[bench] wrote {GRAPH_ARTIFACT.name} and {CASCADE_ARTIFACT.name}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.check:
+        problems = _check(GRAPH_ARTIFACT, graph_artifact)
+        problems += _check(CASCADE_ARTIFACT, cascade_artifact)
+        for problem in problems:
+            print(f"[bench] FAIL {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("[bench] artifacts OK", file=sys.stderr)
+        return 0
+    print(json.dumps(
+        {"graph": graph_artifact, "cascade": cascade_artifact},
+        indent=1, sort_keys=True,
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""repro.cascade — temporal cascade & recovery dynamics engine.
+
+Layer 8 of the repro DAG: a tick-based simulator over the analyzed
+dependency graph. Static §2.2 analysis answers *who could be hurt*;
+this package answers *how the outage unfolds and recovers over time* —
+per-node health trajectories, root-cause attribution, blast-radius and
+remediation-priority rankings — all deterministic down to the exported
+byte under the fault-plan seed discipline.
+
+The static prediction is recovered exactly as the no-recovery,
+``alpha = 1``, ``t → ∞`` special case; see
+:func:`repro.cascade.scenarios.validate_static_equivalence`.
+"""
+
+from repro.cascade.attribution import (
+    CausalChain,
+    ChainLink,
+    blast_radius_by_root,
+    why,
+)
+from repro.cascade.config import (
+    CASCADE_SERVICES,
+    CascadeConfig,
+    CascadeConfigError,
+    Shock,
+)
+from repro.cascade.engine import HEALTH_PRECISION, CascadeEngine
+from repro.cascade.export import (
+    TRAJECTORY_SCHEMA,
+    TrajectoryFormatError,
+    trajectory_from_dict,
+    trajectory_from_json,
+    trajectory_to_dict,
+    trajectory_to_json,
+)
+from repro.cascade.query import query_loop
+from repro.cascade.report import (
+    BlastRadius,
+    CascadeReport,
+    RemediationPriority,
+    build_report,
+    render_report,
+)
+from repro.cascade.scenarios import (
+    DEFAULT_OUTAGE_TICKS,
+    StaticEquivalence,
+    ca_outage_config,
+    cdn_outage_config,
+    dns_outage_config,
+    dns_provider_bases,
+    validate_static_equivalence,
+)
+from repro.cascade.trajectory import (
+    Cause,
+    NodeState,
+    Trajectory,
+    Transition,
+    state_of,
+)
+
+__all__ = [
+    "CASCADE_SERVICES",
+    "DEFAULT_OUTAGE_TICKS",
+    "HEALTH_PRECISION",
+    "TRAJECTORY_SCHEMA",
+    "BlastRadius",
+    "CascadeConfig",
+    "CascadeConfigError",
+    "CascadeEngine",
+    "CascadeReport",
+    "CausalChain",
+    "Cause",
+    "ChainLink",
+    "NodeState",
+    "RemediationPriority",
+    "Shock",
+    "StaticEquivalence",
+    "Trajectory",
+    "TrajectoryFormatError",
+    "Transition",
+    "blast_radius_by_root",
+    "build_report",
+    "ca_outage_config",
+    "cdn_outage_config",
+    "dns_outage_config",
+    "dns_provider_bases",
+    "query_loop",
+    "render_report",
+    "state_of",
+    "trajectory_from_dict",
+    "trajectory_from_json",
+    "trajectory_to_dict",
+    "trajectory_to_json",
+    "validate_static_equivalence",
+    "why",
+]

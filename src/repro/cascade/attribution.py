@@ -1,0 +1,101 @@
+"""Root-cause attribution: which injected failure explains a casualty.
+
+The engine records, for every node that ever took damage, a
+:class:`~repro.cascade.trajectory.Cause`: the shock labels ultimately
+responsible plus the immediate upstream dependency the damage arrived
+through. This module turns that per-node record into answers:
+
+* :func:`why` — the causal chain from a casualty back to its root
+  shock, link by link (the ``why <site>`` interactive query);
+* :func:`blast_radius_by_root` — per-shock casualty counts, the
+  "which injected failure explains each downstream casualty" rollup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cascade.trajectory import NodeState, Trajectory
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One hop of a causal chain: ``node`` was hit at ``tick``."""
+
+    node: str
+    tick: int
+    health: float
+    state: NodeState
+
+
+@dataclass(frozen=True)
+class CausalChain:
+    """A casualty's path back to its root shock(s).
+
+    ``links`` runs downstream→upstream: the casualty first, the shocked
+    provider last. ``roots`` are the shock labels that explain it (more
+    than one when independently shocked providers both reach the node).
+    """
+
+    node: str
+    roots: tuple[str, ...]
+    links: tuple[ChainLink, ...]
+
+    @property
+    def explained(self) -> bool:
+        return bool(self.roots)
+
+    def render(self) -> str:
+        """Human-readable chain: ``a ← b ← c [root: shock]``."""
+        if not self.links:
+            return f"{self.node}: unaffected (no recorded damage)"
+        hops = " <- ".join(
+            f"{link.node}@t{link.tick}" for link in self.links
+        )
+        roots = ", ".join(self.roots) if self.roots else "unknown"
+        return f"{hops}  [root: {roots}]"
+
+
+def why(trajectory: Trajectory, node: str) -> CausalChain:
+    """The causal chain from ``node`` back to the shock that hit it."""
+    causes = trajectory.causes
+    links: list[ChainLink] = []
+    roots: tuple[str, ...] = ()
+    current = node
+    visited: set[str] = set()
+    while current in causes and current not in visited:
+        visited.add(current)
+        cause = causes[current]
+        links.append(
+            ChainLink(
+                node=current,
+                tick=cause.tick,
+                health=trajectory.final_health.get(current, 1.0),
+                state=trajectory.final_state(current),
+            )
+        )
+        if not roots:
+            roots = cause.roots
+        if cause.via is None:
+            break
+        current = cause.via
+    return CausalChain(node=node, roots=roots, links=tuple(links))
+
+
+def blast_radius_by_root(trajectory: Trajectory) -> dict[str, int]:
+    """Failed websites attributed to each shock label.
+
+    A website reached by two independently shocked providers counts
+    toward both — the rollup answers "how many casualties does this
+    shock explain", not a disjoint partition.
+    """
+    counts: dict[str, int] = {
+        shock.label: 0 for shock in trajectory.config.shocks
+    }
+    for domain in trajectory.failed_sites():
+        cause = trajectory.causes.get(domain)
+        if cause is None:
+            continue
+        for root in cause.roots:
+            counts[root] = counts.get(root, 0) + 1
+    return counts

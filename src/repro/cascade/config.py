@@ -1,0 +1,236 @@
+"""Cascade scenario configuration: the knobs of the temporal model.
+
+A :class:`CascadeConfig` is the cascade counterpart of
+:class:`repro.faults.plan.FaultPlan`: a frozen, JSON-round-trippable,
+digest-bound description of one temporal failure scenario. The digest
+binds a trajectory to the exact scenario that produced it, the same way
+fault-plan digests bind campaign checkpoints.
+
+The model parameters mirror the Domino-effect simulator family:
+
+* ``alpha`` — propagation strength: how much of an upstream provider's
+  damage a consumer absorbs per tick.
+* ``threshold`` — health level below which a node counts as *failed*
+  (below 1.0 but at or above the threshold it is *degraded*).
+* ``cooldown`` — ticks a node must stay failed before it may recover;
+  ``-1`` disables recovery entirely (the static-outage special case).
+* ``heal_to`` — health a recovering node comes back at.
+* ``noncritical_weight`` — discount applied to damage arriving over
+  redundant (non-critical) dependency edges. Keeping
+  ``alpha * noncritical_weight <= 1 - threshold`` guarantees redundancy
+  alone never drags health below the failure threshold — exactly the
+  paper's reading of criticality, and the regime in which the t→∞
+  endpoint provably equals the static §2.2 prediction.
+* ``jitter`` — optional per-(node, tick) damage noise in ``[0, 0.5]``,
+  drawn statelessly from :class:`repro.faults.prng.SeededFaultSource`
+  so trajectories stay byte-identical for a given seed.
+
+:class:`Shock` entries are the injected root failures — a provider node
+pinned to health 0.0 from ``tick`` for ``duration`` ticks (``None`` =
+forever). Everything downstream of a shock is *derived* by the engine,
+never configured.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+CASCADE_SERVICES = ("dns", "cdn", "ca")
+
+#: Default simulated seconds per tick (one "operational minute").
+DEFAULT_TICK_DURATION = 60.0
+
+
+class CascadeConfigError(ValueError):
+    """A cascade config failed validation or could not be parsed."""
+
+
+@dataclass(frozen=True)
+class Shock:
+    """One injected root failure: a provider pinned down for a while."""
+
+    service: str
+    provider: str
+    tick: int = 0
+    duration: Optional[int] = None
+    name: str = ""
+
+    @property
+    def label(self) -> str:
+        """The attribution label downstream casualties point back at."""
+        return self.name or f"{self.service}:{self.provider}"
+
+    def active_at(self, tick: int) -> bool:
+        """Whether this shock pins its target at ``tick``."""
+        if tick < self.tick:
+            return False
+        if self.duration is None:
+            return True
+        return tick < self.tick + self.duration
+
+    def validate(self) -> list[str]:
+        """Human-readable problems with this shock (empty = valid)."""
+        problems: list[str] = []
+        where = f"shock {self.label!r}"
+        if self.service not in CASCADE_SERVICES:
+            problems.append(
+                f"{where}: unknown service {self.service!r} "
+                f"(expected one of {', '.join(CASCADE_SERVICES)})"
+            )
+        if not self.provider:
+            problems.append(f"{where}: a shock needs a provider node id")
+        if self.tick < 0:
+            problems.append(f"{where}: tick {self.tick} must be >= 0")
+        if self.duration is not None and self.duration < 1:
+            problems.append(
+                f"{where}: duration {self.duration} must be >= 1 (or null)"
+            )
+        return problems
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "service": self.service,
+            "provider": self.provider,
+            "tick": self.tick,
+            "duration": self.duration,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Shock":
+        duration = data.get("duration")
+        return cls(
+            service=data["service"],
+            provider=data["provider"],
+            tick=int(data.get("tick", 0)),
+            duration=int(duration) if duration is not None else None,
+            name=str(data.get("name", "")),
+        )
+
+
+@dataclass(frozen=True)
+class CascadeConfig:
+    """One temporal cascade scenario — frozen, serializable, digestable."""
+
+    shocks: tuple[Shock, ...] = ()
+    alpha: float = 1.0
+    threshold: float = 0.7
+    cooldown: int = -1
+    heal_to: float = 1.0
+    ticks: int = 50
+    noncritical_weight: float = 0.25
+    jitter: float = 0.0
+    seed: int = 0
+    tick_duration: float = field(default=DEFAULT_TICK_DURATION)
+
+    def validate(self) -> list[str]:
+        """All problems across the config (empty = valid)."""
+        problems: list[str] = []
+        if not 0.0 <= self.alpha <= 1.0:
+            problems.append(f"alpha {self.alpha} outside [0, 1]")
+        if not 0.0 < self.threshold < 1.0:
+            problems.append(f"threshold {self.threshold} outside (0, 1)")
+        if self.cooldown < -1:
+            problems.append(
+                f"cooldown {self.cooldown} must be >= 0, or -1 (no recovery)"
+            )
+        if not self.threshold <= self.heal_to <= 1.0:
+            problems.append(
+                f"heal_to {self.heal_to} outside [threshold, 1] — a node "
+                f"recovering below the failure threshold would flap every tick"
+            )
+        if self.ticks < 1:
+            problems.append(f"ticks {self.ticks} must be >= 1")
+        if not 0.0 <= self.noncritical_weight < 1.0:
+            problems.append(
+                f"noncritical_weight {self.noncritical_weight} outside [0, 1)"
+            )
+        if not 0.0 <= self.jitter <= 0.5:
+            problems.append(f"jitter {self.jitter} outside [0, 0.5]")
+        if self.tick_duration <= 0:
+            problems.append(f"tick_duration {self.tick_duration} must be > 0")
+        seen: set[str] = set()
+        for shock in self.shocks:
+            problems.extend(shock.validate())
+            if shock.label in seen:
+                problems.append(f"duplicate shock label {shock.label!r}")
+            seen.add(shock.label)
+        if not self.shocks:
+            problems.append("a cascade scenario needs at least one shock")
+        return problems
+
+    @property
+    def static_equivalent(self) -> bool:
+        """Whether this config sits in the provable static-special-case
+        regime: no recovery, full propagation, redundant damage below
+        the failure threshold (DESIGN §12)."""
+        return (
+            self.cooldown == -1
+            and self.alpha == 1.0
+            and self.jitter == 0.0
+            and self.alpha * self.noncritical_weight <= 1.0 - self.threshold
+            and all(shock.duration is None for shock in self.shocks)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "alpha": self.alpha,
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+            "heal_to": self.heal_to,
+            "ticks": self.ticks,
+            "noncritical_weight": self.noncritical_weight,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "tick_duration": self.tick_duration,
+            "shocks": [shock.to_dict() for shock in self.shocks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CascadeConfig":
+        try:
+            config = cls(
+                shocks=tuple(
+                    Shock.from_dict(entry) for entry in data.get("shocks", [])
+                ),
+                alpha=float(data.get("alpha", 1.0)),
+                threshold=float(data.get("threshold", 0.7)),
+                cooldown=int(data.get("cooldown", -1)),
+                heal_to=float(data.get("heal_to", 1.0)),
+                ticks=int(data.get("ticks", 50)),
+                noncritical_weight=float(data.get("noncritical_weight", 0.25)),
+                jitter=float(data.get("jitter", 0.0)),
+                seed=int(data.get("seed", 0)),
+                tick_duration=float(
+                    data.get("tick_duration", DEFAULT_TICK_DURATION)
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CascadeConfigError(f"malformed cascade config: {exc}") from exc
+        problems = config.validate()
+        if problems:
+            raise CascadeConfigError("; ".join(problems))
+        return config
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CascadeConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CascadeConfigError(
+                f"cascade config is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise CascadeConfigError("cascade config must be a JSON object")
+        return cls.from_dict(data)
+
+    def digest(self) -> str:
+        """Content hash identifying the scenario (trajectory binding)."""
+        body = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()

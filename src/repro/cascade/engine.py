@@ -1,0 +1,374 @@
+"""The tick-based cascade engine: temporal failure propagation & healing.
+
+The engine advances a per-node health field over a frozen dependency
+graph snapshot on a simulated tick clock:
+
+* **Shocks** pin their target provider at health 0.0 while active — the
+  injected root failures (the Dyn takedown is one shock).
+* **Propagation.** A live node's health is recomputed each tick from
+  its dependencies' previous-tick health::
+
+      damage  = alpha * max(worst_critical, w_nc * mean_noncritical)
+      health  = 1 - damage          (clamped to [0, 1], rounded)
+
+  where ``worst_critical`` is the largest health deficit among critical
+  dependencies and ``mean_noncritical`` the average deficit across
+  redundant ones, discounted by ``noncritical_weight``. A single dead
+  critical dependency therefore kills its consumer outright at
+  ``alpha = 1`` (the paper's criticality semantics), while redundant
+  damage only degrades — provided ``alpha * w_nc <= 1 - threshold``,
+  so health never drops below the failure line on redundant edges alone.
+* **Failure latch.** A node whose health crosses below ``threshold`` is
+  *failed* and its health freezes: a crashed service does not heal by
+  itself. With ``cooldown >= 0`` it recovers to ``heal_to`` once it has
+  been down for ``cooldown`` ticks, its shock (if any) has lifted, and
+  no critical dependency is still failed. ``cooldown = -1`` disables
+  recovery — the monotone regime whose t→∞ endpoint equals the static
+  §2.2 prediction (see :mod:`repro.cascade.scenarios`).
+
+Determinism: updates are synchronous (a tick reads only end-of-previous
+-tick state), all iteration is over sorted node ids, health is rounded
+to a fixed precision (so quiescence detection is exact), and the only
+randomness — the optional damage ``jitter`` — draws statelessly from
+:class:`repro.faults.prng.SeededFaultSource` keyed by (node, tick).
+Trajectories are byte-identical across runs for a given config.
+
+Efficiency: ticks are frontier-driven. Only nodes downstream of a
+change are recomputed, so a quiescent world costs O(1) per tick and a
+Dyn-sized shock touches the shocked providers' consumer cone, not the
+whole graph. Blast-radius/remediation reporting reuses the graph's
+batch :class:`~repro.core.graphx.MetricEngine` sweeps instead of
+re-deriving reachability per tick (:mod:`repro.cascade.report`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cascade.config import CascadeConfig, CascadeConfigError, Shock
+from repro.cascade.trajectory import (
+    Cause,
+    NodeState,
+    Trajectory,
+    Transition,
+    state_of,
+)
+from repro.core.graph import ProviderNode, ServiceType
+from repro.faults.prng import SeededFaultSource
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import AnalyzedSnapshot
+    from repro.telemetry import Telemetry
+
+#: Decimal places health is rounded to — makes fixed points exact, so
+#: quiescence is detected by equality, never by epsilon comparison.
+HEALTH_PRECISION = 6
+
+
+def _round(health: float) -> float:
+    return round(health, HEALTH_PRECISION)
+
+
+class _Node:
+    """Static per-node adjacency, precomputed once per engine."""
+
+    __slots__ = ("critical", "noncritical", "consumers")
+
+    def __init__(self) -> None:
+        self.critical: tuple[str, ...] = ()
+        self.noncritical: tuple[str, ...] = ()
+        self.consumers: tuple[str, ...] = ()
+
+
+class CascadeEngine:
+    """Runs one :class:`CascadeConfig` over one analyzed snapshot."""
+
+    def __init__(
+        self,
+        snapshot: "AnalyzedSnapshot",
+        config: CascadeConfig,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
+        problems = config.validate()
+        if problems:
+            raise CascadeConfigError("; ".join(problems))
+        self.snapshot = snapshot
+        self.config = config
+        self.telemetry = telemetry
+        self._prng = SeededFaultSource(config.seed)
+        self._sim_time = 0.0
+        self._websites: tuple[str, ...] = tuple(
+            sorted(snapshot.graph.websites())
+        )
+        self._providers: tuple[str, ...] = tuple(
+            str(node) for node in snapshot.graph.providers()
+        )
+        self._nodes: dict[str, _Node] = {}
+        self._build_adjacency()
+        self._shock_by_node: dict[str, Shock] = {}
+        self._resolve_shocks()
+
+    # -- construction -------------------------------------------------------
+
+    def _build_adjacency(self) -> None:
+        graph = self.snapshot.graph
+        consumers: dict[str, list[str]] = {}
+        for domain in self._websites:
+            node = self._nodes.setdefault(domain, _Node())
+            critical = graph.website_dependencies(domain, critical_only=True)
+            uses = graph.website_dependencies(domain)
+            node.critical = tuple(
+                str(p) for p in sorted(critical, key=str)
+            )
+            node.noncritical = tuple(
+                str(p) for p in sorted(uses - critical, key=str)
+            )
+            for provider in sorted(uses, key=str):
+                consumers.setdefault(str(provider), []).append(domain)
+        for provider_id in self._providers:
+            self._nodes.setdefault(provider_id, _Node())
+        for provider in graph.providers():
+            node = self._nodes[str(provider)]
+            critical = graph.provider_dependencies(
+                provider, critical_only=True
+            )
+            uses = graph.provider_dependencies(provider)
+            node.critical = tuple(
+                str(p) for p in sorted(critical, key=str)
+            )
+            node.noncritical = tuple(
+                str(p) for p in sorted(uses - critical, key=str)
+            )
+            for upstream in sorted(uses, key=str):
+                consumers.setdefault(str(upstream), []).append(str(provider))
+        for node_id in sorted(consumers):
+            self._nodes[node_id].consumers = tuple(sorted(consumers[node_id]))
+
+    def _resolve_shocks(self) -> None:
+        known = set(self._providers)
+        for shock in self.config.shocks:
+            node_id = str(
+                ProviderNode(shock.provider, ServiceType(shock.service))
+            )
+            if node_id not in known:
+                sample = sorted(
+                    p for p in known if p.startswith(shock.service + ":")
+                )[:8]
+                raise CascadeConfigError(
+                    f"shock {shock.label!r} targets unknown provider node "
+                    f"{node_id!r}; e.g. {sample}"
+                )
+            if node_id in self._shock_by_node:
+                raise CascadeConfigError(
+                    f"multiple shocks target {node_id!r}"
+                )
+            self._shock_by_node[node_id] = shock
+
+    # -- the tick loop ------------------------------------------------------
+
+    def run(self) -> Trajectory:
+        """Advance the scenario to quiescence or ``config.ticks``."""
+        config = self.config
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.bind_clock(lambda: self._sim_time)
+
+        health: dict[str, float] = {}  # sparse: absent node = 1.0
+        failed_since: dict[str, int] = {}
+        causes: dict[str, Cause] = {}
+        deltas: list[dict[str, float]] = []
+        transitions: list[Transition] = []
+        frontier: set[str] = set()
+        quiesced_at: Optional[int] = None
+        shock_nodes = sorted(self._shock_by_node)
+        shock_boundaries = sorted(
+            {s.tick for s in config.shocks}
+            | {
+                s.tick + s.duration
+                for s in config.shocks
+                if s.duration is not None
+            }
+        )
+
+        for tick in range(config.ticks):
+            self._sim_time = tick * config.tick_duration
+            span = (
+                telemetry.span("cascade.tick", "cascade", tick=tick)
+                if telemetry is not None
+                else None
+            )
+            # All staging reads end-of-previous-tick state only; commits
+            # happen together afterwards, so the update is synchronous.
+            staged: dict[str, float] = {}
+            staged_causes: dict[str, Cause] = {}
+            staged_recoveries: set[str] = set()
+
+            # 1. Shock pinning: active shocks hold their target at 0.
+            pinned: set[str] = set()
+            for node_id in shock_nodes:
+                shock = self._shock_by_node[node_id]
+                if shock.active_at(tick):
+                    pinned.add(node_id)
+                    if health.get(node_id, 1.0) != 0.0:
+                        staged[node_id] = 0.0
+                        staged_causes[node_id] = Cause(
+                            roots=(shock.label,), via=None, tick=tick
+                        )
+
+            # 2. Recovery: failed, unpinned, cooled down, deps clear.
+            if config.cooldown >= 0:
+                for node_id in sorted(failed_since):
+                    if node_id in pinned:
+                        continue
+                    if tick - failed_since[node_id] < config.cooldown:
+                        continue
+                    blocked = any(
+                        health.get(dep, 1.0) < config.threshold
+                        for dep in self._nodes[node_id].critical
+                    )
+                    if not blocked:
+                        staged[node_id] = _round(config.heal_to)
+                        staged_recoveries.add(node_id)
+
+            # 3. Propagation over the frontier.
+            for node_id in sorted(frontier):
+                if node_id in pinned or node_id in staged:
+                    continue
+                if node_id in failed_since:
+                    continue  # latched down; only recovery moves it
+                new_health = self._recompute(node_id, health, tick)
+                if new_health != health.get(node_id, 1.0):
+                    staged[node_id] = new_health
+                    if (
+                        new_health < health.get(node_id, 1.0)
+                        and node_id not in causes
+                    ):
+                        staged_causes[node_id] = self._cause_of(
+                            node_id, health, causes, tick
+                        )
+
+            # 4. Commit + next frontier.
+            frontier = set()
+            for node_id in sorted(staged):
+                old = health.get(node_id, 1.0)
+                new = staged[node_id]
+                old_state = state_of(old, config.threshold)
+                new_state = state_of(new, config.threshold)
+                health[node_id] = new
+                if node_id in staged_recoveries:
+                    del failed_since[node_id]
+                if new_state is NodeState.FAILED:
+                    failed_since.setdefault(node_id, tick)
+                if new_state is not old_state:
+                    transitions.append(
+                        Transition(tick, node_id, old_state, new_state, new)
+                    )
+                    if telemetry is not None:
+                        telemetry.count(
+                            "cascade.transitions", state=new_state.value
+                        )
+                frontier.update(self._nodes[node_id].consumers)
+                frontier.add(node_id)
+            for node_id in sorted(staged_causes):
+                causes[node_id] = staged_causes[node_id]
+            deltas.append(dict(sorted(staged.items())))
+
+            if telemetry is not None:
+                telemetry.count("cascade.ticks")
+            self._sim_time = (tick + 1) * config.tick_duration
+            if span is not None:
+                span.set(
+                    changed=len(staged),
+                    failed=len(failed_since),
+                    frontier=len(frontier),
+                )
+                span.__exit__(None, None, None)
+
+            # 5. Quiescence: nothing changed, no shock boundary ahead,
+            #    and no recovery can fire later. (A failed node with
+            #    recovery enabled may unblock at any future tick, so the
+            #    early exit only triggers once every such node is gone.)
+            shocks_pending = any(t > tick for t in shock_boundaries)
+            recovery_pending = config.cooldown >= 0 and bool(failed_since)
+            if not staged and not shocks_pending and not recovery_pending:
+                quiesced_at = tick
+                break
+
+        final_health = {
+            node_id: health.get(node_id, 1.0)
+            for node_id in self._providers + self._websites
+        }
+        return Trajectory(
+            config=config,
+            websites=self._websites,
+            providers=self._providers,
+            deltas=tuple(deltas),
+            transitions=tuple(transitions),
+            causes=causes,
+            quiesced_at=quiesced_at,
+            final_health=final_health,
+        )
+
+    # -- per-node update ----------------------------------------------------
+
+    def _recompute(
+        self, node_id: str, health: dict[str, float], tick: int
+    ) -> float:
+        """One node's health from its dependencies' current deficits."""
+        config = self.config
+        node = self._nodes[node_id]
+        worst_critical = 0.0
+        for dep in node.critical:
+            deficit = 1.0 - health.get(dep, 1.0)
+            if deficit > worst_critical:
+                worst_critical = deficit
+        mean_noncritical = 0.0
+        if node.noncritical:
+            mean_noncritical = sum(
+                1.0 - health.get(dep, 1.0) for dep in node.noncritical
+            ) / len(node.noncritical)
+        damage = config.alpha * max(
+            worst_critical, config.noncritical_weight * mean_noncritical
+        )
+        if config.jitter and damage > 0.0:
+            damage *= 1.0 - config.jitter * self._prng.unit(
+                "cascade", node_id, tick
+            )
+        return _round(min(1.0, max(0.0, 1.0 - damage)))
+
+    def _cause_of(
+        self,
+        node_id: str,
+        health: dict[str, float],
+        causes: dict[str, Cause],
+        tick: int,
+    ) -> Cause:
+        """Attribute a node's first damage to its upstream sources.
+
+        Contributors are read from the same previous-tick state the
+        damage was computed from: failed critical dependencies if any,
+        otherwise every damaged dependency. Roots are inherited — any
+        already-damaged dependency carries a cause by induction.
+        """
+        config = self.config
+        node = self._nodes[node_id]
+        contributors = [
+            dep for dep in node.critical
+            if health.get(dep, 1.0) < config.threshold
+        ]
+        if not contributors:
+            contributors = [
+                dep
+                for dep in node.critical + node.noncritical
+                if health.get(dep, 1.0) < 1.0
+            ]
+        roots: set[str] = set()
+        for dep in contributors:
+            cause = causes.get(dep)
+            if cause is not None:
+                roots.update(cause.roots)
+        return Cause(
+            roots=tuple(sorted(roots)),
+            via=contributors[0] if contributors else None,
+            tick=tick,
+        )

@@ -1,0 +1,128 @@
+"""The `repro cascade --interactive` query loop.
+
+A tiny line-oriented REPL over one finished trajectory + report. Pure
+function of its input/output streams so tests drive it with
+``io.StringIO`` — no terminal, no readline, no global state.
+
+Commands::
+
+    why <site>     causal chain from a website back to its root shock
+    top [k]        top-k remediation priorities (default 5)
+    tick <n>       what changed at tick n (transitions + running totals)
+    summary        re-print the report header
+    help           this text
+    quit / exit    leave (EOF works too)
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.cascade.attribution import why
+from repro.cascade.report import CascadeReport, render_report
+from repro.cascade.trajectory import Trajectory
+
+_HELP = (
+    "commands: why <site> | top [k] | tick <n> | summary | help | quit"
+)
+
+_PROMPT = "cascade> "
+
+
+def _cmd_why(
+    trajectory: Trajectory, argument: str, out: TextIO
+) -> None:
+    if not argument:
+        print("usage: why <site>", file=out)
+        return
+    if (
+        argument not in trajectory.causes
+        and argument not in set(trajectory.websites)
+        and argument not in set(trajectory.providers)
+    ):
+        print(f"{argument}: not a node in this trajectory", file=out)
+        return
+    print(why(trajectory, argument).render(), file=out)
+
+
+def _cmd_top(report: CascadeReport, argument: str, out: TextIO) -> None:
+    try:
+        k = int(argument) if argument else 5
+    except ValueError:
+        print("usage: top [k]", file=out)
+        return
+    if not report.remediation:
+        print("no failed providers — nothing to remediate", file=out)
+        return
+    for rank, entry in enumerate(report.remediation[:k], start=1):
+        print(
+            f"{rank}. {entry.provider}: frees {entry.sites_held_down} "
+            f"site(s) (static impact {entry.static_impact})",
+            file=out,
+        )
+
+
+def _cmd_tick(trajectory: Trajectory, argument: str, out: TextIO) -> None:
+    try:
+        tick = int(argument)
+    except ValueError:
+        print("usage: tick <n>", file=out)
+        return
+    if not 0 <= tick < trajectory.ticks_run:
+        print(
+            f"tick {tick} out of range 0..{trajectory.ticks_run - 1}",
+            file=out,
+        )
+        return
+    failed = trajectory.failed_sites(tick)
+    degraded = trajectory.degraded_sites(tick)
+    print(
+        f"tick {tick}: {len(failed)} failed / {len(degraded)} degraded "
+        f"site(s)",
+        file=out,
+    )
+    for transition in trajectory.transitions_at(tick):
+        print(
+            f"  {transition.node}: {transition.from_state.value} -> "
+            f"{transition.to_state.value} "
+            f"(health {transition.health:g})",
+            file=out,
+        )
+
+
+def query_loop(
+    trajectory: Trajectory,
+    report: CascadeReport,
+    in_stream: TextIO,
+    out_stream: TextIO,
+) -> int:
+    """Run the REPL until ``quit`` or EOF; returns commands handled."""
+    print(render_report(report), file=out_stream)
+    print(_HELP, file=out_stream)
+    handled = 0
+    while True:
+        print(_PROMPT, end="", file=out_stream, flush=True)
+        line = in_stream.readline()
+        if not line:  # EOF
+            print("", file=out_stream)
+            break
+        command, _, argument = line.strip().partition(" ")
+        argument = argument.strip()
+        if not command:
+            continue
+        handled += 1
+        if command in ("quit", "exit", "q"):
+            break
+        if command == "help":
+            print(_HELP, file=out_stream)
+        elif command == "why":
+            _cmd_why(trajectory, argument, out_stream)
+        elif command == "top":
+            _cmd_top(report, argument, out_stream)
+        elif command == "tick":
+            _cmd_tick(trajectory, argument, out_stream)
+        elif command == "summary":
+            print(render_report(report), file=out_stream)
+        else:
+            print(f"unknown command {command!r}; {_HELP}", file=out_stream)
+    return handled

@@ -1,0 +1,189 @@
+"""Structured cascade reports: blast radius, remediation priority.
+
+One report is built per trajectory, *after* the run — rankings reuse
+the snapshot's batch :meth:`~repro.core.pipeline.AnalyzedSnapshot.
+provider_metrics` sweep (one SCC-condensation pass serves every
+provider) plus a single dependent-set intersection per failed provider,
+instead of recomputing reachability tick by tick.
+
+* **Blast radius** — per injected shock: how many websites its cascade
+  actually killed (attributed via root causes) vs. how many the static
+  §2.2 impact metric predicts for the shocked provider.
+* **Remediation priority** — failed providers ranked by how many
+  still-failed websites each one holds down (its transitive critical
+  dependent set intersected with the failed set): the order an operator
+  should restore providers in to unblock the most sites soonest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.cascade.attribution import blast_radius_by_root
+from repro.cascade.trajectory import Trajectory
+from repro.core.graph import ProviderNode, ServiceType
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import AnalyzedSnapshot
+
+
+def provider_node(node_id: str) -> ProviderNode:
+    """Parse an engine node id (``dns:dynect.net``) back into a node."""
+    service, _, identity = node_id.partition(":")
+    return ProviderNode(identity, ServiceType(service))
+
+
+@dataclass(frozen=True)
+class BlastRadius:
+    """One shock's observed vs. predicted damage."""
+
+    root: str
+    failed_sites: int
+    predicted_impact: int
+
+
+@dataclass(frozen=True)
+class RemediationPriority:
+    """One failed provider's restoration value."""
+
+    provider: str
+    sites_held_down: int
+    static_impact: int
+
+
+@dataclass(frozen=True)
+class CascadeReport:
+    """Everything the CLI (and the interactive loop) reads."""
+
+    ticks_run: int
+    quiesced_at: Optional[int]
+    failed_sites: int
+    degraded_sites: int
+    failed_providers: int
+    degraded_providers: int
+    total_sites: int
+    blast_radii: tuple[BlastRadius, ...]
+    remediation: tuple[RemediationPriority, ...]
+
+    @property
+    def affected_fraction(self) -> float:
+        if not self.total_sites:
+            return 0.0
+        return (self.failed_sites + self.degraded_sites) / self.total_sites
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ticks_run": self.ticks_run,
+            "quiesced_at": self.quiesced_at,
+            "failed_sites": self.failed_sites,
+            "degraded_sites": self.degraded_sites,
+            "failed_providers": self.failed_providers,
+            "degraded_providers": self.degraded_providers,
+            "total_sites": self.total_sites,
+            "affected_fraction": self.affected_fraction,
+            "blast_radii": [
+                {
+                    "root": b.root,
+                    "failed_sites": b.failed_sites,
+                    "predicted_impact": b.predicted_impact,
+                }
+                for b in self.blast_radii
+            ],
+            "remediation": [
+                {
+                    "provider": r.provider,
+                    "sites_held_down": r.sites_held_down,
+                    "static_impact": r.static_impact,
+                }
+                for r in self.remediation
+            ],
+        }
+
+
+def build_report(
+    snapshot: "AnalyzedSnapshot", trajectory: Trajectory
+) -> CascadeReport:
+    """Roll one trajectory up into rankings (one metric sweep total)."""
+    metrics = snapshot.provider_metrics()  # batch: one engine sweep
+    engine = snapshot.graph.metric_engine()
+
+    failed_sites = trajectory.failed_sites()
+    failed_site_set = set(failed_sites)
+    degraded_sites = trajectory.degraded_sites()
+    failed_providers = trajectory.failed_providers()
+    degraded_providers = trajectory.degraded_providers()
+
+    radius_counts = blast_radius_by_root(trajectory)
+    blast_radii: list[BlastRadius] = []
+    for shock in trajectory.config.shocks:
+        node = ProviderNode(shock.provider, ServiceType(shock.service))
+        predicted = metrics.get(node)
+        blast_radii.append(
+            BlastRadius(
+                root=shock.label,
+                failed_sites=radius_counts.get(shock.label, 0),
+                predicted_impact=predicted.impact if predicted else 0,
+            )
+        )
+    blast_radii.sort(key=lambda b: (-b.failed_sites, b.root))
+
+    remediation: list[RemediationPriority] = []
+    for provider_id in failed_providers:
+        node = provider_node(provider_id)
+        dependents = engine.dependent_websites(node, critical_only=True)
+        held_down = len(dependents & failed_site_set)
+        node_metrics = metrics.get(node)
+        remediation.append(
+            RemediationPriority(
+                provider=provider_id,
+                sites_held_down=held_down,
+                static_impact=node_metrics.impact if node_metrics else 0,
+            )
+        )
+    remediation.sort(key=lambda r: (-r.sites_held_down, r.provider))
+
+    return CascadeReport(
+        ticks_run=trajectory.ticks_run,
+        quiesced_at=trajectory.quiesced_at,
+        failed_sites=len(failed_sites),
+        degraded_sites=len(degraded_sites),
+        failed_providers=len(failed_providers),
+        degraded_providers=len(degraded_providers),
+        total_sites=len(trajectory.websites),
+        blast_radii=tuple(blast_radii),
+        remediation=tuple(remediation),
+    )
+
+
+def render_report(report: CascadeReport) -> str:
+    """The text rendering the `repro cascade` CLI prints."""
+    lines: list[str] = []
+    quiesced = (
+        f"quiesced at tick {report.quiesced_at}"
+        if report.quiesced_at is not None
+        else "did not quiesce"
+    )
+    lines.append(
+        f"Cascade: {report.ticks_run} tick(s), {quiesced}; "
+        f"{report.failed_sites} failed / {report.degraded_sites} degraded "
+        f"of {report.total_sites} sites "
+        f"({report.affected_fraction:.1%} affected), "
+        f"{report.failed_providers} failed / "
+        f"{report.degraded_providers} degraded providers"
+    )
+    if report.blast_radii:
+        lines.append("Blast radius (observed vs static prediction):")
+        for blast in report.blast_radii:
+            lines.append(
+                f"  {blast.root}: {blast.failed_sites} site(s) down "
+                f"(static impact predicts {blast.predicted_impact})"
+            )
+    if report.remediation:
+        lines.append("Remediation priority (restore first):")
+        for rank, entry in enumerate(report.remediation[:10], start=1):
+            lines.append(
+                f"  {rank}. {entry.provider}: frees {entry.sites_held_down} "
+                f"site(s) (static impact {entry.static_impact})"
+            )
+    return "\n".join(lines)

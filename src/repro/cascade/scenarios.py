@@ -1,0 +1,190 @@
+"""Canonical cascade scenarios + the static-equivalence validator.
+
+The scenario builders map a world's provider *keys* (``dyn``,
+``cloudflare-cdn``, ``letsencrypt`` …) onto graph-node shocks the same
+way the static analysis does — a managed-DNS provider becomes one shock
+per nameserver registrable base, exactly the node set
+:func:`repro.failures.outage.predicted_dns_victims` reads its
+prediction off. That shared mapping is what makes the equivalence claim
+meaningful:
+
+    **The static prediction is a cascade special case.** With
+    ``cooldown = -1`` (no recovery), ``alpha = 1`` (full propagation),
+    no jitter, permanent shocks, and ``alpha * noncritical_weight <=
+    1 - threshold`` (redundant damage never kills), a quiesced trajectory's
+    failed-website endpoint equals the §2.2 transitive critical
+    dependent set of the shocked nodes — ``outage --predict``, tick by
+    tick until nothing moves.
+
+    Proof sketch: under those settings health is binary on the critical
+    subgraph (a node fails iff some critical dependency is failed, one
+    hop per tick), failures latch (monotone), and the engine quiesces
+    exactly at the fixed point of that recursion — which is the
+    ``dependent_websites(critical_only=True)`` bitset recursion the
+    :class:`~repro.core.graphx.MetricEngine` solves in closed form.
+
+:func:`validate_static_equivalence` checks the claim operationally on a
+live world and is exercised by the tier-1 equivalence tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.cascade.config import CascadeConfig, CascadeConfigError, Shock
+from repro.cascade.engine import CascadeEngine
+from repro.cascade.trajectory import Trajectory
+from repro.names.registrable import registrable_domain
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import AnalyzedSnapshot
+    from repro.worldgen.world import World
+
+#: Default tick budget for outage scenarios: far beyond any realistic
+#: dependency-chain depth, and the engine stops early at quiescence.
+DEFAULT_OUTAGE_TICKS = 64
+
+
+def dns_provider_bases(world: "World", provider_key: str) -> list[str]:
+    """The DNS graph-node ids (nameserver registrable bases) a managed
+    provider key maps to — the same mapping ``predicted_dns_victims``
+    uses, so shocks and predictions always target identical nodes."""
+    provider = world.spec.dns_providers[provider_key]
+    return sorted(
+        {registrable_domain(ns) or ns for ns in provider.ns_domains}
+    )
+
+
+def dns_outage_config(
+    world: "World",
+    provider_key: str,
+    *,
+    tick: int = 0,
+    duration: Optional[int] = None,
+    **overrides: object,
+) -> CascadeConfig:
+    """A Dyn-style scenario: every nameserver base the provider runs is
+    shocked at ``tick``. Keyword overrides feed straight into
+    :class:`CascadeConfig` (``alpha=...``, ``cooldown=...``, ...)."""
+    if provider_key not in world.spec.dns_providers:
+        known = sorted(world.spec.dns_providers)[:12]
+        raise CascadeConfigError(
+            f"unknown DNS provider {provider_key!r}; e.g. {known}"
+        )
+    shocks = tuple(
+        Shock(
+            service="dns",
+            provider=base,
+            tick=tick,
+            duration=duration,
+            name=f"outage:{provider_key}:{base}",
+        )
+        for base in dns_provider_bases(world, provider_key)
+    )
+    defaults = CascadeConfig(shocks=shocks, ticks=DEFAULT_OUTAGE_TICKS)
+    return replace(defaults, **overrides)  # type: ignore[arg-type]
+
+
+def cdn_outage_config(
+    world: "World",
+    cdn_key: str,
+    *,
+    tick: int = 0,
+    duration: Optional[int] = None,
+    **overrides: object,
+) -> CascadeConfig:
+    """A CDN-edge outage scenario (one shock: the CDN node itself)."""
+    if cdn_key not in world.spec.cdns:
+        known = sorted(world.spec.cdns)[:12]
+        raise CascadeConfigError(f"unknown CDN {cdn_key!r}; e.g. {known}")
+    # CDN graph nodes are keyed by the classifier's display name.
+    shock = Shock(
+        service="cdn",
+        provider=world.spec.cdns[cdn_key].display,
+        tick=tick,
+        duration=duration,
+        name=f"outage:{cdn_key}",
+    )
+    defaults = CascadeConfig(shocks=(shock,), ticks=DEFAULT_OUTAGE_TICKS)
+    return replace(defaults, **overrides)  # type: ignore[arg-type]
+
+
+def ca_outage_config(
+    world: "World",
+    ca_key: str,
+    *,
+    tick: int = 0,
+    duration: Optional[int] = None,
+    **overrides: object,
+) -> CascadeConfig:
+    """A CA revocation-infrastructure outage scenario."""
+    if ca_key not in world.spec.cas:
+        known = sorted(world.spec.cas)[:12]
+        raise CascadeConfigError(f"unknown CA {ca_key!r}; e.g. {known}")
+    # CA graph nodes are keyed by the issuer's display name.
+    shock = Shock(
+        service="ca",
+        provider=world.spec.cas[ca_key].display,
+        tick=tick,
+        duration=duration,
+        name=f"outage:{ca_key}",
+    )
+    defaults = CascadeConfig(shocks=(shock,), ticks=DEFAULT_OUTAGE_TICKS)
+    return replace(defaults, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class StaticEquivalence:
+    """Cascade endpoint vs. static §2.2 prediction for one provider."""
+
+    provider_key: str
+    cascade_failed: list[str] = field(default_factory=list)
+    predicted: list[str] = field(default_factory=list)
+    only_cascade: list[str] = field(default_factory=list)
+    only_predicted: list[str] = field(default_factory=list)
+    quiesced: bool = False
+
+    @property
+    def consistent(self) -> bool:
+        return (
+            self.quiesced
+            and not self.only_cascade
+            and not self.only_predicted
+        )
+
+
+def validate_static_equivalence(
+    snapshot: "AnalyzedSnapshot",
+    world: "World",
+    provider_key: str,
+    config: Optional[CascadeConfig] = None,
+    trajectory: Optional[Trajectory] = None,
+) -> StaticEquivalence:
+    """Run (or take) the no-recovery trajectory and diff its endpoint
+    against ``predicted_dns_victims`` — the `outage --predict` set."""
+    from repro.failures.outage import predicted_dns_victims
+
+    if config is None:
+        config = dns_outage_config(world, provider_key)
+    if not config.static_equivalent:
+        raise CascadeConfigError(
+            "static equivalence holds only for cooldown=-1, alpha=1, "
+            "jitter=0, permanent shocks, and "
+            "alpha*noncritical_weight <= 1-threshold; got "
+            f"{config.to_json()}"
+        )
+    if trajectory is None:
+        trajectory = CascadeEngine(snapshot, config).run()
+    cascade_failed = set(trajectory.failed_sites())
+    predicted = set(
+        predicted_dns_victims(snapshot, world, provider_key, critical_only=True)
+    )
+    return StaticEquivalence(
+        provider_key=provider_key,
+        cascade_failed=sorted(cascade_failed),
+        predicted=sorted(predicted),
+        only_cascade=sorted(cascade_failed - predicted),
+        only_predicted=sorted(predicted - cascade_failed),
+        quiesced=trajectory.quiesced_at is not None,
+    )

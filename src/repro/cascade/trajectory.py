@@ -1,0 +1,176 @@
+"""The structured record of one cascade run.
+
+A :class:`Trajectory` is everything the engine observed: the scenario
+config (digest-bound), the node universe, a *sparse* per-tick health
+delta stream (only nodes whose health changed appear in a tick's
+delta), every state transition, and the root-cause record for every
+node that ever took damage. Full per-tick state is recovered on demand
+by replaying the deltas — a quiescent tick costs nothing to store, so
+trajectories stay small even for long runs over large worlds.
+
+Determinism contract: two runs of the same (snapshot, config) produce
+trajectories whose canonical JSON export (:mod:`repro.cascade.export`)
+is byte-identical.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cascade.config import CascadeConfig
+
+
+class NodeState(enum.Enum):
+    """Derived health bands: the engine stores health, not state."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+def state_of(health: float, threshold: float) -> NodeState:
+    """Map a health value into its band."""
+    if health < threshold:
+        return NodeState.FAILED
+    if health < 1.0:
+        return NodeState.DEGRADED
+    return NodeState.HEALTHY
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One state-band crossing: a node entered ``to`` at ``tick``."""
+
+    tick: int
+    node: str
+    from_state: NodeState
+    to_state: NodeState
+    health: float
+
+
+@dataclass(frozen=True)
+class Cause:
+    """Why a node first took damage.
+
+    ``roots`` are injected-shock labels (the ultimate blame);
+    ``via`` is the immediate upstream dependency the damage arrived
+    through (``None`` for shocked roots themselves); ``tick`` is when
+    the node was first hit.
+    """
+
+    roots: tuple[str, ...]
+    via: Optional[str]
+    tick: int
+
+
+@dataclass
+class Trajectory:
+    """Per-tick health/state of every site and provider in one run."""
+
+    config: CascadeConfig
+    websites: tuple[str, ...]
+    providers: tuple[str, ...]
+    #: One entry per executed tick: node id -> new health (sparse).
+    deltas: tuple[dict[str, float], ...]
+    transitions: tuple[Transition, ...]
+    causes: dict[str, Cause]
+    quiesced_at: Optional[int]
+    final_health: dict[str, float]
+    # node -> [(tick, health)] change series, built lazily for queries.
+    _series: Optional[dict[str, list[tuple[int, float]]]] = field(
+        default=None, repr=False
+    )
+
+    # -- shape --------------------------------------------------------------
+
+    @property
+    def ticks_run(self) -> int:
+        return len(self.deltas)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self.providers + self.websites
+
+    # -- point queries ------------------------------------------------------
+
+    def _change_series(self) -> dict[str, list[tuple[int, float]]]:
+        series = self._series
+        if series is None:
+            series = {}
+            for tick, delta in enumerate(self.deltas):
+                for node in sorted(delta):
+                    series.setdefault(node, []).append((tick, delta[node]))
+            self._series = series
+        return series
+
+    def health_at(self, node: str, tick: int) -> float:
+        """Health of ``node`` at the *end* of ``tick`` (1.0 before any
+        change; the final health for ticks past the end of the run)."""
+        changes = self._change_series().get(node)
+        if not changes:
+            return 1.0
+        position = bisect_right(changes, (tick, float("inf")))
+        if position == 0:
+            return 1.0
+        return changes[position - 1][1]
+
+    def state_at(self, node: str, tick: int) -> NodeState:
+        return state_of(self.health_at(node, tick), self.config.threshold)
+
+    def final_state(self, node: str) -> NodeState:
+        return state_of(
+            self.final_health.get(node, 1.0), self.config.threshold
+        )
+
+    # -- set queries --------------------------------------------------------
+
+    def _in_band(
+        self, universe: tuple[str, ...], state: NodeState, tick: Optional[int]
+    ) -> list[str]:
+        if tick is None:
+            return [
+                node for node in universe if self.final_state(node) == state
+            ]
+        return [
+            node for node in universe if self.state_at(node, tick) == state
+        ]
+
+    def failed_sites(self, tick: Optional[int] = None) -> list[str]:
+        """Websites failed at the end of ``tick`` (default: endpoint)."""
+        return self._in_band(self.websites, NodeState.FAILED, tick)
+
+    def degraded_sites(self, tick: Optional[int] = None) -> list[str]:
+        return self._in_band(self.websites, NodeState.DEGRADED, tick)
+
+    def failed_providers(self, tick: Optional[int] = None) -> list[str]:
+        return self._in_band(self.providers, NodeState.FAILED, tick)
+
+    def degraded_providers(self, tick: Optional[int] = None) -> list[str]:
+        return self._in_band(self.providers, NodeState.DEGRADED, tick)
+
+    def affected_nodes(self, tick: Optional[int] = None) -> list[str]:
+        """Nodes whose health is below 1.0 (failed or degraded)."""
+        if tick is None:
+            return sorted(
+                node for node, health in self.final_health.items()
+                if health < 1.0
+            )
+        changed = self._change_series()
+        return sorted(
+            node for node in changed
+            if self.health_at(node, tick) < 1.0
+        )
+
+    def transitions_at(self, tick: int) -> list[Transition]:
+        return [t for t in self.transitions if t.tick == tick]
+
+    def __repr__(self) -> str:
+        return (
+            f"Trajectory(ticks={self.ticks_run}, "
+            f"quiesced_at={self.quiesced_at}, "
+            f"failed_sites={len(self.failed_sites())}, "
+            f"transitions={len(self.transitions)})"
+        )

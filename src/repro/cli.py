@@ -7,6 +7,13 @@ Subcommands::
     python -m repro figure    <2..9>   [--n ...] [--seed ...]
     python -m repro audit     <domain> [--n ...] [--seed ...]
     python -m repro outage    <dns-provider-key> [--n ...] [--seed ...]
+                              [--predict] [--json]
+    python -m repro cascade   <provider-key> [--service dns|cdn|ca]
+                              [--alpha A] [--threshold T] [--cooldown C]
+                              [--heal-to H] [--ticks N] [--duration D]
+                              [--config cascade.json] [--out traj.json]
+                              [--json] [--validate] [--interactive]
+                              [--why SITE] [--tick N] [--top K] [--n ...]
     python -m repro measure   [--workers W] [--shards S] [--out dataset.json]
                               [--checkpoint-dir DIR] [--resume] [--n ...]
                               [--fault-plan plan.json] [--fault-seed S]
@@ -21,7 +28,12 @@ Subcommands::
 
 ``table``/``figure`` regenerate one paper artifact; ``audit`` prints a
 website's single points of failure (the Section 8 service); ``outage``
-replays a provider outage end-to-end; ``measure`` runs the campaign
+replays a provider outage end-to-end; ``cascade`` runs the temporal
+cascade engine over a shock scenario — per-tick health trajectories,
+root-cause attribution, blast-radius and remediation rankings, with an
+interactive query loop (``why <site>``, ``top <k>``, ``tick <n>``) and
+a ``--validate`` mode proving the no-recovery endpoint equals the
+static ``outage --predict`` set; ``measure`` runs the campaign
 through the sharded execution engine and freezes the raw dataset as
 JSON (optionally with campaign metrics and per-site traces); ``trace``
 deep-traces one site's measurement on the simulated clock and emits
@@ -84,6 +96,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_outage.add_argument(
         "--predict", action="store_true",
         help="also print the graph engine's predicted victims and compare",
+    )
+    p_outage.add_argument(
+        "--json", action="store_true",
+        help="emit the outage result as JSON instead of text",
+    )
+
+    p_cascade = sub.add_parser(
+        "cascade", help="run the temporal cascade engine over a shock"
+    )
+    p_cascade.add_argument(
+        "provider", nargs="?", default=None,
+        help="provider key to shock, e.g. dyn (omit with --config)",
+    )
+    _add_world_args(p_cascade)
+    p_cascade.add_argument(
+        "--service", default="dns", choices=("dns", "cdn", "ca"),
+        help="which service the shocked provider key names",
+    )
+    p_cascade.add_argument(
+        "--config", default=None, metavar="CASCADE_JSON",
+        help="load the full scenario from a cascade-config JSON file",
+    )
+    p_cascade.add_argument(
+        "--alpha", type=float, default=None, help="propagation strength [0,1]"
+    )
+    p_cascade.add_argument(
+        "--threshold", type=float, default=None,
+        help="health below this counts as failed",
+    )
+    p_cascade.add_argument(
+        "--cooldown", type=int, default=None,
+        help="ticks down before recovery; -1 disables recovery",
+    )
+    p_cascade.add_argument(
+        "--heal-to", type=float, default=None,
+        help="health a recovering node comes back at",
+    )
+    p_cascade.add_argument(
+        "--ticks", type=int, default=None, help="tick budget"
+    )
+    p_cascade.add_argument(
+        "--duration", type=int, default=None,
+        help="lift the shock after this many ticks (default: permanent)",
+    )
+    p_cascade.add_argument(
+        "--out", default=None, metavar="TRAJ_JSON",
+        help="write the full trajectory JSON here",
+    )
+    p_cascade.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    p_cascade.add_argument(
+        "--validate", action="store_true",
+        help="check the no-recovery endpoint against outage --predict",
+    )
+    p_cascade.add_argument(
+        "--interactive", action="store_true",
+        help="drop into the query loop (why <site> | top <k> | tick <n>)",
+    )
+    p_cascade.add_argument(
+        "--why", default=None, metavar="SITE",
+        help="print one site's causal chain and exit",
+    )
+    p_cascade.add_argument(
+        "--tick", type=int, default=None, metavar="N",
+        help="print what changed at tick N and exit",
+    )
+    p_cascade.add_argument(
+        "--top", type=int, default=None, metavar="K",
+        help="print the top-K remediation priorities and exit",
     )
 
     p_measure = sub.add_parser(
@@ -342,13 +425,7 @@ def cmd_outage(args) -> int:
         print(f"unknown provider {args.provider!r}; e.g. {known}", file=sys.stderr)
         return 1
     result = simulate_dns_outage(world, args.provider)
-    print(f"Outage of {args.provider}: "
-          f"{len(result.unreachable)} unreachable, "
-          f"{len(result.degraded)} degraded, "
-          f"{len(result.unaffected)} unaffected "
-          f"({result.affected_fraction():.1%} affected)")
-    for domain in result.unreachable[:10]:
-        print(f"  down: {domain}")
+    predicted: set[str] | None = None
     if args.predict:
         from repro.failures import predicted_dns_victims
 
@@ -357,12 +434,177 @@ def cmd_outage(args) -> int:
                 analyze_world(world), world, args.provider, critical_only=True
             )
         )
+    if args.json:
+        import json
+
+        payload = result.to_dict()
+        if predicted is not None:
+            observed = set(result.unreachable)
+            payload["prediction"] = {
+                "predicted": sorted(predicted),
+                "predicted_only": sorted(predicted - observed),
+                "observed_only": sorted(observed - predicted),
+            }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    print(f"Outage of {args.provider}: "
+          f"{len(result.unreachable)} unreachable, "
+          f"{len(result.degraded)} degraded, "
+          f"{len(result.unaffected)} unaffected "
+          f"({result.affected_fraction():.1%} affected)")
+    for domain in result.unreachable[:10]:
+        print(f"  down: {domain}")
+    if predicted is not None:
         observed = set(result.unreachable)
         agree = len(predicted & observed)
         print(f"Graph prediction: {len(predicted)} critically dependent "
               f"({agree} also unreachable in the replay, "
               f"{len(predicted - observed)} predicted-only, "
               f"{len(observed - predicted)} observed-only)")
+    return 0
+
+
+def cmd_cascade(args) -> int:
+    import json as json_mod
+
+    from repro.cascade import (
+        CascadeConfig,
+        CascadeConfigError,
+        CascadeEngine,
+        build_report,
+        ca_outage_config,
+        cdn_outage_config,
+        dns_outage_config,
+        query_loop,
+        render_report,
+        trajectory_to_json,
+        validate_static_equivalence,
+        why,
+    )
+
+    world = build_world(
+        WorldConfig(n_websites=args.n, seed=args.seed, year=args.year)
+    )
+    overrides = {
+        name: value
+        for name, value in (
+            ("alpha", args.alpha),
+            ("threshold", args.threshold),
+            ("cooldown", args.cooldown),
+            ("heal_to", args.heal_to),
+            ("ticks", args.ticks),
+        )
+        if value is not None
+    }
+    try:
+        if args.config is not None:
+            if args.provider is not None or overrides or args.duration:
+                print(
+                    "cascade: --config is the whole scenario; drop the "
+                    "provider argument and the model flags",
+                    file=sys.stderr,
+                )
+                return 1
+            with open(args.config, encoding="utf-8") as handle:
+                config = CascadeConfig.from_json(handle.read())
+        else:
+            if args.provider is None:
+                print(
+                    "cascade: name a provider key to shock, or pass --config",
+                    file=sys.stderr,
+                )
+                return 1
+            builders = {
+                "dns": dns_outage_config,
+                "cdn": cdn_outage_config,
+                "ca": ca_outage_config,
+            }
+            config = builders[args.service](
+                world, args.provider, duration=args.duration, **overrides
+            )
+    except OSError as exc:
+        print(f"cascade: cannot read {args.config}: {exc}", file=sys.stderr)
+        return 1
+    except CascadeConfigError as exc:
+        print(f"cascade: {exc}", file=sys.stderr)
+        return 1
+
+    snapshot = analyze_world(world)
+    try:
+        trajectory = CascadeEngine(snapshot, config).run()
+    except CascadeConfigError as exc:
+        print(f"cascade: {exc}", file=sys.stderr)
+        return 1
+    report = build_report(snapshot, trajectory)
+
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(trajectory_to_json(trajectory))
+        print(f"[cascade] trajectory written to {args.out}", file=sys.stderr)
+
+    if args.validate:
+        if args.service != "dns" or args.provider is None:
+            print(
+                "cascade: --validate compares against the DNS prediction; "
+                "use a dns provider key",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            equivalence = validate_static_equivalence(
+                snapshot, world, args.provider,
+                config=config, trajectory=trajectory,
+            )
+        except CascadeConfigError as exc:
+            print(f"cascade: {exc}", file=sys.stderr)
+            return 1
+        verdict = "EXACT" if equivalence.consistent else "MISMATCH"
+        print(
+            f"Static equivalence {verdict}: cascade endpoint "
+            f"{len(equivalence.cascade_failed)} failed vs "
+            f"{len(equivalence.predicted)} predicted "
+            f"(+{len(equivalence.only_cascade)} cascade-only, "
+            f"+{len(equivalence.only_predicted)} predicted-only)"
+        )
+        if not equivalence.consistent:
+            return 1
+
+    if args.interactive:
+        query_loop(trajectory, report, sys.stdin, sys.stdout)
+        return 0
+    if args.why is not None:
+        print(why(trajectory, args.why).render())
+        return 0
+    if args.tick is not None:
+        if not 0 <= args.tick < trajectory.ticks_run:
+            print(
+                f"cascade: tick {args.tick} out of range "
+                f"0..{trajectory.ticks_run - 1}",
+                file=sys.stderr,
+            )
+            return 1
+        for transition in trajectory.transitions_at(args.tick):
+            print(
+                f"{transition.node}: {transition.from_state.value} -> "
+                f"{transition.to_state.value} (health {transition.health:g})"
+            )
+        return 0
+    if args.top is not None:
+        if not report.remediation:
+            print("no failed providers — nothing to remediate")
+            return 0
+        for rank, entry in enumerate(report.remediation[: args.top], start=1):
+            print(
+                f"{rank}. {entry.provider}: frees {entry.sites_held_down} "
+                f"site(s) (static impact {entry.static_impact})"
+            )
+        return 0
+    if args.json:
+        payload = report.to_dict()
+        payload["config_digest"] = config.digest()
+        print(json_mod.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(render_report(report))
     return 0
 
 
@@ -624,6 +866,7 @@ _COMMANDS = {
     "figure": cmd_figure,
     "audit": cmd_audit,
     "outage": cmd_outage,
+    "cascade": cmd_cascade,
     "measure": cmd_measure,
     "trace": cmd_trace,
     "stats": cmd_stats,

@@ -42,6 +42,18 @@ class OutageResult:
         total = self.total_probed
         return len(self.affected) / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (sorted site lists, derived fields included)."""
+        return {
+            "provider": self.provider,
+            "service": self.service,
+            "unreachable": sorted(self.unreachable),
+            "degraded": sorted(self.degraded),
+            "unaffected": sorted(self.unaffected),
+            "total_probed": self.total_probed,
+            "affected_fraction": self.affected_fraction(),
+        }
+
 
 def _probe_websites(
     world: World,

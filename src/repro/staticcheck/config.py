@@ -35,6 +35,7 @@ def _default_layers() -> dict[str, int]:
         "engine": 7,
         "failures": 7,
         "analysis": 8,
+        "cascade": 8,
         "cli": 9,
     }
 

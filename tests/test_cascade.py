@@ -1,0 +1,415 @@
+"""Tests for repro.cascade: engine, config, attribution, report, export.
+
+The heavyweight pieces run on the shared session world (600 sites).
+The structural pieces use tiny hand-built graphs via the config layer
+only — the engine itself always runs over an analyzed snapshot.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.cascade import (
+    CascadeConfig,
+    CascadeConfigError,
+    CascadeEngine,
+    NodeState,
+    Shock,
+    blast_radius_by_root,
+    build_report,
+    ca_outage_config,
+    cdn_outage_config,
+    dns_outage_config,
+    query_loop,
+    render_report,
+    trajectory_from_json,
+    trajectory_to_json,
+    validate_static_equivalence,
+    why,
+)
+from repro.cascade.export import TrajectoryFormatError
+from repro.failures import predicted_dns_victims
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+CASCADE_GOLDEN = GOLDEN_DIR / "cascade_dyn.json"
+
+
+@pytest.fixture(scope="module")
+def dyn_config(world_2020):
+    return dns_outage_config(world_2020, "dyn")
+
+
+@pytest.fixture(scope="module")
+def dyn_trajectory(snapshot_2020, dyn_config):
+    return CascadeEngine(snapshot_2020, dyn_config).run()
+
+
+class TestShock:
+    def test_label_defaults_to_target(self):
+        assert Shock("dns", "dynect.net").label == "dns:dynect.net"
+        assert Shock("dns", "dynect.net", name="x").label == "x"
+
+    def test_active_window(self):
+        shock = Shock("dns", "dynect.net", tick=2, duration=3)
+        assert [shock.active_at(t) for t in range(7)] == [
+            False, False, True, True, True, False, False,
+        ]
+
+    def test_permanent_shock_never_lifts(self):
+        shock = Shock("dns", "dynect.net", tick=1)
+        assert shock.active_at(1) and shock.active_at(10_000)
+
+    def test_validation(self):
+        assert Shock("dns", "dynect.net").validate() == []
+        assert Shock("smtp", "x").validate()
+        assert Shock("dns", "").validate()
+        assert Shock("dns", "x", tick=-1).validate()
+        assert Shock("dns", "x", duration=0).validate()
+
+
+class TestCascadeConfig:
+    def test_defaults_are_valid_with_a_shock(self):
+        config = CascadeConfig(shocks=(Shock("dns", "dynect.net"),))
+        assert config.validate() == []
+
+    def test_needs_a_shock(self):
+        assert "at least one shock" in "; ".join(CascadeConfig().validate())
+
+    def test_rejects_out_of_range_knobs(self):
+        shocks = (Shock("dns", "dynect.net"),)
+        assert CascadeConfig(shocks=shocks, alpha=1.5).validate()
+        assert CascadeConfig(shocks=shocks, threshold=0.0).validate()
+        assert CascadeConfig(shocks=shocks, cooldown=-2).validate()
+        assert CascadeConfig(shocks=shocks, heal_to=0.1).validate()
+        assert CascadeConfig(shocks=shocks, ticks=0).validate()
+        assert CascadeConfig(shocks=shocks, noncritical_weight=1.0).validate()
+        assert CascadeConfig(shocks=shocks, jitter=0.6).validate()
+        assert CascadeConfig(shocks=shocks, tick_duration=0.0).validate()
+
+    def test_rejects_duplicate_shock_labels(self):
+        shocks = (Shock("dns", "a", name="x"), Shock("cdn", "b", name="x"))
+        assert any(
+            "duplicate" in problem
+            for problem in CascadeConfig(shocks=shocks).validate()
+        )
+
+    def test_json_round_trip_preserves_digest(self):
+        config = CascadeConfig(
+            shocks=(Shock("dns", "dynect.net", tick=2, duration=5),),
+            alpha=0.8,
+            cooldown=3,
+            jitter=0.1,
+            seed=7,
+        )
+        restored = CascadeConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.digest() == config.digest()
+
+    def test_digest_tracks_every_knob(self):
+        base = CascadeConfig(shocks=(Shock("dns", "dynect.net"),))
+        assert base.digest() != replace(base, alpha=0.9).digest()
+        assert base.digest() != replace(base, seed=1).digest()
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(CascadeConfigError):
+            CascadeConfig.from_json("not json")
+        with pytest.raises(CascadeConfigError):
+            CascadeConfig.from_json("[1, 2]")
+        with pytest.raises(CascadeConfigError):
+            CascadeConfig.from_json(json.dumps({"alpha": 2.0}))
+
+    def test_static_equivalent_regime(self):
+        shocks = (Shock("dns", "dynect.net"),)
+        assert CascadeConfig(shocks=shocks).static_equivalent
+        assert not CascadeConfig(shocks=shocks, cooldown=3).static_equivalent
+        assert not CascadeConfig(shocks=shocks, alpha=0.9).static_equivalent
+        assert not CascadeConfig(shocks=shocks, jitter=0.1).static_equivalent
+        # redundant damage that can cross the failure line breaks it
+        assert not CascadeConfig(
+            shocks=shocks, noncritical_weight=0.5
+        ).static_equivalent
+        lifted = (Shock("dns", "dynect.net", duration=5),)
+        assert not CascadeConfig(shocks=lifted).static_equivalent
+
+
+class TestEngineDynScenario:
+    def test_quiesces_and_latches(self, dyn_trajectory):
+        assert dyn_trajectory.quiesced_at is not None
+        assert dyn_trajectory.ticks_run <= dyn_trajectory.config.ticks
+        # no recovery: the failed set never shrinks, tick over tick
+        previous: set = set()
+        for tick in range(dyn_trajectory.ticks_run):
+            current = set(dyn_trajectory.failed_sites(tick))
+            assert previous <= current
+            previous = current
+
+    def test_endpoint_equals_static_prediction(
+        self, snapshot_2020, world_2020, dyn_config, dyn_trajectory
+    ):
+        equivalence = validate_static_equivalence(
+            snapshot_2020, world_2020, "dyn",
+            config=dyn_config, trajectory=dyn_trajectory,
+        )
+        assert equivalence.consistent, (
+            equivalence.only_cascade, equivalence.only_predicted
+        )
+        predicted = predicted_dns_victims(
+            snapshot_2020, world_2020, "dyn", critical_only=True
+        )
+        assert dyn_trajectory.failed_sites() == sorted(predicted)
+        assert len(predicted) > 0  # the scenario must actually bite
+
+    def test_byte_identical_across_runs(self, snapshot_2020, dyn_config):
+        first = CascadeEngine(snapshot_2020, dyn_config).run()
+        second = CascadeEngine(snapshot_2020, dyn_config).run()
+        assert trajectory_to_json(first) == trajectory_to_json(second)
+
+    def test_every_casualty_has_a_cause(self, dyn_trajectory):
+        for domain in dyn_trajectory.failed_sites():
+            cause = dyn_trajectory.causes[domain]
+            assert cause.roots
+            assert cause.via is not None
+
+    def test_health_point_queries(self, dyn_trajectory):
+        shocked = dyn_trajectory.config.shocks[0]
+        node = f"{shocked.service}:{shocked.provider}"
+        assert dyn_trajectory.health_at(node, 0) == 0.0
+        assert dyn_trajectory.state_at(node, 0) is NodeState.FAILED
+        # an untouched node reads healthy at every tick
+        untouched = next(
+            site for site in dyn_trajectory.websites
+            if site not in dyn_trajectory.causes
+        )
+        assert dyn_trajectory.health_at(untouched, 0) == 1.0
+        assert dyn_trajectory.final_state(untouched) is NodeState.HEALTHY
+
+    def test_transitions_are_band_crossings(self, dyn_trajectory):
+        for transition in dyn_trajectory.transitions:
+            assert transition.from_state is not transition.to_state
+            assert 0 <= transition.tick < dyn_trajectory.ticks_run
+
+    def test_unknown_shock_target_rejected(self, snapshot_2020):
+        config = CascadeConfig(shocks=(Shock("dns", "no-such-provider.net"),))
+        with pytest.raises(CascadeConfigError, match="unknown provider"):
+            CascadeEngine(snapshot_2020, config)
+
+    def test_duplicate_shock_targets_rejected(self, snapshot_2020, dyn_config):
+        doubled = replace(
+            dyn_config,
+            shocks=dyn_config.shocks + tuple(
+                replace(shock, name=shock.name + ":again")
+                for shock in dyn_config.shocks
+            ),
+        )
+        with pytest.raises(CascadeConfigError, match="multiple shocks"):
+            CascadeEngine(snapshot_2020, doubled)
+
+    def test_invalid_config_rejected_at_construction(self, snapshot_2020):
+        with pytest.raises(CascadeConfigError):
+            CascadeEngine(snapshot_2020, CascadeConfig())
+
+
+class TestRecovery:
+    def test_lifted_shock_heals_everything(self, snapshot_2020, world_2020):
+        config = dns_outage_config(
+            world_2020, "dyn", duration=5, cooldown=3, heal_to=1.0
+        )
+        trajectory = CascadeEngine(snapshot_2020, config).run()
+        assert trajectory.quiesced_at is not None
+        peak = max(
+            len(trajectory.failed_sites(tick))
+            for tick in range(trajectory.ticks_run)
+        )
+        assert peak > 0
+        assert trajectory.failed_sites() == []
+        assert trajectory.degraded_sites() == []
+        # recovery transitions exist (failed -> healthy/degraded)
+        assert any(
+            t.from_state is NodeState.FAILED for t in trajectory.transitions
+        )
+
+    def test_cooldown_is_honored(self, snapshot_2020, world_2020):
+        config = dns_outage_config(
+            world_2020, "dyn", duration=2, cooldown=6, heal_to=1.0
+        )
+        trajectory = CascadeEngine(snapshot_2020, config).run()
+        shocked = f"dns:{config.shocks[0].provider}"
+        # pinned for ticks 0-1, then must stay down until >= 6 ticks
+        # after it first failed (tick 0), i.e. heal no earlier than t6.
+        for tick in range(6):
+            assert trajectory.state_at(shocked, tick) is NodeState.FAILED
+        assert trajectory.final_state(shocked) is NodeState.HEALTHY
+
+    def test_partial_heal_reenters_at_heal_to(self, snapshot_2020, world_2020):
+        config = dns_outage_config(
+            world_2020, "dyn", duration=3, cooldown=1, heal_to=0.8
+        )
+        trajectory = CascadeEngine(snapshot_2020, config).run()
+        shocked = f"dns:{config.shocks[0].provider}"
+        recovery = next(
+            t for t in trajectory.transitions
+            if t.node == shocked and t.from_state is NodeState.FAILED
+        )
+        # comes back at heal_to (degraded), then converges to what its
+        # healthy dependencies support
+        assert recovery.health == 0.8
+        assert recovery.to_state is NodeState.DEGRADED
+        assert trajectory.final_state(shocked) is NodeState.HEALTHY
+
+
+class TestScenarioBuilders:
+    def test_unknown_keys_rejected(self, world_2020):
+        with pytest.raises(CascadeConfigError):
+            dns_outage_config(world_2020, "nope")
+        with pytest.raises(CascadeConfigError):
+            cdn_outage_config(world_2020, "nope")
+        with pytest.raises(CascadeConfigError):
+            ca_outage_config(world_2020, "nope")
+
+    def test_cdn_and_ca_scenarios_run(self, snapshot_2020, world_2020):
+        for config in (
+            cdn_outage_config(world_2020, "akamai"),
+            ca_outage_config(world_2020, "digicert"),
+        ):
+            trajectory = CascadeEngine(snapshot_2020, config).run()
+            assert trajectory.quiesced_at is not None
+
+    def test_validate_refuses_non_equivalent_config(
+        self, snapshot_2020, world_2020
+    ):
+        config = dns_outage_config(world_2020, "dyn", cooldown=3)
+        with pytest.raises(CascadeConfigError, match="static equivalence"):
+            validate_static_equivalence(
+                snapshot_2020, world_2020, "dyn", config=config
+            )
+
+
+class TestAttribution:
+    def test_why_reaches_the_shocked_provider(self, dyn_trajectory):
+        site = dyn_trajectory.failed_sites()[0]
+        chain = why(dyn_trajectory, site)
+        assert chain.explained
+        assert chain.links[0].node == site
+        last = chain.links[-1]
+        assert dyn_trajectory.causes[last.node].via is None
+        assert chain.roots[0].startswith("outage:dyn:")
+        assert site in chain.render() and "root:" in chain.render()
+
+    def test_why_on_untouched_node(self, dyn_trajectory):
+        untouched = next(
+            site for site in dyn_trajectory.websites
+            if site not in dyn_trajectory.causes
+        )
+        chain = why(dyn_trajectory, untouched)
+        assert not chain.explained
+        assert "unaffected" in chain.render()
+
+    def test_blast_radius_counts_failed_sites(self, dyn_trajectory):
+        counts = blast_radius_by_root(dyn_trajectory)
+        assert sum(counts.values()) >= len(dyn_trajectory.failed_sites())
+        assert all(label.startswith("outage:dyn:") for label in counts)
+
+
+class TestReport:
+    def test_report_matches_trajectory(self, snapshot_2020, dyn_trajectory):
+        report = build_report(snapshot_2020, dyn_trajectory)
+        assert report.failed_sites == len(dyn_trajectory.failed_sites())
+        assert report.total_sites == len(dyn_trajectory.websites)
+        assert report.quiesced_at == dyn_trajectory.quiesced_at
+        assert 0.0 < report.affected_fraction < 1.0
+        # in the static regime, observed blast radius == static impact
+        for blast in report.blast_radii:
+            assert blast.failed_sites <= blast.predicted_impact
+        # remediation is ranked by sites held down, descending
+        held = [entry.sites_held_down for entry in report.remediation]
+        assert held == sorted(held, reverse=True)
+
+    def test_render_and_to_dict(self, snapshot_2020, dyn_trajectory):
+        report = build_report(snapshot_2020, dyn_trajectory)
+        text = render_report(report)
+        assert "Cascade:" in text
+        assert "Blast radius" in text and "Remediation priority" in text
+        payload = report.to_dict()
+        assert payload["failed_sites"] == report.failed_sites
+        json.dumps(payload)  # must be JSON-ready as-is
+
+
+class TestExport:
+    def test_round_trip_is_byte_identical(self, dyn_trajectory):
+        text = trajectory_to_json(dyn_trajectory)
+        assert trajectory_to_json(trajectory_from_json(text)) == text
+
+    def test_round_trip_preserves_queries(self, dyn_trajectory):
+        restored = trajectory_from_json(trajectory_to_json(dyn_trajectory))
+        assert restored.failed_sites() == dyn_trajectory.failed_sites()
+        assert restored.quiesced_at == dyn_trajectory.quiesced_at
+        site = dyn_trajectory.failed_sites()[0]
+        assert why(restored, site).render() == why(dyn_trajectory, site).render()
+
+    def test_schema_and_digest_guards(self, dyn_trajectory):
+        with pytest.raises(TrajectoryFormatError, match="schema"):
+            trajectory_from_json(json.dumps({"schema": "bogus/9"}))
+        data = json.loads(trajectory_to_json(dyn_trajectory))
+        data["config"]["alpha"] = 0.5  # no longer matches the digest
+        with pytest.raises(TrajectoryFormatError, match="digest"):
+            trajectory_from_json(json.dumps(data))
+        with pytest.raises(TrajectoryFormatError, match="JSON"):
+            trajectory_from_json("{nope")
+
+    def test_golden_dyn_trajectory(self, dyn_trajectory, regen_goldens):
+        text = trajectory_to_json(dyn_trajectory) + "\n"
+        if regen_goldens:
+            CASCADE_GOLDEN.write_text(text, encoding="utf-8")
+            return
+        assert CASCADE_GOLDEN.exists(), (
+            f"{CASCADE_GOLDEN} missing; run "
+            f"'pytest tests/test_cascade.py --regen-goldens' to create it"
+        )
+        assert CASCADE_GOLDEN.read_text(encoding="utf-8") == text, (
+            "cascade trajectory drifted from the golden; regenerate with "
+            "--regen-goldens and commit the diff if the change is intended"
+        )
+
+
+class TestQueryLoop:
+    def _run(self, snapshot, trajectory, script: str) -> str:
+        report = build_report(snapshot, trajectory)
+        out = io.StringIO()
+        query_loop(trajectory, report, io.StringIO(script), out)
+        return out.getvalue()
+
+    def test_why_top_tick_and_quit(self, snapshot_2020, dyn_trajectory):
+        site = dyn_trajectory.failed_sites()[0]
+        output = self._run(
+            snapshot_2020, dyn_trajectory,
+            f"why {site}\ntop 2\ntick 0\nsummary\nquit\n",
+        )
+        assert "root: outage:dyn:" in output
+        assert "1. " in output
+        assert "tick 0:" in output
+        assert output.count("Cascade:") == 2  # banner + summary command
+
+    def test_bad_input_is_survivable(self, snapshot_2020, dyn_trajectory):
+        output = self._run(
+            snapshot_2020, dyn_trajectory,
+            "why\nwhy nosuch.example\ntop x\ntick 99\nfrobnicate\n\n",
+        )
+        assert "usage: why <site>" in output
+        assert "not a node" in output
+        assert "usage: top [k]" in output
+        assert "out of range" in output
+        assert "unknown command" in output
+
+    def test_eof_terminates(self, snapshot_2020, dyn_trajectory):
+        handled = query_loop(
+            dyn_trajectory,
+            build_report(snapshot_2020, dyn_trajectory),
+            io.StringIO(""),
+            io.StringIO(),
+        )
+        assert handled == 0

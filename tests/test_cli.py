@@ -15,6 +15,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_every_subcommand_is_documented(self):
+        """The module docstring's usage block must list every registered
+        subparser — it is the CLI's front page and must not rot."""
+        import argparse
+
+        import repro.cli as cli_module
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        registered = set(subparsers.choices)
+        assert registered  # the probe itself must keep working
+        for command in sorted(registered):
+            assert f"python -m repro {command}" in cli_module.__doc__, (
+                f"subcommand {command!r} is missing from the repro.cli "
+                f"module docstring usage block"
+            )
+
+    def test_every_subcommand_is_dispatchable(self):
+        import argparse
+
+        from repro.cli import _COMMANDS
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        assert set(subparsers.choices) == set(_COMMANDS)
+
     def test_table_number_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "12"])
@@ -58,6 +90,114 @@ class TestCommands:
     def test_outage_unknown_provider(self, capsys):
         assert main(["outage", "nonexistent-dns", *ARGS]) == 1
         assert "unknown provider" in capsys.readouterr().err
+
+    def test_outage_json(self, capsys):
+        assert main(["outage", "dyn", *ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["provider"] == "dyn"
+        assert payload["service"] == "dns"
+        assert payload["total_probed"] == (
+            len(payload["unreachable"])
+            + len(payload["degraded"])
+            + len(payload["unaffected"])
+        )
+        assert "prediction" not in payload
+
+    def test_outage_json_with_predict(self, capsys):
+        assert main(["outage", "dyn", *ARGS, "--predict", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        prediction = payload["prediction"]
+        assert set(prediction) == {
+            "predicted", "predicted_only", "observed_only"
+        }
+        assert prediction["predicted"] == sorted(prediction["predicted"])
+
+
+class TestCascadeCli:
+    def test_report_and_validate(self, capsys):
+        assert main(["cascade", "dyn", *ARGS, "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Static equivalence EXACT" in out
+        assert "Cascade:" in out and "Blast radius" in out
+
+    def test_json_report_carries_the_config_digest(self, capsys):
+        assert main(["cascade", "dyn", *ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["config_digest"]) == 64
+        assert payload["failed_sites"] >= 1
+        assert payload["blast_radii"]
+
+    def test_trajectory_out_round_trips(self, capsys, tmp_path):
+        from repro.cascade import trajectory_from_json
+
+        path = tmp_path / "traj.json"
+        assert main(["cascade", "dyn", *ARGS, "--out", str(path)]) == 0
+        capsys.readouterr()
+        trajectory = trajectory_from_json(path.read_text(encoding="utf-8"))
+        assert trajectory.quiesced_at is not None
+        assert trajectory.failed_sites()
+
+    def test_config_file_scenario(self, capsys, tmp_path):
+        from repro.cascade import dns_outage_config
+        from repro import WorldConfig, build_world
+
+        world = build_world(WorldConfig(n_websites=300, seed=3))
+        config = dns_outage_config(world, "dyn")
+        path = tmp_path / "cascade.json"
+        path.write_text(config.to_json(), encoding="utf-8")
+        assert main(["cascade", *ARGS, "--config", str(path)]) == 0
+        assert "Cascade:" in capsys.readouterr().out
+
+    def test_config_file_excludes_model_flags(self, capsys, tmp_path):
+        path = tmp_path / "cascade.json"
+        path.write_text("{}", encoding="utf-8")
+        assert main(
+            ["cascade", "dyn", *ARGS, "--config", str(path)]
+        ) == 1
+        assert "whole scenario" in capsys.readouterr().err
+
+    def test_provider_or_config_required(self, capsys):
+        assert main(["cascade", *ARGS]) == 1
+        assert "provider key" in capsys.readouterr().err
+
+    def test_unknown_provider(self, capsys):
+        assert main(["cascade", "nonexistent-dns", *ARGS]) == 1
+        assert "unknown DNS provider" in capsys.readouterr().err
+
+    def test_why_flag(self, capsys):
+        assert main(["cascade", "dyn", *ARGS, "--json"]) == 0
+        site = json.loads(capsys.readouterr().out)["remediation"][0]
+        assert main(["cascade", "dyn", *ARGS, "--top", "3"]) == 0
+        top = capsys.readouterr().out
+        assert top.startswith("1. ")
+        assert site["provider"] in top
+
+    def test_tick_flag(self, capsys):
+        assert main(["cascade", "dyn", *ARGS, "--tick", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "healthy -> failed" in out
+        assert main(["cascade", "dyn", *ARGS, "--tick", "999"]) == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_interactive_loop(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("top 1\nquit\n"))
+        assert main(["cascade", "dyn", *ARGS, "--interactive"]) == 0
+        out = capsys.readouterr().out
+        assert "cascade>" in out and "1. " in out
+
+    def test_validate_requires_dns_service(self, capsys):
+        assert main(
+            ["cascade", "akamai", *ARGS, "--service", "cdn", "--validate"]
+        ) == 1
+        assert "dns provider key" in capsys.readouterr().err
+
+    def test_validate_refuses_recovery_configs(self, capsys):
+        assert main(
+            ["cascade", "dyn", *ARGS, "--cooldown", "3", "--validate"]
+        ) == 1
+        assert "static equivalence" in capsys.readouterr().err
 
 
 class TestMeasureAnalyze:
