@@ -24,7 +24,8 @@ Subcommands::
     python -m repro stats     <checkpoint-dir | dataset.json> [--json]
     python -m repro analyze   <dataset.json> [--table N] [--providers SVC]
     python -m repro faults    validate <plan.json>
-    python -m repro lint      [paths...] [--format json] [--rules ...]
+    python -m repro lint      [paths...] [--format json|sarif] [--rules ...]
+                              [--jobs N] [--cache PATH] [--sarif PATH] [--fix]
 
 ``table``/``figure`` regenerate one paper artifact; ``audit`` prints a
 website's single points of failure (the Section 8 service); ``outage``

@@ -2,7 +2,8 @@
 
 Kept here (not in ``repro.cli``) so the linter stays usable standalone::
 
-    python -m repro lint [paths...] [--format json] [--rules REP001,REP003]
+    python -m repro lint [paths...] [--format json|sarif] [--rules REP001]
+                         [--jobs N] [--cache PATH] [--sarif PATH] [--fix]
 """
 
 from __future__ import annotations
@@ -13,11 +14,12 @@ from pathlib import Path
 from typing import Optional
 
 from repro.staticcheck.config import DEFAULT_CONFIG, LintConfig
-from repro.staticcheck.driver import lint_paths
+from repro.staticcheck.driver import fix_paths, lint_paths
 from repro.staticcheck.report import (
     EXIT_USAGE,
     exit_code_for,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.staticcheck.rules import describe_rules, rule_ids
@@ -31,7 +33,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format",
     )
@@ -44,6 +46,32 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules",
         action="store_true",
         help="print the rule pack and exit",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files over N worker processes (output is identical)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="incremental cache file (e.g. .repro-lint-cache.json); "
+        "unchanged files are answered without re-parsing",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report to PATH",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the mechanical autofixes in place, then report "
+        "what remains",
     )
 
 
@@ -77,8 +105,19 @@ def run_lint(args: argparse.Namespace) -> int:
     if missing:
         print(f"lint: no such path(s): {missing}", file=sys.stderr)
         return EXIT_USAGE
+    if args.jobs < 1:
+        print("lint: --jobs must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
 
-    result = lint_paths(paths, config)
-    rendered = render_json(result) if args.format == "json" else render_text(result)
-    print(rendered)
+    if args.fix:
+        files_changed, fixed = fix_paths(paths, config)
+        print(f"fixed {fixed} finding(s) in {files_changed} file(s)")
+
+    result = lint_paths(paths, config, jobs=args.jobs, cache_path=args.cache)
+    renderers = {"text": render_text, "json": render_json, "sarif": render_sarif}
+    print(renderers[args.format](result))
+    if args.sarif is not None:
+        Path(args.sarif).write_text(
+            render_sarif(result) + "\n", encoding="utf-8"
+        )
     return exit_code_for(result)

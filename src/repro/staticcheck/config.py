@@ -115,8 +115,51 @@ class LintConfig:
         {("core", "telemetry")}
     )
 
+    # REP007: serialization sinks the taint analysis watches — direct
+    # serializer calls, digest-input prefixes, and the names of
+    # serialization methods whose return value is the artifact.
+    rep007_sink_calls: frozenset[str] = frozenset(
+        {"json.dump", "json.dumps", "pickle.dump", "pickle.dumps"}
+    )
+    rep007_digest_prefixes: frozenset[str] = frozenset({"hashlib."})
+    rep007_sink_returns: frozenset[str] = frozenset(
+        {"to_dict", "to_json", "as_dict"}
+    )
+
+    # REP009: extra worker entry points, as ``dotted.module:function``.
+    # Submission sites (REP004's submit methods) are detected
+    # automatically; this names entry points whose submission happens in
+    # *another* module.
+    rep009_entry_points: frozenset[str] = frozenset()
+
     def wants(self, rule_id: str) -> bool:
         return self.rules is None or rule_id in self.rules
+
+    def fingerprint(self) -> str:
+        """A deterministic digest of every knob, for cache invalidation.
+
+        ``repr`` of a frozenset is hash-order dependent, so each field
+        is canonicalized (sorted) before hashing.
+        """
+        import hashlib
+
+        parts: list[str] = []
+        for name in sorted(self.__dataclass_fields__):
+            value = getattr(self, name)
+            if isinstance(value, frozenset):
+                canon = sorted(
+                    ",".join(v) if isinstance(v, tuple) else str(v)
+                    for v in value
+                )
+                parts.append(f"{name}={canon!r}")
+            elif isinstance(value, dict):
+                parts.append(f"{name}={sorted(value.items())!r}")
+            elif value is None:
+                parts.append(f"{name}=None")
+            else:
+                parts.append(f"{name}={value!r}")
+        blob = ";".join(parts).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -4,10 +4,11 @@ Suppression syntax (one per line, silences findings reported *on that
 line*)::
 
     risky_call()  # repro: noqa[REP001] -- justification for the waiver
-    other_call()  # repro: noqa -- silences every rule on this line
 
-The ``-- reason`` tail is optional to the parser but the repository's
-self-check test rejects reason-less suppressions in ``src/``.
+A directive without a ``[RULES]`` list silences every rule on the line,
+and the ``-- reason`` tail is optional to the *parser* — but the
+repository's self-check rejects both forms in ``src/``: every waiver
+must name its rule ids and carry a written justification.
 """
 
 from __future__ import annotations
@@ -124,22 +125,105 @@ def lint_source(
     return result
 
 
+def _lint_unit(item: tuple[str, str, str, bool, LintConfig]) -> LintResult:
+    """Process-pool work unit: lint one already-read source string.
+
+    Top-level (picklable) on purpose; the parent reads and hashes every
+    file, so workers only parse and run rules.
+    """
+    source, module, path, is_package, config = item
+    return lint_source(
+        source, module=module, path=path, config=config, is_package=is_package
+    )
+
+
 def lint_paths(
     paths: Sequence[Union[str, Path]],
     config: LintConfig = DEFAULT_CONFIG,
+    jobs: int = 1,
+    cache_path: Optional[Union[str, Path]] = None,
 ) -> LintResult:
-    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``*.py`` file under ``paths`` (files or directories).
+
+    ``jobs > 1`` fans file units out over a process pool; results are
+    assembled in file-walk order, so the report is byte-identical to a
+    serial run. ``cache_path`` enables the content-hash incremental
+    cache: unchanged files are answered without re-parsing.
+    """
+    from repro.staticcheck.cache import LintCache, content_digest
+
+    cache = LintCache(cache_path, config) if cache_path is not None else None
+
+    # Phase 1 (serial): read + hash every file, answer cache hits.
+    slots: list[Optional[LintResult]] = []
+    pending: list[tuple[int, str, tuple[str, str, str, bool, LintConfig]]] = []
+    for path in iter_python_files(paths):
+        display = str(path)
+        module, is_package = module_name_for(path)
+        source = path.read_text(encoding="utf-8")
+        digest = content_digest(source) if cache is not None else ""
+        cached = cache.lookup(display, digest) if cache is not None else None
+        if cached is not None:
+            slots.append(cached)
+            continue
+        slots.append(None)
+        pending.append(
+            (len(slots) - 1, digest, (source, module, display, is_package, config))
+        )
+
+    # Phase 2: lint the misses — serially, or over a process pool.
+    if pending:
+        units = [unit for _, _, unit in pending]
+        if jobs > 1 and len(pending) > 1:
+            import concurrent.futures
+
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            ) as pool:
+                fresh = list(pool.map(_lint_unit, units))
+        else:
+            fresh = [_lint_unit(unit) for unit in units]
+        for (slot, digest, unit), result in zip(pending, fresh):
+            result.reparsed_files = result.files_checked
+            slots[slot] = result
+            if cache is not None:
+                cache.record(unit[2], digest, result)
+
+    if cache is not None:
+        cache.save()
+
+    # Phase 3 (serial): merge in file-walk order for deterministic output.
     total = LintResult()
+    for result in slots:
+        assert result is not None
+        total.extend(result)
+    return total
+
+
+def fix_paths(
+    paths: Sequence[Union[str, Path]],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> tuple[int, int]:
+    """Apply every finding's autofix in place (``repro lint --fix``).
+
+    Returns ``(files rewritten, findings fixed)``. Files are re-linted
+    from their fixed content, so a fix that exposes another fixable
+    finding lands on the next invocation, never blindly in one pass.
+    """
+    from repro.staticcheck.fixes import apply_fixes
+
+    files_changed = 0
+    total_fixed = 0
     for path in iter_python_files(paths):
         module, is_package = module_name_for(path)
         source = path.read_text(encoding="utf-8")
-        total.extend(
-            lint_source(
-                source,
-                module=module,
-                path=str(path),
-                config=config,
-                is_package=is_package,
-            )
+        result = lint_source(
+            source, module=module, path=str(path), config=config,
+            is_package=is_package,
         )
-    return total
+        fixed_source, fixed = apply_fixes(source, result.findings)
+        if fixed:
+            path.write_text(fixed_source, encoding="utf-8")
+            files_changed += 1
+            total_fixed += fixed
+    return files_changed, total_fixed

@@ -1,0 +1,77 @@
+"""Applying autofixes (``repro lint --fix``).
+
+A fix is a tuple of :class:`Edit` spans attached to a finding. Edits are
+applied per file, last-position-first, so earlier offsets stay valid
+while later text shifts. Safety rules:
+
+* Edits from different findings that *overlap* are refused as a group —
+  the second finding's fix is skipped for this run and will be offered
+  again after the first fix lands (fixes are idempotent to re-linting).
+* A finding whose fix tuple is empty simply has no mechanical rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.staticcheck.model import Edit, Finding
+
+
+def _offset_of(line_starts: Sequence[int], line: int, col: int) -> int:
+    return line_starts[line - 1] + col
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _spans(
+    source: str, edits: Iterable[Edit]
+) -> list[tuple[int, int, str]]:
+    starts = _line_starts(source)
+    spans = []
+    for edit in edits:
+        begin = _offset_of(starts, edit.line, edit.col)
+        end = _offset_of(starts, edit.end_line, edit.end_col)
+        spans.append((begin, end, edit.replacement))
+    return spans
+
+
+def apply_fixes(source: str, findings: Iterable[Finding]) -> tuple[str, int]:
+    """Apply every non-conflicting fix; returns (new source, #fixed).
+
+    Findings are considered in report order; a finding whose edit spans
+    collide with an already-accepted fix is deferred to a later run.
+    """
+    accepted: list[tuple[int, int, str]] = []
+    taken: list[tuple[int, int]] = []
+    fixed = 0
+    for finding in findings:
+        if not finding.fix:
+            continue
+        spans = _spans(source, finding.fix)
+        conflict = any(
+            not (end <= t_begin or begin >= t_end) and not (begin == end == t_begin == t_end)
+            for begin, end, _ in spans
+            for t_begin, t_end in taken
+        )
+        if conflict:
+            continue
+        accepted.extend(spans)
+        taken.extend((begin, end) for begin, end, _ in spans)
+        fixed += 1
+    if not accepted:
+        return source, 0
+    # Apply back-to-front. Pure insertions at the same offset keep their
+    # acceptance order (stable sort + reversed application preserves it).
+    text = source
+    for index, (begin, end, replacement) in sorted(
+        enumerate(accepted), key=lambda pair: (pair[1][0], pair[1][1], pair[0]),
+        reverse=True,
+    ):
+        text = text[:begin] + replacement + text[end:]
+    return text, fixed

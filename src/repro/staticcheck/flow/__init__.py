@@ -1,0 +1,55 @@
+"""Intra-procedural data-flow framework for the invariant linter.
+
+The syntactic rule pack (REP001–REP006) can answer "does this module
+*mention* a wall clock" but not "does a wall-clock **value** ever reach
+a serialized artifact" — the actual invariant behind byte-identical
+shards, trajectories, and checkpoints. This subpackage supplies the
+machinery the flow-aware rules (REP007–REP010) are built on:
+
+* :mod:`repro.staticcheck.flow.cfg`       — per-function control-flow
+  graphs built from the AST (statement-level basic blocks, structured
+  control flow incl. ``break``/``continue``/``return``/``try``);
+* :mod:`repro.staticcheck.flow.lattice`   — a generic forward worklist
+  solver over a pluggable join-semilattice, plus the classic
+  reaching-definitions instance;
+* :mod:`repro.staticcheck.flow.taint`     — a taint lattice with
+  source/sink/sanitizer specs and witness-path reconstruction
+  (``source line -> ... -> sink line``) for every reported flow;
+* :mod:`repro.staticcheck.flow.callgraph` — a lightweight module-level
+  call graph with entry-point reachability (worker-safety analysis).
+
+Everything here is pure and deterministic: same source text in, same
+findings (and the same witness paths) out.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.flow.callgraph import CallGraph, build_call_graph
+from repro.staticcheck.flow.cfg import CFG, CFGNode, build_cfg, function_cfgs
+from repro.staticcheck.flow.lattice import (
+    Analysis,
+    ReachingDefinitions,
+    solve_forward,
+)
+from repro.staticcheck.flow.taint import (
+    TaintAnalysis,
+    TaintFlow,
+    TaintSpec,
+    Witness,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "function_cfgs",
+    "Analysis",
+    "ReachingDefinitions",
+    "solve_forward",
+    "TaintAnalysis",
+    "TaintFlow",
+    "TaintSpec",
+    "Witness",
+    "CallGraph",
+    "build_call_graph",
+]

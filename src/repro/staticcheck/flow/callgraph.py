@@ -1,0 +1,72 @@
+"""A lightweight module-level call graph with entry-point reachability.
+
+Nodes are the module's function definitions (top-level and nested, by
+qualified name); edges are direct calls to another function *defined in
+the same module*, resolved through plain names only — a deliberately
+conservative under-approximation that is exactly right for the
+worker-safety question ("can this executor task transitively rebind
+module state?"): dynamic dispatch out of the module cannot reach the
+module's own globals by rebinding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class CallGraph:
+    """Call edges between a module's own function definitions."""
+
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    calls: dict[str, set[str]] = field(default_factory=dict)
+
+    def reachable_from(self, *entry_points: str) -> list[str]:
+        """Every function reachable from the entry points (inclusive),
+        in deterministic (sorted) order."""
+        seen: set[str] = set()
+        frontier = [name for name in entry_points if name in self.functions]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            frontier.extend(sorted(self.calls.get(name, ()) - seen))
+        return sorted(seen)
+
+
+def build_call_graph(tree: ast.Module) -> CallGraph:
+    graph = CallGraph()
+    _collect(tree, graph)
+    for name, node in graph.functions.items():
+        graph.calls[name] = _called_names(node, graph.functions)
+    return graph
+
+
+def _collect(tree: ast.Module, graph: CallGraph) -> None:
+    """Register every def by bare name (module-level wins on collision:
+    that is the name a call site resolves to)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            graph.functions.setdefault(node.name, node)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            graph.functions[node.name] = node
+
+
+def _called_names(func: FunctionNode, known: dict[str, FunctionNode]) -> set[str]:
+    called: set[str] = set()
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in known:
+                called.add(node.func.id)
+        elif isinstance(node, ast.Name) and node.id in known:
+            # A bare reference (passed as a callback, stored in a dict)
+            # may be invoked downstream; treat it as a call edge.
+            called.add(node.id)
+    return called

@@ -1,0 +1,167 @@
+"""Generic forward data-flow solver + the reaching-definitions instance.
+
+An :class:`Analysis` is a join-semilattice of per-program-point facts:
+
+* ``initial()``            — the fact at function entry;
+* ``bottom()``             — the fact on not-yet-visited edges;
+* ``join(a, b)``           — least upper bound (path merge);
+* ``transfer(fact, node)`` — the effect of executing one CFG node.
+
+:func:`solve_forward` runs the standard worklist algorithm to the least
+fixed point and returns the fact holding *before* each node. Termination
+is the analysis's contract: its lattice must have finite height (every
+instance here maps finitely many variables to finitely many values).
+
+:class:`ReachingDefinitions` is the classic instance — which assignment
+lines may have produced each variable's current value — and doubles as
+the def-use substrate the taint witness paths are reconstructed from.
+"""
+
+from __future__ import annotations
+
+import ast
+import heapq
+from typing import Generic, TypeVar
+
+from repro.staticcheck.flow.cfg import CFG, CFGNode
+
+Fact = TypeVar("Fact")
+
+
+class Analysis(Generic[Fact]):
+    """One forward data-flow problem over a :class:`CFG`."""
+
+    def initial(self) -> Fact:
+        raise NotImplementedError
+
+    def bottom(self) -> Fact:
+        raise NotImplementedError
+
+    def join(self, left: Fact, right: Fact) -> Fact:
+        raise NotImplementedError
+
+    def transfer(self, fact: Fact, node: CFGNode) -> Fact:
+        raise NotImplementedError
+
+
+def solve_forward(cfg: CFG, analysis: Analysis[Fact]) -> dict[int, Fact]:
+    """Least fixed point; returns the IN fact of every node index.
+
+    The worklist is a min-heap over node indices (with a set mirror to
+    dedupe re-adds) so nodes are processed in ascending order and the
+    solve — and anything derived from it, like witness-path tie-breaks —
+    is deterministic for a given CFG.
+    """
+    facts: dict[int, Fact] = {
+        node.index: analysis.bottom() for node in cfg.nodes
+    }
+    facts[CFG.ENTRY] = analysis.initial()
+    queued = {node.index for node in cfg.nodes}
+    heap = sorted(queued)
+    while heap:
+        index = heapq.heappop(heap)
+        if index not in queued:
+            continue
+        queued.discard(index)
+        node = cfg.nodes[index]
+        out = analysis.transfer(facts[index], node)
+        for succ in node.succs:
+            merged = analysis.join(facts[succ], out)
+            if merged != facts[succ]:
+                facts[succ] = merged
+                if succ not in queued:
+                    queued.add(succ)
+                    heapq.heappush(heap, succ)
+    return facts
+
+
+def assigned_names(target: ast.expr) -> list[str]:
+    """Plain variable names bound by one assignment target."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(assigned_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return assigned_names(target.value)
+    return []  # attribute / subscript targets don't bind a local
+
+
+def node_definitions(node: CFGNode) -> list[str]:
+    """Variables (re)bound by executing this CFG node."""
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    names: list[str] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.extend(assigned_names(target))
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        names.extend(assigned_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.extend(assigned_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.extend(assigned_names(item.optional_vars))
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.append(stmt.name)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            names.append(alias.asname or alias.name.split(".", 1)[0])
+    return names
+
+
+# A reaching-definitions fact: variable -> set of line numbers whose
+# assignment may currently define it (0 stands for "defined at entry",
+# i.e. a parameter or free variable).
+RDFact = dict[str, frozenset[int]]
+
+
+class ReachingDefinitions(Analysis[RDFact]):
+    """Which assignments may reach each program point."""
+
+    ENTRY_LINE = 0
+
+    def __init__(self, cfg: CFG) -> None:
+        self._cfg = cfg
+        params: list[str] = []
+        scope = cfg.scope
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *((args.vararg,) if args.vararg else ()),
+                *((args.kwarg,) if args.kwarg else ()),
+            ):
+                params.append(arg.arg)
+        self._params = params
+
+    def initial(self) -> RDFact:
+        return {
+            name: frozenset({self.ENTRY_LINE}) for name in self._params
+        }
+
+    def bottom(self) -> RDFact:
+        return {}
+
+    def join(self, left: RDFact, right: RDFact) -> RDFact:
+        if not left:
+            return dict(right)
+        if not right:
+            return dict(left)
+        merged = dict(left)
+        for name, lines in right.items():
+            merged[name] = merged.get(name, frozenset()) | lines
+        return merged
+
+    def transfer(self, fact: RDFact, node: CFGNode) -> RDFact:
+        defined = node_definitions(node)
+        if not defined:
+            return fact
+        out = dict(fact)
+        for name in defined:
+            out[name] = frozenset({node.line})
+        return out

@@ -1,0 +1,533 @@
+"""Taint analysis over the CFG: sources, sanitizers, sinks, witnesses.
+
+The lattice maps each local variable to a set of taint *labels*, each
+carrying a **witness** — the chain of ``(line, step)`` hops the taint
+took from its source. Labels:
+
+* ``wallclock`` / ``entropy`` — the value derives from a real-clock
+  read or an OS entropy draw (``time.time``, ``os.urandom``,
+  ``random.random``, ...). Nothing sanitizes a value taint: sorting a
+  list of timestamps still yields nondeterministic bytes.
+* ``unordered`` — the value is an unordered collection (``set``/
+  ``frozenset`` displays, constructors, comprehensions, set algebra,
+  ``dict.fromkeys`` over an unordered input, dict comprehensions driven
+  by one).
+* ``iterorder`` — the value was produced by iterating an unordered
+  collection: its *sequence position* is nondeterministic even though
+  the value itself may be pure.
+* ``order`` — an ordered container (list/tuple/str) whose element
+  order derives from unordered iteration: ``list(a_set)``,
+  ``[x for x in a_set]``, ``acc.append(loop_var_of_a_set)``.
+
+``sorted(...)`` is the canonical sanitizer: it clears every order
+label (``unordered``/``iterorder``/``order``) but never a value label.
+Commutative reductions (``sum``/``len``/``min``/``max``/``any``/
+``all``) likewise produce order-clean results, and ``iterorder`` taint
+deliberately does **not** propagate through arithmetic/bitwise
+operators — ``total ^= len(tag)`` folded over a set is deterministic,
+which is exactly the false-positive class the syntactic REP002 cannot
+distinguish.
+
+The analysis is intra-procedural and conservative: unknown calls pass
+their arguments' taint through to the result.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.staticcheck.flow.cfg import CFG, CFGNode
+from repro.staticcheck.flow.lattice import Analysis, assigned_names, solve_forward
+
+# One witness step: (source line, human-readable hop description).
+WitnessStep = tuple[int, str]
+Witness = tuple[WitnessStep, ...]
+# label -> best witness for it.
+Taint = dict[str, Witness]
+# variable -> taint.
+TaintEnv = dict[str, Taint]
+
+#: Witness chains are capped so loop-carried taint reaches a fixed
+#: point: once a chain is this long, further hops stop extending it.
+WITNESS_CAP = 16
+
+ORDER_LABELS = frozenset({"unordered", "iterorder", "order"})
+VALUE_LABELS = frozenset({"wallclock", "entropy"})
+
+#: resolved call target -> (label, source description)
+DEFAULT_VALUE_SOURCES: dict[str, tuple[str, str]] = {}
+for _name in (
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+):
+    DEFAULT_VALUE_SOURCES[f"time.{_name}"] = ("wallclock", f"time.{_name}()")
+for _name in ("now", "utcnow", "today"):
+    DEFAULT_VALUE_SOURCES[f"datetime.datetime.{_name}"] = (
+        "wallclock", f"datetime.{_name}()"
+    )
+DEFAULT_VALUE_SOURCES["datetime.date.today"] = ("wallclock", "date.today()")
+for _name in ("random", "randint", "randrange", "choice", "shuffle",
+              "uniform", "sample", "getrandbits", "betavariate"):
+    DEFAULT_VALUE_SOURCES[f"random.{_name}"] = (
+        "entropy", f"random.{_name}()"
+    )
+DEFAULT_VALUE_SOURCES["os.urandom"] = ("entropy", "os.urandom()")
+DEFAULT_VALUE_SOURCES["os.getrandom"] = ("entropy", "os.getrandom()")
+DEFAULT_VALUE_SOURCES["uuid.uuid1"] = ("entropy", "uuid.uuid1()")
+DEFAULT_VALUE_SOURCES["uuid.uuid4"] = ("entropy", "uuid.uuid4()")
+for _name in ("token_bytes", "token_hex", "token_urlsafe", "randbits",
+              "choice", "randbelow"):
+    DEFAULT_VALUE_SOURCES[f"secrets.{_name}"] = (
+        "entropy", f"secrets.{_name}()"
+    )
+
+#: Calls whose result is order-clean regardless of argument order.
+ORDER_SANITIZERS = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all"}
+)
+#: Calls whose result is itself an unordered collection.
+SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+#: Calls that materialize their argument's iteration order.
+ORDERING_CALLS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+#: Set methods that keep the receiver's unordered nature.
+SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else ""
+    )
+    return name in _SET_ANNOTATIONS
+
+
+def _join_taint(left: Taint, right: Taint) -> Taint:
+    """Union of labels; ties between witnesses break deterministically
+    toward the shorter (then lexicographically smaller) chain."""
+    merged = dict(left)
+    for label, witness in right.items():
+        existing = merged.get(label)
+        if existing is None or (len(witness), witness) < (
+            len(existing), existing
+        ):
+            merged[label] = witness
+    return merged
+
+
+def _extend(witness: Witness, line: int, step: str) -> Witness:
+    if len(witness) >= WITNESS_CAP:
+        return witness
+    if witness and witness[-1][0] == line:
+        return witness  # same-line hops add noise, not information
+    return witness + ((line, step),)
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What counts as a source / sanitizer for one analysis run."""
+
+    value_sources: dict[str, tuple[str, str]] = field(
+        default_factory=lambda: dict(DEFAULT_VALUE_SOURCES)
+    )
+    track_order: bool = True
+    track_values: bool = True
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One tainted value observed at a program point of interest."""
+
+    label: str
+    witness: Witness
+    line: int  # the sink line
+
+    def render_path(self) -> str:
+        steps = [f"line {line} ({step})" for line, step in self.witness]
+        steps.append(f"sink line {self.line}")
+        return " -> ".join(steps)
+
+
+class _TaintLattice(Analysis[TaintEnv]):
+    def __init__(self, analysis: "TaintAnalysis") -> None:
+        self._analysis = analysis
+
+    def initial(self) -> TaintEnv:
+        return self._analysis.entry_env()
+
+    def bottom(self) -> TaintEnv:
+        return {}
+
+    def join(self, left: TaintEnv, right: TaintEnv) -> TaintEnv:
+        if not left:
+            return {name: dict(t) for name, t in right.items()}
+        if not right:
+            return {name: dict(t) for name, t in left.items()}
+        merged = {name: dict(t) for name, t in left.items()}
+        for name, taint in right.items():
+            merged[name] = _join_taint(merged.get(name, {}), taint)
+        return merged
+
+    def transfer(self, fact: TaintEnv, node: CFGNode) -> TaintEnv:
+        return self._analysis.transfer(fact, node)
+
+
+class TaintAnalysis:
+    """Run the taint lattice over one function (or module) CFG.
+
+    After :meth:`run`, ``env_before(node)`` answers the variable->taint
+    map holding when the node's expressions are evaluated, and
+    :meth:`taint_of` evaluates any expression's taint under an env.
+    """
+
+    def __init__(
+        self,
+        cfg: CFG,
+        import_table: dict[str, str],
+        spec: Optional[TaintSpec] = None,
+    ) -> None:
+        self.cfg = cfg
+        self.table = import_table
+        self.spec = spec or TaintSpec()
+        self._in_facts: dict[int, TaintEnv] = {}
+
+    # -- public API -----------------------------------------------------
+
+    def run(self) -> "TaintAnalysis":
+        self._in_facts = solve_forward(self.cfg, _TaintLattice(self))
+        return self
+
+    def env_before(self, node: CFGNode) -> TaintEnv:
+        return self._in_facts.get(node.index, {})
+
+    def flows_at(self, expr: ast.expr, node: CFGNode) -> list[TaintFlow]:
+        """Every taint label carried by ``expr`` at ``node``, sorted."""
+        taint = self.taint_of(expr, self.env_before(node))
+        line = getattr(expr, "lineno", node.line)
+        return [
+            TaintFlow(label=label, witness=witness, line=line)
+            for label, witness in sorted(taint.items())
+        ]
+
+    # -- lattice plumbing ----------------------------------------------
+
+    def entry_env(self) -> TaintEnv:
+        env: TaintEnv = {}
+        scope = self.cfg.scope
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *((args.vararg,) if args.vararg else ()),
+                *((args.kwarg,) if args.kwarg else ()),
+            ):
+                if self.spec.track_order and _annotation_is_set(arg.annotation):
+                    env[arg.arg] = {
+                        "unordered": (
+                            (arg.lineno, f"parameter {arg.arg}: set"),
+                        )
+                    }
+        return env
+
+    def transfer(self, fact: TaintEnv, node: CFGNode) -> TaintEnv:
+        stmt = node.stmt
+        if stmt is None:
+            return fact
+        out = {name: dict(taint) for name, taint in fact.items()}
+        if isinstance(stmt, ast.Assign):
+            taint = self.taint_of(stmt.value, fact)
+            for target in stmt.targets:
+                self._bind(out, target, taint, stmt.lineno)
+        elif isinstance(stmt, ast.AnnAssign):
+            taint = (
+                self.taint_of(stmt.value, fact) if stmt.value else {}
+            )
+            if self.spec.track_order and _annotation_is_set(stmt.annotation):
+                taint = _join_taint(
+                    taint,
+                    {"unordered": ((stmt.lineno, "annotated: set"),)},
+                )
+            self._bind(out, stmt.target, taint, stmt.lineno)
+        elif isinstance(stmt, ast.AugAssign):
+            # x += e keeps x's taint and may add e's; iterorder does not
+            # survive commutative accumulation (see module docstring).
+            taint = self.taint_of(stmt.value, fact)
+            taint = {
+                label: witness
+                for label, witness in taint.items()
+                if label != "iterorder"
+            }
+            names = assigned_names(stmt.target)
+            for name in names:
+                merged = _join_taint(out.get(name, {}), taint)
+                out[name] = {
+                    label: _extend(w, stmt.lineno, f"{name} op= ...")
+                    if label in taint and w == taint[label] else w
+                    for label, w in merged.items()
+                }
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_loop_target(out, stmt, fact)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    taint = self.taint_of(item.context_expr, fact)
+                    self._bind(out, item.optional_vars, taint, stmt.lineno)
+        elif isinstance(stmt, ast.Expr):
+            self._mutating_call(out, stmt.value, fact)
+        return out
+
+    def _bind(
+        self, env: TaintEnv, target: ast.expr, taint: Taint, line: int
+    ) -> None:
+        for name in assigned_names(target):
+            if taint:
+                env[name] = {
+                    label: _extend(witness, line, f"{name} = ...")
+                    for label, witness in taint.items()
+                }
+            else:
+                env.pop(name, None)
+
+    def _bind_loop_target(
+        self, env: TaintEnv, stmt: ast.For | ast.AsyncFor, fact: TaintEnv
+    ) -> None:
+        iter_taint = self.taint_of(stmt.iter, fact)
+        loop_taint: Taint = {}
+        for label, witness in iter_taint.items():
+            if label in VALUE_LABELS:
+                loop_taint[label] = witness
+            elif label in {"unordered", "order"} and self.spec.track_order:
+                loop_taint["iterorder"] = _extend(
+                    witness, stmt.lineno, "iterated here"
+                )
+        for name in assigned_names(stmt.target):
+            if loop_taint:
+                env[name] = dict(loop_taint)
+            else:
+                env.pop(name, None)
+
+    def _mutating_call(
+        self, env: TaintEnv, expr: ast.expr, fact: TaintEnv
+    ) -> None:
+        """``acc.append(x)`` with order-positional ``x`` makes ``acc``
+        an order-tainted container (likewise insert/extend/add... on the
+        ordered side; ``.add`` onto a set stays unordered-only)."""
+        if not (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and isinstance(expr.func.value, ast.Name)
+            and expr.args
+        ):
+            return
+        method = expr.func.attr
+        receiver = expr.func.value.id
+        if method not in {"append", "insert", "extend", "appendleft"}:
+            return
+        arg = expr.args[-1]  # insert(i, x) carries the value last
+        taint = self.taint_of(arg, fact)
+        inherited: Taint = {}
+        for label, witness in taint.items():
+            if label in VALUE_LABELS:
+                inherited[label] = _extend(
+                    witness, expr.lineno, f"{receiver}.{method}(...)"
+                )
+            elif label in ORDER_LABELS and self.spec.track_order:
+                inherited["order"] = _extend(
+                    witness, expr.lineno, f"{receiver}.{method}(...)"
+                )
+        if inherited:
+            env[receiver] = _join_taint(env.get(receiver, {}), inherited)
+
+    # -- expression evaluation -----------------------------------------
+
+    def taint_of(self, expr: ast.expr, env: TaintEnv) -> Taint:
+        if isinstance(expr, ast.Name):
+            return dict(env.get(expr.id, {}))
+        if isinstance(expr, ast.Constant):
+            return {}
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            taint = self._union_children(expr, env, drop_order=True)
+            if self.spec.track_order:
+                taint = _join_taint(
+                    taint,
+                    {"unordered": ((expr.lineno, "set display"),)},
+                )
+            return taint
+        if isinstance(expr, ast.Call):
+            return self._call_taint(expr, env)
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            return self._comp_taint(expr, env)
+        if isinstance(expr, ast.DictComp):
+            return self._comp_taint(expr, env)
+        if isinstance(expr, ast.BinOp):
+            left = self.taint_of(expr.left, env)
+            right = self.taint_of(expr.right, env)
+            taint = _join_taint(left, right)
+            if not isinstance(expr.op, _SET_BINOPS):
+                # Arithmetic folds are order-insensitive; set algebra
+                # keeps the unordered label alive.
+                taint.pop("iterorder", None)
+                taint.pop("unordered", None)
+            return taint
+        if isinstance(expr, (ast.BoolOp, ast.Compare, ast.UnaryOp,
+                             ast.JoinedStr, ast.FormattedValue,
+                             ast.Tuple, ast.List, ast.Dict, ast.Starred,
+                             ast.Await, ast.IfExp, ast.NamedExpr)):
+            drop = isinstance(expr, (ast.Compare, ast.BoolOp, ast.UnaryOp))
+            taint = self._union_children(expr, env, drop_order=drop)
+            if isinstance(expr, ast.NamedExpr):
+                env[assigned_names(expr.target)[0]] = dict(taint)
+            return taint
+        if isinstance(expr, ast.Attribute):
+            return self.taint_of(expr.value, env)
+        if isinstance(expr, ast.Subscript):
+            taint = self.taint_of(expr.value, env)
+            # Indexing an unordered container yields an element, not the
+            # container; the unordered label does not describe it.
+            taint.pop("unordered", None)
+            return taint
+        if isinstance(expr, ast.Lambda):
+            return {}
+        return self._union_children(expr, env, drop_order=False)
+
+    def _union_children(
+        self, expr: ast.expr, env: TaintEnv, drop_order: bool
+    ) -> Taint:
+        taint: Taint = {}
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                taint = _join_taint(taint, self.taint_of(child, env))
+        if drop_order:
+            for label in ("iterorder", "unordered", "order"):
+                taint.pop(label, None)
+        return taint
+
+    def _call_taint(self, call: ast.Call, env: TaintEnv) -> Taint:
+        from repro.staticcheck.rules.base import resolve_call_target
+
+        target = resolve_call_target(call, self.table)
+        args_taint: Taint = {}
+        for arg in call.args:
+            inner = arg.value if isinstance(arg, ast.Starred) else arg
+            args_taint = _join_taint(args_taint, self.taint_of(inner, env))
+        for keyword in call.keywords:
+            args_taint = _join_taint(
+                args_taint, self.taint_of(keyword.value, env)
+            )
+
+        # Value sources start a fresh witness at this call.
+        if self.spec.track_values and target in self.spec.value_sources:
+            label, describe = self.spec.value_sources[target]
+            source: Taint = {label: ((call.lineno, describe),)}
+            return _join_taint(source, args_taint)
+
+        func = call.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in ORDER_SANITIZERS:
+            return {
+                label: witness
+                for label, witness in args_taint.items()
+                if label not in ORDER_LABELS
+            }
+        if name in SET_CONSTRUCTORS:
+            taint = {
+                label: witness
+                for label, witness in args_taint.items()
+                if label not in ORDER_LABELS
+            }
+            if self.spec.track_order:
+                taint = _join_taint(
+                    taint, {"unordered": ((call.lineno, f"{name}(...)"),)}
+                )
+            return taint
+        if name in ORDERING_CALLS:
+            taint = dict(args_taint)
+            if self.spec.track_order and (
+                "unordered" in taint or "iterorder" in taint
+            ):
+                witness = taint.pop("unordered", None) or taint["iterorder"]
+                taint.pop("iterorder", None)
+                taint["order"] = _extend(
+                    witness, call.lineno, f"{name}(...) materialized order"
+                )
+            return taint
+        if isinstance(func, ast.Attribute):
+            receiver_taint = self.taint_of(func.value, env)
+            if func.attr in SET_METHODS and "unordered" in receiver_taint:
+                return _join_taint(receiver_taint, args_taint)
+            if func.attr == "fromkeys" and self.spec.track_order:
+                # dict.fromkeys(unordered) -> insertion order inherited
+                # from the unordered input.
+                if "unordered" in args_taint or "iterorder" in args_taint:
+                    witness = args_taint.get("unordered") or args_taint[
+                        "iterorder"
+                    ]
+                    taint = {
+                        label: w
+                        for label, w in args_taint.items()
+                        if label in VALUE_LABELS
+                    }
+                    taint["unordered"] = _extend(
+                        witness, call.lineno, "dict.fromkeys(...)"
+                    )
+                    return taint
+            if func.attr == "join" and call.args:
+                return args_taint
+            # Unknown method: receiver + args flow through.
+            merged = _join_taint(receiver_taint, args_taint)
+            merged.pop("unordered", None)
+            return merged
+        return args_taint
+
+    def _comp_taint(
+        self, comp: ast.ListComp | ast.GeneratorExp | ast.DictComp, env: TaintEnv
+    ) -> Taint:
+        """Comprehensions run their own scope: bind each generator's
+        target from its iterable, then evaluate the element expression."""
+        local = {name: dict(t) for name, t in env.items()}
+        order_witness: Optional[Witness] = None
+        for generator in comp.generators:
+            iter_taint = self.taint_of(generator.iter, local)
+            loop_taint: Taint = {}
+            for label, witness in iter_taint.items():
+                if label in VALUE_LABELS:
+                    loop_taint[label] = witness
+                elif label in {"unordered", "order"} and self.spec.track_order:
+                    loop_taint["iterorder"] = _extend(
+                        witness, comp.lineno, "comprehension over it"
+                    )
+                    if label == "unordered" and order_witness is None:
+                        order_witness = witness
+                    elif label == "order" and order_witness is None:
+                        order_witness = witness
+            for name in assigned_names(generator.target):
+                if loop_taint:
+                    local[name] = dict(loop_taint)
+                else:
+                    local.pop(name, None)
+        if isinstance(comp, ast.DictComp):
+            taint = _join_taint(
+                self.taint_of(comp.key, local), self.taint_of(comp.value, local)
+            )
+        else:
+            taint = self.taint_of(comp.elt, local)
+        taint.pop("iterorder", None)
+        if order_witness is not None and self.spec.track_order:
+            label = "unordered" if isinstance(comp, ast.DictComp) else "order"
+            taint[label] = _extend(
+                order_witness, comp.lineno, "comprehension materialized order"
+            )
+        return taint

@@ -7,14 +7,50 @@ from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
+class Edit:
+    """One textual replacement (1-based lines, 0-based columns; an
+    insertion when the start and end positions coincide)."""
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "replacement": self.replacement,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Edit":
+        return cls(
+            line=payload["line"],
+            col=payload["col"],
+            end_line=payload["end_line"],
+            end_col=payload["end_col"],
+            replacement=payload["replacement"],
+        )
+
+
+@dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``fix`` carries the mechanical autofix for ``repro lint --fix``
+    (empty when the rule has no safe rewrite for this finding).
+    """
 
     rule_id: str
     path: str
     line: int
     col: int
     message: str
+    fix: tuple[Edit, ...] = ()
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
@@ -30,16 +66,26 @@ class Suppression:
 
 @dataclass
 class LintResult:
-    """Everything one lint run produced."""
+    """Everything one lint run produced.
+
+    ``cached_files``/``reparsed_files`` split ``files_checked`` when an
+    incremental cache is in play: cached files were answered from the
+    cache without re-parsing; reparsed files ran the full rule pack.
+    Without a cache every file counts as reparsed.
+    """
 
     findings: list[Finding] = field(default_factory=list)
     suppressions: list[Suppression] = field(default_factory=list)
     files_checked: int = 0
+    cached_files: int = 0
+    reparsed_files: int = 0
 
     def extend(self, other: "LintResult") -> None:
         self.findings.extend(other.findings)
         self.suppressions.extend(other.suppressions)
         self.files_checked += other.files_checked
+        self.cached_files += other.cached_files
+        self.reparsed_files += other.reparsed_files
 
     @property
     def clean(self) -> bool:

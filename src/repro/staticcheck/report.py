@@ -13,7 +13,7 @@ import json
 from typing import Any
 
 from repro.staticcheck.model import LintResult
-from repro.staticcheck.rules import rule_ids
+from repro.staticcheck.rules import RULESET_VERSION, describe_rules, rule_ids
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -66,5 +66,82 @@ def render_json(result: LintResult) -> str:
             for suppression in result.suppressions
         ],
         "exit_code": exit_code_for(result),
+        "cached_files": result.cached_files,
+        "reparsed_files": result.reparsed_files,
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 — the interchange format CI annotation tooling eats.
+
+    Every registered rule appears in the tool component (so rule
+    metadata is stable run-to-run even with zero findings); suppressed
+    findings are emitted with a populated ``suppressions`` array, as
+    the spec prescribes, so dashboards can audit waivers.
+    """
+    ids = rule_ids()
+    rule_index = {rule_id: i for i, rule_id in enumerate(ids)}
+
+    def location(finding: Any) -> dict[str, Any]:
+        return {
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": finding.line,
+                    # SARIF columns are 1-based; findings carry 0-based.
+                    "startColumn": finding.col + 1,
+                },
+            }
+        }
+
+    def sarif_result(finding: Any, suppressed_reason: Any = None) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [location(finding)],
+        }
+        if finding.rule_id in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule_id]
+        if suppressed_reason is not None:
+            entry["suppressions"] = [
+                {
+                    "kind": "inSource",
+                    "justification": suppressed_reason,
+                }
+            ]
+        return entry
+
+    results = [sarif_result(finding) for finding in result.findings]
+    results.extend(
+        sarif_result(s.finding, suppressed_reason=s.reason)
+        for s in result.suppressions
+    )
+    payload: dict[str, Any] = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-staticcheck",
+                        "version": RULESET_VERSION,
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": title},
+                            }
+                            for rule_id, title in describe_rules()
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=1, sort_keys=True)

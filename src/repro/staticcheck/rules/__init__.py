@@ -9,6 +9,14 @@ from repro.staticcheck.rules.rep003_layering import LayeringRule
 from repro.staticcheck.rules.rep004_worker_safety import WorkerSafetyRule
 from repro.staticcheck.rules.rep005_serialization import SerializationContractRule
 from repro.staticcheck.rules.rep006_telemetry import TelemetryBoundaryRule
+from repro.staticcheck.rules.rep007_taint import TaintTrackingRule
+from repro.staticcheck.rules.rep008_flow_iteration import FlowIterationRule
+from repro.staticcheck.rules.rep009_worker_reach import WorkerReachabilityRule
+from repro.staticcheck.rules.rep010_perf import PerfSmellRule
+
+#: Bumped whenever any rule's semantics change: the incremental cache
+#: keys on it, so a rule edit invalidates every cached file result.
+RULESET_VERSION = "REP001-REP010/1"
 
 ALL_RULES: tuple[Rule, ...] = (
     DeterminismRule(),
@@ -17,6 +25,10 @@ ALL_RULES: tuple[Rule, ...] = (
     WorkerSafetyRule(),
     SerializationContractRule(),
     TelemetryBoundaryRule(),
+    TaintTrackingRule(),
+    FlowIterationRule(),
+    WorkerReachabilityRule(),
+    PerfSmellRule(),
 )
 
 

@@ -33,7 +33,7 @@ import ast
 from typing import Optional, Union
 
 from repro.staticcheck.config import LintConfig
-from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.model import Edit, Finding, ModuleInfo
 from repro.staticcheck.rules.base import Rule, parent_map
 
 _SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
@@ -148,6 +148,35 @@ class SortedIterationRule(Rule):
     title = "set iteration must go through sorted(...)"
 
     _HINT = "set iteration order is nondeterministic; wrap in sorted(...)"
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        """Every REP002 finding anchors at the iterable expression, so
+        the mechanical fix — wrap that exact span in ``sorted(...)`` —
+        rides along for ``repro lint --fix``."""
+        fix: tuple[Edit, ...] = ()
+        end_line = getattr(node, "end_lineno", None)
+        end_col = getattr(node, "end_col_offset", None)
+        if isinstance(node, ast.expr) and end_line is not None:
+            fix = (
+                Edit(
+                    line=node.lineno, col=node.col_offset,
+                    end_line=node.lineno, end_col=node.col_offset,
+                    replacement="sorted(",
+                ),
+                Edit(
+                    line=end_line, col=end_col or 0,
+                    end_line=end_line, end_col=end_col or 0,
+                    replacement=")",
+                ),
+            )
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fix=fix,
+        )
 
     def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
         findings: list[Finding] = []

@@ -1,0 +1,103 @@
+"""REP008 — unordered iteration order must not reach ordered outputs.
+
+The flow-sensitive successor to REP002's syntactic check. REP002 flags
+*every* iteration over a set, even when the loop body folds the
+elements commutatively (XOR digests, ``|=`` unions, counters) — the
+two justified waivers in ``src/`` are exactly that false-positive
+class. This rule instead follows the order taint through the function
+and reports only where nondeterministic order actually *reaches an
+ordered output*:
+
+* a value whose sequence position derives from set/dict iteration
+  (``iterorder``) appended/inserted/extended into an ordered container;
+* an order-tainted or unordered value passed to ``str.join``,
+  ``file.write``/``writelines``, or ``print``;
+* an order-tainted container (``list(a_set)``, ``[x for x in a_set]``
+  — possibly laundered through intermediate assignments) hitting any
+  of the above.
+
+``sorted(...)`` at any hop sanitizes the flow, so the canonical fix is
+the same as REP002's; the finding message carries the witness path so
+the right hop to sort at is visible. Dict iteration is only tainted
+when the dict itself was built from unordered input
+(``dict.fromkeys(a_set)``, a dict comprehension over a set): plain
+dicts iterate in insertion order, which is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.flow.taint import TaintAnalysis, TaintFlow
+from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.rules._flow import module_analyses, sink_calls
+
+_APPEND_METHODS = frozenset({"append", "insert", "extend", "appendleft"})
+_WRITE_METHODS = frozenset({"write", "writelines"})
+_ORDER_LABELS = frozenset({"iterorder", "order", "unordered"})
+
+
+class FlowIterationRule(Rule):
+    rule_id = "REP008"
+    title = "set/dict iteration order must not reach ordered outputs"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        for analysis in module_analyses(module):
+            findings.extend(self._check_scope(module, analysis))
+        return findings
+
+    def _check_scope(
+        self, module: ModuleInfo, analysis: TaintAnalysis
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in analysis.cfg.statements():
+            for call in sink_calls(node):
+                findings.extend(self._check_call(module, call, analysis, node))
+        return findings
+
+    def _check_call(
+        self, module: ModuleInfo, call: ast.Call, analysis: TaintAnalysis, node
+    ) -> list[Finding]:
+        func = call.func
+        sink: str | None = None
+        args: list[ast.expr] = []
+        # Appending a *set object* to a list is fine (the list's order is
+        # unaffected); only position-tainted values pollute containers.
+        labels = frozenset({"iterorder", "order"})
+        if isinstance(func, ast.Attribute):
+            if func.attr in _APPEND_METHODS and call.args:
+                sink = f"ordered container ({func.attr})"
+                args = [call.args[-1]]
+            elif func.attr == "join" and call.args:
+                sink = "str.join"
+                args = [call.args[0]]
+                labels = _ORDER_LABELS
+            elif func.attr in _WRITE_METHODS and call.args:
+                sink = f"output stream ({func.attr})"
+                args = [call.args[0]]
+                labels = _ORDER_LABELS
+        elif isinstance(func, ast.Name) and func.id == "print" and call.args:
+            sink = "print"
+            args = list(call.args)
+        if sink is None:
+            return []
+        findings = []
+        for arg in args:
+            for flow in analysis.flows_at(arg, node):
+                if flow.label in labels:
+                    findings.append(self._report(module, arg, sink, flow))
+                    break  # one order finding per argument is enough
+        return findings
+
+    def _report(
+        self, module: ModuleInfo, at: ast.expr, sink: str, flow: TaintFlow
+    ) -> Finding:
+        return self.finding(
+            module,
+            at,
+            f"set/dict iteration order reaches {sink}; wrap the iteration "
+            f"in sorted(...): {flow.render_path()}",
+        )

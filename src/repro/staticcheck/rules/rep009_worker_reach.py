@@ -1,0 +1,231 @@
+"""REP009 — worker-safety via call-graph reachability.
+
+REP004 checks the callable handed to an executor: it must be a
+module-level function and must not itself rebind module globals. That
+leaves a hole the size of a helper function — a task that *calls* a
+function that mutates module-level state smuggles exactly the same
+per-process divergence past the check, and PR 2 closed it by hand-
+listing modules instead of proving reachability.
+
+This rule builds the module's call graph
+(:mod:`repro.staticcheck.flow.callgraph`), seeds it with every task
+callable submitted to an executor in that module (the same submission
+points REP004 watches: ``imap``/``map``/``submit``/... first arguments)
+plus any configured entry points (``rep009_entry_points``, as
+``module:function``), and flags, in every *reachable* function:
+
+* ``global`` rebinding (beyond the entry function REP004 already
+  covers, this reaches transitively-called helpers);
+* in-place mutation of a module-level binding — subscript or attribute
+  assignment (``_CACHE[key] = ...``, ``mod.attr = ...``) and calls to
+  mutating methods (``append``/``add``/``update``/``pop``/...) whose
+  receiver is a module-level name.
+
+Pool initializers stay exempt (``initializer=``/``target=`` keywords
+and ``_init*``-named functions): per-process setup is *supposed* to
+write the module state the tasks later read.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.flow.callgraph import build_call_graph
+from repro.staticcheck.model import Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "appendleft", "extend", "insert", "remove", "pop",
+        "popleft", "clear", "add", "discard", "update", "setdefault",
+        "popitem", "sort", "reverse",
+    }
+)
+
+
+def _module_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound by the module's own top-level statements."""
+    bound: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                bound.update(_target_names(target))
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            bound.update(_target_names(stmt.target))
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".", 1)[0])
+    return bound
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+class WorkerReachabilityRule(Rule):
+    rule_id = "REP009"
+    title = "no module-state mutation reachable from worker entry points"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        tree = module.tree
+        tasks, initializers = self._submitted(tree, config)
+        for dotted in config.rep009_entry_points:
+            mod, _, func = dotted.partition(":")
+            if mod == module.module and func:
+                tasks.add(func)
+        if not tasks:
+            return []
+        graph = build_call_graph(tree)
+        exempt = initializers | {
+            name for name in graph.functions if name.startswith("_init")
+        }
+        reachable = [
+            name
+            for name in graph.reachable_from(*sorted(tasks))
+            if name not in exempt
+        ]
+        module_names = _module_level_bindings(tree)
+        findings: list[Finding] = []
+        for name in reachable:
+            func = graph.functions[name]
+            findings.extend(
+                self._check_function(
+                    module, func, name, name in tasks, module_names
+                )
+            )
+        return findings
+
+    def _submitted(
+        self, tree: ast.Module, config: LintConfig
+    ) -> tuple[set[str], set[str]]:
+        """(task callables, initializer callables) submitted anywhere."""
+        tasks: set[str] = set()
+        initializers: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in config.rep004_submit_methods
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                tasks.add(node.args[0].id)
+            for keyword in node.keywords:
+                if keyword.arg in config.rep004_callable_kwargs and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    initializers.add(keyword.value.id)
+        return tasks, initializers
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        name: str,
+        is_entry: bool,
+        module_names: set[str],
+    ) -> Iterable[Finding]:
+        local_rebinds = self._locally_bound(func)
+        via = "" if is_entry else f" (reachable from a worker task via {name!r})"
+        for node in ast.walk(func):
+            # ``global`` in the entry function itself is REP004's finding;
+            # re-flagging it here would double-report the same line.
+            if isinstance(node, ast.Global) and not is_entry:
+                yield self.finding(
+                    module,
+                    node,
+                    f"function {name!r} is reachable from a worker task and "
+                    f"rebinds module-level state "
+                    f"({', '.join(node.names)}); workers must not mutate "
+                    f"shared module state",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    base = self._mutated_base(target)
+                    if (
+                        base is not None
+                        and base in module_names
+                        and base not in local_rebinds
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"worker-reachable function {name!r} mutates "
+                            f"module-level {base!r} in place{via}; move the "
+                            f"write into the pool initializer",
+                        )
+            elif isinstance(node, ast.Call):
+                receiver = self._mutating_receiver(node)
+                if (
+                    receiver is not None
+                    and receiver in module_names
+                    and receiver not in local_rebinds
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"worker-reachable function {name!r} calls a "
+                        f"mutating method on module-level {receiver!r}{via}; "
+                        f"workers must not mutate shared module state",
+                    )
+
+    @staticmethod
+    def _locally_bound(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        """Parameter and local-assignment names shadowing module ones."""
+        bound = {arg.arg for arg in (
+            *func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs,
+            *((func.args.vararg,) if func.args.vararg else ()),
+            *((func.args.kwarg,) if func.args.kwarg else ()),
+        )}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bound.update(_target_names(target))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                bound.update(_target_names(node.target))
+            elif isinstance(node, ast.comprehension):
+                bound.update(_target_names(node.target))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        bound.update(_target_names(item.optional_vars))
+        return bound
+
+    @staticmethod
+    def _mutated_base(target: ast.expr) -> str | None:
+        """The root name of a subscript/attribute assignment target."""
+        node = target
+        seen_container = False
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            seen_container = True
+            node = node.value
+        if seen_container and isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    @staticmethod
+    def _mutating_receiver(call: ast.Call) -> str | None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Name)
+        ):
+            return func.value.id
+        return None

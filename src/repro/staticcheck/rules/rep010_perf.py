@@ -1,0 +1,390 @@
+"""REP010 — performance smells that do not survive 1M-site campaigns.
+
+Each pattern below is harmless at n=3000 and a wall at the ROADMAP's
+1M-site target, because each one turns a linear pass quadratic:
+
+* ``lst.pop(0)`` — O(n) per pop on a list; a ``collections.deque``
+  pops left in O(1). ``--fix`` rewrites the construction and the pop
+  sites when both are local to one scope.
+* ``x in lst`` inside a loop — O(n) membership per iteration over a
+  list; hoist into a ``set`` before the loop.
+* ``min(lst)`` / ``max(lst)`` in a loop that also shrinks ``lst``
+  (``remove``/``pop``) — the repeated-selection anti-pattern; sort
+  once or use ``heapq``.
+* nested ``for`` loops over the *same* iterable name — O(n²) pairs;
+  usually an index or ``itertools.combinations`` is meant.
+
+The rule only fires on receivers it can *prove* are lists (literals,
+``list(...)`` calls, list comprehensions, ``list``-annotated names) —
+an unknown ``.pop(0)`` may be a deque already.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Union
+
+from repro.staticcheck.config import LintConfig
+from repro.staticcheck.model import Edit, Finding, ModuleInfo
+from repro.staticcheck.rules.base import Rule, import_table
+
+_ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+_LIST_ANNOTATIONS = frozenset({"list", "List", "MutableSequence", "Sequence"})
+
+
+def _annotation_is_list(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else ""
+    )
+    return name in _LIST_ANNOTATIONS
+
+
+def _scope_walk(scope: _ScopeNode):
+    """Walk a scope without descending into nested function scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class _ListOrigins:
+    """Names provably bound to lists within one scope, and (when unique)
+    the assignment that constructed each."""
+
+    def __init__(self, scope: _ScopeNode) -> None:
+        self.names: set[str] = set()
+        #: name -> its single construction Assign, or None if rebound.
+        self.construction: dict[str, Optional[ast.Assign]] = {}
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if _annotation_is_list(arg.annotation):
+                    self.names.add(arg.arg)
+                    self.construction[arg.arg] = None
+        for node in _scope_walk(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._is_list_expr(
+                    node.value
+                ):
+                    self.names.add(target.id)
+                    if target.id in self.construction:
+                        self.construction[target.id] = None  # rebound
+                    else:
+                        self.construction[target.id] = node
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if _annotation_is_list(node.annotation):
+                    self.names.add(node.target.id)
+                    self.construction[node.target.id] = None
+
+    @staticmethod
+    def _is_list_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.List, ast.ListComp)):
+            return True
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "list"
+        )
+
+
+class PerfSmellRule(Rule):
+    rule_id = "REP010"
+    title = "no quadratic patterns on the campaign hot path"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        scopes: list[_ScopeNode] = [module.tree]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        table = import_table(module.tree)
+        deque_imported = any(
+            origin in ("collections", "collections.deque")
+            for origin in table.values()
+        )
+        for scope in scopes:
+            origins = _ListOrigins(scope)
+            findings.extend(
+                self._check_pop_front(module, scope, origins, deque_imported)
+            )
+            findings.extend(self._check_loops(module, scope, origins))
+        return findings
+
+    # -- lst.pop(0) -----------------------------------------------------
+
+    def _check_pop_front(
+        self,
+        module: ModuleInfo,
+        scope: _ScopeNode,
+        origins: _ListOrigins,
+        deque_imported: bool,
+    ) -> list[Finding]:
+        pops: dict[str, list[ast.Call]] = {}
+        for node in _scope_walk(scope):
+            name = self._pop_front_receiver(node)
+            if name is not None and name in origins.names:
+                pops.setdefault(name, []).append(node)
+        findings: list[Finding] = []
+        for name in sorted(pops):
+            fix = self._deque_fix(
+                module, name, pops[name], origins, deque_imported
+            )
+            for call in pops[name]:
+                findings.append(
+                    Finding(
+                        rule_id=self.rule_id,
+                        path=module.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"{name}.pop(0) is O(n) per pop on a list; use "
+                            f"collections.deque and popleft()"
+                        ),
+                        fix=fix,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _pop_front_receiver(node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and isinstance(node.func.value, ast.Name)
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == 0
+        ):
+            return node.func.value.id
+        return None
+
+    def _deque_fix(
+        self,
+        module: ModuleInfo,
+        name: str,
+        pops: list[ast.Call],
+        origins: _ListOrigins,
+        deque_imported: bool,
+    ) -> tuple[Edit, ...]:
+        """Rewrite construction + every pop site, when safe: the name is
+        constructed exactly once in this scope from list(...)/[...]."""
+        construction = origins.construction.get(name)
+        if construction is None:
+            return ()
+        value = construction.value
+        edits: list[Edit] = []
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "list"
+        ):
+            edits.append(
+                Edit(
+                    line=value.func.lineno,
+                    col=value.func.col_offset,
+                    end_line=value.func.end_lineno or value.func.lineno,
+                    end_col=value.func.end_col_offset or 0,
+                    replacement="deque",
+                )
+            )
+        else:  # list display / comprehension: wrap it
+            edits.append(
+                Edit(
+                    line=value.lineno, col=value.col_offset,
+                    end_line=value.lineno, end_col=value.col_offset,
+                    replacement="deque(",
+                )
+            )
+            edits.append(
+                Edit(
+                    line=value.end_lineno or value.lineno,
+                    col=value.end_col_offset or 0,
+                    end_line=value.end_lineno or value.lineno,
+                    end_col=value.end_col_offset or 0,
+                    replacement=")",
+                )
+            )
+        for call in pops:
+            func = call.func
+            assert isinstance(func, ast.Attribute)
+            edits.append(
+                Edit(
+                    line=func.value.end_lineno or call.lineno,
+                    col=func.value.end_col_offset or 0,
+                    end_line=call.end_lineno or call.lineno,
+                    end_col=call.end_col_offset or 0,
+                    replacement=".popleft()",
+                )
+            )
+        if not deque_imported:
+            insert_at = self._import_line(module.tree)
+            edits.append(
+                Edit(
+                    line=insert_at, col=0, end_line=insert_at, end_col=0,
+                    replacement="from collections import deque\n",
+                )
+            )
+        return tuple(edits)
+
+    @staticmethod
+    def _import_line(tree: ast.Module) -> int:
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                return stmt.lineno
+        for stmt in tree.body:
+            if not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            ):
+                return stmt.lineno
+        return 1
+
+    # -- loop smells ----------------------------------------------------
+
+    def _check_loops(
+        self, module: ModuleInfo, scope: _ScopeNode, origins: _ListOrigins
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in _scope_walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                findings.extend(
+                    self._membership_in_loop(module, node, origins)
+                )
+                findings.extend(
+                    self._shrinking_min_max(module, node)
+                )
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                findings.extend(self._nested_same_iterable(module, node))
+        return findings
+
+    def _membership_in_loop(
+        self,
+        module: ModuleInfo,
+        loop: Union[ast.For, ast.AsyncFor, ast.While],
+        origins: _ListOrigins,
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        mutated = self._names_mutated_in(loop)
+        for node in self._loop_body_walk(loop):
+            if not isinstance(node, ast.Compare):
+                continue
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.In, ast.NotIn)):
+                    continue
+                if (
+                    isinstance(comparator, ast.Name)
+                    and comparator.id in origins.names
+                    and comparator.id not in mutated
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"membership test against list "
+                            f"{comparator.id!r} inside a loop is O(n) per "
+                            f"iteration; build a set before the loop",
+                        )
+                    )
+        return findings
+
+    def _shrinking_min_max(
+        self, module: ModuleInfo, loop: Union[ast.For, ast.AsyncFor, ast.While]
+    ) -> list[Finding]:
+        shrunk: set[str] = set()
+        for node in self._loop_body_walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"remove", "pop", "discard"}
+                and isinstance(node.func.value, ast.Name)
+            ):
+                shrunk.add(node.func.value.id)
+        if not shrunk:
+            return []
+        findings: list[Finding] = []
+        for node in self._loop_body_walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in {"min", "max"}
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in shrunk
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"repeated {node.func.id}() over shrinking "
+                        f"collection {node.args[0].id!r} is O(n^2); sort "
+                        f"once (or use heapq) instead",
+                    )
+                )
+        return findings
+
+    def _nested_same_iterable(
+        self, module: ModuleInfo, outer: Union[ast.For, ast.AsyncFor]
+    ) -> list[Finding]:
+        if not isinstance(outer.iter, ast.Name):
+            return []
+        name = outer.iter.id
+        findings: list[Finding] = []
+        for node in self._loop_body_walk(outer):
+            if (
+                isinstance(node, (ast.For, ast.AsyncFor))
+                and isinstance(node.iter, ast.Name)
+                and node.iter.id == name
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.iter,
+                        f"nested loops over the same iterable {name!r} are "
+                        f"O(n^2); consider itertools.combinations or an "
+                        f"index",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _loop_body_walk(loop: Union[ast.For, ast.AsyncFor, ast.While]):
+        """Walk the loop body (not the header), skipping nested defs."""
+        stack: list[ast.AST] = list(loop.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _names_mutated_in(
+        self, loop: Union[ast.For, ast.AsyncFor, ast.While]
+    ) -> set[str]:
+        """Lists mutated inside the loop cannot be hoisted to a set."""
+        mutated: set[str] = set()
+        for node in self._loop_body_walk(loop):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {
+                    "append", "extend", "insert", "remove", "pop", "clear",
+                }
+                and isinstance(node.func.value, ast.Name)
+            ):
+                mutated.add(node.func.value.id)
+        return mutated

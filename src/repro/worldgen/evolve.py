@@ -355,7 +355,10 @@ def _apply_website_transitions(
         rng=rng,
     )
 
-    cdn_user = lambda w: w.uses_cdn  # noqa: E731 - base populations below
+    def cdn_user(w: WebsiteSpec) -> bool:
+        """Base population for the CDN migration quotas below."""
+        return w.uses_cdn
+
     _apply_quota(
         websites, config, CDN_PVT_TO_SINGLE_THIRD,
         eligible=lambda w: w.cdns == [PRIVATE],
@@ -404,7 +407,10 @@ def _apply_website_transitions(
         if rng.random() < adoption_rate:
             adopt_https(website)
 
-    https_2016 = lambda w: w.https  # noqa: E731 - post-adoption approximation
+    def https_2016(w: WebsiteSpec) -> bool:
+        """Post-adoption HTTPS population, the base for the CA quotas."""
+        return w.https
+
     _apply_quota(
         websites, config, CA_STAPLE_TO_NONE,
         eligible=lambda w: w.https and w.ocsp_stapled,

@@ -1,0 +1,33 @@
+"""Quadratic patterns on provably-list values (REP010)."""
+
+
+def drain(events: list) -> int:
+    total = 0
+    while events:
+        total += events.pop(0)
+    return total
+
+
+def count_known(queries, known: list) -> int:
+    hits = 0
+    for query in queries:
+        if query in known:
+            hits += 1
+    return hits
+
+
+def schedule(jobs: list) -> list:
+    done = []
+    while jobs:
+        job = min(jobs)
+        jobs.remove(job)
+        done.append(job)
+    return done
+
+
+def pairs(nodes: list) -> list:
+    out = []
+    for a in nodes:
+        for b in nodes:
+            out.append((a, b))
+    return out

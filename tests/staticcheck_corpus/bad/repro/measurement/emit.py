@@ -10,3 +10,10 @@ def emit(hostnames: set) -> list:
 
 def render(tags: frozenset) -> str:
     return ",".join(tags)
+
+
+def header_row(columns: set) -> str:
+    # dict.fromkeys inherits the set's (non)order; REP002's syntactic
+    # tracker loses the trail here — only REP008's flow analysis keeps it.
+    ordered = dict.fromkeys(columns)
+    return "|".join(ordered)

@@ -1,0 +1,20 @@
+"""Wall-clock profiler that launders elapsed time into its serialized
+form.
+
+``repro.telemetry.profile`` is the quarantined wall-clock module, so
+REP001 and REP006 both *allow* the ``time.time()`` reads below. Only
+the REP007 taint analysis sees that the value then flows — through two
+locals — into ``to_dict``'s return, i.e. into a serialized artifact.
+"""
+
+import time
+
+
+class PhaseTimer:
+    def __init__(self) -> None:
+        self.started = time.time()
+
+    def to_dict(self) -> dict:
+        elapsed = time.time()
+        payload = {"phase": "run", "elapsed": elapsed}
+        return payload

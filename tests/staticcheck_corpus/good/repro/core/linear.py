@@ -1,0 +1,24 @@
+"""Good fixture: linear counterparts to the REP010 quadratic smells."""
+
+from collections import deque
+
+
+def drain(events: list) -> int:
+    queue = deque(events)
+    total = 0
+    while queue:
+        total += queue.popleft()
+    return total
+
+
+def count_known(queries, known: list) -> int:
+    known_set = set(known)
+    hits = 0
+    for query in queries:
+        if query in known_set:
+            hits += 1
+    return hits
+
+
+def schedule(jobs: list) -> list:
+    return sorted(jobs)

@@ -1,0 +1,25 @@
+"""Good fixture: sanitized order flows REP007/REP008 must not flag.
+
+``checksum`` is the pattern the flow-sensitive REP008 exists for: the
+syntactic REP002 cannot tell an XOR fold from an order leak (hence the
+waiver), but REP008 stays quiet on its own because ``iterorder`` taint
+does not survive commutative accumulation.
+"""
+
+
+def hostnames_in_order(hostnames: set) -> list:
+    out = []
+    for name in sorted(hostnames):
+        out.append(name)
+    return out
+
+
+def tag_line(tags: set) -> str:
+    return ",".join(sorted(tags))
+
+
+def checksum(values: set) -> int:
+    total = 0
+    for value in values:  # repro: noqa[REP002] -- XOR fold is order-insensitive; REP008 agrees by analysis
+        total ^= value
+    return total

@@ -1,0 +1,285 @@
+"""Unit tests for ``repro.staticcheck.flow`` — the CFG builder, the
+fixed-point solver, the taint lattice, and the module call graph."""
+
+import ast
+import textwrap
+
+from repro.staticcheck.flow import (
+    CFG,
+    ReachingDefinitions,
+    TaintAnalysis,
+    build_call_graph,
+    build_cfg,
+    function_cfgs,
+    solve_forward,
+)
+from repro.staticcheck.rules.base import import_table
+
+
+def parse(source):
+    return ast.parse(textwrap.dedent(source))
+
+
+def cfg_for_function(source, name=None):
+    tree = parse(source)
+    for scope, cfg in function_cfgs(tree):
+        if name is None or scope.name == name:
+            return cfg
+    raise AssertionError(f"no function {name!r} in source")
+
+
+def taint_for(source, name=None):
+    tree = parse(source)
+    cfg = cfg_for_function(source, name)
+    return TaintAnalysis(cfg, import_table(tree)).run()
+
+
+def node_at_line(cfg, line):
+    for node in cfg.statements():
+        if node.stmt is not None and node.stmt.lineno == line:
+            return node
+    raise AssertionError(f"no CFG node at line {line}")
+
+
+class TestCFG:
+    def test_straight_line_is_a_chain(self):
+        cfg = build_cfg(parse("a = 1\nb = 2\nc = 3\n"))
+        statements = list(cfg.statements())
+        assert len(statements) == 3
+        assert statements[0].succs == [statements[1].index]
+        assert statements[1].succs == [statements[2].index]
+        assert CFG.EXIT in statements[2].succs
+
+    def test_if_else_branches_rejoin(self):
+        cfg = build_cfg(
+            parse("if cond:\n    a = 1\nelse:\n    a = 2\nafter = a\n")
+        )
+        test_node = node_at_line(cfg, 1)
+        after = node_at_line(cfg, 5)
+        assert len(test_node.succs) == 2
+        # Both branch bodies flow into the statement after the if.
+        assert sorted(after.preds) == sorted(
+            [node_at_line(cfg, 2).index, node_at_line(cfg, 4).index]
+        )
+
+    def test_while_loop_has_back_edge(self):
+        cfg = build_cfg(parse("while cond:\n    body = 1\nafter = 2\n"))
+        head = node_at_line(cfg, 1)
+        body = node_at_line(cfg, 2)
+        assert head.index in body.succs  # back edge
+        assert node_at_line(cfg, 3).index not in body.succs
+
+    def test_break_exits_the_loop(self):
+        cfg = build_cfg(
+            parse("while cond:\n    break\nafter = 2\n")
+        )
+        break_node = node_at_line(cfg, 2)
+        head = node_at_line(cfg, 1)
+        # break targets the loop's exit join, never back to the head.
+        (succ,) = break_node.succs
+        assert succ != head.index
+        after = node_at_line(cfg, 3)
+        assert after.index in cfg.nodes[succ].succs or succ == after.index
+
+    def test_return_goes_to_exit(self):
+        cfg = cfg_for_function("def f():\n    return 1\n    x = 2\n")
+        ret = node_at_line(cfg, 2)
+        assert ret.succs == [CFG.EXIT]
+
+    def test_try_handler_reachable_from_body(self):
+        cfg = build_cfg(
+            parse(
+                """
+                try:
+                    risky = 1
+                except ValueError:
+                    handled = 2
+                after = 3
+                """
+            )
+        )
+        risky = node_at_line(cfg, 3)
+        handled = node_at_line(cfg, 5)
+        # The may-raise edge makes the handler reachable.
+        reachable = set()
+        stack = [risky.index]
+        while stack:
+            index = stack.pop()
+            if index in reachable:
+                continue
+            reachable.add(index)
+            stack.extend(cfg.nodes[index].succs)
+        assert handled.index in reachable
+
+    def test_nested_defs_are_opaque(self):
+        cfg = build_cfg(
+            parse("def outer():\n    inner = 1\n\nafter = 2\n")
+        )
+        lines = [
+            node.stmt.lineno for node in cfg.statements() if node.stmt is not None
+        ]
+        assert 1 in lines and 4 in lines
+        assert 2 not in lines  # the nested body is not in this CFG
+
+
+class TestReachingDefinitions:
+    def solve(self, source, name=None):
+        cfg = cfg_for_function(source, name)
+        return cfg, solve_forward(cfg, ReachingDefinitions(cfg))
+
+    def test_branch_merges_definitions(self):
+        source = """
+        def f(cond):
+            if cond:
+                x = 1
+            else:
+                x = 2
+            return x
+        """
+        cfg, facts = self.solve(source)
+        ret = node_at_line(cfg, 7)
+        assert facts[ret.index]["x"] == frozenset({4, 6})
+
+    def test_redefinition_kills(self):
+        source = """
+        def f():
+            x = 1
+            x = 2
+            return x
+        """
+        cfg, facts = self.solve(source)
+        ret = node_at_line(cfg, 5)
+        assert facts[ret.index]["x"] == frozenset({4})
+
+    def test_loop_carried_definition(self):
+        source = """
+        def f(items):
+            x = 0
+            for item in items:
+                x = item
+            return x
+        """
+        cfg, facts = self.solve(source)
+        ret = node_at_line(cfg, 6)
+        assert facts[ret.index]["x"] == frozenset({3, 5})
+
+
+class TestTaintAnalysis:
+    def flows_on_return(self, source, name=None):
+        tree = parse(source)
+        cfg = cfg_for_function(source, name)
+        analysis = TaintAnalysis(cfg, import_table(tree)).run()
+        for node in cfg.statements():
+            if isinstance(node.stmt, ast.Return) and node.stmt.value is not None:
+                return analysis.flows_at(node.stmt.value, node)
+        raise AssertionError("no return statement")
+
+    def test_wallclock_flows_through_locals(self):
+        flows = self.flows_on_return(
+            """
+            import time
+
+            def f():
+                t = time.time()
+                u = t + 1
+                return u
+            """
+        )
+        assert [flow.label for flow in flows] == ["wallclock"]
+        path = flows[0].render_path()
+        assert path.startswith("line 5 (time.time())")
+        assert path.endswith("sink line 7")
+
+    def test_sorted_never_sanitizes_value_taint(self):
+        flows = self.flows_on_return(
+            """
+            import random
+
+            def f():
+                vals = [random.random() for _ in range(3)]
+                return sorted(vals)
+            """
+        )
+        assert [flow.label for flow in flows] == ["entropy"]
+
+    def test_sorted_sanitizes_order_taint(self):
+        flows = self.flows_on_return(
+            """
+            def f(names: set):
+                return sorted(names)
+            """
+        )
+        assert flows == []
+
+    def test_list_of_set_is_order_tainted(self):
+        flows = self.flows_on_return(
+            """
+            def f(names: set):
+                rows = list(names)
+                return rows
+            """
+        )
+        assert [flow.label for flow in flows] == ["order"]
+
+    def test_xor_fold_drops_iterorder(self):
+        flows = self.flows_on_return(
+            """
+            def f(names: set):
+                total = 0
+                for name in names:
+                    total ^= len(name)
+                return total
+            """
+        )
+        assert flows == []
+
+    def test_witness_is_deterministic_and_capped(self):
+        source = """
+        import time
+
+        def f(flag):
+            x = time.time()
+            for _ in range(100):
+                x = x + 1
+            return x
+        """
+        first = self.flows_on_return(source)
+        second = self.flows_on_return(source)
+        assert first == second
+        assert len(first[0].witness) <= 16
+
+
+class TestCallGraph:
+    def test_reachability_is_transitive_and_sorted(self):
+        graph = build_call_graph(
+            parse(
+                """
+                def a():
+                    b()
+
+                def b():
+                    c()
+
+                def c():
+                    pass
+
+                def unrelated():
+                    pass
+                """
+            )
+        )
+        assert graph.reachable_from("a") == ["a", "b", "c"]
+
+    def test_callback_reference_counts_as_edge(self):
+        graph = build_call_graph(
+            parse(
+                """
+                def task():
+                    pass
+
+                def submit(pool):
+                    pool.map(task, [1, 2])
+                """
+            )
+        )
+        assert "task" in graph.reachable_from("submit")

@@ -136,7 +136,8 @@ class TestRep002SortedIteration:
                 print(name)
             """
         )
-        assert rule_ids_of(result) == ["REP002"]
+        # The flow-sensitive REP008 confirms the order actually leaks.
+        assert rule_ids_of(result) == ["REP002", "REP008"]
 
     def test_sorted_wrap_passes(self):
         result = lint(
@@ -155,7 +156,7 @@ class TestRep002SortedIteration:
                 return ",".join(tags) + str(list(tags))
             """
         )
-        assert rule_ids_of(result) == ["REP002", "REP002"]
+        assert rule_ids_of(result) == ["REP002", "REP008", "REP002"]
 
     def test_order_insensitive_consumers_pass(self):
         result = lint(
@@ -548,9 +549,9 @@ class TestReporters:
         assert payload["version"] == JSON_REPORT_VERSION
         assert payload["files_checked"] == 1
         assert payload["exit_code"] == EXIT_FINDINGS
-        assert set(payload["counts"]) == {
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
-        }
+        from repro.staticcheck.rules import rule_ids
+
+        assert set(payload["counts"]) == set(rule_ids())
         assert payload["counts"]["REP001"] == 1
         (finding,) = payload["findings"]
         assert set(finding) == {"rule", "path", "line", "col", "message"}
@@ -561,3 +562,386 @@ class TestReporters:
     def test_exit_codes(self):
         assert exit_code_for(lint("x = 1\n")) == EXIT_CLEAN
         assert exit_code_for(self._result()) == EXIT_FINDINGS
+
+
+def only(rule_id, **overrides):
+    from repro.staticcheck import LintConfig
+
+    return LintConfig(rules=frozenset({rule_id}), **overrides)
+
+
+class TestRep007TaintTracking:
+    def test_laundered_wallclock_into_serializer(self):
+        result = lint(
+            """
+            import json
+            import time
+
+
+            def snapshot() -> str:
+                started = time.time()
+                payload = {"started": started}
+                return json.dumps(payload)
+            """,
+            config=only("REP007"),
+        )
+        (finding,) = result.findings
+        assert finding.rule_id == "REP007"
+        assert "time.time()" in finding.message
+        assert "sink line" in finding.message
+        assert " -> " in finding.message  # the witness path
+
+    def test_sink_return_of_to_dict(self):
+        result = lint(
+            """
+            import time
+
+
+            class Timer:
+                def to_dict(self) -> dict:
+                    elapsed = time.time()
+                    payload = {"elapsed": elapsed}
+                    return payload
+            """,
+            config=only("REP007"),
+        )
+        assert rule_ids_of(result) == ["REP007"]
+
+    def test_entropy_into_digest(self):
+        result = lint(
+            """
+            import hashlib
+            import os
+
+
+            def token() -> str:
+                raw = os.urandom(16)
+                return hashlib.sha256(raw).hexdigest()
+            """,
+            config=only("REP007"),
+        )
+        (finding,) = result.findings
+        assert "os.urandom()" in finding.message
+
+    def test_set_order_into_serializer(self):
+        result = lint(
+            """
+            import json
+
+
+            def dump(names: set) -> str:
+                rows = list(names)
+                return json.dumps(rows)
+            """,
+            config=only("REP007"),
+        )
+        assert rule_ids_of(result) == ["REP007"]
+
+    def test_sorted_flow_is_clean(self):
+        result = lint(
+            """
+            import json
+
+
+            def dump(names: set) -> str:
+                rows = sorted(names)
+                return json.dumps(rows)
+            """,
+            config=only("REP007"),
+        )
+        assert result.clean
+
+    def test_untainted_serialization_is_clean(self):
+        result = lint(
+            """
+            import json
+
+
+            def dump(rows: list) -> str:
+                return json.dumps(rows)
+            """,
+            config=only("REP007"),
+        )
+        assert result.clean
+
+
+class TestRep008FlowIteration:
+    def test_set_iteration_order_reaching_append(self):
+        result = lint(
+            """
+            def collect(names: set) -> list:
+                out = []
+                for name in names:
+                    out.append(name)
+                return out
+            """,
+            config=only("REP008"),
+        )
+        (finding,) = result.findings
+        assert "sorted" in finding.message
+        assert "iterated here" in finding.message
+
+    def test_xor_fold_is_clean_without_a_waiver(self):
+        """The FP class behind the REP002 waivers: commutative folds."""
+        result = lint(
+            """
+            def checksum(names: set) -> int:
+                total = 0
+                for name in names:
+                    total ^= len(name)
+                return total
+            """,
+            config=only("REP008"),
+        )
+        assert result.clean
+
+    def test_dict_fromkeys_laundering_into_join(self):
+        result = lint(
+            """
+            def header(columns: set) -> str:
+                ordered = dict.fromkeys(columns)
+                return "|".join(ordered)
+            """,
+            config=only("REP008"),
+        )
+        assert rule_ids_of(result) == ["REP008"]
+
+    def test_sorted_iteration_is_clean(self):
+        result = lint(
+            """
+            def collect(names: set) -> list:
+                out = []
+                for name in sorted(names):
+                    out.append(name)
+                return out
+            """,
+            config=only("REP008"),
+        )
+        assert result.clean
+
+    def test_appending_a_whole_set_object_is_clean(self):
+        """Appending the set itself does not leak its iteration order."""
+        result = lint(
+            """
+            def group(names: set) -> list:
+                out = []
+                out.append(names)
+                return out
+            """,
+            config=only("REP008"),
+        )
+        assert result.clean
+
+
+class TestRep009WorkerReachability:
+    def test_mutation_through_helper_is_flagged(self):
+        result = lint(
+            """
+            _CACHE: dict = {}
+
+
+            def _remember(key, value):
+                _CACHE[key] = value
+
+
+            def run_shard(shard):
+                value = len(shard)
+                _remember(shard, value)
+                return value
+
+
+            def launch(pool, shards):
+                return list(pool.imap(run_shard, shards))
+            """,
+            module="repro.engine.tasks",
+            config=only("REP009"),
+        )
+        (finding,) = result.findings
+        assert "_CACHE" in finding.message
+        assert "_remember" in finding.message
+
+    def test_initializer_may_rebind(self):
+        result = lint(
+            """
+            _WORLD = None
+
+
+            def _init_worker(world):
+                global _WORLD
+                _WORLD = world
+
+
+            def run_shard(shard):
+                return len(shard)
+
+
+            def launch(pool_cls, world, shards):
+                with pool_cls(initializer=_init_worker) as pool:
+                    return list(pool.imap(run_shard, shards))
+            """,
+            module="repro.engine.tasks",
+            config=only("REP009"),
+        )
+        assert result.clean
+
+    def test_read_only_module_state_is_clean(self):
+        result = lint(
+            """
+            _WORLD = None
+
+
+            def run_shard(shard):
+                return 0 if _WORLD is None else len(shard)
+
+
+            def launch(pool, shards):
+                return list(pool.imap(run_shard, shards))
+            """,
+            module="repro.engine.tasks",
+            config=only("REP009"),
+        )
+        assert result.clean
+
+    def test_configured_entry_points_without_local_submission(self):
+        result = lint(
+            """
+            _STATS: dict = {}
+
+
+            def entry(shard):
+                _STATS[shard] = 1
+            """,
+            module="repro.engine.tasks",
+            config=only(
+                "REP009",
+                rep009_entry_points=frozenset({"repro.engine.tasks:entry"}),
+            ),
+        )
+        (finding,) = result.findings
+        assert "_STATS" in finding.message
+
+    def test_local_mutation_is_clean(self):
+        result = lint(
+            """
+            def run_shard(shard):
+                local: dict = {}
+                local[shard] = 1
+                return local
+
+
+            def launch(pool, shards):
+                return list(pool.imap(run_shard, shards))
+            """,
+            module="repro.engine.tasks",
+            config=only("REP009"),
+        )
+        assert result.clean
+
+
+class TestRep010PerfSmells:
+    def test_pop_front_on_list_is_flagged_with_fix(self):
+        result = lint(
+            """
+            def drainq() -> int:
+                queue = [3, 1, 2]
+                total = 0
+                while queue:
+                    total += queue.pop(0)
+                return total
+            """,
+            config=only("REP010"),
+        )
+        (finding,) = result.findings
+        assert "pop(0)" in finding.message
+        assert finding.fix  # construction is local and unique: fixable
+        replacements = [edit.replacement for edit in finding.fix]
+        assert ".popleft()" in replacements
+        assert "from collections import deque\n" in replacements
+
+    def test_pop_front_on_unknown_receiver_is_clean(self):
+        result = lint(
+            """
+            def drainq(queue) -> int:
+                total = 0
+                while queue:
+                    total += queue.pop(0)
+                return total
+            """,
+            config=only("REP010"),
+        )
+        assert result.clean  # may already be a deque
+
+    def test_membership_in_loop(self):
+        result = lint(
+            """
+            def hits(queries, known: list) -> int:
+                count = 0
+                for query in queries:
+                    if query in known:
+                        count += 1
+                return count
+            """,
+            config=only("REP010"),
+        )
+        (finding,) = result.findings
+        assert "membership" in finding.message
+
+    def test_membership_against_mutating_list_is_clean(self):
+        result = lint(
+            """
+            def dedupe(items) -> list:
+                seen = []
+                for item in items:
+                    if item in seen:
+                        continue
+                    seen.append(item)
+                return seen
+            """,
+            config=only("REP010"),
+        )
+        assert result.clean  # hoisting would change behavior
+
+    def test_shrinking_min_max(self):
+        result = lint(
+            """
+            def schedule(jobs: list) -> list:
+                done = []
+                while jobs:
+                    job = min(jobs)
+                    jobs.remove(job)
+                    done.append(job)
+                return done
+            """,
+            config=only("REP010"),
+        )
+        (finding,) = result.findings
+        assert "min()" in finding.message
+
+    def test_nested_same_iterable(self):
+        result = lint(
+            """
+            def pairs(nodes: list) -> list:
+                out = []
+                for a in nodes:
+                    for b in nodes:
+                        out.append((a, b))
+                return out
+            """,
+            config=only("REP010"),
+        )
+        (finding,) = result.findings
+        assert "nested loops" in finding.message
+
+    def test_nested_different_iterables_are_clean(self):
+        result = lint(
+            """
+            def cross(lefts: list, rights: list) -> list:
+                out = []
+                for a in lefts:
+                    for b in rights:
+                        out.append((a, b))
+                return out
+            """,
+            config=only("REP010"),
+        )
+        assert result.clean

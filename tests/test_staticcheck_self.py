@@ -47,6 +47,39 @@ class TestSelfCheck:
         # determinism contract. Raising this number needs a PR argument.
         assert len(result.suppressions) <= 3
 
+    def test_no_bare_noqa_directives_in_src(self):
+        """Every waiver must name the exact rules it silences. A bare
+        ``# repro: noqa`` also swallows findings from rules added later
+        — which is precisely how waivers go stale."""
+        from repro.staticcheck.driver import parse_suppressions
+
+        bare: list[str] = []
+        for path in sorted(SRC.rglob("*.py")):
+            directives = parse_suppressions(path.read_text(encoding="utf-8"))
+            for lineno, (rules, _reason) in sorted(directives.items()):
+                if rules is None:
+                    bare.append(f"{path}:{lineno}")
+        assert bare == [], (
+            f"bare 'repro: noqa' in src/ (name the rule ids): {bare}"
+        )
+
+    def test_benchmark_and_script_trees_lint_clean(self):
+        """The CI staticcheck job lints scripts/ and benchmarks/ too;
+        keep the gate mirrored here so a regression fails fast."""
+        repo_root = SRC.parent.parent
+        trees = [repo_root / "scripts", repo_root / "benchmarks"]
+        present = [t for t in trees if t.is_dir()]
+        assert present, "scripts/ and benchmarks/ trees went missing"
+        aux = lint_paths(present, DEFAULT_CONFIG)
+        rendered = "\n".join(f.render() for f in aux.findings)
+        assert aux.findings == [], f"lint findings:\n{rendered}"
+        unjustified = [
+            s.finding.render()
+            for s in aux.suppressions
+            if not s.reason.strip()
+        ]
+        assert unjustified == []
+
 
 class TestTypeChecking:
     def test_engine_and_io_pass_strict_mypy(self):
