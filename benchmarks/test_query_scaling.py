@@ -1,0 +1,118 @@
+"""Query-engine serving benchmarks: warm throughput and cold-start speedup.
+
+Not a paper artifact — this measures the serving contract the store
+exists for: once a dataset is compiled to ``repro-store/1``, answering
+an operator query must cost microseconds, not an ``analyze`` re-run.
+``scripts/run_benchmarks.py`` freezes the same two numbers into
+``BENCH_query.json`` (warm queries/sec, load+first-query speedup vs the
+fresh JSON→analyze path) and ``--check`` gates them with absolute
+floors.
+
+Run with::
+
+    pytest benchmarks/test_query_scaling.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import ServiceType, analyze_dataset
+from repro.measurement.io import dataset_from_json, dataset_to_json
+from repro.query import QueryEngine
+from repro.store import StoreReader, compile_dataset_text
+from repro.worldgen.config import PAPER_POPULATION
+
+from .conftest import BENCH_N
+
+WARM_QPS_FLOOR = 1000.0
+COLD_SPEEDUP_FLOOR = 10.0
+
+
+@pytest.fixture(scope="module")
+def dataset_text(snapshot_2020) -> str:
+    # The campaign already ran for the shared snapshot; freeze its output.
+    return dataset_to_json(snapshot_2020.dataset)
+
+
+@pytest.fixture(scope="module")
+def store_path(dataset_text, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("querybench") / "bench.rstore"
+    path.write_bytes(compile_dataset_text(dataset_text))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def engine(store_path) -> QueryEngine:
+    return QueryEngine(StoreReader.load(store_path))
+
+
+def _mixed_queries(engine: QueryEngine) -> int:
+    """One round of the operator workload: rankings, site lookups,
+    blast-radius checks. Returns the number of queries issued."""
+    reader = engine.reader
+    count = 0
+    for mode in ("impact", "concentration"):
+        for service in ("dns", "cdn", "ca"):
+            engine.top(10, mode, service)
+            count += 1
+    for i in range(0, reader.n_sites, max(1, reader.n_sites // 25)):
+        engine.site(reader.site_domain(i))
+        count += 1
+    for i in range(0, reader.n_providers, max(1, reader.n_providers // 25)):
+        engine.whatif(reader.provider_key(i))
+        count += 1
+    return count
+
+
+def test_warm_query_throughput(benchmark, engine):
+    _mixed_queries(engine)  # populate the LRU: steady-state serving
+
+    count = _mixed_queries(engine)
+    result = benchmark.pedantic(
+        lambda: _mixed_queries(engine), rounds=5, iterations=1
+    )
+    assert result == count
+    seconds = min(benchmark.stats.stats.data)
+    qps = count / seconds
+
+    benchmark.extra_info["sites"] = BENCH_N
+    benchmark.extra_info["queries_per_round"] = count
+    benchmark.extra_info["queries_per_sec"] = round(qps, 0)
+    print(
+        f"\nquery scaling [{BENCH_N} sites]: {count} quer(ies) in "
+        f"{seconds * 1000:.2f}ms = {qps:.0f} q/s warm"
+    )
+    assert qps >= WARM_QPS_FLOOR
+
+
+def test_cold_serve_beats_fresh_analyze(store_path, dataset_text):
+    """Load-store-and-answer must be >= 10x faster than the path it
+    replaces: parse the dataset JSON, run ``analyze_dataset``, rank."""
+    start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design
+    engine = QueryEngine(StoreReader.load(store_path))
+    first = engine.top(5, "impact", "dns")
+    serve_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design
+
+    start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design
+    dataset = dataset_from_json(dataset_text)
+    world_n = dataset.notes.get("world_n") or len(dataset.websites)
+    snapshot = analyze_dataset(
+        dataset, rank_scale=PAPER_POPULATION / world_n if world_n else 1.0
+    )
+    ranked = snapshot.graph.top_providers(ServiceType.DNS, k=5, by="impact")
+    analyze_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design
+
+    # Same answer, two paths — the speedup must not buy drift.
+    assert [r["provider"] for r in first["results"]] == [
+        str(node) for node, _ in ranked
+    ]
+    speedup = analyze_s / serve_s if serve_s else float("inf")
+    print(
+        f"\ncold serve [{BENCH_N} sites]: load+first-query "
+        f"{serve_s * 1000:.2f}ms vs fresh analyze {analyze_s:.2f}s "
+        f"= {speedup:.0f}x"
+    )
+    assert speedup >= COLD_SPEEDUP_FLOOR

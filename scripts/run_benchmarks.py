@@ -14,6 +14,12 @@ under version control:
 * ``BENCH_lint.json``    — invariant-linter throughput over ``src/repro``
   (cold files/sec), plus the gate that matters: the tree lints clean and
   a warm incremental cache re-parses zero files.
+* ``BENCH_query.json``   — store/query serving numbers on the same 5k
+  world: compiled store size + source digest (deterministic), warm
+  mixed-query throughput, and the load+first-query speedup over the
+  fresh JSON -> ``analyze_dataset`` path it replaces. Unlike the other
+  artifacts this one also carries *absolute* floors: ``--check`` fails
+  below 1000 queries/sec warm or a 10x cold-serve speedup.
 
 Modes::
 
@@ -44,16 +50,29 @@ from repro import WorldConfig, analyze_world, build_world  # noqa: E402
 from repro.cascade import CascadeEngine, dns_outage_config  # noqa: E402
 from repro.cascade.config import CascadeConfig, Shock  # noqa: E402
 from repro.cascade.scenarios import dns_provider_bases  # noqa: E402
+from repro.core import ServiceType, analyze_dataset  # noqa: E402
+from repro.measurement.io import dataset_from_json, dataset_to_json  # noqa: E402
+from repro.query import QueryEngine  # noqa: E402
+from repro.store import StoreReader, compile_dataset_text  # noqa: E402
+from repro.worldgen.config import PAPER_POPULATION  # noqa: E402
 
 GRAPH_SCHEMA = "repro-bench-graph/1"
 CASCADE_SCHEMA = "repro-bench-cascade/1"
 LINT_SCHEMA = "repro-bench-lint/1"
+QUERY_SCHEMA = "repro-bench-query/1"
 GRAPH_ARTIFACT = REPO_ROOT / "BENCH_graph.json"
 CASCADE_ARTIFACT = REPO_ROOT / "BENCH_cascade.json"
 LINT_ARTIFACT = REPO_ROOT / "BENCH_lint.json"
+QUERY_ARTIFACT = REPO_ROOT / "BENCH_query.json"
 
 #: Throughput below this fraction of the recorded value fails --check.
 MIN_THROUGHPUT_RATIO = 0.2
+
+#: Absolute serving floors (machine-independent promises, not ratios):
+#: the store is pointless if warm queries dip below 1000/sec or loading
+#: it is not at least 10x faster than re-running the analyze path.
+QUERY_MIN_QPS = 1000.0
+QUERY_MIN_SPEEDUP = 10.0
 
 BENCH_N = 5000
 BENCH_SEED = 42
@@ -74,6 +93,10 @@ DETERMINISTIC_FIELDS = {
     # the invariants are pinned — the tree lints clean and a warm cache
     # answers every file without re-parsing.
     LINT_ARTIFACT.name: ("schema", "findings", "warm_reparsed"),
+    QUERY_ARTIFACT.name: (
+        "schema", "n", "seed", "websites", "providers",
+        "store_bytes", "source_sha256",
+    ),
 }
 
 
@@ -196,6 +219,81 @@ def run_lint_bench() -> dict:
     }
 
 
+def run_query_bench(snapshot) -> dict:
+    """Compile the bench snapshot's dataset, then measure serving."""
+    import hashlib
+    import tempfile
+
+    text = dataset_to_json(snapshot.dataset)
+    start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+    blob = compile_dataset_text(text)
+    compile_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "bench.rstore"
+        store_path.write_bytes(blob)
+
+        # Cold serve: mmap the store and answer the first ranking query.
+        start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+        engine = QueryEngine(StoreReader.load(str(store_path)))
+        first = engine.top(5, "impact", "dns")
+        serve_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+
+        # The path the store replaces: parse JSON, analyze, rank.
+        start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+        dataset = dataset_from_json(text)
+        world_n = dataset.notes.get("world_n") or len(dataset.websites)
+        slow = analyze_dataset(
+            dataset,
+            rank_scale=PAPER_POPULATION / world_n if world_n else 1.0,
+        )
+        ranked = slow.graph.top_providers(ServiceType.DNS, k=5, by="impact")
+        analyze_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+        if [r["provider"] for r in first["results"]] != [
+            str(node) for node, _ in ranked
+        ]:
+            raise AssertionError(
+                "store ranking diverged from the analyze path — run "
+                "tests/test_query_differential.py"
+            )
+
+        # Warm throughput: the steady-state mixed operator workload.
+        reader = engine.reader
+        site_step = max(1, reader.n_sites // 25)
+        provider_step = max(1, reader.n_providers // 25)
+        queries = 0
+        start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+        for _ in range(5):
+            for mode in ("impact", "concentration"):
+                for service in ("dns", "cdn", "ca"):
+                    engine.top(10, mode, service)
+                    queries += 1
+            for i in range(0, reader.n_sites, site_step):
+                engine.site(reader.site_domain(i))
+                queries += 1
+            for i in range(0, reader.n_providers, provider_step):
+                engine.whatif(reader.provider_key(i))
+                queries += 1
+        warm_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+
+    return {
+        "schema": QUERY_SCHEMA,
+        "n": BENCH_N,
+        "seed": BENCH_SEED,
+        "websites": reader.n_sites,
+        "providers": reader.n_providers,
+        "store_bytes": len(blob),
+        "source_sha256": reader.header["source_sha256"],
+        "compile_s": round(compile_s, 3),
+        "serve_s": round(serve_s, 5),
+        "analyze_s": round(analyze_s, 3),
+        "speedup_x": round(analyze_s / serve_s, 1) if serve_s else 0.0,
+        "warm_queries": queries,
+        "warm_s": round(warm_s, 4),
+        "queries_per_sec": round(queries / warm_s, 0) if warm_s else 0.0,
+    }
+
+
 def _write(path: Path, artifact: dict) -> None:
     path.write_text(
         json.dumps(artifact, indent=1, sort_keys=True) + "\n",
@@ -218,7 +316,7 @@ def _check(path: Path, fresh: dict) -> list[str]:
                 f"{recorded.get(key)!r} -> {fresh.get(key)!r} "
                 f"(deterministic field; update the artifact if intended)"
             )
-    for rate_key in ("ticks_per_sec", "files_per_sec"):
+    for rate_key in ("ticks_per_sec", "files_per_sec", "queries_per_sec"):
         if rate_key not in fresh:
             continue
         recorded_rate = recorded.get(rate_key) or 0.0
@@ -228,6 +326,17 @@ def _check(path: Path, fresh: dict) -> list[str]:
                 f"{path.name}: throughput regressed — "
                 f"{fresh[rate_key]} {rate_key} vs recorded "
                 f"{recorded_rate} (floor {floor:.1f})"
+            )
+    if path.name == QUERY_ARTIFACT.name:
+        if fresh["queries_per_sec"] < QUERY_MIN_QPS:
+            problems.append(
+                f"{path.name}: warm serving below the absolute floor — "
+                f"{fresh['queries_per_sec']} queries/sec < {QUERY_MIN_QPS}"
+            )
+        if fresh["speedup_x"] < QUERY_MIN_SPEEDUP:
+            problems.append(
+                f"{path.name}: cold serve only {fresh['speedup_x']}x "
+                f"faster than fresh analyze (floor {QUERY_MIN_SPEEDUP}x)"
             )
     return problems
 
@@ -268,14 +377,24 @@ def main(argv: list[str] | None = None) -> int:
         f"warm re-parsed {lint_artifact['warm_reparsed']}",
         file=sys.stderr,
     )
+    query_artifact = run_query_bench(snapshot)
+    print(
+        f"[bench] query: {query_artifact['store_bytes']} store byte(s), "
+        f"serve {query_artifact['serve_s']}s vs analyze "
+        f"{query_artifact['analyze_s']}s "
+        f"({query_artifact['speedup_x']}x), warm "
+        f"{query_artifact['queries_per_sec']} queries/sec",
+        file=sys.stderr,
+    )
 
     if args.update:
         _write(GRAPH_ARTIFACT, graph_artifact)
         _write(CASCADE_ARTIFACT, cascade_artifact)
         _write(LINT_ARTIFACT, lint_artifact)
+        _write(QUERY_ARTIFACT, query_artifact)
         print(
-            f"[bench] wrote {GRAPH_ARTIFACT.name}, {CASCADE_ARTIFACT.name} "
-            f"and {LINT_ARTIFACT.name}",
+            f"[bench] wrote {GRAPH_ARTIFACT.name}, {CASCADE_ARTIFACT.name}, "
+            f"{LINT_ARTIFACT.name} and {QUERY_ARTIFACT.name}",
             file=sys.stderr,
         )
         return 0
@@ -283,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
         problems = _check(GRAPH_ARTIFACT, graph_artifact)
         problems += _check(CASCADE_ARTIFACT, cascade_artifact)
         problems += _check(LINT_ARTIFACT, lint_artifact)
+        problems += _check(QUERY_ARTIFACT, query_artifact)
         for problem in problems:
             print(f"[bench] FAIL {problem}", file=sys.stderr)
         if problems:
@@ -291,7 +411,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     print(json.dumps(
         {"graph": graph_artifact, "cascade": cascade_artifact,
-         "lint": lint_artifact},
+         "lint": lint_artifact, "query": query_artifact},
         indent=1, sort_keys=True,
     ))
     return 0

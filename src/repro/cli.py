@@ -23,6 +23,10 @@ Subcommands::
                               [--out trace.json]
     python -m repro stats     <checkpoint-dir | dataset.json> [--json]
     python -m repro analyze   <dataset.json> [--table N] [--providers SVC]
+    python -m repro compile   <dataset.json> [--out ds.rstore]
+    python -m repro query     <ds.rstore> [--top K] [--mode M] [--service S]
+                              [--site DOMAIN] [--dependents P] [--whatif P]
+                              [--json] [--interactive]
     python -m repro faults    validate <plan.json>
     python -m repro lint      [paths...] [--format json|sarif] [--rules ...]
                               [--jobs N] [--cache PATH] [--sarif PATH] [--fix]
@@ -40,9 +44,12 @@ JSON (optionally with campaign metrics and per-site traces); ``trace``
 deep-traces one site's measurement on the simulated clock and emits
 Chrome trace-event JSON (Perfetto-loadable); ``stats`` recovers
 campaign metrics from a checkpoint directory or a frozen dataset;
-``analyze`` re-analyzes a frozen dataset offline (no world); ``lint``
-runs the :mod:`repro.staticcheck` invariant rule pack (REP001..REP006)
-over the source tree.
+``analyze`` re-analyzes a frozen dataset offline (no world);
+``compile`` freezes a dataset into a ``repro-store/1`` binary store and
+``query`` serves top-K/site/dependents/what-if questions from it —
+one-shot flags or an interactive loop — without ever re-reading the
+JSON; ``lint`` runs the :mod:`repro.staticcheck` invariant rule pack
+(REP001..REP006) over the source tree.
 """
 
 from __future__ import annotations
@@ -267,6 +274,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument(
         "--providers", default=None, choices=("dns", "cdn", "ca"),
         help="render the top-provider concentration/impact table instead",
+    )
+
+    p_compile = sub.add_parser(
+        "compile", help="freeze a dataset JSON into a binary query store"
+    )
+    p_compile.add_argument("dataset", help="path to a measure-produced JSON")
+    p_compile.add_argument(
+        "--out", default=None, metavar="STORE",
+        help="store output path (default: <dataset>.rstore)",
+    )
+    p_compile.add_argument(
+        "--quiet", action="store_true", help="suppress the summary on stderr"
+    )
+
+    p_query = sub.add_parser(
+        "query", help="serve dependency queries from a compiled store"
+    )
+    p_query.add_argument("store", help="path to a compiled .rstore file")
+    p_query.add_argument(
+        "--top", type=int, default=None, metavar="K",
+        help="print the top-K providers and exit",
+    )
+    p_query.add_argument(
+        "--mode", default="impact",
+        choices=(
+            "impact", "concentration", "direct_impact", "direct_concentration"
+        ),
+        help="ranking metric for --top",
+    )
+    p_query.add_argument(
+        "--service", default="dns", choices=("dns", "cdn", "ca"),
+        help="service type for --top",
+    )
+    p_query.add_argument(
+        "--site", default=None, metavar="DOMAIN",
+        help="print one website's dependencies + exposure and exit",
+    )
+    p_query.add_argument(
+        "--dependents", default=None, metavar="PROVIDER",
+        help="print who depends on a provider (service:id form) and exit",
+    )
+    p_query.add_argument(
+        "--whatif", default=None, metavar="PROVIDER",
+        help="print the blast radius of a provider failure and exit",
+    )
+    p_query.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON instead of text (one-shot queries)",
+    )
+    p_query.add_argument(
+        "--interactive", action="store_true",
+        help="drop into the query loop (top | site | deps | whatif | stats)",
     )
 
     p_faults = sub.add_parser("faults", help="fault-plan utilities")
@@ -781,11 +840,11 @@ def cmd_stats(args) -> int:
             merged.merge_dict(metrics)
         title = f"checkpoint metrics ({len(shard_ids)} shard(s))"
     else:
-        from repro.measurement.io import load_dataset
+        from repro.measurement.io import load_dataset_cached
         from repro.measurement.telemetry import dataset_metrics
 
         try:
-            dataset = load_dataset(args.path)
+            dataset = load_dataset_cached(args.path)
         except (OSError, ValueError) as exc:
             print(f"stats: cannot load {args.path}: {exc}", file=sys.stderr)
             return 1
@@ -823,6 +882,76 @@ def cmd_analyze(args) -> int:
         return 0
     name, _ = _TABLE_DISPATCH[args.table]
     print(render_table(getattr(table_builders, name)(snapshot)))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from repro.store import compile_file
+
+    out_path = args.out if args.out is not None else f"{args.dataset}.rstore"
+    try:
+        written = compile_file(args.dataset, out_path)
+    except (OSError, ValueError) as exc:
+        print(f"compile: cannot compile {args.dataset}: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(
+            f"[store] {out_path}: {written} byte(s) from {args.dataset}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.query import (
+        QueryEngine,
+        QueryError,
+        payload_to_json,
+        payload_to_text,
+        query_repl,
+    )
+    from repro.store import StoreError, StoreReader
+
+    try:
+        engine = QueryEngine(StoreReader.load(args.store))
+    except OSError as exc:
+        print(f"query: cannot open {args.store}: {exc}", file=sys.stderr)
+        return 1
+    except StoreError as exc:
+        print(f"query: cannot read {args.store}: {exc}", file=sys.stderr)
+        return 1
+    one_shots = []
+    if args.top is not None:
+        one_shots.append(lambda: engine.top(args.top, args.mode, args.service))
+    if args.site is not None:
+        one_shots.append(lambda: engine.site(args.site))
+    if args.dependents is not None:
+        one_shots.append(lambda: engine.dependents(args.dependents))
+    if args.whatif is not None:
+        one_shots.append(lambda: engine.whatif(args.whatif))
+    if args.interactive:
+        if one_shots or args.json:
+            print(
+                "query: --interactive excludes the one-shot flags",
+                file=sys.stderr,
+            )
+            return 1
+        query_repl(engine, sys.stdin, sys.stdout)
+        return 0
+    if not one_shots:
+        print(
+            "query: name a query (--top/--site/--dependents/--whatif) "
+            "or pass --interactive",
+            file=sys.stderr,
+        )
+        return 1
+    render = payload_to_json if args.json else payload_to_text
+    for run in one_shots:
+        try:
+            print(render(run()))
+        except QueryError as exc:
+            print(f"query: {exc}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -872,6 +1001,8 @@ _COMMANDS = {
     "trace": cmd_trace,
     "stats": cmd_stats,
     "analyze": cmd_analyze,
+    "compile": cmd_compile,
+    "query": cmd_query,
     "faults": cmd_faults,
     "lint": cmd_lint,
 }

@@ -1,0 +1,23 @@
+"""The always-on query layer over compiled stores (layer: ``query``).
+
+``QueryEngine`` answers the paper's operator questions — top-K
+providers, per-site exposure, reverse dependents, what-if blast radius
+— entirely from a :class:`repro.store.StoreReader`'s precomputed
+indices plus a bounded LRU; it never re-reads JSON. Correctness is
+pinned by the differential harness in
+``tests/test_query_differential.py``.
+"""
+
+from repro.query.engine import QueryEngine, QueryError
+from repro.query.lru import LRUCache
+from repro.query.render import payload_to_json, payload_to_text
+from repro.query.repl import query_repl
+
+__all__ = [
+    "LRUCache",
+    "QueryEngine",
+    "QueryError",
+    "payload_to_json",
+    "payload_to_text",
+    "query_repl",
+]

@@ -1,0 +1,52 @@
+"""A bounded LRU for composed query payloads.
+
+Plain insertion-ordered dict, recency via pop-and-reinsert — no clocks,
+no weights, so cache behavior is a pure function of the query sequence
+(REP001-friendly) and byte-identical answers come back on every hit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: dict[Hashable, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        if key not in self._entries:
+            self.misses += 1
+            return None
+        self.hits += 1
+        value = self._entries.pop(key)
+        self._entries[key] = value  # re-insert: now most recent
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._entries:
+            self._entries.pop(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))  # least recent
+            self.evictions += 1
+        self._entries[key] = value
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,128 @@
+"""The ``repro query <store>`` interactive loop.
+
+Same shape as the cascade REPL: a pure function of its input/output
+streams over one long-lived :class:`QueryEngine`, so tests drive it
+with ``io.StringIO``. The engine (and its LRU) lives for the whole
+session — repeated questions are cache hits, visible via ``stats``.
+
+Commands::
+
+    top [k] [mode] [service]   ranked providers (default 5 impact dns)
+    site <domain>              one website's dependencies + exposure
+    deps <provider>            who depends on a provider
+    whatif <provider>          blast radius of a total provider failure
+    stats                      engine + LRU cache counters
+    help                       this text
+    quit / exit                leave (EOF works too)
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.query.engine import QueryEngine, QueryError
+from repro.query.render import payload_to_text
+from repro.store.format import SERVICE_CODES
+from repro.store.reader import METRIC_COLUMNS
+
+_HELP = (
+    "commands: top [k] [mode] [service] | site <domain> | deps <provider> "
+    "| whatif <provider> | stats | help | quit"
+)
+
+_PROMPT = "query> "
+
+
+def _cmd_top(engine: QueryEngine, argument: str, out: TextIO) -> None:
+    k, mode, service = 5, "impact", "dns"
+    parts = argument.split()
+    try:
+        if parts:
+            k = int(parts[0])
+    except ValueError:
+        print("usage: top [k] [mode] [service]", file=out)
+        return
+    if len(parts) > 1:
+        mode = parts[1]
+    if len(parts) > 2:
+        service = parts[2]
+    if mode not in METRIC_COLUMNS or service not in SERVICE_CODES or k < 1:
+        print(
+            f"usage: top [k] [{'|'.join(METRIC_COLUMNS)}] "
+            f"[{'|'.join(SERVICE_CODES)}]",
+            file=out,
+        )
+        return
+    print(payload_to_text(engine.top(k, mode, service)), file=out)
+
+
+def _cmd_lookup(
+    engine: QueryEngine, command: str, argument: str, out: TextIO
+) -> None:
+    if not argument:
+        print(f"usage: {command} <{'domain' if command == 'site' else 'provider'}>", file=out)
+        return
+    methods = {
+        "site": engine.site,
+        "deps": engine.dependents,
+        "whatif": engine.whatif,
+    }
+    try:
+        print(payload_to_text(methods[command](argument)), file=out)
+    except QueryError as exc:
+        print(str(exc), file=out)
+
+
+def _cmd_stats(engine: QueryEngine, out: TextIO) -> None:
+    reader = engine.reader
+    print(
+        f"store: {reader.n_sites} site(s), {reader.n_providers} provider(s), "
+        f"year {reader.header['year']}, "
+        f"source sha256 {reader.header['source_sha256'][:12]}",
+        file=out,
+    )
+    cache = engine.cache_stats()
+    print(
+        f"cache: {cache['size']}/{cache['capacity']} entries, "
+        f"{cache['hits']} hit(s), {cache['misses']} miss(es), "
+        f"{cache['evictions']} eviction(s)",
+        file=out,
+    )
+
+
+def query_repl(
+    engine: QueryEngine, in_stream: TextIO, out_stream: TextIO
+) -> int:
+    """Run the REPL until ``quit`` or EOF; returns commands handled."""
+    reader = engine.reader
+    print(
+        f"repro query: {reader.n_sites} site(s), "
+        f"{reader.n_providers} provider(s), year {reader.header['year']}",
+        file=out_stream,
+    )
+    print(_HELP, file=out_stream)
+    handled = 0
+    while True:
+        print(_PROMPT, end="", file=out_stream, flush=True)
+        line = in_stream.readline()
+        if not line:  # EOF
+            print("", file=out_stream)
+            break
+        command, _, argument = line.strip().partition(" ")
+        argument = argument.strip()
+        if not command:
+            continue
+        handled += 1
+        if command in ("quit", "exit", "q"):
+            break
+        if command == "help":
+            print(_HELP, file=out_stream)
+        elif command == "top":
+            _cmd_top(engine, argument, out_stream)
+        elif command in ("site", "deps", "whatif"):
+            _cmd_lookup(engine, command, argument, out_stream)
+        elif command == "stats":
+            _cmd_stats(engine, out_stream)
+        else:
+            print(f"unknown command {command!r}; {_HELP}", file=out_stream)
+    return handled

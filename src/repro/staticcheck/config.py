@@ -20,7 +20,10 @@ def _default_layers() -> dict[str, int]:
     # sits above the dnssim/tlssim substrates because an HTTPS client is
     # built from DNS resolution plus TLS validation; ``cli`` is the
     # pseudo-package for modules directly under ``repro`` (cli.py,
-    # __main__.py, __init__.py).
+    # __main__.py, __init__.py). The serving side sits above the batch
+    # pipeline: ``store`` compiles analyzed snapshots into frozen
+    # binaries, ``query`` answers from them — only the CLI sees both
+    # worlds (DESIGN §14).
     return {
         "staticcheck": 0,
         "names": 0,
@@ -36,7 +39,9 @@ def _default_layers() -> dict[str, int]:
         "failures": 7,
         "analysis": 8,
         "cascade": 8,
-        "cli": 9,
+        "store": 9,
+        "query": 10,
+        "cli": 11,
     }
 
 
@@ -97,9 +102,12 @@ class LintConfig:
     # metric state, exporters) and may neither read real time nor import
     # a wallclock module — nothing wall-clock-derived may reach a trace,
     # metrics dump, checkpoint, or dataset. ``forbidden_edges`` names
-    # (importer package, imported package) pairs that the layer DAG
-    # permits but this repository forbids: the deterministic core must
-    # never grow an observability dependency.
+    # (importer package, imported target) pairs that the layer DAG
+    # permits but this repository forbids. A dotted target names one
+    # module inside a package (``measurement.runner``); a bare target
+    # forbids the whole package. Core must never grow an observability
+    # (or serving-layer) dependency, and the store/query side reads
+    # frozen datasets only — never a live campaign.
     rep006_wallclock_modules: frozenset[str] = frozenset(
         {"repro.telemetry.profile"}
     )
@@ -112,7 +120,13 @@ class LintConfig:
         }
     )
     rep006_forbidden_edges: frozenset[tuple[str, str]] = frozenset(
-        {("core", "telemetry")}
+        {
+            ("core", "telemetry"),
+            ("core", "store"),
+            ("core", "query"),
+            ("store", "measurement.runner"),
+            ("query", "measurement.runner"),
+        }
     )
 
     # REP007: serialization sinks the taint analysis watches — direct

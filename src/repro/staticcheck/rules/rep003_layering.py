@@ -10,11 +10,14 @@ Packages form strict layers (see ``LintConfig.rep003_layers``)::
               -> measurement                    (5)
                 -> core                         (6)
                   -> engine | failures          (7)   peer consumers
-                    -> analysis                 (8)
-                      -> cli / __main__ / repro (9)
+                    -> analysis | cascade       (8)   peer readers
+                      -> store                  (9)   frozen-dataset compiler
+                        -> query                (10)  always-on serving
+                          -> cli / __main__     (11)
 
 (REP006 additionally *forbids* specific edges the DAG would allow —
-``core -> telemetry`` — and polices telemetry's wall-clock boundary.)
+``core -> telemetry``, ``store -> measurement.runner`` — and polices
+telemetry's wall-clock boundary.)
 
 A module may import strictly *lower* layers only. Equal-layer packages
 are peers (dnssim/tlssim, engine/failures) and may not import each

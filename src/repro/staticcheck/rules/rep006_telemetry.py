@@ -12,11 +12,14 @@ decomposes into three checks:
   (``rep006_wallclock_modules`` — the quarantined profiling side), so a
   real-time value cannot flow into span/metric/export state even
   indirectly;
-* ``rep006_forbidden_edges`` names (importer package, imported package)
+* ``rep006_forbidden_edges`` names (importer package, imported target)
   pairs that the REP003 layer DAG *permits* but this repository
-  forbids — ``core ↛ telemetry``: the paper's analysis core stays a
-  pure function of records and must never grow an observability
-  dependency.
+  forbids. A bare target forbids the whole package (``core ↛
+  telemetry``: the paper's analysis core stays a pure function of
+  records and must never grow an observability dependency); a dotted
+  target forbids one module (``store ↛ measurement.runner``: the
+  serving layer compiles *frozen* datasets — it must never reach into a
+  live measurement campaign).
 """
 
 from __future__ import annotations
@@ -93,22 +96,73 @@ class TelemetryBoundaryRule(Rule):
         importer_pkg = module.package
         if not importer_pkg:
             return []
+        package_targets = {
+            target
+            for source, target in config.rep006_forbidden_edges
+            if source == importer_pkg and "." not in target
+        }
+        module_targets = {
+            target
+            for source, target in config.rep006_forbidden_edges
+            if source == importer_pkg and "." in target
+        }
         findings: list[Finding] = []
         for node, imported_pkg in _imported_repro_packages(
             module.tree, module.module
         ):
-            if (importer_pkg, imported_pkg) in config.rep006_forbidden_edges:
+            if imported_pkg in package_targets:
                 findings.append(
                     self.finding(
                         module,
                         node,
-                        f"repro.{importer_pkg} may not import "
-                        f"repro.{imported_pkg}: the edge is forbidden even "
-                        f"though the layer DAG allows it (the deterministic "
-                        f"core stays observability-free)",
+                        self._edge_message(importer_pkg, imported_pkg),
                     )
                 )
+        if module_targets:
+            # A from-import yields both "pkg.mod" and "pkg.mod.name" hits
+            # for the same statement; dedupe per (node, target) so one
+            # import line is one finding.
+            flagged: set[tuple[int, str]] = set()
+            for node, imported in _imported_modules(module.tree, module.module):
+                for target in sorted(module_targets):
+                    qualified = f"repro.{target}"
+                    matches = imported == qualified or imported.startswith(
+                        qualified + "."
+                    )
+                    if matches and (id(node), target) not in flagged:
+                        flagged.add((id(node), target))
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                self._edge_message(importer_pkg, target),
+                            )
+                        )
         return findings
+
+    @staticmethod
+    def _edge_message(importer_pkg: str, target: str) -> str:
+        reasons = {
+            ("core", "telemetry"):
+                "the deterministic core stays observability-free",
+            ("core", "store"):
+                "the analysis core must not depend on its own frozen "
+                "serving format",
+            ("core", "query"):
+                "the analysis core must not depend on the serving layer",
+            ("store", "measurement.runner"):
+                "stores compile frozen datasets, never a live campaign",
+            ("query", "measurement.runner"):
+                "the query layer serves compiled stores, never a live "
+                "campaign",
+        }
+        reason = reasons.get(
+            (importer_pkg, target), "this repository pins the edge off"
+        )
+        return (
+            f"repro.{importer_pkg} may not import repro.{target}: the edge "
+            f"is forbidden even though the layer DAG allows it ({reason})"
+        )
 
     def _check_serialized_module(
         self, module: ModuleInfo, config: LintConfig

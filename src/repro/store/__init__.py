@@ -1,0 +1,34 @@
+"""The frozen-dataset binary store (layer: ``store``).
+
+Compile once (:func:`compile_dataset_text` / :func:`compile_file`),
+then serve queries forever off the mapped bytes (:class:`StoreReader`)
+— see :mod:`repro.store.format` for the ``repro-store/1`` wire layout
+and DESIGN §14 for where this sits in the layer DAG
+(``query → store → analysis/core``).
+"""
+
+from repro.store.compile import (
+    compile_dataset_text,
+    compile_file,
+    compile_snapshot,
+)
+from repro.store.format import (
+    SCHEMA,
+    StoreCorruptError,
+    StoreError,
+    StoreVersionError,
+    WIRE_VERSION,
+)
+from repro.store.reader import StoreReader
+
+__all__ = [
+    "SCHEMA",
+    "WIRE_VERSION",
+    "StoreCorruptError",
+    "StoreError",
+    "StoreReader",
+    "StoreVersionError",
+    "compile_dataset_text",
+    "compile_file",
+    "compile_snapshot",
+]

@@ -1,0 +1,208 @@
+"""Freeze a measured dataset into a ``repro-store/1`` binary store.
+
+The compiler runs the batch pipeline once — :func:`analyze_dataset`
+with the same rank-scale derivation ``repro analyze`` uses — and then
+precomputes *every* index the query layer serves: the full
+``provider_metrics()`` sweep, per-site dependency postings with
+criticality flags, reverse provider→site and provider→consumer edges,
+and the transitive dependent-website sets behind what-if/blast-radius
+queries. After compile, answering a query never touches JSON or the
+graph engine again.
+
+Compilation is deterministic: the string table is sorted, sites are
+ordered by domain, providers by ``str(node)``, and all integers are
+little-endian — so the same dataset text always compiles to the same
+bytes, on any host, from any checkpoint layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterable, Optional
+
+from repro.core.graph import DependencyGraph, ProviderNode
+from repro.core.pipeline import AnalyzedSnapshot, analyze_dataset
+from repro.measurement.io import dataset_from_json
+from repro.store.format import SERVICE_CODES, SectionWriter
+from repro.worldgen.config import PAPER_POPULATION
+
+
+def _string_table(strings: set[str]) -> dict[str, int]:
+    """Dense lexicographic ids: id order == string sort order."""
+    return {value: index for index, value in enumerate(sorted(strings))}
+
+
+def _posting_lists(
+    writer: SectionWriter,
+    prefix: str,
+    rows: list[list[int]],
+    flag_rows: Optional[list[list[int]]] = None,
+) -> None:
+    """Emit one CSR family: ``<prefix>_offsets`` (n+1), ``<prefix>`` and
+    optionally ``<prefix>_flags`` (parallel)."""
+    offsets = [0]
+    flat: list[int] = []
+    for row in rows:
+        flat.extend(row)
+        offsets.append(len(flat))
+    writer.add_u32(f"{prefix}_offsets", offsets)
+    writer.add_u32(prefix, flat)
+    if flag_rows is not None:
+        flags: list[int] = []
+        for row in flag_rows:
+            flags.extend(row)
+        writer.add_u32(f"{prefix}_flags", flags)
+
+
+def compile_snapshot(
+    snapshot: AnalyzedSnapshot, source_sha256: str, world_n: int
+) -> bytes:
+    """Serialize an analyzed snapshot's query-relevant state to a store."""
+    graph: DependencyGraph = snapshot.graph
+    domains = sorted(w.domain for w in snapshot.websites)
+    providers = graph.providers()  # sorted by str(node)
+    provider_index = {node: index for index, node in enumerate(providers)}
+
+    strings: set[str] = set(domains)
+    strings.update(node.id for node in providers)
+    strings.update(graph.display(node) for node in providers)
+    string_id = _string_table(strings)
+
+    writer = SectionWriter(
+        {
+            "source_sha256": source_sha256,
+            "year": snapshot.year,
+            "n_websites": len(domains),
+            "world_n": world_n,
+            "rank_scale": snapshot.rank_scale,
+            "concentration_threshold": snapshot.concentration_threshold,
+            "n_providers": len(providers),
+            "n_strings": len(string_id),
+        }
+    )
+
+    blob = bytearray()
+    string_offsets = [0]
+    for value in sorted(string_id):
+        blob.extend(value.encode("utf-8"))
+        string_offsets.append(len(blob))
+    writer.add_blob("strings_blob", bytes(blob))
+    writer.add_u32("string_offsets", string_offsets)
+
+    rank_of = {w.domain: w.rank for w in snapshot.websites}
+    writer.add_u32("site_domains", [string_id[d] for d in domains])
+    writer.add_u32("site_ranks", [rank_of[d] for d in domains])
+
+    site_index = {domain: index for index, domain in enumerate(domains)}
+    dep_rows: list[list[int]] = []
+    dep_flag_rows: list[list[int]] = []
+    critical_counts: list[int] = []
+    for domain in domains:
+        uses = graph.website_dependencies(domain)
+        critical = graph.website_dependencies(domain, critical_only=True)
+        indices = sorted(provider_index[node] for node in uses)
+        dep_rows.append(indices)
+        dep_flag_rows.append(
+            [1 if providers[i] in critical else 0 for i in indices]
+        )
+        critical_counts.append(graph.critical_dependency_count(domain))
+    _posting_lists(writer, "site_deps", dep_rows, dep_flag_rows)
+    writer.add_u32("site_critical_counts", critical_counts)
+
+    metrics = graph.provider_metrics()
+    writer.add_u32("provider_ids", [string_id[n.id] for n in providers])
+    writer.add_u32(
+        "provider_services", [SERVICE_CODES[n.service.value] for n in providers]
+    )
+    writer.add_u32(
+        "provider_displays", [string_id[graph.display(n)] for n in providers]
+    )
+    metric_row: list[int] = []
+    for node in providers:
+        m = metrics[node]
+        metric_row.extend(
+            (m.concentration, m.impact, m.direct_concentration, m.direct_impact)
+        )
+    writer.add_u32("provider_metrics", metric_row)
+
+    def provider_rows(
+        edges_of: Callable[[ProviderNode, bool], Iterable[ProviderNode]],
+    ) -> tuple[list[list[int]], list[list[int]]]:
+        rows: list[list[int]] = []
+        flag_rows: list[list[int]] = []
+        for node in providers:
+            uses = edges_of(node, False)
+            critical = set(edges_of(node, True))
+            indices = sorted(provider_index[peer] for peer in uses)
+            rows.append(indices)
+            flag_rows.append(
+                [1 if providers[i] in critical else 0 for i in indices]
+            )
+        return rows, flag_rows
+
+    upstream_rows, upstream_flags = provider_rows(
+        lambda node, crit: graph.provider_dependencies(node, critical_only=crit)
+    )
+    _posting_lists(writer, "provider_upstream", upstream_rows, upstream_flags)
+    consumer_rows, consumer_flags = provider_rows(
+        lambda node, crit: graph.provider_consumers(node, critical_only=crit)
+    )
+    _posting_lists(writer, "provider_consumers", consumer_rows, consumer_flags)
+
+    direct_rows: list[list[int]] = []
+    direct_flag_rows: list[list[int]] = []
+    trans_all_rows: list[list[int]] = []
+    trans_crit_rows: list[list[int]] = []
+    for node in providers:
+        direct = graph.direct_dependents(node)
+        direct_critical = graph.direct_dependents(node, critical_only=True)
+        indices = sorted(site_index[d] for d in direct)
+        direct_rows.append(indices)
+        direct_flag_rows.append(
+            [1 if domains[i] in direct_critical else 0 for i in indices]
+        )
+        trans_all_rows.append(
+            sorted(site_index[d] for d in graph.dependent_websites(node))
+        )
+        trans_crit_rows.append(
+            sorted(
+                site_index[d]
+                for d in graph.dependent_websites(node, critical_only=True)
+            )
+        )
+    _posting_lists(writer, "provider_direct", direct_rows, direct_flag_rows)
+    _posting_lists(writer, "provider_trans_all", trans_all_rows)
+    _posting_lists(writer, "provider_trans_crit", trans_crit_rows)
+
+    return writer.to_bytes()
+
+
+def compile_dataset_text(text: str) -> bytes:
+    """Compile a dataset JSON string into store bytes.
+
+    Mirrors ``repro analyze``'s rank-scale derivation exactly (campaign
+    ``world_n`` note, falling back to the measured population) so the
+    frozen metrics equal what the batch path computes for the same file.
+    """
+    source_sha256 = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    dataset = dataset_from_json(text)
+    world_n = int(dataset.notes.get("world_n") or len(dataset.websites))
+    rank_scale = PAPER_POPULATION / world_n if world_n else 1.0
+    snapshot = analyze_dataset(dataset, rank_scale=rank_scale)
+    return compile_snapshot(snapshot, source_sha256, world_n)
+
+
+def compile_file(path: str, out_path: str) -> int:
+    """Compile a dataset file to ``out_path``; returns bytes written."""
+    with open(path, encoding="utf-8") as handle:
+        blob = compile_dataset_text(handle.read())
+    with open(out_path, "wb") as out:
+        out.write(blob)
+    return len(blob)
+
+
+__all__ = [
+    "compile_dataset_text",
+    "compile_file",
+    "compile_snapshot",
+]

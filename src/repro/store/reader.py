@@ -1,0 +1,257 @@
+"""Zero-copy access to a compiled ``repro-store/1`` file.
+
+A :class:`StoreReader` validates the envelope once (magic, wire
+version, sha256 trailer) and then serves every lookup straight off the
+mapped bytes: u32 sections are ``memoryview.cast("I")`` views, strings
+decode lazily from the blob, and site/provider lookups are binary
+searches over the lexicographically-ordered tables. Nothing is
+materialized up front, so loading a store is O(header) regardless of
+dataset size.
+"""
+
+from __future__ import annotations
+
+import mmap
+from array import array
+from typing import Any, Optional, Union
+
+from repro.store.format import (
+    SERVICE_NAMES,
+    StoreCorruptError,
+    parse_store,
+    unpack_u32,
+)
+
+U32View = Union[memoryview, "array[int]"]
+
+#: provider_metrics row layout: columns per provider, in order.
+METRIC_COLUMNS = (
+    "concentration",
+    "impact",
+    "direct_concentration",
+    "direct_impact",
+)
+
+
+class StoreReader:
+    """Read-only view over one validated store blob."""
+
+    def __init__(self, header: dict[str, Any], data: memoryview) -> None:
+        self.header = header
+        self._data = data
+        self._u32: dict[str, U32View] = {}
+        self._blob: dict[str, memoryview] = {}
+        sections = header.get("sections")
+        if not isinstance(sections, dict):
+            raise StoreCorruptError("store header has no section table")
+        for name, entry in sections.items():
+            offset, count, kind = entry["offset"], entry["count"], entry["kind"]
+            size = count * 4 if kind == "u32" else count
+            if offset < 0 or offset + size > len(data):
+                raise StoreCorruptError(
+                    f"section {name!r} overruns the data area"
+                )
+            view = data[offset : offset + size]
+            if kind == "u32":
+                self._u32[name] = unpack_u32(view)
+            else:
+                self._blob[name] = view
+        for required in (
+            "strings_blob",
+            "string_offsets",
+            "site_domains",
+            "site_ranks",
+            "site_deps_offsets",
+            "site_deps",
+            "site_deps_flags",
+            "site_critical_counts",
+            "provider_ids",
+            "provider_services",
+            "provider_displays",
+            "provider_metrics",
+            "provider_upstream_offsets",
+            "provider_upstream",
+            "provider_upstream_flags",
+            "provider_consumers_offsets",
+            "provider_consumers",
+            "provider_consumers_flags",
+            "provider_direct_offsets",
+            "provider_direct",
+            "provider_direct_flags",
+            "provider_trans_all_offsets",
+            "provider_trans_all",
+            "provider_trans_crit_offsets",
+            "provider_trans_crit",
+        ):
+            if required not in self._u32 and required not in self._blob:
+                raise StoreCorruptError(f"store is missing section {required!r}")
+        self.n_sites = len(self._u32["site_domains"])
+        self.n_providers = len(self._u32["provider_ids"])
+        self.n_strings = len(self._u32["string_offsets"]) - 1
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, buf: Union[bytes, memoryview]) -> "StoreReader":
+        header, data = parse_store(buf)
+        return cls(header, data)
+
+    @classmethod
+    def load(cls, path: str) -> "StoreReader":
+        """mmap a store file; the kernel pages sections in on demand."""
+        with open(path, "rb") as handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError:  # zero-length file cannot be mapped
+                return cls.from_bytes(b"")
+        return cls.from_bytes(memoryview(mapped))
+
+    # -- strings -------------------------------------------------------------
+
+    def string(self, index: int) -> str:
+        offsets = self._u32["string_offsets"]
+        blob = self._blob["strings_blob"]
+        return str(blob[offsets[index] : offsets[index + 1]], "utf-8")
+
+    def find_string(self, value: str) -> Optional[int]:
+        """Binary search the sorted string table; None when absent."""
+        lo, hi = 0, self.n_strings
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = self.string(mid)
+            if probe < value:
+                lo = mid + 1
+            elif probe > value:
+                hi = mid
+            else:
+                return mid
+        return None
+
+    # -- sites ---------------------------------------------------------------
+
+    def site_domain(self, site: int) -> str:
+        return self.string(self._u32["site_domains"][site])
+
+    def site_rank(self, site: int) -> int:
+        return int(self._u32["site_ranks"][site])
+
+    def find_site(self, domain: str) -> Optional[int]:
+        """Site index for a domain; None when the store has no such site.
+
+        String ids are dense-lexicographic, so the (string-sorted) site
+        table is also ascending in id — one id lookup plus one binary
+        search over u32s.
+        """
+        string_index = self.find_string(domain)
+        if string_index is None:
+            return None
+        ids = self._u32["site_domains"]
+        lo, hi = 0, self.n_sites
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ids[mid] < string_index:
+                lo = mid + 1
+            elif ids[mid] > string_index:
+                hi = mid
+            else:
+                return mid
+        return None
+
+    def site_dependencies(self, site: int) -> list[tuple[int, bool]]:
+        """``(provider index, critical)`` pairs, ascending by provider."""
+        return self._postings_with_flags("site_deps", site)
+
+    def site_critical_count(self, site: int) -> int:
+        return int(self._u32["site_critical_counts"][site])
+
+    # -- providers -----------------------------------------------------------
+
+    def provider_id(self, provider: int) -> str:
+        return self.string(self._u32["provider_ids"][provider])
+
+    def provider_service(self, provider: int) -> str:
+        return SERVICE_NAMES[int(self._u32["provider_services"][provider])]
+
+    def provider_display(self, provider: int) -> str:
+        return self.string(self._u32["provider_displays"][provider])
+
+    def provider_key(self, provider: int) -> str:
+        """The canonical ``service:id`` form (== ``str(ProviderNode)``)."""
+        return f"{self.provider_service(provider)}:{self.provider_id(provider)}"
+
+    def find_provider(self, key: str) -> Optional[int]:
+        """Provider index for ``service:id`` or a bare unambiguous id."""
+        if ":" in key:
+            lo, hi = 0, self.n_providers
+            while lo < hi:
+                mid = (lo + hi) // 2
+                probe = self.provider_key(mid)
+                if probe < key:
+                    lo = mid + 1
+                elif probe > key:
+                    hi = mid
+                else:
+                    return mid
+            return None
+        string_index = self.find_string(key)
+        if string_index is None:
+            return None
+        ids = self._u32["provider_ids"]
+        matches = [i for i in range(self.n_providers) if ids[i] == string_index]
+        return matches[0] if len(matches) == 1 else None
+
+    def provider_metrics(self, provider: int) -> dict[str, int]:
+        row = self._u32["provider_metrics"]
+        base = provider * len(METRIC_COLUMNS)
+        return {
+            name: int(row[base + column])
+            for column, name in enumerate(METRIC_COLUMNS)
+        }
+
+    def providers_of_service(self, service: str) -> list[int]:
+        """Provider indices of one service, in ``str(node)`` order."""
+        codes = self._u32["provider_services"]
+        wanted = {
+            code for code, name in SERVICE_NAMES.items() if name == service
+        }
+        return [i for i in range(self.n_providers) if int(codes[i]) in wanted]
+
+    def provider_upstream(self, provider: int) -> list[tuple[int, bool]]:
+        """Providers this provider depends on, with criticality."""
+        return self._postings_with_flags("provider_upstream", provider)
+
+    def provider_consumers(self, provider: int) -> list[tuple[int, bool]]:
+        """Providers depending on this provider, with criticality."""
+        return self._postings_with_flags("provider_consumers", provider)
+
+    def provider_direct_sites(self, provider: int) -> list[tuple[int, bool]]:
+        """Sites with a direct edge to this provider, with criticality."""
+        return self._postings_with_flags("provider_direct", provider)
+
+    def provider_dependent_sites(
+        self, provider: int, critical_only: bool
+    ) -> U32View:
+        """The frozen transitive dependent-site postings (§2.2 unions)."""
+        name = "provider_trans_crit" if critical_only else "provider_trans_all"
+        return self._postings(name, provider)
+
+    # -- internals -----------------------------------------------------------
+
+    def _postings(self, name: str, row: int) -> U32View:
+        offsets = self._u32[f"{name}_offsets"]
+        return self._u32[name][offsets[row] : offsets[row + 1]]
+
+    def _postings_with_flags(self, name: str, row: int) -> list[tuple[int, bool]]:
+        offsets = self._u32[f"{name}_offsets"]
+        start, stop = offsets[row], offsets[row + 1]
+        values = self._u32[name]
+        flags = self._u32[f"{name}_flags"]
+        return [
+            (int(values[i]), bool(flags[i])) for i in range(start, stop)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreReader({self.n_sites} sites, {self.n_providers} providers, "
+            f"year {self.header.get('year')})"
+        )

@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.tlssim.certificate import Certificate, CertificateChain, next_serial
+from repro.tlssim.certificate import (
+    Certificate,
+    CertificateChain,
+    deterministic_serial,
+)
 from repro.tlssim.crl import CRLDistributionPoint
 from repro.tlssim.ocsp import OCSPResponder
 
@@ -56,13 +60,14 @@ class CertificateAuthority:
         self._revoked: set[int] = set()
         self._issued: dict[int, Certificate] = {}
         self._known_serials: set[int] = set()
+        self._serial_index = 0
 
         root_subject = f"{name} root ca"
         self.root = Certificate(
             subject=root_subject,
             san=(),
             issuer_name=root_subject,
-            serial=next_serial(),
+            serial=self._next_serial(root_subject),
             not_before=now,
             not_after=now + TEN_YEARS,
             is_ca=True,
@@ -75,7 +80,7 @@ class CertificateAuthority:
                 subject=f"{name} intermediate ca",
                 san=(),
                 issuer_name=self.root.subject,
-                serial=next_serial(),
+                serial=self._next_serial(f"{name} intermediate ca"),
                 not_before=now,
                 not_after=now + TEN_YEARS,
                 is_ca=True,
@@ -109,6 +114,13 @@ class CertificateAuthority:
     def _issuer_key(self) -> str:
         return (self.intermediate or self.root).key_id
 
+    def _next_serial(self, subject: str) -> int:
+        # Serials feed fault-injection draws and appear in traces, so
+        # they are derived from this CA's own issuance sequence — never
+        # from process-global state.
+        self._serial_index += 1
+        return deterministic_serial(self.name, subject, self._serial_index)
+
     def _register(self, cert: Certificate) -> None:
         self._issued[cert.serial] = cert
         self._known_serials.add(cert.serial)
@@ -130,7 +142,7 @@ class CertificateAuthority:
             subject=subject,
             san=san,
             issuer_name=self._issuer_subject(),
-            serial=next_serial(),
+            serial=self._next_serial(subject),
             not_before=now,
             not_after=now + (validity or self.policy.validity),
             ocsp_urls=(self._ocsp_url(),) if self.policy.include_ocsp else (),

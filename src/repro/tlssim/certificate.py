@@ -10,6 +10,7 @@ revocation *logic* is what the study exercises.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Optional
@@ -21,8 +22,26 @@ _serial_counter = itertools.count(1000)
 
 
 def next_serial() -> int:
-    """Allocate a process-unique serial number."""
+    """Allocate a process-unique serial number (ad-hoc certificates only).
+
+    Issuance through :class:`~repro.tlssim.ca.CertificateAuthority` uses
+    :func:`deterministic_serial` instead — serials key fault-injection
+    draws, so they must not depend on how many certificates happened to
+    be minted earlier in the interpreter.
+    """
     return next(_serial_counter)
+
+
+def deterministic_serial(issuer: str, subject: str, index: int) -> int:
+    """Derive a stable serial from the issuance context.
+
+    Hashing ``(issuer, subject, per-issuer issuance index)`` yields a
+    63-bit serial that is identical for the same issuance in any process,
+    worker, or resumed run, and collision-free across CAs in practice —
+    required because the client OCSP cache keys responses by serial alone.
+    """
+    payload = "\x1f".join((issuer, subject, str(index))).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") >> 1
 
 
 @dataclass(frozen=True)

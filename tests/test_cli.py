@@ -435,3 +435,133 @@ class TestTelemetryCommands:
             if e.get("name") == "site.measure" and e["ph"] == "B"
         }
         assert traced == {"google.com", "youtube.com"}
+
+
+class TestStoreCli:
+    @pytest.fixture()
+    def dataset_path(self, tmp_path):
+        path = tmp_path / "d.json"
+        assert main(
+            ["measure", *ARGS, "--limit", "15", "--quiet",
+             "--out", str(path)]
+        ) == 0
+        return path
+
+    def test_compile_then_query_top(self, capsys, dataset_path, tmp_path):
+        store = tmp_path / "d.rstore"
+        assert main(
+            ["compile", str(dataset_path), "--out", str(store)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert str(store) in err and "byte(s)" in err
+        assert main(
+            ["query", str(store), "--top", "3", "--service", "dns"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dns" in out
+
+    def test_compile_default_out_is_dataset_rstore(self, capsys, dataset_path):
+        assert main(["compile", str(dataset_path), "--quiet"]) == 0
+        store = str(dataset_path) + ".rstore"
+        assert main(["query", store, "--top", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"]["kind"] == "top"
+        assert payload["store"]["schema"] == "repro-store/1"
+
+    def test_query_site_and_whatif_json(self, capsys, dataset_path, tmp_path):
+        store = tmp_path / "d.rstore"
+        assert main(["compile", str(dataset_path), "--out", str(store),
+                     "--quiet"]) == 0
+        assert main(
+            ["query", str(store), "--site", "google.com", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["site"]["domain"] == "google.com"
+        provider = payload["site"]["dependencies"][0]["provider"]
+        assert main(
+            ["query", str(store), "--whatif", provider, "--json"]
+        ) == 0
+        whatif = json.loads(capsys.readouterr().out)
+        assert whatif["counts"]["down"] == len(whatif["down"])
+
+    def test_query_unknown_subject_fails(self, capsys, dataset_path, tmp_path):
+        store = tmp_path / "d.rstore"
+        assert main(["compile", str(dataset_path), "--out", str(store),
+                     "--quiet"]) == 0
+        assert main(["query", str(store), "--site", "nope.example"]) == 1
+        assert "nope.example" in capsys.readouterr().err
+
+    def test_query_requires_a_question(self, capsys, dataset_path, tmp_path):
+        store = tmp_path / "d.rstore"
+        assert main(["compile", str(dataset_path), "--out", str(store),
+                     "--quiet"]) == 0
+        assert main(["query", str(store)]) == 1
+        assert "name a query" in capsys.readouterr().err
+
+    def test_query_rejects_corrupt_store(self, capsys, tmp_path):
+        bad = tmp_path / "bad.rstore"
+        bad.write_bytes(b"not a store at all")
+        assert main(["query", str(bad), "--top", "1"]) == 1
+        assert "bad.rstore" in capsys.readouterr().err
+
+    def test_compile_missing_dataset_fails(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["compile", str(missing)]) == 1
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_query_interactive_loop(self, capsys, dataset_path, tmp_path,
+                                    monkeypatch):
+        import io as _io
+
+        store = tmp_path / "d.rstore"
+        assert main(["compile", str(dataset_path), "--out", str(store),
+                     "--quiet"]) == 0
+        monkeypatch.setattr(
+            "sys.stdin", _io.StringIO("top 3\nsite google.com\nstats\nquit\n")
+        )
+        assert main(["query", str(store), "--interactive"]) == 0
+        out = capsys.readouterr().out
+        assert "google.com" in out
+
+
+class TestStatsDatasetCache:
+    def test_stats_reuses_the_parsed_dataset(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Two ``stats`` runs over the same unchanged file must parse
+        the JSON once; editing the file must trigger a re-parse."""
+        from repro.measurement import io as io_module
+
+        dataset_path = tmp_path / "d.json"
+        assert main(
+            ["measure", *ARGS, "--limit", "10", "--quiet",
+             "--out", str(dataset_path)]
+        ) == 0
+        first_text = dataset_path.read_text(encoding="utf-8")
+        assert main(
+            ["measure", *ARGS, "--limit", "12", "--quiet",
+             "--out", str(dataset_path)]
+        ) == 0
+        second_text = dataset_path.read_text(encoding="utf-8")
+        dataset_path.write_text(first_text, encoding="utf-8")
+
+        calls = {"n": 0}
+        real_parse = io_module.dataset_from_json
+
+        def counting_parse(text):
+            calls["n"] += 1
+            return real_parse(text)
+
+        monkeypatch.setattr(io_module, "dataset_from_json", counting_parse)
+        io_module._dataset_cache.clear()
+
+        assert main(["stats", str(dataset_path), "--json"]) == 0
+        assert main(["stats", str(dataset_path), "--json"]) == 0
+        assert calls["n"] == 1  # second run served from the cache
+        capsys.readouterr()
+
+        dataset_path.write_text(second_text, encoding="utf-8")
+        assert main(["stats", str(dataset_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert calls["n"] == 2  # edited file re-parsed exactly once
+        assert payload["counters"]["sites"] == 12

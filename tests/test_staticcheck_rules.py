@@ -451,6 +451,58 @@ class TestRep006TelemetryBoundary:
         )
         assert result.clean
 
+    def test_store_importing_the_runner_is_flagged(self):
+        # A dotted forbidden target names one module: the layer DAG
+        # allows store -> measurement, but not the live-campaign runner.
+        result = lint(
+            "from repro.measurement.runner import MeasurementCampaign\n",
+            module="repro.store.compile",
+        )
+        assert rule_ids_of(result) == ["REP006"]
+        assert "never a live campaign" in result.findings[0].message
+
+    def test_store_lazy_runner_import_is_one_finding(self):
+        result = lint(
+            """
+            def freeze():
+                import repro.measurement.runner as runner
+                return runner
+            """,
+            module="repro.store.compile",
+        )
+        assert rule_ids_of(result) == ["REP006"]
+
+    def test_store_may_import_the_frozen_dataset_side(self):
+        result = lint(
+            "from repro.measurement.io import dataset_from_json\n"
+            "from repro.measurement.records import Dataset\n",
+            module="repro.store.compile",
+        )
+        assert result.clean
+
+    def test_core_importing_the_store_is_doubly_forbidden(self):
+        # Both the DAG (core is below store) and the explicit edge fire.
+        result = lint(
+            "from repro.store import StoreReader\n",
+            module="repro.core.pipeline",
+        )
+        assert sorted(set(rule_ids_of(result))) == ["REP003", "REP006"]
+
+    def test_query_importing_the_store_is_clean(self):
+        result = lint(
+            "from repro.store.reader import StoreReader\n",
+            module="repro.query.engine",
+        )
+        assert result.clean
+
+    def test_store_importing_query_violates_the_dag(self):
+        result = lint(
+            "from repro.query import QueryEngine\n",
+            module="repro.store.compile",
+        )
+        assert rule_ids_of(result) == ["REP003"]
+        assert "strictly downward" in result.findings[0].message
+
     def test_wallclock_call_in_serialized_module_is_flagged(self):
         result = lint(
             """

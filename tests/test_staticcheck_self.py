@@ -94,6 +94,8 @@ class TestTypeChecking:
                 str(repo_root / "pyproject.toml"),
                 str(SRC / "engine"),
                 str(SRC / "measurement" / "io.py"),
+                str(SRC / "store"),
+                str(SRC / "query"),
             ],
             capture_output=True,
             text=True,
