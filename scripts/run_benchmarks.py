@@ -20,6 +20,11 @@ under version control:
   fresh JSON -> ``analyze_dataset`` path it replaces. Unlike the other
   artifacts this one also carries *absolute* floors: ``--check`` fails
   below 1000 queries/sec warm or a 10x cold-serve speedup.
+* ``BENCH_serve.json``   — the serve daemon on two copies of that store
+  held open under the registry's memory cap: aggregate single-query
+  HTTP throughput from 4 client threads, and the batch endpoint's
+  amortized speedup over per-request round-trips. Absolute floors:
+  ``--check`` fails below 500 req/s or a 3x batch speedup.
 
 Modes::
 
@@ -60,10 +65,12 @@ GRAPH_SCHEMA = "repro-bench-graph/1"
 CASCADE_SCHEMA = "repro-bench-cascade/1"
 LINT_SCHEMA = "repro-bench-lint/1"
 QUERY_SCHEMA = "repro-bench-query/1"
+SERVE_SCHEMA = "repro-bench-serve/1"
 GRAPH_ARTIFACT = REPO_ROOT / "BENCH_graph.json"
 CASCADE_ARTIFACT = REPO_ROOT / "BENCH_cascade.json"
 LINT_ARTIFACT = REPO_ROOT / "BENCH_lint.json"
 QUERY_ARTIFACT = REPO_ROOT / "BENCH_query.json"
+SERVE_ARTIFACT = REPO_ROOT / "BENCH_serve.json"
 
 #: Throughput below this fraction of the recorded value fails --check.
 MIN_THROUGHPUT_RATIO = 0.2
@@ -73,6 +80,13 @@ MIN_THROUGHPUT_RATIO = 0.2
 #: it is not at least 10x faster than re-running the analyze path.
 QUERY_MIN_QPS = 1000.0
 QUERY_MIN_SPEEDUP = 10.0
+
+#: Daemon floors: a long-lived server that cannot clear 500 single
+#: requests/sec has lost to process startup, and a batch endpoint that
+#: does not amortize at least 3x over per-request round-trips is not
+#: paying for its envelope.
+SERVE_MIN_RPS = 500.0
+SERVE_MIN_BATCH_SPEEDUP = 3.0
 
 BENCH_N = 5000
 BENCH_SEED = 42
@@ -96,6 +110,10 @@ DETERMINISTIC_FIELDS = {
     QUERY_ARTIFACT.name: (
         "schema", "n", "seed", "websites", "providers",
         "store_bytes", "source_sha256",
+    ),
+    SERVE_ARTIFACT.name: (
+        "schema", "n", "seed", "stores", "open_stores", "websites",
+        "providers", "store_bytes",
     ),
 }
 
@@ -294,6 +312,157 @@ def run_query_bench(snapshot) -> dict:
     }
 
 
+def _serve_forever(daemon) -> None:
+    """Module-level serve loop entry (worker callables must not be
+    bound attributes — REP004)."""
+    daemon.serve_forever()
+
+
+def _serve_hammer_worker(host, port, mix, results, index) -> None:
+    """One client thread's share of the single-query hammer."""
+    from repro.serve.client import send_query
+
+    ok = 0
+    for store, query in mix:
+        status, _ = send_query(host, port, dict(query), store=store)
+        if status == 200:
+            ok += 1
+    results[index] = ok
+
+
+def run_serve_bench(snapshot) -> dict:
+    """Two copies of the bench store behind one daemon, hammered.
+
+    Floors are absolute: >= ``SERVE_MIN_RPS`` aggregate single-query
+    throughput from 4 client threads, and a batch round answering the
+    same mix at >= ``SERVE_MIN_BATCH_SPEEDUP`` the per-request pace.
+    """
+    import tempfile
+    import threading
+
+    from repro.serve.client import send_batch, send_query
+    from repro.serve.http import ReproServeDaemon
+    from repro.serve.registry import StoreRegistry
+    from repro.serve.service import ServeService
+
+    blob = compile_dataset_text(dataset_to_json(snapshot.dataset))
+    reader = StoreReader.from_bytes(blob)
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = {}
+        for name in ("epoch-a", "epoch-b"):
+            path = Path(tmp) / f"{name}.rstore"
+            path.write_bytes(blob)
+            paths[name] = str(path)
+        # The cap admits both stores — the acceptance shape: a
+        # multi-store registry holding >= 2 stores under its memory cap.
+        max_mem = 2 * len(blob)
+        registry = StoreRegistry(paths, max_mem_bytes=max_mem)
+        service = ServeService(registry)
+        daemon = ReproServeDaemon(service)
+        thread = threading.Thread(target=_serve_forever, args=(daemon,))
+        thread.start()
+        host, port = daemon.address
+        try:
+            stores = sorted(paths)
+            site_step = max(1, reader.n_sites // 20)
+            sites = [
+                reader.site_domain(i)
+                for i in range(0, reader.n_sites, site_step)
+            ]
+            modes = ("impact", "concentration")
+            services = ("dns", "cdn", "ca")
+            mix = []
+            for i in range(75):
+                store = stores[i % 2]
+                if i % 3 == 0:
+                    mix.append((store, {
+                        "kind": "top", "k": 10,
+                        "mode": modes[(i // 3) % 2],
+                        "service": services[(i // 3) % 3],
+                    }))
+                else:
+                    mix.append((store, {
+                        "kind": "site", "site": sites[i % len(sites)],
+                    }))
+            # Warm both stores (and their payload LRUs) off the clock.
+            for store, query in mix:
+                status, _ = send_query(host, port, dict(query), store=store)
+                if status != 200:
+                    raise AssertionError(f"warmup refused: {query}")
+
+            workers = 4
+            results = [0] * workers
+            threads = [
+                threading.Thread(
+                    target=_serve_hammer_worker,
+                    args=(host, port, mix, results, index),
+                )
+                for index in range(workers)
+            ]
+            start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join()
+            hammer_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+            requests = workers * len(mix)
+            if sum(results) != requests:
+                raise AssertionError(
+                    f"hammer saw non-200s: {results} of {len(mix)} each"
+                )
+
+            # Amortization: the same mix as N round-trips vs one batch.
+            items = [
+                {"store": store, "query": dict(query)}
+                for store, query in mix
+            ]
+            rounds = 5
+            start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+            for _ in range(rounds):
+                for item in items:
+                    send_query(
+                        host, port, dict(item["query"]),
+                        store=item["store"],
+                    )
+            singles_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+            start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+            for _ in range(rounds):
+                status, _ = send_batch(
+                    host, port, [dict(item) for item in items]
+                )
+                if status != 200:
+                    raise AssertionError("batch request refused")
+            batch_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+
+            stats = registry.stats()
+        finally:
+            daemon.request_drain()
+            thread.join(10)
+            daemon.server_close()
+
+    return {
+        "schema": SERVE_SCHEMA,
+        "n": BENCH_N,
+        "seed": BENCH_SEED,
+        "stores": stats["stores"],
+        "open_stores": stats["open"],
+        "websites": reader.n_sites,
+        "providers": reader.n_providers,
+        "store_bytes": len(blob),
+        "max_mem_bytes": max_mem,
+        "mapped_bytes": stats["mapped_bytes"],
+        "hammer_threads": workers,
+        "hammer_requests": requests,
+        "hammer_s": round(hammer_s, 4),
+        "requests_per_sec": round(requests / hammer_s, 0) if hammer_s else 0.0,
+        "batch_rounds": rounds,
+        "batch_items": len(items),
+        "singles_s": round(singles_s, 4),
+        "batch_s": round(batch_s, 4),
+        "batch_speedup_x": round(singles_s / batch_s, 1) if batch_s else 0.0,
+    }
+
+
 def _write(path: Path, artifact: dict) -> None:
     path.write_text(
         json.dumps(artifact, indent=1, sort_keys=True) + "\n",
@@ -316,7 +485,10 @@ def _check(path: Path, fresh: dict) -> list[str]:
                 f"{recorded.get(key)!r} -> {fresh.get(key)!r} "
                 f"(deterministic field; update the artifact if intended)"
             )
-    for rate_key in ("ticks_per_sec", "files_per_sec", "queries_per_sec"):
+    for rate_key in (
+        "ticks_per_sec", "files_per_sec", "queries_per_sec",
+        "requests_per_sec",
+    ):
         if rate_key not in fresh:
             continue
         recorded_rate = recorded.get(rate_key) or 0.0
@@ -337,6 +509,24 @@ def _check(path: Path, fresh: dict) -> list[str]:
             problems.append(
                 f"{path.name}: cold serve only {fresh['speedup_x']}x "
                 f"faster than fresh analyze (floor {QUERY_MIN_SPEEDUP}x)"
+            )
+    if path.name == SERVE_ARTIFACT.name:
+        if fresh["requests_per_sec"] < SERVE_MIN_RPS:
+            problems.append(
+                f"{path.name}: daemon below the absolute floor — "
+                f"{fresh['requests_per_sec']} requests/sec < {SERVE_MIN_RPS}"
+            )
+        if fresh["batch_speedup_x"] < SERVE_MIN_BATCH_SPEEDUP:
+            problems.append(
+                f"{path.name}: batch endpoint only "
+                f"{fresh['batch_speedup_x']}x faster than per-request "
+                f"round-trips (floor {SERVE_MIN_BATCH_SPEEDUP}x)"
+            )
+        if fresh["open_stores"] < 2:
+            problems.append(
+                f"{path.name}: registry held only "
+                f"{fresh['open_stores']} store(s) open under the memory "
+                f"cap — the multi-store shape regressed"
             )
     return problems
 
@@ -387,14 +577,25 @@ def main(argv: list[str] | None = None) -> int:
         file=sys.stderr,
     )
 
+    serve_artifact = run_serve_bench(snapshot)
+    print(
+        f"[bench] serve: {serve_artifact['open_stores']} store(s) open, "
+        f"{serve_artifact['requests_per_sec']} requests/sec from "
+        f"{serve_artifact['hammer_threads']} thread(s), batch "
+        f"{serve_artifact['batch_speedup_x']}x over singles",
+        file=sys.stderr,
+    )
+
     if args.update:
         _write(GRAPH_ARTIFACT, graph_artifact)
         _write(CASCADE_ARTIFACT, cascade_artifact)
         _write(LINT_ARTIFACT, lint_artifact)
         _write(QUERY_ARTIFACT, query_artifact)
+        _write(SERVE_ARTIFACT, serve_artifact)
         print(
             f"[bench] wrote {GRAPH_ARTIFACT.name}, {CASCADE_ARTIFACT.name}, "
-            f"{LINT_ARTIFACT.name} and {QUERY_ARTIFACT.name}",
+            f"{LINT_ARTIFACT.name}, {QUERY_ARTIFACT.name} and "
+            f"{SERVE_ARTIFACT.name}",
             file=sys.stderr,
         )
         return 0
@@ -403,6 +604,7 @@ def main(argv: list[str] | None = None) -> int:
         problems += _check(CASCADE_ARTIFACT, cascade_artifact)
         problems += _check(LINT_ARTIFACT, lint_artifact)
         problems += _check(QUERY_ARTIFACT, query_artifact)
+        problems += _check(SERVE_ARTIFACT, serve_artifact)
         for problem in problems:
             print(f"[bench] FAIL {problem}", file=sys.stderr)
         if problems:
@@ -411,7 +613,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     print(json.dumps(
         {"graph": graph_artifact, "cascade": cascade_artifact,
-         "lint": lint_artifact, "query": query_artifact},
+         "lint": lint_artifact, "query": query_artifact,
+         "serve": serve_artifact},
         indent=1, sort_keys=True,
     ))
     return 0

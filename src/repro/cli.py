@@ -26,7 +26,15 @@ Subcommands::
     python -m repro compile   <dataset.json> [--out ds.rstore]
     python -m repro query     <ds.rstore> [--top K] [--mode M] [--service S]
                               [--site DOMAIN] [--dependents P] [--whatif P]
-                              [--json] [--interactive]
+                              [--json] [--interactive] [--stats]
+    python -m repro serve     <name=store.rstore ...> [--host H] [--port P]
+                              [--max-mem BYTES] [--max-inflight N]
+                              [--max-batch N] [--deadline S] [--cache-size N]
+    python -m repro client    [--host H] --port P [--store NAME]
+                              [--top K] [--mode M] [--service S]
+                              [--site DOMAIN] [--dependents P] [--whatif P]
+                              [--batch FILE] [--diff A B] [--text]
+                              [--health] [--statz]
     python -m repro faults    validate <plan.json>
     python -m repro lint      [paths...] [--format json|sarif] [--rules ...]
                               [--jobs N] [--cache PATH] [--sarif PATH] [--fix]
@@ -48,7 +56,11 @@ campaign metrics from a checkpoint directory or a frozen dataset;
 ``compile`` freezes a dataset into a ``repro-store/1`` binary store and
 ``query`` serves top-K/site/dependents/what-if questions from it —
 one-shot flags or an interactive loop — without ever re-reading the
-JSON; ``lint`` runs the :mod:`repro.staticcheck` invariant rule pack
+JSON; ``serve`` keeps many stores hot behind a long-lived HTTP daemon
+speaking the ``repro-serve/1`` protocol (batched answering, cross-store
+diffs, load shedding, graceful drain on SIGTERM) and ``client`` asks it
+questions — every daemon answer byte-identical to ``query --json``;
+``lint`` runs the :mod:`repro.staticcheck` invariant rule pack
 (REP001..REP006) over the source tree.
 """
 
@@ -326,6 +338,103 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--interactive", action="store_true",
         help="drop into the query loop (top | site | deps | whatif | stats)",
+    )
+    p_query.add_argument(
+        "--stats", action="store_true",
+        help="print engine LRU cache counters to stderr when done",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived multi-store query daemon"
+    )
+    p_serve.add_argument(
+        "stores", nargs="+", metavar="STORE",
+        help="stores to serve, as NAME=PATH or a bare .rstore path",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 picks a free one, announced on stderr)",
+    )
+    p_serve.add_argument(
+        "--max-mem", type=int, default=None, metavar="BYTES",
+        help="global cap on mmapped store bytes; least-recently-queried "
+             "stores are evicted to stay under it",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=32, metavar="N",
+        help="concurrent requests admitted before shedding with 429",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=256, metavar="N",
+        help="queries accepted per batch request",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline before a typed 503 (0 disables)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=128, metavar="N",
+        help="per-store payload LRU capacity",
+    )
+
+    p_client = sub.add_parser(
+        "client", help="query a running serve daemon"
+    )
+    p_client.add_argument("--host", default="127.0.0.1", help="daemon host")
+    p_client.add_argument(
+        "--port", type=int, required=True, help="daemon port"
+    )
+    p_client.add_argument(
+        "--store", default=None, metavar="NAME",
+        help="store to ask (optional when the daemon serves exactly one)",
+    )
+    p_client.add_argument(
+        "--top", type=int, default=None, metavar="K",
+        help="ask for the top-K providers",
+    )
+    p_client.add_argument(
+        "--mode", default="impact",
+        choices=(
+            "impact", "concentration", "direct_impact", "direct_concentration"
+        ),
+        help="ranking metric for --top",
+    )
+    p_client.add_argument(
+        "--service", default="dns", choices=("dns", "cdn", "ca"),
+        help="service type for --top",
+    )
+    p_client.add_argument(
+        "--site", default=None, metavar="DOMAIN",
+        help="ask for one website's dependencies + exposure",
+    )
+    p_client.add_argument(
+        "--dependents", default=None, metavar="PROVIDER",
+        help="ask who depends on a provider (service:id form)",
+    )
+    p_client.add_argument(
+        "--whatif", default=None, metavar="PROVIDER",
+        help="ask for the blast radius of a provider failure",
+    )
+    p_client.add_argument(
+        "--batch", default=None, metavar="FILE",
+        help="send a batch request from a JSON file of {store, query} items",
+    )
+    p_client.add_argument(
+        "--diff", nargs=2, default=None, metavar=("STORE_A", "STORE_B"),
+        help="ask the query of two stores and include the delta",
+    )
+    p_client.add_argument(
+        "--text", action="store_true",
+        help="render a single-query answer as text instead of raw JSON",
+    )
+    p_client.add_argument(
+        "--health", action="store_true", help="fetch /healthz and exit"
+    )
+    p_client.add_argument(
+        "--statz", action="store_true", help="fetch /statz and exit"
     )
 
     p_faults = sub.add_parser("faults", help="fault-plan utilities")
@@ -937,6 +1046,8 @@ def cmd_query(args) -> int:
             )
             return 1
         query_repl(engine, sys.stdin, sys.stdout)
+        if args.stats:
+            _print_cache_stats(engine)
         return 0
     if not one_shots:
         print(
@@ -952,6 +1063,143 @@ def cmd_query(args) -> int:
         except QueryError as exc:
             print(f"query: {exc}", file=sys.stderr)
             return 1
+    if args.stats:
+        _print_cache_stats(engine)
+    return 0
+
+
+def _print_cache_stats(engine) -> None:
+    """Surface the engine's LRU counters on stderr (``query --stats``)."""
+    cache = engine.cache_stats()
+    print(
+        f"query: cache {cache['size']}/{cache['capacity']} entries, "
+        f"{cache['hits']} hit(s), {cache['misses']} miss(es), "
+        f"{cache['evictions']} eviction(s)",
+        file=sys.stderr,
+    )
+
+
+def cmd_serve(args) -> int:
+    import os
+
+    from repro.serve import StoreRegistry, parse_store_specs
+    from repro.serve.http import ReproServeDaemon
+    from repro.serve.service import ServeService
+
+    try:
+        specs = parse_store_specs(args.stores)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    for name, path in specs.items():
+        if not os.path.isfile(path):
+            print(
+                f"serve: store {name!r}: no such file {path!r}",
+                file=sys.stderr,
+            )
+            return 1
+    registry = StoreRegistry(
+        specs, max_mem_bytes=args.max_mem, cache_size=args.cache_size
+    )
+    service = ServeService(registry, max_batch=args.max_batch)
+    daemon = ReproServeDaemon(
+        service,
+        host=args.host,
+        port=args.port,
+        deadline_s=args.deadline,
+        max_inflight=args.max_inflight,
+    )
+    daemon.install_sigterm_drain()
+    host, port = daemon.address
+    print(
+        f"[serve] listening on http://{host}:{port} "
+        f"({len(specs)} store(s): {', '.join(registry.names())})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        daemon.serve_forever()
+    finally:
+        daemon.server_close()
+    print("[serve] drained, all in-flight requests done", file=sys.stderr)
+    return 0
+
+
+def cmd_client(args) -> int:
+    import json as json_module
+
+    from repro.query.render import payload_to_text
+    from repro.serve.client import (
+        ClientTransportError,
+        fetch_health,
+        fetch_stats,
+        load_batch_file,
+        send_batch,
+        send_diff,
+        send_query,
+    )
+
+    query: dict | None = None
+    if args.top is not None:
+        query = {
+            "kind": "top",
+            "k": args.top,
+            "mode": args.mode,
+            "service": args.service,
+        }
+    for kind, value in (
+        ("site", args.site),
+        ("dependents", args.dependents),
+        ("whatif", args.whatif),
+    ):
+        if value is None:
+            continue
+        if query is not None:
+            print(
+                "client: name exactly one query "
+                "(--top/--site/--dependents/--whatif)",
+                file=sys.stderr,
+            )
+            return 1
+        key = "site" if kind == "site" else "provider"
+        query = {"kind": kind, key: value}
+    modes = sum(
+        (args.health, args.statz, args.batch is not None, query is not None)
+    )
+    if modes != 1:
+        print(
+            "client: pick one of --health, --statz, --batch, or a single "
+            "query (--top/--site/--dependents/--whatif)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        if args.health:
+            status, body = fetch_health(args.host, args.port)
+        elif args.statz:
+            status, body = fetch_stats(args.host, args.port)
+        elif args.batch is not None:
+            queries = load_batch_file(args.batch)
+            status, body = send_batch(args.host, args.port, queries)
+        elif args.diff is not None:
+            status, body = send_diff(
+                args.host, args.port, args.diff[0], args.diff[1], query
+            )
+        else:
+            status, body = send_query(
+                args.host, args.port, query, store=args.store
+            )
+    except (ClientTransportError, OSError, ValueError) as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 1
+    text = body.decode("utf-8")
+    if status >= 400:
+        print(text, file=sys.stderr)
+        return 1
+    if args.text and query is not None and args.diff is None:
+        print(payload_to_text(json_module.loads(text)))
+    else:
+        print(text)
     return 0
 
 
@@ -1003,6 +1251,8 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "compile": cmd_compile,
     "query": cmd_query,
+    "serve": cmd_serve,
+    "client": cmd_client,
     "faults": cmd_faults,
     "lint": cmd_lint,
 }

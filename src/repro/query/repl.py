@@ -14,6 +14,10 @@ Commands::
     stats                      engine + LRU cache counters
     help                       this text
     quit / exit                leave (EOF works too)
+
+Unknown site/provider names are typed one-line answers (``error: ...``),
+never tracebacks — a :class:`QueryError` from any command is caught at
+the loop, the same contract the cascade REPL keeps.
 """
 
 from __future__ import annotations
@@ -67,10 +71,7 @@ def _cmd_lookup(
         "deps": engine.dependents,
         "whatif": engine.whatif,
     }
-    try:
-        print(payload_to_text(methods[command](argument)), file=out)
-    except QueryError as exc:
-        print(str(exc), file=out)
+    print(payload_to_text(methods[command](argument)), file=out)
 
 
 def _cmd_stats(engine: QueryEngine, out: TextIO) -> None:
@@ -115,14 +116,21 @@ def query_repl(
         handled += 1
         if command in ("quit", "exit", "q"):
             break
-        if command == "help":
-            print(_HELP, file=out_stream)
-        elif command == "top":
-            _cmd_top(engine, argument, out_stream)
-        elif command in ("site", "deps", "whatif"):
-            _cmd_lookup(engine, command, argument, out_stream)
-        elif command == "stats":
-            _cmd_stats(engine, out_stream)
-        else:
-            print(f"unknown command {command!r}; {_HELP}", file=out_stream)
+        try:
+            if command == "help":
+                print(_HELP, file=out_stream)
+            elif command == "top":
+                _cmd_top(engine, argument, out_stream)
+            elif command in ("site", "deps", "whatif"):
+                _cmd_lookup(engine, command, argument, out_stream)
+            elif command == "stats":
+                _cmd_stats(engine, out_stream)
+            else:
+                print(
+                    f"unknown command {command!r}; {_HELP}", file=out_stream
+                )
+        except QueryError as exc:
+            # Same contract as the cascade REPL: a semantic miss is a
+            # typed one-line answer, never a traceback out of the loop.
+            print(f"error: {exc}", file=out_stream)
     return handled

@@ -1,0 +1,57 @@
+"""repro.serve — the long-lived multi-store query daemon (layer 12).
+
+The one-shot ``repro query`` path pays process startup per question
+and sees one store at a time. This package keeps many ``repro-store/1``
+files hot behind a stdlib HTTP daemon speaking the versioned
+``repro-serve/1`` JSON protocol, with batched answering, cross-store
+diffs, bounded-load shedding, and graceful drain — while every answer
+stays byte-identical to ``repro query --json``.
+
+Module map (lower may not import higher):
+
+* :mod:`repro.serve.protocol` — wire schema, typed errors, diffing
+* :mod:`repro.serve.registry` — multi-store mmap registry + eviction
+* :mod:`repro.serve.service`  — transport-independent request answering
+* :mod:`repro.serve.http`     — sockets, limits, deadlines, drain
+* :mod:`repro.serve.client`   — stdlib client used by ``repro client``
+"""
+
+from repro.serve.protocol import (
+    PROTOCOL_SCHEMA,
+    QUERY_KINDS,
+    BadRequestError,
+    DeadlineError,
+    DrainingError,
+    OverloadedError,
+    Query,
+    ServeError,
+    UnknownStoreError,
+    classify_error,
+    diff_payloads,
+    error_payload,
+    parse_query,
+    run_query,
+)
+from repro.serve.registry import OpenStore, StoreRegistry, parse_store_specs
+from repro.serve.service import ServeService
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "QUERY_KINDS",
+    "BadRequestError",
+    "DeadlineError",
+    "DrainingError",
+    "OpenStore",
+    "OverloadedError",
+    "Query",
+    "ServeError",
+    "ServeService",
+    "StoreRegistry",
+    "UnknownStoreError",
+    "classify_error",
+    "diff_payloads",
+    "error_payload",
+    "parse_query",
+    "parse_store_specs",
+    "run_query",
+]

@@ -1,0 +1,116 @@
+"""A tiny stdlib client for the serve daemon.
+
+Used by the ``repro client`` subcommand and the differential tests.
+Every helper returns ``(http status, raw body bytes)`` — the body is
+deliberately *not* re-parsed on the happy path, because the client's
+contract is to hand back the daemon's bytes untouched (that is what
+the byte-identity harness compares against ``repro query --json``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Optional
+
+
+class ClientTransportError(Exception):
+    """The daemon could not be reached or closed the connection."""
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    doc: Optional[dict[str, Any]] = None,
+    timeout: float = 30.0,
+) -> tuple[int, bytes]:
+    """One HTTP exchange; returns ``(status, body bytes)``."""
+    conn = HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None
+        headers: dict[str, str] = {}
+        if doc is not None:
+            body = json.dumps(doc).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except OSError as exc:
+            raise ClientTransportError(
+                f"{method} http://{host}:{port}{path} failed: {exc}"
+            ) from exc
+    finally:
+        conn.close()
+
+
+def send_query(
+    host: str,
+    port: int,
+    query: dict[str, Any],
+    store: Optional[str] = None,
+    timeout: float = 30.0,
+) -> tuple[int, bytes]:
+    doc: dict[str, Any] = {"query": query}
+    if store is not None:
+        doc["store"] = store
+    return request(host, port, "POST", "/v1/query", doc, timeout)
+
+
+def send_batch(
+    host: str,
+    port: int,
+    queries: list[dict[str, Any]],
+    timeout: float = 30.0,
+) -> tuple[int, bytes]:
+    return request(
+        host, port, "POST", "/v1/batch", {"queries": queries}, timeout
+    )
+
+
+def send_diff(
+    host: str,
+    port: int,
+    store_a: str,
+    store_b: str,
+    query: dict[str, Any],
+    timeout: float = 30.0,
+) -> tuple[int, bytes]:
+    doc = {"store_a": store_a, "store_b": store_b, "query": query}
+    return request(host, port, "POST", "/v1/diff", doc, timeout)
+
+
+def fetch_health(
+    host: str, port: int, timeout: float = 30.0
+) -> tuple[int, bytes]:
+    return request(host, port, "GET", "/healthz", timeout=timeout)
+
+
+def fetch_stats(
+    host: str, port: int, timeout: float = 30.0
+) -> tuple[int, bytes]:
+    return request(host, port, "GET", "/statz", timeout=timeout)
+
+
+def load_batch_file(path: str) -> list[dict[str, Any]]:
+    """Read a batch request from a JSON file.
+
+    Accepts either a bare array of ``{store, query}`` items or a full
+    ``{"queries": [...]}`` envelope, so a captured request body can be
+    replayed as-is.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if isinstance(doc, dict):
+        doc = doc.get("queries")
+    if not isinstance(doc, list) or not doc:
+        raise ValueError(
+            f"{path}: expected a JSON array of queries or a "
+            f"{{'queries': [...]}} object"
+        )
+    for index, item in enumerate(doc):
+        if not isinstance(item, dict):
+            raise ValueError(f"{path}: batch item {index} is not an object")
+    return doc

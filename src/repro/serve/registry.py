@@ -1,0 +1,180 @@
+"""Many stores hot at once: the daemon's mmap registry.
+
+A :class:`StoreRegistry` maps store *names* to ``.rstore`` paths and
+opens them lazily — a :class:`~repro.store.reader.StoreReader` mmap
+plus a :class:`~repro.query.engine.QueryEngine` (each with its own
+bounded payload LRU) per open store. Open stores are kept in an
+insertion-ordered dict whose order *is* recency, exactly like
+:class:`repro.query.lru.LRUCache`: acquiring a store pops and
+re-inserts it, and when the sum of mapped bytes would exceed the
+global memory cap the least-recently-queried store is dropped. The cap
+is a high-water mark over *other* stores — the store being opened is
+never its own eviction victim, so a single store larger than the cap
+still serves (with everything else evicted).
+
+Thread model: one registry lock guards the name→engine map and the
+counters; each open store carries its own lock which callers must hold
+while running engine queries (the engine's LRU is not thread-safe).
+Evicting a store only drops the registry's reference — a request that
+already acquired it finishes on the old mmap unharmed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.query.engine import QueryEngine
+from repro.serve.protocol import UnknownStoreError
+from repro.store.reader import StoreReader
+
+
+@dataclass
+class OpenStore:
+    """One hot store: its engine, its lock, and its mapped size."""
+
+    name: str
+    engine: QueryEngine
+    nbytes: int
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+def parse_store_specs(specs: list[str]) -> dict[str, str]:
+    """``name=path`` or bare-path store arguments → ``{name: path}``.
+
+    A bare path is named by its filename stem (``y2016.rstore`` →
+    ``y2016``). Duplicate or empty names are configuration errors.
+    """
+    stores: dict[str, str] = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            path = spec
+            name = os.path.basename(spec)
+            for suffix in (".rstore", ".json"):
+                if name.endswith(suffix):
+                    name = name[: -len(suffix)]
+                    break
+        if not name or not path:
+            raise ValueError(f"bad store spec {spec!r}; use NAME=PATH")
+        if name in stores:
+            raise ValueError(
+                f"duplicate store name {name!r} "
+                f"({stores[name]!r} vs {path!r}); use NAME=PATH to rename"
+            )
+        stores[name] = path
+    if not stores:
+        raise ValueError("at least one store is required")
+    return stores
+
+
+class StoreRegistry:
+    """Name→store map with lazy open and least-recently-queried eviction."""
+
+    def __init__(
+        self,
+        stores: Mapping[str, str],
+        max_mem_bytes: Optional[int] = None,
+        cache_size: int = 128,
+    ) -> None:
+        if not stores:
+            raise ValueError("registry needs at least one store")
+        self._paths: dict[str, str] = {
+            name: stores[name] for name in sorted(stores)
+        }
+        self._max_mem = max_mem_bytes if max_mem_bytes else None
+        self._cache_size = cache_size
+        self._lock = threading.Lock()
+        self._open: dict[str, OpenStore] = {}  # insertion order == recency
+        self._queries: dict[str, int] = {name: 0 for name in self._paths}
+        self.opens = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup --------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Every registered store name, sorted."""
+        return list(self._paths)
+
+    def path(self, name: str) -> str:
+        if name not in self._paths:
+            raise UnknownStoreError(
+                f"unknown store {name!r}; serving {self.names()}"
+            )
+        return self._paths[name]
+
+    def default_name(self) -> Optional[str]:
+        """The single registered name, or None when ambiguous."""
+        return next(iter(self._paths)) if len(self._paths) == 1 else None
+
+    def acquire(self, name: str) -> OpenStore:
+        """The hot store for ``name``, opening (and evicting) as needed.
+
+        Callers must hold the returned store's ``lock`` while querying
+        its engine. Raises :class:`UnknownStoreError` for unregistered
+        names and the store error taxonomy for unreadable files.
+        """
+        with self._lock:
+            path = self.path(name)
+            entry = self._open.pop(name, None)
+            if entry is not None:
+                self._open[name] = entry  # re-insert: now most recent
+                self.hits += 1
+            else:
+                self.misses += 1
+                entry = self._open_locked(name, path)
+            self._queries[name] += 1
+            return entry
+
+    def _open_locked(self, name: str, path: str) -> OpenStore:
+        nbytes = os.path.getsize(path)
+        engine = QueryEngine(
+            StoreReader.load(path), cache_size=self._cache_size
+        )
+        if self._max_mem is not None:
+            while self._open and self.mapped_bytes + nbytes > self._max_mem:
+                evicted = next(iter(self._open))  # least recently queried
+                del self._open[evicted]
+                self.evictions += 1
+        entry = OpenStore(name=name, engine=engine, nbytes=nbytes)
+        self._open[name] = entry
+        self.opens += 1
+        return entry
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self._open.values())
+
+    def stats(self) -> dict[str, Any]:
+        """Registry occupancy and per-store serving counters (/statz)."""
+        with self._lock:
+            per_store: dict[str, Any] = {}
+            for name in self._paths:
+                entry = self._open.get(name)
+                per_store[name] = {
+                    "open": entry is not None,
+                    "bytes": entry.nbytes if entry is not None else 0,
+                    "queries": self._queries[name],
+                    "cache": (
+                        entry.engine.cache_stats()
+                        if entry is not None
+                        else None
+                    ),
+                }
+            return {
+                "stores": len(self._paths),
+                "open": len(self._open),
+                "mapped_bytes": self.mapped_bytes,
+                "max_mem_bytes": self._max_mem or 0,
+                "opens": self.opens,
+                "evictions": self.evictions,
+                "hits": self.hits,
+                "misses": self.misses,
+                "per_store": per_store,
+            }

@@ -1,0 +1,202 @@
+"""The transport-independent serving core.
+
+:class:`ServeService` is everything the daemon does, minus sockets: it
+resolves store names through the :class:`StoreRegistry`, answers
+single/batch/diff requests, and keeps the request counters that
+``/statz`` reports (a :class:`repro.telemetry.MetricsRegistry` behind a
+lock — the registry itself is single-threaded by design). Tests drive
+this class directly; :mod:`repro.serve.http` is a thin byte pump over
+it.
+
+The byte-identity contract: :meth:`answer` returns the *exact* payload
+dict the one-shot ``repro query --json`` path produces for the same
+store, and every batch item / diff half is that same dict — canonical
+JSON rendering of any of them reproduces the CLI bytes.
+
+Batch answering is vectorized per store: items are grouped by store
+name, each group resolves its store through the registry **once** (one
+LRU touch, at most one open) and answers under that store's lock in
+item order — N items over S stores cost S registry passes, not N.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Mapping, Optional
+
+from repro.serve.protocol import (
+    PROTOCOL_SCHEMA,
+    BadRequestError,
+    Query,
+    classify_error,
+    diff_payloads,
+    parse_query,
+    run_query,
+)
+from repro.serve.registry import StoreRegistry
+from repro.telemetry import MetricsRegistry
+
+#: Called between batch items; raises DeadlineError past the deadline.
+DeadlineCheck = Callable[[], None]
+
+
+class ServeService:
+    """Answers ``repro-serve/1`` requests against a store registry."""
+
+    def __init__(
+        self,
+        registry: StoreRegistry,
+        max_batch: int = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.registry = registry
+        self.max_batch = max_batch
+        self.counters = MetricsRegistry()
+        self._counter_lock = threading.Lock()
+
+    # -- counters ------------------------------------------------------------
+
+    def record(self, endpoint: str, status: int) -> None:
+        """Count one finished (or shed) request for ``/statz``."""
+        with self._counter_lock:
+            self.counters.count("requests", endpoint=endpoint, status=status)
+
+    # -- introspection endpoints ---------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return {
+            "schema": PROTOCOL_SCHEMA,
+            "status": "ok",
+            "stores": self.registry.names(),
+        }
+
+    def statz(self) -> dict[str, Any]:
+        with self._counter_lock:
+            requests = self.counters.counters()
+        return {
+            "schema": PROTOCOL_SCHEMA,
+            "registry": self.registry.stats(),
+            "requests": requests,
+        }
+
+    # -- request answering ---------------------------------------------------
+
+    def _resolve_name(self, request: Mapping[str, Any], key: str) -> str:
+        name = request.get(key)
+        if name is None and key == "store":
+            name = self.registry.default_name()
+            if name is None:
+                raise BadRequestError(
+                    f"'store' is required when serving more than one "
+                    f"store ({self.registry.names()})"
+                )
+        if not isinstance(name, str) or not name:
+            raise BadRequestError(
+                f"{key!r} must be a non-empty string, got {name!r}"
+            )
+        return name
+
+    def _answer_one(self, name: str, query: Query) -> dict[str, Any]:
+        entry = self.registry.acquire(name)
+        with entry.lock:
+            return run_query(entry.engine, query)
+
+    def answer(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """One query → the one-shot CLI's payload dict, byte for byte."""
+        if not isinstance(request, Mapping):
+            raise BadRequestError("request body must be a JSON object")
+        name = self._resolve_name(request, "store")
+        query = parse_query(request.get("query"))
+        return self._answer_one(name, query)
+
+    def answer_batch(
+        self,
+        request: Mapping[str, Any],
+        deadline_check: Optional[DeadlineCheck] = None,
+    ) -> dict[str, Any]:
+        """N heterogeneous queries in one envelope, answered per store.
+
+        Per-item failures (bad shape, unknown store/name) come back
+        inline as ``{"status": ..., "error": ...}`` items; only a
+        malformed envelope or a blown deadline fails the whole request.
+        """
+        if not isinstance(request, Mapping):
+            raise BadRequestError("request body must be a JSON object")
+        items = request.get("queries")
+        if not isinstance(items, list) or not items:
+            raise BadRequestError(
+                "'queries' must be a non-empty array of "
+                "{store, query} objects"
+            )
+        if len(items) > self.max_batch:
+            raise BadRequestError(
+                f"batch of {len(items)} exceeds the limit of "
+                f"{self.max_batch} queries per request"
+            )
+        results: list[Optional[dict[str, Any]]] = [None] * len(items)
+        groups: dict[str, list[tuple[int, Query]]] = {}
+        for index, item in enumerate(items):
+            try:
+                if not isinstance(item, Mapping):
+                    raise BadRequestError(
+                        f"batch item {index} must be an object"
+                    )
+                name = self._resolve_name(item, "store")
+                query = parse_query(item.get("query"))
+            except BadRequestError as exc:
+                status, payload = classify_error(exc)
+                results[index] = {"status": status, "error": payload["error"]}
+            else:
+                groups.setdefault(name, []).append((index, query))
+        for name, group in groups.items():
+            if deadline_check is not None:
+                deadline_check()
+            try:
+                entry = self.registry.acquire(name)
+            except Exception as exc:  # typed: unknown-store / store errors
+                status, payload = classify_error(exc)
+                for index, _ in group:
+                    results[index] = {
+                        "status": status,
+                        "error": payload["error"],
+                    }
+                continue
+            with entry.lock:
+                for index, query in group:
+                    if deadline_check is not None:
+                        deadline_check()
+                    try:
+                        answer = run_query(entry.engine, query)
+                    except Exception as exc:
+                        status, payload = classify_error(exc)
+                        results[index] = {
+                            "status": status,
+                            "error": payload["error"],
+                        }
+                    else:
+                        results[index] = {"status": 200, "payload": answer}
+        return {"schema": PROTOCOL_SCHEMA, "results": results}
+
+    def answer_diff(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """The same question asked of two stores, plus a delta block.
+
+        The ``a``/``b`` halves are the untouched single-query payloads
+        (still byte-identical to the one-shot CLI against either store);
+        the delta is derived purely from those two dicts.
+        """
+        if not isinstance(request, Mapping):
+            raise BadRequestError("request body must be a JSON object")
+        name_a = self._resolve_name(request, "store_a")
+        name_b = self._resolve_name(request, "store_b")
+        query = parse_query(request.get("query"))
+        payload_a = self._answer_one(name_a, query)
+        payload_b = self._answer_one(name_b, query)
+        return {
+            "schema": PROTOCOL_SCHEMA,
+            "query": query.to_wire(),
+            "stores": {"a": name_a, "b": name_b},
+            "a": payload_a,
+            "b": payload_b,
+            "delta": diff_payloads(query, payload_a, payload_b),
+        }

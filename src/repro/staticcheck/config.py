@@ -22,8 +22,9 @@ def _default_layers() -> dict[str, int]:
     # pseudo-package for modules directly under ``repro`` (cli.py,
     # __main__.py, __init__.py). The serving side sits above the batch
     # pipeline: ``store`` compiles analyzed snapshots into frozen
-    # binaries, ``query`` answers from them — only the CLI sees both
-    # worlds (DESIGN §14).
+    # binaries, ``query`` answers from them, ``serve`` keeps many
+    # stores hot behind the daemon — only the CLI sees both worlds
+    # (DESIGN §14, §15).
     return {
         "staticcheck": 0,
         "names": 0,
@@ -41,7 +42,8 @@ def _default_layers() -> dict[str, int]:
         "cascade": 8,
         "store": 9,
         "query": 10,
-        "cli": 11,
+        "serve": 12,
+        "cli": 13,
     }
 
 
@@ -106,8 +108,10 @@ class LintConfig:
     # permits but this repository forbids. A dotted target names one
     # module inside a package (``measurement.runner``); a bare target
     # forbids the whole package. Core must never grow an observability
-    # (or serving-layer) dependency, and the store/query side reads
-    # frozen datasets only — never a live campaign.
+    # (or serving-layer) dependency, and the store/query/serve side
+    # reads frozen datasets only — never a live campaign, a world
+    # generator, or a simulator (the daemon serves answers, it does
+    # not make measurements).
     rep006_wallclock_modules: frozenset[str] = frozenset(
         {"repro.telemetry.profile"}
     )
@@ -126,6 +130,9 @@ class LintConfig:
             ("core", "query"),
             ("store", "measurement.runner"),
             ("query", "measurement.runner"),
+            ("serve", "measurement.runner"),
+            ("serve", "engine"),
+            ("serve", "worldgen"),
         }
     )
 

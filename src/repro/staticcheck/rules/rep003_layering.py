@@ -12,12 +12,13 @@ Packages form strict layers (see ``LintConfig.rep003_layers``)::
                   -> engine | failures          (7)   peer consumers
                     -> analysis | cascade       (8)   peer readers
                       -> store                  (9)   frozen-dataset compiler
-                        -> query                (10)  always-on serving
-                          -> cli / __main__     (11)
+                        -> query                (10)  one-shot serving
+                          -> serve              (12)  multi-store daemon
+                            -> cli / __main__   (13)
 
 (REP006 additionally *forbids* specific edges the DAG would allow —
-``core -> telemetry``, ``store -> measurement.runner`` — and polices
-telemetry's wall-clock boundary.)
+``core -> telemetry``, ``store -> measurement.runner``,
+``serve -> engine`` — and polices telemetry's wall-clock boundary.)
 
 A module may import strictly *lower* layers only. Equal-layer packages
 are peers (dnssim/tlssim, engine/failures) and may not import each

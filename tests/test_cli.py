@@ -565,3 +565,146 @@ class TestStatsDatasetCache:
         payload = json.loads(capsys.readouterr().out)
         assert calls["n"] == 2  # edited file re-parsed exactly once
         assert payload["counters"]["sites"] == 12
+
+
+class TestServeClientCli:
+    """The `serve`/`client` subcommands and the query `--stats` flag."""
+
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("servecli")
+        dataset = base / "d.json"
+        assert main(
+            ["measure", *ARGS, "--limit", "15", "--quiet",
+             "--out", str(dataset)]
+        ) == 0
+        store = base / "d.rstore"
+        assert main(
+            ["compile", str(dataset), "--out", str(store), "--quiet"]
+        ) == 0
+        return store
+
+    @pytest.fixture(scope="class")
+    def daemon(self, store_path):
+        import threading
+
+        from repro.serve.http import ReproServeDaemon
+        from repro.serve.registry import StoreRegistry
+        from repro.serve.service import ServeService
+
+        service = ServeService(StoreRegistry({"d": str(store_path)}))
+        server = ReproServeDaemon(service)
+        thread = threading.Thread(target=server.serve_forever)
+        thread.start()
+        try:
+            yield server.address
+        finally:
+            server.request_drain()
+            thread.join(10)
+            server.server_close()
+
+    def _client(self, daemon, *flags: str) -> int:
+        host, port = daemon
+        return main(
+            ["client", "--host", host, "--port", str(port), *flags]
+        )
+
+    def test_client_one_shot_equals_query_json(
+        self, capsys, daemon, store_path
+    ):
+        assert main(
+            ["query", str(store_path), "--top", "3", "--json"]
+        ) == 0
+        reference = capsys.readouterr().out
+        assert self._client(daemon, "--store", "d", "--top", "3") == 0
+        assert capsys.readouterr().out == reference
+
+    def test_client_default_store_and_text_mode(self, capsys, daemon):
+        assert self._client(daemon, "--top", "2", "--text") == 0
+        out = capsys.readouterr().out
+        assert "Top-2" in out
+
+    def test_client_health(self, capsys, daemon):
+        assert self._client(daemon, "--health") == 0
+        assert json.loads(capsys.readouterr().out)["stores"] == ["d"]
+
+    def test_client_statz(self, capsys, daemon):
+        assert self._client(daemon, "--statz") == 0
+        assert json.loads(capsys.readouterr().out)["registry"]["stores"] == 1
+
+    def test_client_batch_file(self, capsys, daemon, tmp_path):
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps([
+            {"store": "d", "query": {"kind": "top", "k": 1}},
+            {"store": "d", "query": {"kind": "top", "k": 2,
+                                     "service": "cdn"}},
+        ]), encoding="utf-8")
+        assert self._client(daemon, "--batch", str(batch)) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert [r["status"] for r in envelope["results"]] == [200, 200]
+
+    def test_client_error_payload_goes_to_stderr(self, capsys, daemon):
+        assert self._client(daemon, "--site", "nope.example") == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert json.loads(captured.err)["error"]["type"] == "unknown-name"
+
+    def test_client_requires_exactly_one_mode(self, capsys, daemon):
+        assert self._client(daemon) == 1
+        assert "pick one of" in capsys.readouterr().err
+        assert self._client(
+            daemon, "--top", "3", "--site", "google.com"
+        ) == 1
+        assert "exactly one query" in capsys.readouterr().err
+
+    def test_client_unreachable_daemon_fails_cleanly(self, capsys):
+        import socket
+
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()  # nothing listens here now
+        assert main(
+            ["client", "--port", str(port), "--top", "1"]
+        ) == 1
+        assert "client:" in capsys.readouterr().err
+
+    def test_serve_rejects_missing_store_file(self, capsys, tmp_path):
+        missing = tmp_path / "nope.rstore"
+        assert main(["serve", str(missing)]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_serve_rejects_duplicate_names(self, capsys, store_path):
+        assert main(
+            ["serve", f"d={store_path}", f"d={store_path}"]
+        ) == 1
+        assert "duplicate store name" in capsys.readouterr().err
+
+    def test_query_stats_flag_reports_lru_counters(
+        self, capsys, store_path
+    ):
+        assert main(
+            ["query", str(store_path), "--top", "2", "--json", "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout bytes stay pure JSON
+        assert "cache 1/128 entries" in captured.err
+        assert "1 miss(es)" in captured.err
+
+    def test_repl_unknown_names_are_one_line_errors(
+        self, capsys, store_path, monkeypatch
+    ):
+        import io as _io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            _io.StringIO(
+                "site no-such-site.example\nwhatif dns:nope\nquit\n"
+            ),
+        )
+        assert main(["query", str(store_path), "--interactive"]) == 0
+        captured = capsys.readouterr()
+        out = captured.out
+        assert "error: unknown site 'no-such-site.example'" in out
+        assert "error: unknown provider 'dns:nope'" in out
+        assert "Traceback" not in out + captured.err

@@ -63,6 +63,19 @@ class TestSelfCheck:
             f"bare 'repro: noqa' in src/ (name the rule ids): {bare}"
         )
 
+    def test_serve_layer_sits_between_query_and_cli(self):
+        """The daemon is layer 12: above query (it wraps engines), below
+        the CLI, and REP006 pins it away from the measurement and
+        simulation side — serve answers questions, it never measures."""
+        layers = DEFAULT_CONFIG.rep003_layers
+        assert layers["query"] < layers["serve"] < layers["cli"]
+        for edge in (
+            ("serve", "measurement.runner"),
+            ("serve", "engine"),
+            ("serve", "worldgen"),
+        ):
+            assert edge in DEFAULT_CONFIG.rep006_forbidden_edges
+
     def test_benchmark_and_script_trees_lint_clean(self):
         """The CI staticcheck job lints scripts/ and benchmarks/ too;
         keep the gate mirrored here so a regression fails fast."""
@@ -96,6 +109,7 @@ class TestTypeChecking:
                 str(SRC / "measurement" / "io.py"),
                 str(SRC / "store"),
                 str(SRC / "query"),
+                str(SRC / "serve"),
             ],
             capture_output=True,
             text=True,
