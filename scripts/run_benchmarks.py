@@ -25,6 +25,12 @@ under version control:
   HTTP throughput from 4 client threads, and the batch endpoint's
   amortized speedup over per-request round-trips. Absolute floors:
   ``--check`` fails below 500 req/s or a 3x batch speedup.
+* ``BENCH_epoch.json``   — the longitudinal remeasurement scheduler on a
+  20-epoch timeline at 10% per-epoch churn: every epoch's incremental
+  dataset (changed sites remeasured, the rest spliced from the prior
+  epoch) is asserted byte-identical to a full from-scratch campaign,
+  and the incremental campaign+analysis wall-clock must beat the full
+  one by an absolute floor of 5x.
 
 Modes::
 
@@ -66,11 +72,13 @@ CASCADE_SCHEMA = "repro-bench-cascade/1"
 LINT_SCHEMA = "repro-bench-lint/1"
 QUERY_SCHEMA = "repro-bench-query/1"
 SERVE_SCHEMA = "repro-bench-serve/1"
+EPOCH_SCHEMA = "repro-bench-epoch/1"
 GRAPH_ARTIFACT = REPO_ROOT / "BENCH_graph.json"
 CASCADE_ARTIFACT = REPO_ROOT / "BENCH_cascade.json"
 LINT_ARTIFACT = REPO_ROOT / "BENCH_lint.json"
 QUERY_ARTIFACT = REPO_ROOT / "BENCH_query.json"
 SERVE_ARTIFACT = REPO_ROOT / "BENCH_serve.json"
+EPOCH_ARTIFACT = REPO_ROOT / "BENCH_epoch.json"
 
 #: Throughput below this fraction of the recorded value fails --check.
 MIN_THROUGHPUT_RATIO = 0.2
@@ -88,8 +96,20 @@ QUERY_MIN_SPEEDUP = 10.0
 SERVE_MIN_RPS = 500.0
 SERVE_MIN_BATCH_SPEEDUP = 3.0
 
+#: Longitudinal floor: remeasuring only each epoch's changed sites (and
+#: refreshing the analysis in place) must beat the full re-campaign +
+#: re-analysis by at least this factor, or the incremental scheduler has
+#: stopped earning its complexity. The ratio compares wall-clock summed
+#: over epochs 1..N-1 measured in the same process, so machine speed
+#: cancels out.
+EPOCH_MIN_SPEEDUP = 5.0
+
 BENCH_N = 5000
 BENCH_SEED = 42
+
+EPOCH_N = 2000
+EPOCH_COUNT = 20
+EPOCH_CHURN = 0.10
 
 #: Fields that must match exactly between a fresh run and the artifact:
 #: they are functions of (n, seed, code), never of the machine.
@@ -114,6 +134,10 @@ DETERMINISTIC_FIELDS = {
     SERVE_ARTIFACT.name: (
         "schema", "n", "seed", "stores", "open_stores", "websites",
         "providers", "store_bytes",
+    ),
+    EPOCH_ARTIFACT.name: (
+        "schema", "n", "seed", "epochs", "churn", "sites_measured",
+        "byte_identical",
     ),
 }
 
@@ -463,6 +487,126 @@ def run_serve_bench(snapshot) -> dict:
     }
 
 
+def run_epoch_bench() -> dict:
+    """Incremental vs full remeasurement over a churning timeline.
+
+    Both sides replay the same N-epoch world (one fresh ``World`` each —
+    a live world is stateful, so they cannot share an instance). Per
+    epoch the full side re-measures every site and re-analyzes from
+    scratch; the incremental side measures only the epoch's changed-site
+    set, splices the rest from its previous dataset, and refreshes the
+    previous snapshot in place. Every epoch asserts the two datasets
+    byte-identical and the two metric sweeps equal — the differential
+    contract — before the timings count. World materialization happens
+    off the clock on both sides: it is identical bookkeeping, not
+    campaign work.
+    """
+    from repro.core import refresh_snapshot
+    from repro.core.pipeline import dns_display_directory
+    from repro.measurement.records import Dataset
+    from repro.measurement.runner import MeasurementCampaign
+    from repro.worldgen.timeline import Timeline, TimelineConfig
+
+    config = TimelineConfig(
+        n_websites=EPOCH_N, seed=BENCH_SEED,
+        epochs=EPOCH_COUNT, churn_rate=EPOCH_CHURN,
+    )
+    timeline = Timeline(config)
+    timeline.spec(EPOCH_COUNT - 1)  # grow every epoch's ground truth
+
+    full_s = inc_s = 0.0
+    prev_dataset = None
+    snapshot = None
+    measured: list[int] = []
+    identical = True
+    for epoch in range(EPOCH_COUNT):
+        changes = timeline.changes(epoch)
+        world_full = timeline.world(epoch)
+        world_inc = timeline.world(epoch)
+        display = dns_display_directory(world_full)
+
+        start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+        campaign = MeasurementCampaign(world_full)
+        sites = campaign.ranked_sites()
+        dataset_full = Dataset(year=world_full.year)
+        dataset_full.websites.extend(
+            campaign.measure_site(domain, rank) for domain, rank in sites
+        )
+        campaign.run_interservice(dataset_full)
+        scratch = analyze_dataset(
+            dataset_full,
+            rank_scale=world_full.config.rank_scale,
+            dns_display_names=display,
+        )
+        full_metrics = scratch.provider_metrics()
+        epoch_full_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+
+        start = time.perf_counter()  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+        campaign = MeasurementCampaign(world_inc)
+        sites = campaign.ranked_sites()
+        prev_by = prev_dataset.by_domain() if prev_dataset else {}
+        if prev_dataset is None:
+            to_measure = list(sites)
+        else:
+            changed = set(changes.changed)
+            to_measure = [
+                (domain, rank) for domain, rank in sites
+                if domain in changed or domain not in prev_by
+            ]
+        fresh = {
+            domain: campaign.measure_site(domain, rank)
+            for domain, rank in to_measure
+        }
+        dataset_inc = Dataset(year=world_inc.year)
+        dataset_inc.websites.extend(
+            fresh.get(domain) or prev_by[domain] for domain, _ in sites
+        )
+        campaign.run_interservice(dataset_inc)
+        if snapshot is None:
+            snapshot = analyze_dataset(
+                dataset_inc,
+                rank_scale=world_inc.config.rank_scale,
+                dns_display_names=display,
+            )
+        else:
+            snapshot = refresh_snapshot(
+                snapshot, dataset_inc,
+                changed=changes.changed, dns_display_names=display,
+            )
+        inc_metrics = snapshot.provider_metrics()
+        epoch_inc_s = time.perf_counter() - start  # repro: noqa[REP001] -- benchmark harness measures wall-clock by design; timings are non-deterministic fields
+
+        if dataset_to_json(dataset_full) != dataset_to_json(dataset_inc):
+            identical = False
+            raise AssertionError(
+                f"epoch {epoch}: incremental dataset diverged from the "
+                f"full campaign — run tests/test_engine_epochs.py"
+            )
+        if full_metrics != inc_metrics:
+            raise AssertionError(
+                f"epoch {epoch}: refreshed metrics diverged from the "
+                f"from-scratch sweep — run tests/test_graph_incremental.py"
+            )
+        measured.append(len(to_measure))
+        prev_dataset = dataset_inc
+        if epoch > 0:  # epoch 0 is a full campaign on both sides
+            full_s += epoch_full_s
+            inc_s += epoch_inc_s
+
+    return {
+        "schema": EPOCH_SCHEMA,
+        "n": EPOCH_N,
+        "seed": BENCH_SEED,
+        "epochs": EPOCH_COUNT,
+        "churn": EPOCH_CHURN,
+        "sites_measured": measured,
+        "byte_identical": identical,
+        "full_s": round(full_s, 2),
+        "incremental_s": round(inc_s, 2),
+        "speedup_x": round(full_s / inc_s, 2) if inc_s else 0.0,
+    }
+
+
 def _write(path: Path, artifact: dict) -> None:
     path.write_text(
         json.dumps(artifact, indent=1, sort_keys=True) + "\n",
@@ -528,6 +672,13 @@ def _check(path: Path, fresh: dict) -> list[str]:
                 f"{fresh['open_stores']} store(s) open under the memory "
                 f"cap — the multi-store shape regressed"
             )
+    if path.name == EPOCH_ARTIFACT.name:
+        if fresh["speedup_x"] < EPOCH_MIN_SPEEDUP:
+            problems.append(
+                f"{path.name}: incremental remeasurement only "
+                f"{fresh['speedup_x']}x faster than the full re-campaign "
+                f"(floor {EPOCH_MIN_SPEEDUP}x)"
+            )
     return problems
 
 
@@ -586,16 +737,27 @@ def main(argv: list[str] | None = None) -> int:
         file=sys.stderr,
     )
 
+    epoch_artifact = run_epoch_bench()
+    print(
+        f"[bench] epoch: {epoch_artifact['epochs']} epoch(s) at "
+        f"{epoch_artifact['churn']:.0%} churn, incremental "
+        f"{epoch_artifact['incremental_s']}s vs full "
+        f"{epoch_artifact['full_s']}s "
+        f"({epoch_artifact['speedup_x']}x, byte-identical)",
+        file=sys.stderr,
+    )
+
     if args.update:
         _write(GRAPH_ARTIFACT, graph_artifact)
         _write(CASCADE_ARTIFACT, cascade_artifact)
         _write(LINT_ARTIFACT, lint_artifact)
         _write(QUERY_ARTIFACT, query_artifact)
         _write(SERVE_ARTIFACT, serve_artifact)
+        _write(EPOCH_ARTIFACT, epoch_artifact)
         print(
             f"[bench] wrote {GRAPH_ARTIFACT.name}, {CASCADE_ARTIFACT.name}, "
-            f"{LINT_ARTIFACT.name}, {QUERY_ARTIFACT.name} and "
-            f"{SERVE_ARTIFACT.name}",
+            f"{LINT_ARTIFACT.name}, {QUERY_ARTIFACT.name}, "
+            f"{SERVE_ARTIFACT.name} and {EPOCH_ARTIFACT.name}",
             file=sys.stderr,
         )
         return 0
@@ -605,6 +767,7 @@ def main(argv: list[str] | None = None) -> int:
         problems += _check(LINT_ARTIFACT, lint_artifact)
         problems += _check(QUERY_ARTIFACT, query_artifact)
         problems += _check(SERVE_ARTIFACT, serve_artifact)
+        problems += _check(EPOCH_ARTIFACT, epoch_artifact)
         for problem in problems:
             print(f"[bench] FAIL {problem}", file=sys.stderr)
         if problems:
@@ -614,7 +777,7 @@ def main(argv: list[str] | None = None) -> int:
     print(json.dumps(
         {"graph": graph_artifact, "cascade": cascade_artifact,
          "lint": lint_artifact, "query": query_artifact,
-         "serve": serve_artifact},
+         "serve": serve_artifact, "epoch": epoch_artifact},
         indent=1, sort_keys=True,
     ))
     return 0

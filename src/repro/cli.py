@@ -19,11 +19,16 @@ Subcommands::
                               [--fault-plan plan.json] [--fault-seed S]
                               [--metrics-out m.json]
                               [--trace-sites a.com,b.com --trace-out t.json]
+                              [--epochs N --out DIR] [--churn R]
+                              [--full-remeasure]
+    python -m repro compare   [--epochs N] [--churn R] [--service S]
+                              [--top K] [--workers W] [--shards S]
+                              [--json] [--n ...] [--seed ...]
     python -m repro trace     <domain> [--n ...] [--fault-plan plan.json]
                               [--out trace.json]
     python -m repro stats     <checkpoint-dir | dataset.json> [--json]
     python -m repro analyze   <dataset.json> [--table N] [--providers SVC]
-    python -m repro compile   <dataset.json> [--out ds.rstore]
+    python -m repro compile   <dataset.json | DIR --epochs> [--out ...]
     python -m repro query     <ds.rstore> [--top K] [--mode M] [--service S]
                               [--site DOMAIN] [--dependents P] [--whatif P]
                               [--json] [--interactive] [--stats]
@@ -241,6 +246,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="TRACE_JSON",
         help="write the Chrome trace-event JSON here (with --trace-sites)",
     )
+    p_measure.add_argument(
+        "--epochs", type=int, default=None, metavar="N",
+        help="measure an N-epoch timeline instead of one snapshot "
+             "(incremental remeasurement; --out names a directory, "
+             "--year is ignored)",
+    )
+    p_measure.add_argument(
+        "--churn", type=float, default=0.10,
+        help="per-epoch site churn rate (with --epochs)",
+    )
+    p_measure.add_argument(
+        "--full-remeasure", action="store_true",
+        help="with --epochs: re-measure every site each epoch instead of "
+             "splicing unchanged records (the differential baseline)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="deep-trace one site's measurement on the simulated clock"
@@ -298,6 +318,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compile.add_argument(
         "--quiet", action="store_true", help="suppress the summary on stderr"
+    )
+    p_compile.add_argument(
+        "--epochs", action="store_true",
+        help="treat DATASET as a directory of epoch-*.json files (as "
+             "written by measure --epochs) and compile each to a store",
+    )
+
+    p_compare = sub.add_parser(
+        "compare", help="longitudinal comparison across timeline epochs"
+    )
+    p_compare.add_argument("--n", type=int, default=1000, help="world size")
+    p_compare.add_argument("--seed", type=int, default=42, help="world seed")
+    p_compare.add_argument(
+        "--epochs", type=int, default=4, metavar="N",
+        help="number of timeline epochs (2016..2020 spread evenly)",
+    )
+    p_compare.add_argument(
+        "--churn", type=float, default=0.10,
+        help="per-epoch site churn rate",
+    )
+    p_compare.add_argument(
+        "--limit", type=int, default=None, help="measure only the top-k sites"
+    )
+    p_compare.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = in-process serial)",
+    )
+    p_compare.add_argument(
+        "--shards", type=int, default=1, help="shard count per epoch"
+    )
+    p_compare.add_argument(
+        "--top", type=int, default=3, metavar="K",
+        help="top-K providers per service to show each epoch",
+    )
+    p_compare.add_argument(
+        "--service", default="dns", choices=("dns", "cdn", "ca"),
+        help="service whose top providers are tracked",
+    )
+    p_compare.add_argument(
+        "--json", action="store_true",
+        help="emit the per-epoch comparison as JSON instead of text",
     )
 
     p_query = sub.add_parser(
@@ -790,11 +851,75 @@ def _load_fault_plan(path: str, seed: int | None):
     return plan
 
 
+def _cmd_measure_epochs(args) -> int:
+    """The ``measure --epochs`` path: one timeline, per-epoch datasets."""
+    from pathlib import Path
+
+    from repro.engine import run_timeline
+    from repro.measurement.io import save_dataset
+    from repro.worldgen.timeline import TimelineConfig
+
+    unsupported = [
+        ("--region", args.region is not None),
+        ("--fault-plan", args.fault_plan is not None),
+        ("--metrics-out", args.metrics_out is not None),
+        ("--trace-sites", args.trace_sites is not None),
+    ]
+    for flag, present in unsupported:
+        if present:
+            print(
+                f"measure: {flag} is not supported with --epochs",
+                file=sys.stderr,
+            )
+            return 1
+    if args.out is None:
+        print(
+            "measure: --epochs writes one dataset per epoch; "
+            "--out must name a directory",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        config = TimelineConfig(
+            n_websites=args.n,
+            seed=args.seed,
+            epochs=args.epochs,
+            churn_rate=args.churn,
+        )
+        results = run_timeline(
+            config,
+            shards=args.shards,
+            workers=args.workers,
+            limit=args.limit,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            full=args.full_remeasure,
+        )
+    except ValueError as exc:
+        print(f"measure: {exc}", file=sys.stderr)
+        return 1
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for result in results:
+        path = out_dir / f"epoch-{result.epoch:04d}.json"
+        save_dataset(result.dataset, path)
+        if not args.quiet:
+            print(
+                f"[engine] epoch {result.epoch} ({result.year}): measured "
+                f"{result.sites_measured}/{result.sites_total} site(s) "
+                f"-> {path}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def cmd_measure(args) -> int:
     from repro.engine import ConsoleProgress, NullProgress, run_campaign
     from repro.measurement.io import dataset_to_json, save_dataset
     from repro.telemetry import TelemetryConfig, chrome_trace, metrics_to_json
 
+    if args.epochs is not None:
+        return _cmd_measure_epochs(args)
     fault_plan = None
     if args.fault_plan is not None:
         try:
@@ -995,8 +1120,43 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_compile(args) -> int:
+    from pathlib import Path
+
     from repro.store import compile_file
 
+    if args.epochs:
+        epoch_dir = Path(args.dataset)
+        datasets = sorted(epoch_dir.glob("epoch-*.json"))
+        if not datasets:
+            print(
+                f"compile: no epoch-*.json files in {epoch_dir}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.out is not None:
+            print(
+                "compile: --out is not supported with --epochs "
+                "(stores land next to their datasets)",
+                file=sys.stderr,
+            )
+            return 1
+        for dataset_path in datasets:
+            out_path = f"{dataset_path}.rstore"
+            try:
+                written = compile_file(str(dataset_path), out_path)
+            except (OSError, ValueError) as exc:
+                print(
+                    f"compile: cannot compile {dataset_path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            if not args.quiet:
+                print(
+                    f"[store] {out_path}: {written} byte(s) "
+                    f"from {dataset_path}",
+                    file=sys.stderr,
+                )
+        return 0
     out_path = args.out if args.out is not None else f"{args.dataset}.rstore"
     try:
         written = compile_file(args.dataset, out_path)
@@ -1007,6 +1167,100 @@ def cmd_compile(args) -> int:
         print(
             f"[store] {out_path}: {written} byte(s) from {args.dataset}",
             file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Longitudinal per-epoch comparison: measure a timeline, analyze each
+    epoch (incrementally), and track the headline numbers over time."""
+    import json
+
+    from repro.core import ServiceType as _ServiceType
+    from repro.core.incremental import refresh_snapshot
+    from repro.core.pipeline import analyze_dataset, dns_display_directory
+    from repro.engine import run_timeline
+    from repro.worldgen.timeline import Timeline, TimelineConfig
+
+    try:
+        config = TimelineConfig(
+            n_websites=args.n,
+            seed=args.seed,
+            epochs=args.epochs,
+            churn_rate=args.churn,
+        )
+        timeline = Timeline(config)
+        results = run_timeline(
+            config,
+            shards=args.shards,
+            workers=args.workers,
+            limit=args.limit,
+            timeline=timeline,
+        )
+    except ValueError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 1
+    service = _ServiceType(args.service)
+    rows = []
+    snapshot = None
+    for result in results:
+        world = timeline.world(result.epoch)
+        display_names = dns_display_directory(world)
+        if snapshot is None:
+            snapshot = analyze_dataset(
+                result.dataset,
+                rank_scale=world.config.rank_scale,
+                dns_display_names=display_names,
+            )
+        else:
+            snapshot = refresh_snapshot(
+                snapshot,
+                result.dataset,
+                changed=result.changes.changed,
+                dns_display_names=display_names,
+            )
+        total = len(snapshot.websites)
+        top = [
+            {
+                "provider": snapshot.graph.display(node),
+                "impact": impact,
+            }
+            for node, impact in snapshot.graph.top_providers(
+                service, k=args.top, by="impact"
+            )
+        ]
+        rows.append(
+            {
+                "epoch": result.epoch,
+                "year": result.year,
+                "sites": total,
+                "measured": result.sites_measured,
+                "changed": len(result.changes.changed),
+                "dead": len(result.changes.dead),
+                "https_pct": round(
+                    100.0 * len(snapshot.https_websites) / max(1, total), 1
+                ),
+                "cdn_pct": round(
+                    100.0 * len(snapshot.cdn_websites) / max(1, total), 1
+                ),
+                "top": top,
+            }
+        )
+    if args.json:
+        print(json.dumps({"service": args.service, "epochs": rows}, indent=1))
+        return 0
+    print(
+        f"timeline n={args.n} seed={args.seed} epochs={args.epochs} "
+        f"churn={args.churn:g} (top {args.service} providers by impact)"
+    )
+    for row in rows:
+        top = ", ".join(
+            f"{entry['provider']} ({entry['impact']})" for entry in row["top"]
+        )
+        print(
+            f"  epoch {row['epoch']} [{row['year']}]: "
+            f"measured {row['measured']}/{row['sites']} "
+            f"https {row['https_pct']}% cdn {row['cdn_pct']}% | {top}"
         )
     return 0
 
@@ -1250,6 +1504,7 @@ _COMMANDS = {
     "stats": cmd_stats,
     "analyze": cmd_analyze,
     "compile": cmd_compile,
+    "compare": cmd_compare,
     "query": cmd_query,
     "serve": cmd_serve,
     "client": cmd_client,

@@ -41,6 +41,7 @@ from repro.core.graph import (
     ServiceType,
 )
 from repro.core.graphx import MetricEngine
+from repro.core.incremental import refresh_snapshot
 from repro.core.metrics import (
     BucketStats,
     provider_cdf,
@@ -96,4 +97,5 @@ __all__ = [
     "rank_bucket_stats_ca",
     "rank_bucket_stats_cdn",
     "rank_bucket_stats_dns",
+    "refresh_snapshot",
 ]

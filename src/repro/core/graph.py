@@ -80,10 +80,14 @@ class DependencyGraph:
         self._website_critical_of: dict[ProviderNode, set[str]] = {}
         self._provider_uses_of: dict[ProviderNode, set[ProviderNode]] = {}
         self._provider_critical_of: dict[ProviderNode, set[ProviderNode]] = {}
-        # Metric-engine cache: rebuilt lazily whenever _version moves.
+        # Metric-engine cache: refreshed incrementally whenever _version
+        # moves. _dirty holds the providers whose edge neighbourhood
+        # mutated since the engine was last (re)built — the seed set for
+        # MetricEngine.refreshed's dirty closure.
         self._version = 0
         self._engine: Optional[MetricEngine] = None
         self._engine_version = -1
+        self._dirty: set[ProviderNode] = set()
 
     # -- construction -------------------------------------------------------
 
@@ -93,7 +97,9 @@ class DependencyGraph:
 
     def add_provider(self, node: ProviderNode, display: Optional[str] = None) -> None:
         self._version += 1
-        self._providers.add(node)
+        if node not in self._providers:
+            self._providers.add(node)
+            self._dirty.add(node)
         self._provider_edges.setdefault(node, _Edges())
         if display:
             self.display_names[node] = display
@@ -107,6 +113,7 @@ class DependencyGraph:
         edges = self._website_edges[domain]
         edges.uses.add(provider)
         self._website_uses_of.setdefault(provider, set()).add(domain)
+        self._dirty.add(provider)
         if critical:
             edges.critical.add(provider)
             self._website_critical_of.setdefault(provider, set()).add(domain)
@@ -120,9 +127,78 @@ class DependencyGraph:
         edges = self._provider_edges[consumer]
         edges.uses.add(provider)
         self._provider_uses_of.setdefault(provider, set()).add(consumer)
+        self._dirty.add(provider)
         if critical:
             edges.critical.add(provider)
             self._provider_critical_of.setdefault(provider, set()).add(consumer)
+
+    # -- mutation (the incremental-analysis path) ---------------------------
+
+    def remove_website(self, domain: str) -> None:
+        """Drop a website and every edge it holds (a churned-out site)."""
+        edges = self._website_edges.pop(domain, None)
+        if edges is None:
+            return
+        self._version += 1
+        for provider in edges.uses:
+            self._website_uses_of.get(provider, set()).discard(domain)
+            self._dirty.add(provider)
+        for provider in edges.critical:
+            self._website_critical_of.get(provider, set()).discard(domain)
+
+    def remove_website_dependency(
+        self, domain: str, provider: ProviderNode
+    ) -> None:
+        """Drop one website→provider edge (critical or not)."""
+        edges = self._website_edges.get(domain)
+        if edges is None or provider not in edges.uses:
+            return
+        self._version += 1
+        edges.uses.discard(provider)
+        edges.critical.discard(provider)
+        self._website_uses_of.get(provider, set()).discard(domain)
+        self._website_critical_of.get(provider, set()).discard(domain)
+        self._dirty.add(provider)
+
+    def remove_provider_dependency(
+        self, consumer: ProviderNode, provider: ProviderNode
+    ) -> None:
+        """Drop one inter-service edge."""
+        edges = self._provider_edges.get(consumer)
+        if edges is None or provider not in edges.uses:
+            return
+        self._version += 1
+        edges.uses.discard(provider)
+        edges.critical.discard(provider)
+        self._provider_uses_of.get(provider, set()).discard(consumer)
+        self._provider_critical_of.get(provider, set()).discard(consumer)
+        self._dirty.add(provider)
+
+    def remove_provider(self, node: ProviderNode) -> None:
+        """Drop a provider node and every edge touching it."""
+        if node not in self._providers:
+            return
+        self._version += 1
+        self._providers.discard(node)
+        edges = self._provider_edges.pop(node, None) or _Edges()
+        for used in edges.uses:
+            self._provider_uses_of.get(used, set()).discard(node)
+            self._provider_critical_of.get(used, set()).discard(node)
+            self._dirty.add(used)
+        for consumer in self._provider_uses_of.pop(node, set()):
+            consumer_edges = self._provider_edges.get(consumer)
+            if consumer_edges is not None:
+                consumer_edges.uses.discard(node)
+                consumer_edges.critical.discard(node)
+        self._provider_critical_of.pop(node, None)
+        for domain in self._website_uses_of.pop(node, set()):
+            website_edges = self._website_edges.get(domain)
+            if website_edges is not None:
+                website_edges.uses.discard(node)
+                website_edges.critical.discard(node)
+        self._website_critical_of.pop(node, None)
+        self.display_names.pop(node, None)
+        self._dirty.discard(node)
 
     # -- introspection ------------------------------------------------------
 
@@ -173,10 +249,23 @@ class DependencyGraph:
         return set(index.get(provider, ()))
 
     def metric_engine(self) -> MetricEngine:
-        """The current batch engine, rebuilt after any mutation."""
-        if self._engine is None or self._engine_version != self._version:
-            self._engine = MetricEngine(self)
+        """The current batch engine.
+
+        Built from scratch on first use; after mutations, refreshed
+        incrementally from the previous engine — only the dirty closure
+        is re-swept, clean providers' bitsets are carried over (see
+        :meth:`MetricEngine.refreshed`). Equivalence with a fresh build
+        is a tested invariant (``tests/test_graph_incremental.py``).
+        """
+        if self._engine_version != self._version:
+            if self._engine is None:
+                self._engine = MetricEngine(self)
+            else:
+                self._engine = MetricEngine.refreshed(
+                    self, self._engine, self._dirty
+                )
             self._engine_version = self._version
+            self._dirty = set()
         return self._engine
 
     def dependent_websites(
@@ -263,51 +352,55 @@ class DependencyGraph:
         )
 
 
-def build_graph(
-    websites: Iterable,  # list[ClassifiedWebsite]
-    interservice_edges: Iterable[tuple[ProviderNode, ProviderNode, bool]] = (),
-    display_names: Optional[dict[ProviderNode, str]] = None,
-) -> DependencyGraph:
-    """Assemble a graph from classified websites + inter-service edges.
+def website_graph_edges(website) -> list[tuple[ProviderNode, bool]]:
+    """The graph edges one classified website contributes.
 
     Only third-party website→provider edges become dependencies for DNS
     and CA; CDN edges include detected private CDNs (they are still
     distinct service entities whose own dependencies propagate — the
     twitter.com/twimg case), with criticality per the paper's rules.
+    Shared between :func:`build_graph` and the incremental graph updater
+    (:mod:`repro.core.incremental`).
     """
     from repro.core.classification import ProviderType  # local: avoid cycle
 
+    edges: list[tuple[ProviderNode, bool]] = []
+    dns = website.dns
+    for provider_id in dns.provider_ids:
+        third = provider_id in dns.third_party_provider_ids
+        if not third:
+            continue
+        edges.append(
+            (ProviderNode(provider_id, ServiceType.DNS), dns.is_critical)
+        )
+    ca = website.ca
+    if ca.https and ca.ca_name:
+        node = ProviderNode(ca.ca_name, ServiceType.CA)
+        if ca.type == ProviderType.THIRD_PARTY:
+            edges.append((node, ca.is_critical))
+        else:
+            # Private CA: not a third-party dependency itself, but a
+            # conduit for indirect ones (godaddy.com → GoDaddy CA →
+            # Akamai DNS). Usage edge only, critical when unstapled.
+            edges.append((node, not ca.ocsp_stapled))
+    for cdn in website.cdns:
+        node = ProviderNode(cdn.cdn_name, ServiceType.CDN)
+        edges.append((node, website.cdn_is_critical))
+    return edges
+
+
+def build_graph(
+    websites: Iterable,  # list[ClassifiedWebsite]
+    interservice_edges: Iterable[tuple[ProviderNode, ProviderNode, bool]] = (),
+    display_names: Optional[dict[ProviderNode, str]] = None,
+) -> DependencyGraph:
+    """Assemble a graph from classified websites + inter-service edges."""
     graph = DependencyGraph()
     for website in websites:
         graph.add_website(website.domain)
-        dns = website.dns
-        for provider_id in dns.provider_ids:
-            third = provider_id in dns.third_party_provider_ids
-            if not third:
-                continue
+        for provider, critical in website_graph_edges(website):
             graph.add_website_dependency(
-                website.domain,
-                ProviderNode(provider_id, ServiceType.DNS),
-                critical=dns.is_critical,
-            )
-        ca = website.ca
-        if ca.https and ca.ca_name:
-            node = ProviderNode(ca.ca_name, ServiceType.CA)
-            if ca.type == ProviderType.THIRD_PARTY:
-                graph.add_website_dependency(
-                    website.domain, node, critical=ca.is_critical
-                )
-            else:
-                # Private CA: not a third-party dependency itself, but a
-                # conduit for indirect ones (godaddy.com → GoDaddy CA →
-                # Akamai DNS). Usage edge only, critical when unstapled.
-                graph.add_website_dependency(
-                    website.domain, node, critical=not ca.ocsp_stapled
-                )
-        for cdn in website.cdns:
-            node = ProviderNode(cdn.cdn_name, ServiceType.CDN)
-            graph.add_website_dependency(
-                website.domain, node, critical=website.cdn_is_critical
+                website.domain, provider, critical=critical
             )
     for consumer, provider, critical in interservice_edges:
         graph.add_provider_dependency(consumer, provider, critical)

@@ -35,6 +35,39 @@ if TYPE_CHECKING:
 # The batch metric engine
 # --------------------------------------------------------------------------
 
+def _domain_remap_runs(
+    old_domains: list[str], new_domain_id: dict[str, int]
+) -> list[tuple[int, int, int]]:
+    """Contiguous-run remap table from an old domain-ID space to a new one.
+
+    Returns ``(lo, hi, shift)`` triples: old IDs in ``[lo, hi)`` survive
+    into the new space at ``old_id + shift``. Old IDs absent from the new
+    space fall between runs and are dropped. Both spaces are sorted, so
+    surviving IDs keep their relative order and shifts change only at
+    insertion/removal points — a handful of runs even for large worlds.
+    """
+    runs: list[list[int]] = []
+    for old_id, domain in enumerate(old_domains):
+        new_id = new_domain_id.get(domain)
+        if new_id is None:
+            continue
+        shift = new_id - old_id
+        if runs and runs[-1][1] == old_id and runs[-1][2] == shift:
+            runs[-1][1] = old_id + 1
+        else:
+            runs.append([old_id, old_id + 1, shift])
+    return [(lo, hi, shift) for lo, hi, shift in runs]
+
+
+def _remap_bits(bits: int, runs: list[tuple[int, int, int]]) -> int:
+    """Translate a bitset through a :func:`_domain_remap_runs` table."""
+    out = 0
+    for lo, hi, shift in runs:
+        chunk = bits & (((1 << (hi - lo)) - 1) << lo)
+        out |= (chunk << shift) if shift >= 0 else (chunk >> -shift)
+    return out
+
+
 class MetricEngine:
     """One-sweep dependent-set computation over a frozen graph snapshot.
 
@@ -59,6 +92,62 @@ class MetricEngine:
         self._providers: list["ProviderNode"] = graph.providers()
         # Per criticality mode: provider -> dependent-website bitset.
         self._bits: dict[bool, dict["ProviderNode", int]] = {}
+
+    @classmethod
+    def refreshed(
+        cls,
+        graph: "DependencyGraph",
+        old: "MetricEngine",
+        dirty: "set[ProviderNode]",
+    ) -> "MetricEngine":
+        """Build an engine for ``graph`` by updating ``old`` incrementally.
+
+        ``dirty`` is the set of providers whose *own* edge neighbourhood
+        mutated since ``old`` was built (the graph tracks it). Dependent
+        sets flow from consumers into the providers they use, so the full
+        set of providers whose bitsets may have moved is the closure of
+        ``dirty`` under "uses" edges. Everything outside that closure is
+        provably unchanged — its old bitset is carried over, translated
+        into the new domain-ID space by contiguous-run shifts (a clean
+        provider cannot reference a removed domain: any provider that
+        could reach it is in the closure). The Tarjan sweep then runs
+        restricted to the closure, reading clean consumers' carried-over
+        bitsets where the frontier crosses out of it.
+
+        Only criticality modes the old engine actually computed are
+        refreshed; untouched modes stay lazy.
+        """
+        engine = cls(graph)
+        current = set(engine._providers)
+        old_providers = set(old._providers)
+        closure: set["ProviderNode"] = set()
+        frontier = [p for p in dirty if p in current]
+        frontier.extend(sorted((p for p in current if p not in old_providers), key=str))
+        while frontier:
+            node = frontier.pop()
+            if node in closure:
+                continue
+            closure.add(node)
+            for used in sorted(graph.provider_dependencies(node), key=str):
+                if used in current and used not in closure:
+                    frontier.append(used)
+        identity = old._domains == engine._domains
+        runs = (
+            []
+            if identity
+            else _domain_remap_runs(old._domains, engine._domain_id)
+        )
+        for critical_only, old_bits in old._bits.items():
+            base: dict["ProviderNode", int] = {}
+            for provider in engine._providers:
+                if provider in closure:
+                    continue
+                bits = old_bits.get(provider, 0)
+                base[provider] = bits if identity else _remap_bits(bits, runs)
+            engine._bits[critical_only] = engine._sweep(
+                critical_only, restrict=closure, base=base
+            )
+        return engine
 
     # -- queries ------------------------------------------------------------
 
@@ -96,11 +185,15 @@ class MetricEngine:
 
     # -- the sweep ----------------------------------------------------------
 
-    def _direct_bits(self, critical_only: bool) -> dict["ProviderNode", int]:
+    def _direct_bits(
+        self,
+        critical_only: bool,
+        nodes: Optional[list["ProviderNode"]] = None,
+    ) -> dict["ProviderNode", int]:
         graph = self._graph
         domain_id = self._domain_id
         direct: dict["ProviderNode", int] = {}
-        for provider in self._providers:
+        for provider in nodes if nodes is not None else self._providers:
             bits = 0
             # OR-accumulation is order-insensitive, so the raw set is fine.
             for domain in graph.direct_dependents(provider, critical_only):  # repro: noqa[REP002] -- bitwise OR commutes; iteration order cannot reach any output
@@ -108,7 +201,12 @@ class MetricEngine:
             direct[provider] = bits
         return direct
 
-    def _sweep(self, critical_only: bool) -> dict["ProviderNode", int]:
+    def _sweep(
+        self,
+        critical_only: bool,
+        restrict: Optional["set[ProviderNode]"] = None,
+        base: Optional[dict["ProviderNode", int]] = None,
+    ) -> dict["ProviderNode", int]:
         """Iterative Tarjan SCC condensation + reverse-topological union.
 
         The traversal successor of a provider is the set of providers
@@ -117,22 +215,32 @@ class MetricEngine:
         topological order of that successor relation, so when a component
         pops, every out-of-component successor already carries its final
         bitset — each edge is therefore crossed exactly once.
+
+        With ``restrict``, only that subset is traversed; consumer edges
+        leaving the subset read the caller-supplied ``base`` bitsets (the
+        incremental refresh path, where ``base`` holds every clean
+        provider's carried-over set).
         """
         graph = self._graph
-        direct = self._direct_bits(critical_only)
+        if restrict is None:
+            nodes = self._providers
+        else:
+            nodes = [p for p in self._providers if p in restrict]
+        active = set(nodes)
+        direct = self._direct_bits(critical_only, nodes)
         succ: dict["ProviderNode", list["ProviderNode"]] = {
             provider: graph.provider_consumers(provider, critical_only)
-            for provider in self._providers
+            for provider in nodes
         }
 
         index: dict["ProviderNode", int] = {}
         lowlink: dict["ProviderNode", int] = {}
         on_stack: set["ProviderNode"] = set()
         stack: list["ProviderNode"] = []
-        result: dict["ProviderNode", int] = {}
+        result: dict["ProviderNode", int] = dict(base) if base else {}
         counter = 0
 
-        for root in self._providers:
+        for root in nodes:
             if root in index:
                 continue
             # Explicit work stack of (node, next-successor cursor) frames.
@@ -149,6 +257,8 @@ class MetricEngine:
                 while cursor < len(successors):
                     nxt = successors[cursor]
                     cursor += 1
+                    if nxt not in active:
+                        continue
                     if nxt not in index:
                         work.append((node, cursor))
                         work.append((nxt, 0))

@@ -9,7 +9,7 @@ campaign first.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.classification import (
     CaClassification,
@@ -194,67 +194,66 @@ def _classify_ca_cdn(
     return result
 
 
-def analyze_dataset(
-    dataset: Dataset,
-    rank_scale: float = 1.0,
-    concentration_threshold: Optional[int] = None,
-    dns_display_names: Optional[dict[str, str]] = None,
-) -> AnalyzedSnapshot:
-    """Classify every website and provider, then build the graph.
+def classify_website(
+    measurement,
+    concentration_of: Callable[[str], int],
+    threshold: int,
+    ca_names: dict[str, str],
+) -> ClassifiedWebsite:
+    """Classify one website measurement — the per-site unit of work.
 
-    ``concentration_threshold`` defaults to the paper's 50, scaled by
-    ``rank_scale`` (a downscaled world has proportionally fewer customers
-    per provider).
+    Shared between the batch pass (:func:`analyze_dataset`) and the
+    incremental one (:func:`repro.core.incremental.refresh_snapshot`);
+    a site's classification depends on nothing beyond the arguments here,
+    which is what makes per-site reuse sound.
     """
-    if concentration_threshold is None:
-        concentration_threshold = max(
-            2, round(DEFAULT_PAPER_THRESHOLD / rank_scale)
-        )
-    concentrations = _nameserver_concentrations(dataset)
-    concentration_of = lambda base: concentrations.get(base, 0)  # noqa: E731
-    ca_names = _endpoint_ca_names(dataset)
+    tls = measurement.tls
+    dns_classification = classify_dns(
+        measurement.dns,
+        san=tls.san,
+        concentration_of=concentration_of,
+        threshold=threshold,
+    )
+    ca_classification = classify_ca(
+        tls,
+        website_soa=measurement.dns.website_soa,
+        soa_lookup=lambda host, _t=tls: _t.endpoint_soas.get(host),
+        ca_name_for_host=lambda host: ca_names.get(
+            host, registrable_domain(host) or host
+        ),
+    )
+    cdn_classifications = classify_cdn(
+        measurement.cdn,
+        san=tls.san,
+        website_soa=measurement.dns.website_soa,
+        soa_lookup=lambda name, _c=measurement.cdn: _c.cname_soas.get(name),
+    )
+    return ClassifiedWebsite(
+        domain=measurement.domain,
+        rank=measurement.rank,
+        dns=dns_classification,
+        ca=ca_classification,
+        cdns=cdn_classifications,
+    )
 
-    websites: list[ClassifiedWebsite] = []
-    for measurement in dataset.websites:
-        tls = measurement.tls
-        dns_classification = classify_dns(
-            measurement.dns,
-            san=tls.san,
-            concentration_of=concentration_of,
-            threshold=concentration_threshold,
-        )
-        ca_classification = classify_ca(
-            tls,
-            website_soa=measurement.dns.website_soa,
-            soa_lookup=lambda host, _t=tls: _t.endpoint_soas.get(host),
-            ca_name_for_host=lambda host: ca_names.get(
-                host, registrable_domain(host) or host
-            ),
-        )
-        cdn_classifications = classify_cdn(
-            measurement.cdn,
-            san=tls.san,
-            website_soa=measurement.dns.website_soa,
-            soa_lookup=lambda name, _c=measurement.cdn: _c.cname_soas.get(name),
-        )
-        websites.append(
-            ClassifiedWebsite(
-                domain=measurement.domain,
-                rank=measurement.rank,
-                dns=dns_classification,
-                ca=ca_classification,
-                cdns=cdn_classifications,
-            )
-        )
 
+def classify_interservice(
+    dataset: Dataset,
+    concentration_of: Callable[[str], int],
+    threshold: int,
+) -> tuple[
+    InterServiceClassifications,
+    list[tuple[ProviderNode, ProviderNode, bool]],
+]:
+    """Provider-level classifications plus the graph edges they imply."""
     interservice = InterServiceClassifications()
     for name, observation in dataset.cdn_dns.items():
         interservice.cdn_dns[name] = _classify_provider_dns(
-            observation, concentration_of, concentration_threshold
+            observation, concentration_of, threshold
         )
     for name, observation in dataset.ca_dns.items():
         interservice.ca_dns[name] = _classify_provider_dns(
-            observation, concentration_of, concentration_threshold
+            observation, concentration_of, threshold
         )
     for name, observation in dataset.ca_cdn.items():
         ca_soa = dataset.ca_dns.get(name)
@@ -295,6 +294,38 @@ def analyze_dataset(
                     classification.critical,
                 )
             )
+    return interservice, edges
+
+
+def analyze_dataset(
+    dataset: Dataset,
+    rank_scale: float = 1.0,
+    concentration_threshold: Optional[int] = None,
+    dns_display_names: Optional[dict[str, str]] = None,
+) -> AnalyzedSnapshot:
+    """Classify every website and provider, then build the graph.
+
+    ``concentration_threshold`` defaults to the paper's 50, scaled by
+    ``rank_scale`` (a downscaled world has proportionally fewer customers
+    per provider).
+    """
+    if concentration_threshold is None:
+        concentration_threshold = max(
+            2, round(DEFAULT_PAPER_THRESHOLD / rank_scale)
+        )
+    concentrations = _nameserver_concentrations(dataset)
+    concentration_of = lambda base: concentrations.get(base, 0)  # noqa: E731
+    ca_names = _endpoint_ca_names(dataset)
+
+    websites = [
+        classify_website(
+            measurement, concentration_of, concentration_threshold, ca_names
+        )
+        for measurement in dataset.websites
+    ]
+    interservice, edges = classify_interservice(
+        dataset, concentration_of, concentration_threshold
+    )
 
     display_names = {}
     for base, display in (dns_display_names or {}).items():

@@ -19,7 +19,16 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.engine.checkpoint import CheckpointStore, StaleCheckpointError
-from repro.engine.executor import MultiprocessExecutor, SerialExecutor
+from repro.engine.executor import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    WorldSource,
+)
+from repro.engine.epochs import (
+    EpochResult,
+    TimelineWorldSource,
+    run_timeline,
+)
 from repro.engine.merge import merge_shards
 from repro.engine.plan import (
     CampaignPlan,
@@ -47,6 +56,7 @@ __all__ = [
     "CampaignStats",
     "CheckpointStore",
     "ConsoleProgress",
+    "EpochResult",
     "MultiprocessExecutor",
     "NullProgress",
     "PhaseTimer",
@@ -54,11 +64,14 @@ __all__ = [
     "SerialExecutor",
     "ShardSpec",
     "StaleCheckpointError",
+    "TimelineWorldSource",
     "WorldFingerprint",
+    "WorldSource",
     "merge_shards",
     "partition_sites",
     "plan_campaign",
     "run_campaign",
+    "run_timeline",
 ]
 
 
@@ -66,6 +79,8 @@ def run_campaign(
     config: Optional[WorldConfig] = None,
     *,
     world: Optional[World] = None,
+    world_source: Optional["WorldSource"] = None,
+    epoch: Optional[int] = None,
     shards: int = 1,
     workers: int = 1,
     limit: Optional[int] = None,
@@ -111,12 +126,18 @@ def run_campaign(
 
     # -- plan --------------------------------------------------------------
     if world is None:
-        if config is None:
-            raise ValueError("run_campaign needs a config or a world")
-        world = build_world(config)
+        if world_source is not None:
+            world = world_source.build()
+        elif config is not None:
+            world = build_world(config)
+        else:
+            raise ValueError(
+                "run_campaign needs a config, a world, or a world_source"
+            )
     config = world.config
     plan = plan_campaign(
-        world, n_shards=shards, limit=limit, region=region, fault_plan=fault_plan
+        world, n_shards=shards, limit=limit, region=region,
+        fault_plan=fault_plan, epoch=epoch,
     )
     campaign = MeasurementCampaign(
         world, limit=limit, region=region, fault_plan=fault_plan,
@@ -170,7 +191,7 @@ def run_campaign(
                 else None
             )
             executor = MultiprocessExecutor(
-                config,
+                world_source if world_source is not None else config,
                 workers,
                 region=region,
                 fault_plan=fault_plan,

@@ -1,0 +1,219 @@
+"""Incremental remeasurement across timeline epochs.
+
+A full campaign re-measures every site; across a timeline that wastes
+work, because an epoch only changes a churn-sized slice of the world.
+``run_timeline`` measures epoch 0 in full, then for each later epoch:
+
+1. asks the :class:`~repro.worldgen.timeline.Timeline` for the epoch's
+   :class:`~repro.worldgen.timeline.EpochChange` (the ground-truth set of
+   sites whose spec moved),
+2. plans a campaign over *only* those sites (sharded, parallel, and
+   checkpointable exactly like a full campaign — per-epoch subdirectories
+   under the checkpoint root, fingerprinted with the epoch index),
+3. splices the fresh records into the previous epoch's dataset — dead
+   sites drop out, newcomers and movers take their measured records,
+   every unchanged site keeps its prior record byte-for-byte,
+4. re-runs the inter-service pass against the epoch's world (provider
+   populations drift, so this pass is always recomputed).
+
+The contract is the same determinism the engine already guarantees,
+extended across time: for every epoch, the spliced dataset serializes to
+the exact bytes a full from-scratch campaign against that epoch's world
+produces (``tests/test_engine_epochs.py`` proves it differentially).
+This is sound because measurement records carry no cross-site state —
+``measure_site`` is a pure function of the site's spec and its
+providers' *structural* specs, which the timeline freezes across epochs
+for surviving providers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.executor import MultiprocessExecutor, SerialExecutor
+from repro.engine.plan import (
+    CampaignPlan,
+    WorldFingerprint,
+    partition_sites,
+)
+from repro.measurement.io import shard_payload_from_json
+from repro.measurement.records import Dataset, WebsiteMeasurement
+from repro.measurement.runner import MeasurementCampaign
+from repro.worldgen.timeline import EpochChange, Timeline, TimelineConfig
+from repro.worldgen.world import World
+
+
+@dataclass(frozen=True)
+class TimelineWorldSource:
+    """Picklable recipe for one epoch's world.
+
+    Pool workers rebuild the timeline from its config and materialize
+    the epoch — worlds are deterministic functions of the config, so a
+    worker-built world is byte-equivalent to the parent's.
+    """
+
+    config: TimelineConfig
+    epoch: int
+
+    def build(self) -> World:
+        return Timeline(self.config).world(self.epoch)
+
+
+@dataclass
+class EpochResult:
+    """One epoch's dataset plus how much work it took to produce."""
+
+    epoch: int
+    year: int
+    dataset: Dataset
+    changes: EpochChange
+    sites_measured: int
+    sites_total: int
+
+
+def _epoch_store(
+    checkpoint_dir: Optional[Union[str, Path]], epoch: int
+) -> Optional[CheckpointStore]:
+    if checkpoint_dir is None:
+        return None
+    return CheckpointStore(Path(checkpoint_dir) / f"epoch-{epoch:04d}")
+
+
+def _measure_plan(
+    campaign: MeasurementCampaign,
+    plan: CampaignPlan,
+    source: TimelineWorldSource,
+    workers: int,
+    store: Optional[CheckpointStore],
+    resume: bool,
+) -> dict[int, str]:
+    """Execute a plan's shards with checkpoint/resume, as run_campaign does."""
+    payloads: dict[int, str] = {}
+    if store is not None:
+        if store.has_manifest():
+            if not resume:
+                raise ValueError(
+                    f"checkpoint directory {store.directory} already holds "
+                    f"an epoch campaign; pass resume=True to continue it, "
+                    f"or point at a fresh directory"
+                )
+            store.validate_manifest(plan)
+            completed = store.completed_shards()
+            for shard in plan.shards:
+                if shard.shard_id in completed:
+                    payloads[shard.shard_id] = store.load_shard(shard.shard_id)
+        else:
+            store.write_manifest(plan)
+    pending = [s for s in plan.shards if s.shard_id not in payloads]
+    if pending:
+        executor: Union[SerialExecutor, MultiprocessExecutor]
+        if workers <= 1:
+            executor = SerialExecutor(campaign)
+        else:
+            executor = MultiprocessExecutor(source, workers)
+        for shard_id, payload in executor.run(pending):
+            if store is not None:
+                store.write_shard(shard_id, payload)
+            payloads[shard_id] = payload
+    return payloads
+
+
+def run_timeline(
+    config: TimelineConfig,
+    *,
+    shards: int = 1,
+    workers: int = 1,
+    limit: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    full: bool = False,
+    epochs: Optional[Iterable[int]] = None,
+    timeline: Optional[Timeline] = None,
+) -> list[EpochResult]:
+    """Measure every epoch of a timeline, incrementally by default.
+
+    ``full=True`` forces a from-scratch campaign per epoch — the
+    differential baseline the incremental path is proven against (and
+    the slow path the ``BENCH_epoch.json`` speedup is measured over).
+    ``epochs`` restricts which epoch indices to return (predecessors are
+    still computed: epoch ``k`` splices into ``k - 1``'s records).
+    """
+    timeline = timeline if timeline is not None else Timeline(config)
+    wanted = set(range(config.epochs)) if epochs is None else set(epochs)
+    if wanted and (min(wanted) < 0 or max(wanted) >= config.epochs):
+        raise ValueError(
+            f"epochs {sorted(wanted)} outside timeline of "
+            f"{config.epochs} epochs"
+        )
+    last_needed = max(wanted) if wanted else -1
+
+    results: list[EpochResult] = []
+    prev_records: dict[str, WebsiteMeasurement] = {}
+    for epoch in range(last_needed + 1):
+        world = timeline.world(epoch)
+        changes = timeline.changes(epoch)
+        campaign = MeasurementCampaign(world, limit=limit)
+        target = campaign.ranked_sites()
+        source = TimelineWorldSource(config, epoch)
+        store = _epoch_store(checkpoint_dir, epoch)
+
+        if epoch == 0 or full:
+            to_measure = list(target)
+        else:
+            changed = set(changes.changed)
+            to_measure = [
+                (domain, rank)
+                for domain, rank in target
+                if domain in changed or domain not in prev_records
+            ]
+
+        plan = CampaignPlan(
+            fingerprint=WorldFingerprint.of(
+                world.config, limit=limit, epoch=epoch
+            ),
+            shards=tuple(partition_sites(to_measure, shards)),
+        )
+        if to_measure:
+            payloads = _measure_plan(
+                campaign, plan, source, workers, store, resume
+            )
+        else:
+            payloads = {}
+
+        measured: dict[str, WebsiteMeasurement] = {}
+        for shard in plan.shards:
+            if shard.shard_id not in payloads:
+                continue
+            websites, _metrics = shard_payload_from_json(
+                payloads[shard.shard_id]
+            )
+            for record in websites:
+                measured[record.domain] = record
+
+        spliced: list[WebsiteMeasurement] = []
+        for domain, _rank in target:
+            record = measured.get(domain)
+            if record is None:
+                record = prev_records[domain]
+            spliced.append(record)
+
+        dataset = Dataset(year=world.year)
+        dataset.websites.extend(spliced)
+        campaign.run_interservice(dataset)
+
+        prev_records = {r.domain: r for r in dataset.websites}
+        if epoch in wanted:
+            results.append(
+                EpochResult(
+                    epoch=epoch,
+                    year=world.year,
+                    dataset=dataset,
+                    changes=changes,
+                    sites_measured=len(to_measure),
+                    sites_total=len(target),
+                )
+            )
+    return results

@@ -15,7 +15,7 @@ functions of their config), so nothing heavier than a
 from __future__ import annotations
 
 import multiprocessing
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Protocol, Union
 
 from repro.engine.plan import ShardSpec
 from repro.faults.plan import FaultPlan
@@ -23,20 +23,39 @@ from repro.measurement.io import shard_to_json
 from repro.measurement.runner import MeasurementCampaign
 from repro.telemetry.context import TelemetryConfig
 from repro.worldgen.config import WorldConfig
-from repro.worldgen.world import build_world
+from repro.worldgen.world import World, build_world
+
+
+class WorldSource(Protocol):
+    """A picklable recipe a pool worker can rebuild its world from.
+
+    ``WorldConfig`` covers the ordinary single-snapshot case; timeline
+    epochs ship a :class:`repro.engine.epochs.TimelineWorldSource`
+    because intermediate epochs cannot be derived from a ``WorldConfig``
+    alone.
+    """
+
+    def build(self) -> World: ...
+
+
+def _build_worker_world(source: Union[WorldConfig, WorldSource]) -> World:
+    if isinstance(source, WorldConfig):
+        return build_world(source)
+    return source.build()
+
 
 # Per-worker-process campaign, created once by the pool initializer.
 _WORKER_CAMPAIGN: Optional[MeasurementCampaign] = None
 
 
 def _init_worker(
-    config: WorldConfig,
+    config: Union[WorldConfig, WorldSource],
     region: Optional[str],
     fault_plan: Optional[FaultPlan] = None,
     telemetry_config: Optional[TelemetryConfig] = None,
 ) -> None:
     global _WORKER_CAMPAIGN
-    world = build_world(config)
+    world = _build_worker_world(config)
     telemetry = (
         telemetry_config.build() if telemetry_config is not None else None
     )
@@ -91,7 +110,7 @@ class MultiprocessExecutor:
 
     def __init__(
         self,
-        config: WorldConfig,
+        config: Union[WorldConfig, WorldSource],
         workers: int,
         region: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,

@@ -32,6 +32,11 @@ class WorldFingerprint:
     region: Optional[str] = None
     limit: Optional[int] = None
     fault_digest: Optional[str] = None
+    # Timeline epoch index; ``None`` for ordinary single-snapshot
+    # campaigns (and omitted from manifests, so pre-epoch checkpoints
+    # stay readable). Epoch worlds can share a year label, so the index
+    # is what keeps their checkpoints from cross-validating.
+    epoch: Optional[int] = None
 
     @classmethod
     def of(
@@ -40,6 +45,7 @@ class WorldFingerprint:
         region: Optional[str] = None,
         limit: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        epoch: Optional[int] = None,
     ) -> "WorldFingerprint":
         fault_digest = None
         if fault_plan is not None and not fault_plan.empty:
@@ -51,10 +57,11 @@ class WorldFingerprint:
             region=region,
             limit=limit,
             fault_digest=fault_digest,
+            epoch=epoch,
         )
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "n_websites": self.n_websites,
             "seed": self.seed,
             "year": self.year,
@@ -62,6 +69,9 @@ class WorldFingerprint:
             "limit": self.limit,
             "fault_digest": self.fault_digest,
         }
+        if self.epoch is not None:
+            payload["epoch"] = self.epoch
+        return payload
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "WorldFingerprint":
@@ -72,15 +82,17 @@ class WorldFingerprint:
             region=data.get("region"),
             limit=data.get("limit"),
             fault_digest=data.get("fault_digest"),
+            epoch=data.get("epoch"),
         )
 
     def describe(self) -> str:
         faults = (
             f" faults={self.fault_digest[:12]}" if self.fault_digest else ""
         )
+        epoch = f" epoch={self.epoch}" if self.epoch is not None else ""
         return (
             f"n={self.n_websites} seed={self.seed} year={self.year} "
-            f"region={self.region} limit={self.limit}{faults}"
+            f"region={self.region} limit={self.limit}{faults}{epoch}"
         )
 
 
@@ -139,6 +151,7 @@ def plan_campaign(
     limit: Optional[int] = None,
     region: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    epoch: Optional[int] = None,
 ) -> CampaignPlan:
     """Plan a campaign against ``world``'s ranked website list."""
     from repro.measurement.runner import MeasurementCampaign
@@ -149,7 +162,8 @@ def plan_campaign(
     sites = campaign.ranked_sites()
     return CampaignPlan(
         fingerprint=WorldFingerprint.of(
-            world.config, region=region, limit=limit, fault_plan=fault_plan
+            world.config, region=region, limit=limit, fault_plan=fault_plan,
+            epoch=epoch,
         ),
         shards=tuple(partition_sites(sites, n_shards)),
     )

@@ -133,6 +133,19 @@ class LintConfig:
             ("serve", "measurement.runner"),
             ("serve", "engine"),
             ("serve", "worldgen"),
+            # The longitudinal stack (worldgen.timeline, engine.epochs,
+            # core.incremental) lives on the live-campaign side; the
+            # frozen-dataset readers must not reach it — a store compiles
+            # datasets it is handed, it never evolves or remeasures one.
+            # (store may read worldgen.config's scale constants, so the
+            # live-world modules are pinned off individually there.)
+            ("store", "worldgen.timeline"),
+            ("store", "worldgen.world"),
+            ("store", "worldgen.evolve"),
+            ("store", "worldgen.generate"),
+            ("store", "engine"),
+            ("query", "worldgen"),
+            ("query", "engine"),
         }
     )
 

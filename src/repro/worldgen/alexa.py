@@ -121,6 +121,30 @@ class ListChurn:
     newcomers: list[str] = field(default_factory=list)
 
 
+def _draw_tail_biased_dead(
+    eligible: list[str], n_dead: int, rng: random.Random
+) -> set[str]:
+    """Sample dead domains with squared-position tail bias."""
+    dead: set[str] = set()
+    while len(dead) < min(n_dead, len(eligible)):
+        idx = int((rng.random() ** 0.5) * len(eligible))
+        dead.add(eligible[min(idx, len(eligible) - 1)])
+    return dead
+
+
+def _generate_fresh_domains(
+    needed: int, existing: set[str], fresh_rng: random.Random
+) -> list[str]:
+    """Draw ``needed`` new domains absent from ``existing`` (mutated)."""
+    newcomers: list[str] = []
+    while len(newcomers) < needed:
+        candidate = generate_domains(1, fresh_rng, include_corner_cases=False)[0]
+        if candidate not in existing:
+            existing.add(candidate)
+            newcomers.append(candidate)
+    return newcomers
+
+
 def churn_2016_to_2020(
     list_2016: AlexaList, rng: random.Random
 ) -> tuple[AlexaList, ListChurn]:
@@ -134,27 +158,52 @@ def churn_2016_to_2020(
     eligible = [d for d in list_2016.domains if d not in corner]
     n_dead = round(len(list_2016.domains) * DEATH_RATE_2016_TO_2020)
     # Death is tail-biased: sample by squared position.
-    dead = set()
-    while len(dead) < min(n_dead, len(eligible)):
-        idx = int((rng.random() ** 0.5) * len(eligible))
-        dead.add(eligible[min(idx, len(eligible) - 1)])
+    dead = _draw_tail_biased_dead(eligible, n_dead, rng)
     churn.dead = sorted(dead)
     churn.survivors = [d for d in list_2016.domains if d not in dead]
 
     fresh_rng = random.Random(rng.randrange(1 << 30))
     needed = len(list_2016.domains) - len(churn.survivors)
-    existing = set(churn.survivors)
-    newcomers: list[str] = []
-    while len(newcomers) < needed:
-        candidate = generate_domains(1, fresh_rng, include_corner_cases=False)[0]
-        if candidate not in existing:
-            existing.add(candidate)
-            newcomers.append(candidate)
-    churn.newcomers = newcomers
+    # Dead domains are excluded too — a newcomer must not resurrect one.
+    existing = set(churn.survivors) | dead
+    churn.newcomers = _generate_fresh_domains(needed, existing, fresh_rng)
 
     # Newcomers enter at random tail-half positions.
     domains_2020 = list(churn.survivors)
-    for domain in newcomers:
+    for domain in churn.newcomers:
         pos = rng.randrange(len(domains_2020) // 2, len(domains_2020) + 1)
         domains_2020.insert(pos, domain)
     return AlexaList(year=2020, domains=domains_2020), churn
+
+
+def churn_step(
+    alexa: AlexaList, rng: random.Random, *, death_rate: float, year: int
+) -> tuple[AlexaList, ListChurn]:
+    """One epoch of *slot-preserving* list churn.
+
+    ``death_rate`` of the list dies (never the pinned corner cases) and
+    each dead domain's rank slot is taken over by a fresh newcomer, so
+    every survivor keeps its rank across the epoch. Rank stability is what
+    keeps an epoch's changed-site set proportional to the churn rate — the
+    property the incremental remeasurement scheduler depends on. The
+    one-shot 2016→2020 evolution keeps the paper's rank-shifting churn.
+    """
+    churn = ListChurn()
+    corner = set(CORNER_CASE_DOMAINS)
+    eligible = [d for d in alexa.domains if d not in corner]
+    n_dead = round(len(alexa.domains) * death_rate)
+    dead = _draw_tail_biased_dead(eligible, n_dead, rng)
+    churn.dead = sorted(dead)
+    churn.survivors = [d for d in alexa.domains if d not in dead]
+
+    fresh_rng = random.Random(rng.randrange(1 << 30))
+    # Exclude the dead as well as the survivors: a newcomer drawing a
+    # just-died name would "resurrect" that domain in the same epoch,
+    # leaving it both in the dead set and on the new list.
+    existing = set(churn.survivors) | dead
+    churn.newcomers = _generate_fresh_domains(len(churn.dead), existing, fresh_rng)
+
+    # The i-th (sorted) dead domain's slot goes to the i-th newcomer.
+    replacement = dict(zip(churn.dead, churn.newcomers))
+    domains = [replacement.get(d, d) for d in alexa.domains]
+    return AlexaList(year=year, domains=domains), churn

@@ -70,8 +70,11 @@ class WorldConfig:
     def __post_init__(self) -> None:
         if self.n_websites < 100:
             raise ValueError("worlds below 100 websites are too noisy to use")
-        if self.year not in (2016, 2020):
-            raise ValueError("only the paper's 2016 and 2020 snapshots exist")
+        if not 2016 <= self.year <= 2020:
+            raise ValueError(
+                "snapshot years span the paper's 2016-2020 window; "
+                "intermediate years come from repro.worldgen.timeline"
+            )
 
     @property
     def rank_scale(self) -> float:

@@ -14,6 +14,7 @@ rebuilt from the catalog's 2020 fields (Tables 6-9 come from that).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -93,11 +94,17 @@ HTTPS_TARGET_2020 = 0.78
 NEW_HTTPS_STAPLING_RATE = 0.119
 
 
-def _annulus_of(eff_rank: float) -> int:
+def _annulus_of(eff_rank: float) -> Optional[int]:
+    """Bucket index for an effective rank, or ``None`` beyond top-100K.
+
+    The paper's tables only describe the top 100K; sites a small world's
+    ``rank_scale`` pushes past that boundary belong to no annulus and must
+    not inflate the (10K,100K] quota base.
+    """
     for i, k in enumerate(_PAPER_BUCKETS):
         if eff_rank <= k:
             return i
-    return len(_PAPER_BUCKETS) - 1
+    return None
 
 
 def _apply_quota(
@@ -105,7 +112,7 @@ def _apply_quota(
     config: WorldConfig,
     rates: CumulativeRates,
     eligible: Callable[[WebsiteSpec], bool],
-    action: Callable[[WebsiteSpec], None],
+    action: Callable[[WebsiteSpec], Optional[bool]],
     rng: random.Random,
     base: Optional[Callable[[WebsiteSpec], bool]] = None,
 ) -> int:
@@ -113,13 +120,19 @@ def _apply_quota(
 
     The quota is ``annulus_rate x (number of base-population websites in
     the annulus)``; ``base`` defaults to everyone. Pinned corner-case
-    domains are never selected (their transitions are hand-wired).
+    domains are never selected (their transitions are hand-wired), and
+    sites whose effective rank falls outside the paper's top-100K buckets
+    are excluded from both the base counts and the candidate pools. An
+    action may decline a site by returning ``False``; declined sites do
+    not consume quota and the next shuffled candidate is tried instead.
     """
     annulus_rates = rates.annulus_rates()
     by_annulus: dict[int, list[WebsiteSpec]] = {i: [] for i in range(4)}
     base_counts = {i: 0 for i in range(4)}
     for website in websites:
         annulus = _annulus_of(config.effective_rank(website.rank))
+        if annulus is None:
+            continue
         if base is None or base(website):
             base_counts[annulus] += 1
         if website.domain in PINNED_DOMAINS:
@@ -130,8 +143,13 @@ def _apply_quota(
     for annulus, candidates in by_annulus.items():
         quota = round(annulus_rates[annulus] / 100.0 * base_counts[annulus])
         rng.shuffle(candidates)
-        for website in candidates[:quota]:
-            action(website)
+        taken = 0
+        for website in candidates:
+            if taken >= quota:
+                break
+            if action(website) is False:
+                continue
+            taken += 1
             applied += 1
     return applied
 
@@ -153,6 +171,7 @@ def _rebalance_market(
     rng: random.Random,
     get_keys: Callable[[WebsiteSpec], list[str]],
     set_key: Callable[[WebsiteSpec, int, str], None],
+    tolerance: float = 0.0,
 ) -> None:
     """Move kept customers so provider marginals match the 2020 shares.
 
@@ -162,6 +181,14 @@ def _rebalance_market(
     so the 2020 composition lands on the catalog's 2020 shares. Only the
     provider identity changes — setup shape (redundancy, criticality) is
     preserved, keeping the Table 3-5 quotas intact.
+
+    ``tolerance`` widens each provider's target into a dead-band of
+    ``tolerance x sqrt(target)`` slots. The one-shot evolution runs with 0
+    (exact landing). Epoch-by-epoch timelines pass ~1: each epoch's
+    newcomer and quota draws perturb the marginals by sampling noise of
+    exactly that order, and without the band the rebalance would churn
+    O(sqrt(n)) customers per epoch merely undoing it — movement that no
+    longer scales with the per-epoch drift.
     """
     slots: list[tuple[WebsiteSpec, int, str]] = []
     for website in websites:
@@ -186,18 +213,22 @@ def _rebalance_market(
     for _, _, key in slots:
         counts[key] = counts.get(key, 0) + 1
 
+    def slack(target: float) -> float:
+        return tolerance * math.sqrt(max(1.0, target))
+
     movers: list[tuple[WebsiteSpec, int]] = []
     for website, i, key in slots:
         target = targets.get(key, 0.0)
+        ceiling = target + slack(target)
         current = counts.get(key, 0)
-        if current <= target:
+        if current <= ceiling:
             continue
-        if rng.random() < (current - target) / current:
+        if rng.random() < (current - ceiling) / current:
             movers.append((website, i))
             counts[key] = counts.get(key, 0) - 1  # approximate live count
 
     deficits = {
-        key: max(0.0, target - counts.get(key, 0))
+        key: max(0.0, target - slack(target) - counts.get(key, 0))
         for key, target in targets.items()
     }
     deficit_keys = [k for k, d in deficits.items() if d > 0]
@@ -205,15 +236,20 @@ def _rebalance_market(
         return
     for website, i in movers:
         current_keys = set(get_keys(website))
-        choices = [k for k in deficit_keys if k not in current_keys]
+        choices = [
+            k for k in deficit_keys
+            if deficits[k] > 0 and k not in current_keys
+        ]
         if not choices:
             continue
         weights = [deficits[k] for k in choices]
         new_key = rankmodel.weighted_choice(rng, choices, weights)
         set_key(website, i, new_key)
         deficits[new_key] = max(0.0, deficits[new_key] - 1)
-        if deficits[new_key] == 0 and len(deficit_keys) > 1:
+        if deficits[new_key] == 0:
             deficit_keys = [k for k in deficit_keys if deficits[k] > 0]
+            if not deficit_keys:
+                break
 
 
 def evolve_to_2020(
@@ -267,6 +303,16 @@ def evolve_to_2020(
     return spec_2020, churn
 
 
+def _scaled(rates: CumulativeRates, factor: float) -> CumulativeRates:
+    """Scale a table row, e.g. to spread it across several epochs."""
+    return CumulativeRates(
+        rates.k100 * factor,
+        rates.k1k * factor,
+        rates.k10k * factor,
+        rates.k100k * factor,
+    )
+
+
 def _apply_website_transitions(
     websites: list[WebsiteSpec],
     config: WorldConfig,
@@ -274,6 +320,10 @@ def _apply_website_transitions(
     cdn_market: dict,
     ca_market: dict,
     rng: random.Random,
+    *,
+    rate_scale: float = 1.0,
+    https_target: float = HTTPS_TARGET_2020,
+    rebalance_tolerance: float = 0.0,
 ) -> None:
     def draw_dns(website: WebsiteSpec) -> str:
         eff = config.effective_rank(website.rank)
@@ -290,15 +340,18 @@ def _apply_website_transitions(
             rng, [c[0] for c in choices], [c[1] for c in choices]
         )
 
+    def scaled(rates: CumulativeRates) -> CumulativeRates:
+        return _scaled(rates, rate_scale)
+
     # ---- Table 3: DNS setup transitions --------------------------------
     _apply_quota(
-        websites, config, DNS_PVT_TO_SINGLE_THIRD,
+        websites, config, scaled(DNS_PVT_TO_SINGLE_THIRD),
         eligible=lambda w: not w.dns.uses_third_party,
         action=lambda w: setattr(w, "dns", DnsSetup(providers=[draw_dns(w)])),
         rng=rng,
     )
     _apply_quota(
-        websites, config, DNS_SINGLE_THIRD_TO_PVT,
+        websites, config, scaled(DNS_SINGLE_THIRD_TO_PVT),
         eligible=lambda w: w.dns.is_critical,
         action=lambda w: setattr(
             w, "dns", DnsSetup(providers=[PRIVATE], soa_masked=False)
@@ -306,7 +359,7 @@ def _apply_website_transitions(
         rng=rng,
     )
     _apply_quota(
-        websites, config, DNS_RED_TO_NO_RED,
+        websites, config, scaled(DNS_RED_TO_NO_RED),
         eligible=lambda w: w.dns.is_redundant and w.dns.uses_third_party,
         action=lambda w: setattr(
             w, "dns",
@@ -323,7 +376,7 @@ def _apply_website_transitions(
         )
 
     _apply_quota(
-        websites, config, DNS_NO_RED_TO_RED,
+        websites, config, scaled(DNS_NO_RED_TO_RED),
         eligible=lambda w: w.dns.is_critical,
         action=add_redundancy,
         rng=rng,
@@ -332,6 +385,7 @@ def _apply_website_transitions(
         websites, dns_market, rng,
         get_keys=lambda w: w.dns.providers,
         set_key=lambda w, i, k: w.dns.providers.__setitem__(i, k),
+        tolerance=rebalance_tolerance,
     )
 
     # ---- CDN adoption / abandonment / Table 4 ---------------------------
@@ -342,14 +396,14 @@ def _apply_website_transitions(
 
     _apply_quota(
         websites, config,
-        CumulativeRates(*(CDN_ADOPTION_RATE * 100,) * 4),
+        CumulativeRates(*(CDN_ADOPTION_RATE * rate_scale * 100,) * 4),
         eligible=lambda w: not w.uses_cdn,
         action=adopt_cdn,
         rng=rng,
     )
     _apply_quota(
         websites, config,
-        CumulativeRates(*(CDN_ABANDON_RATE * 100,) * 4),
+        CumulativeRates(*(CDN_ABANDON_RATE * rate_scale * 100,) * 4),
         eligible=lambda w: w.uses_cdn,
         action=lambda w: setattr(w, "cdns", []),
         rng=rng,
@@ -360,23 +414,33 @@ def _apply_website_transitions(
         return w.uses_cdn
 
     _apply_quota(
-        websites, config, CDN_PVT_TO_SINGLE_THIRD,
+        websites, config, scaled(CDN_PVT_TO_SINGLE_THIRD),
         eligible=lambda w: w.cdns == [PRIVATE],
         action=adopt_cdn,
         rng=rng,
         base=cdn_user,
     )
     _apply_quota(
-        websites, config, CDN_RED_TO_NO_RED,
+        websites, config, scaled(CDN_RED_TO_NO_RED),
         eligible=lambda w: len(set(w.cdns)) > 1,
         action=lambda w: setattr(w, "cdns", [w.cdns[0]]),
         rng=rng,
         base=cdn_user,
     )
+    def add_cdn_redundancy(website: WebsiteSpec) -> Optional[bool]:
+        # A site whose CDN market has nothing new to offer cannot gain
+        # redundancy — decline so the quota goes to the next candidate
+        # instead of being burnt on a duplicate entry.
+        choice = draw_cdn(website, exclude=website.cdns)
+        if choice is None:
+            return False
+        website.cdns.append(choice)
+        return True
+
     _apply_quota(
-        websites, config, CDN_NO_RED_TO_RED,
+        websites, config, scaled(CDN_NO_RED_TO_RED),
         eligible=lambda w: w.cdn_is_critical,
-        action=lambda w: w.cdns.append(draw_cdn(w, exclude=w.cdns) or w.cdns[0]),
+        action=add_cdn_redundancy,
         rng=rng,
         base=cdn_user,
     )
@@ -384,6 +448,7 @@ def _apply_website_transitions(
         websites, cdn_market, rng,
         get_keys=lambda w: w.cdns,
         set_key=lambda w, i, k: w.cdns.__setitem__(i, k),
+        tolerance=rebalance_tolerance,
     )
 
     # ---- HTTPS adoption and Table 5 stapling -----------------------------
@@ -398,8 +463,15 @@ def _apply_website_transitions(
             website.ca_key = rankmodel.weighted_choice(rng, keys, weights)
         website.ocsp_stapled = rng.random() < NEW_HTTPS_STAPLING_RATE
 
-    https_now = sum(1 for w in websites if w.https)
-    target = round(HTTPS_TARGET_2020 * len(websites))
+    # Table 5's denominators are "percent of 2016-HTTPS websites", so the
+    # pre-adoption HTTPS set is snapshotted *before* the adoption loop runs:
+    # newly-adopted sites already drew their stapling behaviour from
+    # NEW_HTTPS_STAPLING_RATE and must feed neither the quota base nor the
+    # candidate pools (double-applying would overshoot the paper's rates).
+    https_before = {w.domain for w in websites if w.https}
+
+    https_now = len(https_before)
+    target = round(https_target * len(websites))
     adoption_rate = max(0.0, (target - https_now) / max(1, len(websites) - https_now))
     for website in websites:
         if website.domain in PINNED_DOMAINS or website.https:
@@ -408,19 +480,19 @@ def _apply_website_transitions(
             adopt_https(website)
 
     def https_2016(w: WebsiteSpec) -> bool:
-        """Post-adoption HTTPS population, the base for the CA quotas."""
-        return w.https
+        """Pre-adoption HTTPS population, the base for the CA quotas."""
+        return w.domain in https_before
 
     _apply_quota(
-        websites, config, CA_STAPLE_TO_NONE,
-        eligible=lambda w: w.https and w.ocsp_stapled,
+        websites, config, scaled(CA_STAPLE_TO_NONE),
+        eligible=lambda w: w.domain in https_before and w.ocsp_stapled,
         action=lambda w: setattr(w, "ocsp_stapled", False),
         rng=rng,
         base=https_2016,
     )
     _apply_quota(
-        websites, config, CA_NONE_TO_STAPLE,
-        eligible=lambda w: w.https and not w.ocsp_stapled,
+        websites, config, scaled(CA_NONE_TO_STAPLE),
+        eligible=lambda w: w.domain in https_before and not w.ocsp_stapled,
         action=lambda w: setattr(w, "ocsp_stapled", True),
         rng=rng,
         base=https_2016,
@@ -429,6 +501,7 @@ def _apply_website_transitions(
         websites, ca_market, rng,
         get_keys=lambda w: [w.ca_key] if w.https and w.ca_key else [],
         set_key=lambda w, i, k: setattr(w, "ca_key", k),
+        tolerance=rebalance_tolerance,
     )
 
 
@@ -440,9 +513,21 @@ def _sanitize_against_market(
         for i, provider in enumerate(website.dns.providers):
             if provider != PRIVATE and provider not in spec.dns_providers:
                 website.dns.providers[i] = PRIVATE
+        if website.dns.providers.count(PRIVATE) > 1:
+            # Two dead providers both repaired to PRIVATE describe one
+            # in-house setup, not a redundant one — collapse them.
+            seen_private = False
+            deduped = []
+            for provider in website.dns.providers:
+                if provider == PRIVATE:
+                    if seen_private:
+                        continue
+                    seen_private = True
+                deduped.append(provider)
+            website.dns.providers[:] = deduped
         website.cdns = [
             c for c in website.cdns if c == PRIVATE or c in spec.cdns
-        ] or ([] if not website.cdns else website.cdns[:0])
+        ]
         if website.https and website.ca_key not in (None, PRIVATE):
             if website.ca_key not in spec.cas:
                 keys = list(spec.cas)

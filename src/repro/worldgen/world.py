@@ -241,9 +241,14 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
     config = config or WorldConfig()
     if config.year == 2016:
         spec = generate_snapshot(config)
-    else:
+    elif config.year == 2020:
         base = generate_snapshot(replace(config, year=2016))
         spec, _ = evolve_to_2020(base, config)
+    else:
+        raise ValueError(
+            "build_world only knows the paper's endpoint snapshots; "
+            "intermediate years come from repro.worldgen.timeline"
+        )
     return World(materialize(spec), config)
 
 

@@ -28,9 +28,13 @@ class TestWorldConfig:
         with pytest.raises(ValueError):
             WorldConfig(n_websites=50)
 
-    def test_only_paper_years(self):
-        with pytest.raises(ValueError):
-            WorldConfig(year=2018)
+    def test_years_span_paper_window(self):
+        # Intermediate years are valid — the timeline interpolates between
+        # the paper's 2016 and 2020 snapshots — but not years outside it.
+        assert WorldConfig(year=2018).year == 2018
+        for year in (2015, 2021):
+            with pytest.raises(ValueError):
+                WorldConfig(year=year)
 
     def test_targets_defaults(self):
         targets = CalibrationTargets()

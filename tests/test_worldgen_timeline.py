@@ -1,0 +1,156 @@
+"""Tests for the N-epoch timeline (repro.worldgen.timeline)."""
+
+import pytest
+
+from repro.worldgen.generate import generate_snapshot
+from repro.worldgen.timeline import (
+    EpochChange,
+    Timeline,
+    TimelineConfig,
+    _epoch_year,
+)
+
+CFG = TimelineConfig(n_websites=300, seed=7, epochs=5, churn_rate=0.10)
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    tl = Timeline(CFG)
+    tl.spec(CFG.epochs - 1)
+    return tl
+
+
+class TestEpochYear:
+    def test_endpoints_always_2016_and_2020(self):
+        for epochs in (2, 3, 4, 5, 9, 21):
+            assert _epoch_year(0, epochs) == 2016
+            assert _epoch_year(epochs - 1, epochs) == 2020
+
+    def test_single_epoch_timeline_is_2016(self):
+        assert _epoch_year(0, 1) == 2016
+
+    def test_years_are_monotonic(self):
+        for epochs in (4, 7, 13):
+            years = [_epoch_year(k, epochs) for k in range(epochs)]
+            assert years == sorted(years)
+
+
+class TestTimelineConfig:
+    def test_rejects_zero_epochs(self):
+        with pytest.raises(ValueError):
+            TimelineConfig(epochs=0)
+
+    def test_rejects_absurd_churn(self):
+        with pytest.raises(ValueError):
+            TimelineConfig(churn_rate=0.5)
+
+    def test_world_config_bounds(self):
+        with pytest.raises(ValueError):
+            CFG.world_config(CFG.epochs)
+
+
+class TestEpochZero:
+    def test_epoch_zero_is_the_plain_2016_snapshot(self, timeline):
+        fresh = generate_snapshot(CFG.world_config(0))
+        assert timeline.spec(0) == fresh
+
+    def test_epoch_zero_change_lists_everyone(self, timeline):
+        change = timeline.changes(0)
+        assert isinstance(change, EpochChange)
+        assert set(change.changed) == {
+            w.domain for w in timeline.spec(0).websites
+        }
+        assert change.dead == ()
+
+
+class TestDeterminism:
+    def test_rebuild_is_identical(self, timeline):
+        """Epoch k is a pure function of the config — a second timeline
+        built in a different order produces equal specs and changes."""
+        other = Timeline(CFG)
+        # Build out of order: jump straight to the last epoch.
+        assert other.spec(CFG.epochs - 1) == timeline.spec(CFG.epochs - 1)
+        for k in range(CFG.epochs):
+            assert other.spec(k) == timeline.spec(k)
+            assert other.changes(k) == timeline.changes(k)
+
+    def test_different_seed_diverges(self, timeline):
+        other = Timeline(TimelineConfig(
+            n_websites=300, seed=8, epochs=5, churn_rate=0.10
+        ))
+        assert other.spec(1) != timeline.spec(1)
+
+
+class TestChurnShape:
+    def test_population_size_is_stable(self, timeline):
+        for k in range(CFG.epochs):
+            assert len(timeline.spec(k).websites) == CFG.n_websites
+
+    def test_dead_sites_leave_and_newcomers_arrive(self, timeline):
+        for k in range(1, CFG.epochs):
+            change = timeline.changes(k)
+            domains = set(timeline.spec(k).website_by_domain())
+            assert not set(change.dead) & domains
+            assert set(change.newcomers) <= domains
+            assert len(change.dead) == len(change.newcomers)
+            assert len(change.dead) == round(
+                CFG.churn_rate * CFG.n_websites
+            )
+
+    def test_survivor_ranks_are_slot_preserved(self, timeline):
+        """A newcomer takes its dead predecessor's slot, so a surviving
+        domain keeps its rank unless ranks were explicitly shuffled."""
+        for k in range(1, CFG.epochs):
+            prev = timeline.spec(k - 1).website_by_domain()
+            moved = 0
+            for website in timeline.spec(k).websites:
+                before = prev.get(website.domain)
+                if before is not None and before.rank != website.rank:
+                    moved += 1
+            assert moved <= 0.05 * CFG.n_websites
+
+    def test_changed_set_is_exactly_the_spec_diff(self, timeline):
+        for k in range(1, CFG.epochs):
+            prev = timeline.spec(k - 1).website_by_domain()
+            expected = {
+                w.domain
+                for w in timeline.spec(k).websites
+                if w.domain not in prev or prev[w.domain] != w
+            }
+            assert set(timeline.changes(k).changed) == expected
+
+    def test_unchanged_sites_share_no_spec_drift(self, timeline):
+        """Everything outside the changed set is exactly equal — this is
+        what lets the scheduler splice records forward untouched."""
+        for k in range(1, CFG.epochs):
+            prev = timeline.spec(k - 1).website_by_domain()
+            changed = set(timeline.changes(k).changed)
+            for website in timeline.spec(k).websites:
+                if website.domain not in changed:
+                    assert prev[website.domain] == website
+
+
+class TestMarketDrift:
+    def test_https_fraction_climbs_toward_2020(self, timeline):
+        first = timeline.spec(0)
+        last = timeline.spec(CFG.epochs - 1)
+        frac = lambda s: (  # noqa: E731
+            sum(1 for w in s.websites if w.https) / len(s.websites)
+        )
+        assert frac(last) > frac(first)
+        assert frac(last) == pytest.approx(0.78, abs=0.07)
+
+    def test_structural_market_fields_stay_frozen(self, timeline):
+        """Share weights drift, but the measurable surface (nameserver
+        domains) of a provider present throughout must not move —
+        otherwise unchanged websites would not measure identically."""
+        first = timeline.spec(0).dns_providers
+        last = timeline.spec(CFG.epochs - 1).dns_providers
+        for key in first.keys() & last.keys():
+            assert first[key].ns_domains == last[key].ns_domains
+
+    def test_worlds_materialize_for_every_epoch(self, timeline):
+        for k in range(CFG.epochs):
+            world = timeline.world(k)
+            assert world.year == timeline.spec(k).year
+            assert len(world.spec.websites) == CFG.n_websites
